@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+One :class:`ExperimentRunner` is shared by the whole benchmark session:
+the profiling pipelines (the expensive part) run once per workload and
+every table/figure reads from the same cache — mirroring the paper's flow
+of "profile once, then measure everything".
+
+Rendered tables are also written to ``benchmarks/results/`` so a full
+benchmark run leaves the paper-shaped artifacts on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_print(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,212 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out:
+
+* nesting-graph selection (formula 4) vs transforming every profitable
+  segment;
+* specialization on/off (the G721 quan story);
+* table merging on/off under the memory budget (the GNU Go story);
+* the R > O/C cost filter vs transforming everything profiled.
+"""
+
+import copy
+
+from conftest import save_and_print
+
+from repro.experiments.runner import ExperimentRunner
+from repro.minic import frontend
+from repro.minic.parser import parse_program
+from repro.minic.sema import analyze
+from repro.opt.pipeline import optimize
+from repro.reuse import PipelineConfig, ReusePipeline
+from repro.runtime import Machine, compile_program
+from repro.workloads import get_workload
+
+
+def measure(workload, config, opt_level="O0", inputs=None):
+    """Run the pipeline under `config` and measure original vs transformed.
+    Returns (speedup, pipeline_result)."""
+    inputs = inputs if inputs is not None else workload.default_inputs()
+    result = ReusePipeline(workload.source, config).run(inputs)
+
+    original = analyze(parse_program(workload.source))
+    optimize(original, opt_level)
+    mo = Machine(opt_level)
+    mo.set_inputs(list(inputs))
+    compile_program(original, mo).run("main")
+
+    transformed = copy.deepcopy(result.program)
+    analyze(transformed)
+    optimize(transformed, opt_level)
+    mt = Machine(opt_level)
+    mt.set_inputs(list(inputs))
+    for seg_id, table in result.build_tables().items():
+        mt.install_table(seg_id, table)
+    compile_program(transformed, mt).run("main")
+
+    assert mo.output_checksum == mt.output_checksum, workload.name
+    return mo.cycles / mt.cycles, result
+
+
+def _config(workload, **overrides):
+    base = dict(
+        min_executions=workload.min_executions,
+        memory_budget_bytes=workload.memory_budget_bytes,
+    )
+    base.update(overrides)
+    return PipelineConfig(**base)
+
+
+def test_ablation_specialization(benchmark, results_dir):
+    """Without specialization, quan keeps its 3-input signature, fails
+    the O/C pre-filter, and G721 loses most of its gain."""
+    workload = get_workload("G721_encode")
+
+    def run():
+        with_spec, res_on = measure(workload, _config(workload))
+        without_spec, res_off = measure(
+            workload, _config(workload, enable_specialization=False)
+        )
+        return with_spec, without_spec, res_on, res_off
+
+    with_spec, without_spec, res_on, res_off = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    text = (
+        "Ablation: code specialization (G721_encode, O0)\n"
+        f"  with specialization:    speedup {with_spec:.2f} "
+        f"(transformed {len(res_on.selected)} segments)\n"
+        f"  without specialization: speedup {without_spec:.2f} "
+        f"(transformed {len(res_off.selected)} segments)"
+    )
+    save_and_print(results_dir, "ablation_specialization", text)
+    assert res_on.specializations  # quan got specialized
+    assert with_spec > without_spec + 0.1
+    # the specialized quan is what gets memoized
+    assert any("quan" in s.func_name for s in res_on.selected)
+
+
+_NESTED_SOURCE = """
+int lut[8] = {2, 7, 1, 8, 2, 8, 1, 8};
+
+static int inner(int x) {
+    int r = 0;
+    int i;
+    for (i = 0; i < 10; i++)
+        r += lut[i & 7] * ((x + i) & 63);
+    return r;
+}
+
+static int outer(int y) {
+    int s = 0;
+    int k;
+    for (k = 0; k < 3; k++)
+        s += inner((y + k) & 31);
+    return s;
+}
+
+int main(void) {
+    int acc = 0;
+    while (__input_avail())
+        acc += outer(__input_int());
+    __output_int(acc);
+    return acc;
+}
+"""
+
+
+def test_ablation_nesting(benchmark, results_dir):
+    """Both `outer` and `inner` are profitable and nest; the formula-4
+    selection transforms only one of them, while the ablated pipeline
+    transforms both and pays stacked probe overhead."""
+    from repro.workloads.base import Workload
+
+    workload = Workload(
+        name="NESTED",
+        source=_NESTED_SOURCE,
+        default_inputs=lambda: [3, 9, 3, 17, 9, 3, 17, 9] * 120,
+        alternate_inputs=lambda: [1, 2] * 100,
+        alternate_label="alt",
+        key_function="outer",
+        description="nesting ablation fixture",
+        min_executions=32,
+    )
+
+    def run():
+        nested, res_sel = measure(workload, _config(workload))
+        flat, res_all = measure(
+            workload, _config(workload, enable_nesting_selection=False)
+        )
+        return nested, flat, res_sel, res_all
+
+    nested, flat, res_sel, res_all = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        "Ablation: nesting-graph selection (nested outer/inner fixture, O0)\n"
+        f"  formula-4 selection:      speedup {nested:.2f} "
+        f"({len(res_sel.selected)} segments: "
+        f"{sorted(s.func_name for s in res_sel.selected)})\n"
+        f"  transform all profitable: speedup {flat:.2f} "
+        f"({len(res_all.selected)} segments: "
+        f"{sorted(s.func_name for s in res_all.selected)})"
+    )
+    save_and_print(results_dir, "ablation_nesting", text)
+    # the selection keeps exactly one of the nest...
+    assert len(res_sel.selected) == 1
+    # ...the ablated run transforms both nested segments...
+    assert len(res_all.selected) > len(res_sel.selected)
+    # ...and performance is no better for it (nested probes cost)
+    assert nested >= flat - 0.02
+
+
+def test_ablation_merging(benchmark, results_dir):
+    """GNU Go under the memory budget: with merging all eight segments'
+    tables fit; without it the budget evicts segments and the speedup
+    drops (the paper's out-of-memory story)."""
+    workload = get_workload("GNUGO")
+
+    def run():
+        merged, res_m = measure(workload, _config(workload))
+        unmerged, res_u = measure(
+            workload, _config(workload, enable_merging=False)
+        )
+        return merged, unmerged, res_m, res_u
+
+    merged, unmerged, res_m, res_u = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        "Ablation: hash-table merging (GNUGO, 256KB table budget, O0)\n"
+        f"  merged tables:   speedup {merged:.2f} "
+        f"({len(res_m.selected)} segments kept, {len(res_m.dropped_for_memory)} dropped)\n"
+        f"  separate tables: speedup {unmerged:.2f} "
+        f"({len(res_u.selected)} segments kept, {len(res_u.dropped_for_memory)} dropped)"
+    )
+    save_and_print(results_dir, "ablation_merging", text)
+    # merging keeps all eight segments within the budget
+    assert len(res_m.selected) == 8
+    assert not res_m.dropped_for_memory
+    # without merging the budget forces segments out
+    assert res_u.dropped_for_memory
+    assert merged > unmerged
+
+
+def test_ablation_cost_filter(benchmark, results_dir):
+    """Disabling the R > O/C test transforms unprofitable segments too;
+    performance is no better and extra tables burn memory."""
+    workload = get_workload("UNEPIC")
+
+    def run():
+        filtered, res_f = measure(workload, _config(workload))
+        unfiltered, res_u = measure(
+            workload, _config(workload, enable_cost_filter=False)
+        )
+        return filtered, unfiltered, res_f, res_u
+
+    filtered, unfiltered, res_f, res_u = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    text = (
+        "Ablation: cost-benefit filter (UNEPIC, O0)\n"
+        f"  with R > O/C filter: speedup {filtered:.2f} "
+        f"({len(res_f.selected)} segments)\n"
+        f"  without filter:      speedup {unfiltered:.2f} "
+        f"({len(res_u.selected)} segments)"
+    )
+    save_and_print(results_dir, "ablation_cost_filter", text)
+    assert filtered >= unfiltered - 0.02

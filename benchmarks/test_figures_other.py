@@ -1,0 +1,35 @@
+"""Regenerates Figures 11-13: RASTA distinct-pattern accesses, UNEPIC
+input values, GNU Go input patterns."""
+
+from conftest import save_and_print
+
+from repro.experiments import figure11, figure12, figure13, render_histogram
+
+
+def test_figure11_rasta_patterns(benchmark, runner, results_dir):
+    hist = benchmark.pedantic(lambda: figure11(runner), rounds=1, iterations=1)
+    save_and_print(results_dir, "figure11", render_histogram(hist))
+    # exactly the 31 distinct patterns of the paper
+    assert len(hist.bins) == 31
+    # every pattern is accessed many times (reuse rate 99%+)
+    assert all(count > 10 for _, count in hist.bins)
+
+
+def test_figure12_unepic_values(benchmark, runner, results_dir):
+    hist = benchmark.pedantic(lambda: figure12(runner), rounds=1, iterations=1)
+    save_and_print(results_dir, "figure12", render_histogram(hist))
+    assert hist.total > 0
+    # Laplacian: the middle bins (around zero) dominate
+    n = len(hist.bins)
+    middle = sum(c for _, c in hist.bins[n // 3 : 2 * n // 3])
+    assert middle > hist.total * 0.5
+
+
+def test_figure13_gnugo_patterns(benchmark, runner, results_dir):
+    hist = benchmark.pedantic(lambda: figure13(runner), rounds=1, iterations=1)
+    save_and_print(results_dir, "figure13", render_histogram(hist))
+    # 4-value patterns, heavily reused
+    assert hist.bins
+    first_key = hist.bins[0][0]
+    assert first_key.count(",") == 3  # four components
+    assert hist.bins[0][1] > 5

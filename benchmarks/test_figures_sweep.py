@@ -1,0 +1,46 @@
+"""Regenerates Figures 14/15: speedups with different hash table sizes,
+under O0 and O3.
+
+"Almost all these programs achieve good speedups by applying computation
+reuse with a hash table of 512KB" — and small tables cost speedup through
+collision-driven replacement."""
+
+from conftest import save_and_print
+
+from repro.experiments import figure14, figure15, render_sweep
+from repro.workloads import PRIMARY_WORKLOADS
+
+SIZES = (1024, 8192, 65536, 262144, None)  # bytes per table; None = optimal
+
+
+def _check(series):
+    by_name = {s.program: dict(s.points) for s in series}
+    for line in series:
+        speedups = [v for _, v in line.points]
+        # the optimal-size point is (close to) the best of the sweep
+        assert speedups[-1] >= max(speedups) - 0.05, line.program
+        # no configuration loses more than a sliver (commit overhead only)
+        assert min(speedups) > 0.85, line.program
+    # small tables hurt the large-DIP workloads (G721/UNEPIC) noticeably
+    for name in ("G721_encode", "UNEPIC"):
+        assert by_name[name][1024] < by_name[name][None] - 0.1, name
+    # RASTA's 31 patterns fit anywhere: flat curve
+    rasta = [v for _, v in next(s for s in series if s.program == "RASTA").points]
+    assert max(rasta) - min(rasta) < 0.1
+    return by_name
+
+
+def test_figure14_sweep_o0(benchmark, runner, results_dir):
+    series = benchmark.pedantic(
+        lambda: figure14(runner, PRIMARY_WORKLOADS, SIZES), rounds=1, iterations=1
+    )
+    save_and_print(results_dir, "figure14", render_sweep(series, "O0", 14))
+    _check(series)
+
+
+def test_figure15_sweep_o3(benchmark, runner, results_dir):
+    series = benchmark.pedantic(
+        lambda: figure15(runner, PRIMARY_WORKLOADS, SIZES), rounds=1, iterations=1
+    )
+    save_and_print(results_dir, "figure15", render_sweep(series, "O3", 15))
+    _check(series)

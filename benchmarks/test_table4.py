@@ -1,0 +1,35 @@
+"""Regenerates Table 4: number of code segments analyzed, profiled, and
+transformed per program."""
+
+from conftest import save_and_print
+
+from repro.experiments import render_table4, table4
+from repro.workloads import PRIMARY_WORKLOADS
+
+
+def test_table4(benchmark, runner, results_dir):
+    rows = benchmark.pedantic(
+        lambda: table4(runner, PRIMARY_WORKLOADS), rounds=1, iterations=1
+    )
+    save_and_print(results_dir, "table4", render_table4(rows))
+
+    by_name = {r.program: r for r in rows}
+
+    # the funnel narrows monotonically, every program transforms >= 1
+    for row in rows:
+        assert row.analyzed >= row.profiled >= row.transformed >= 1, row.program
+
+    # GNU Go transforms its eight influence segments (the paper's 8)
+    assert by_name["GNUGO"].transformed == 8
+
+    # the single-kernel programs transform exactly one segment
+    for name in ("MPEG2_encode", "MPEG2_decode", "RASTA", "UNEPIC"):
+        assert by_name[name].transformed == 1, name
+
+    # the paper's key functions are the ones that got transformed
+    assert "quan" in by_name["G721_encode"].functions
+    assert "fdct" in by_name["MPEG2_encode"].functions
+    assert "idct" in by_name["MPEG2_decode"].functions
+    assert "fr4tr" in by_name["RASTA"].functions
+    assert "collapse_pyr" in by_name["UNEPIC"].functions
+    assert "accumulate_influence" in by_name["GNUGO"].functions

@@ -1,0 +1,47 @@
+"""Regenerates Table 7: performance improvement with O3.
+
+The baselines are faster (real optimizer passes + register-allocated
+locals in the cost model), so reuse speedups shrink relative to Table 6 —
+but remain; "our scheme is still shown to improve the performance of
+these programs considerably"."""
+
+from conftest import save_and_print
+
+from repro.experiments import render_speedups, table6, table7
+from repro.workloads import ALL_WORKLOADS
+
+
+def test_table7(benchmark, runner, results_dir):
+    rows, mean = benchmark.pedantic(
+        lambda: table7(runner, ALL_WORKLOADS), rounds=1, iterations=1
+    )
+    save_and_print(results_dir, "table7", render_speedups(rows, mean, "O3", 7))
+
+    rows0, mean0 = table6(runner, ALL_WORKLOADS)
+    by_o0 = {r.program: r for r in rows0}
+    by_o3 = {r.program: r for r in rows}
+
+    for row in rows:
+        # primary programs stay profitable at O3; the quan variants may
+        # break even (see EXPERIMENTS.md: our selector memoizes fmult in
+        # the _b variants, whose O3 granularity is marginal)
+        if row.in_mean:
+            assert row.speedup > 1.0, row.program
+        else:
+            assert row.speedup > 0.9, row.program
+        # the O3 baseline itself is faster than the O0 baseline
+        assert row.original_s < by_o0[row.program].original_s, row.program
+
+    # speedups generally shrink at O3 (allow small per-program noise, but
+    # the mean must drop, as in the paper's 1.46 -> 1.37)
+    assert mean <= mean0 + 0.02
+    shrunk = sum(
+        1 for name in by_o3 if by_o3[name].speedup <= by_o0[name].speedup + 0.05
+    )
+    assert shrunk >= len(rows) - 2
+
+    # ordering relations survive optimization (over the primary programs);
+    # MPEG2_encode sits at (or within noise of) the bottom
+    primary = [r for r in rows if r.in_mean]
+    assert by_o3["UNEPIC"].speedup == max(r.speedup for r in primary)
+    assert by_o3["MPEG2_encode"].speedup <= min(r.speedup for r in primary) + 0.05

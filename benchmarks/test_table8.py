@@ -1,0 +1,32 @@
+"""Regenerates Table 8: energy saving with O0 (simulated whole-device
+energy at 5 V: base power x time + per-op energy)."""
+
+from conftest import save_and_print
+
+from repro.experiments import render_energy, table6, table8
+from repro.workloads import PRIMARY_WORKLOADS
+
+
+def test_table8(benchmark, runner, results_dir):
+    rows = benchmark.pedantic(
+        lambda: table8(runner, PRIMARY_WORKLOADS), rounds=1, iterations=1
+    )
+    save_and_print(results_dir, "table8", render_energy(rows, "O0", 8))
+
+    by_name = {r.program: r for r in rows}
+
+    # every primary program saves energy
+    for row in rows:
+        assert 0.0 < row.saving < 1.0, row.program
+
+    # energy savings track time savings to within a few points
+    speed_rows, _ = table6(runner, PRIMARY_WORKLOADS)
+    time_saving = {r.program: 1 - r.transformed_s / r.original_s for r in speed_rows}
+    for row in rows:
+        assert abs(row.saving - time_saving[row.program]) < 0.08, row.program
+
+    # extremes match the paper: UNEPIC saves the most, MPEG2_encode least
+    assert by_name["UNEPIC"].saving == max(r.saving for r in rows)
+    assert by_name["MPEG2_encode"].saving == min(r.saving for r in rows)
+    assert by_name["MPEG2_encode"].saving < 0.15
+    assert by_name["UNEPIC"].saving > 0.4

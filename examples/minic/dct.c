@@ -1,0 +1,38 @@
+/* A toy 4x4 integer transform with block-level reuse.
+   Try:  python -m repro run examples/minic/dct.c --inputs-file <pixels>  */
+
+int coef[4][4] = {{4, 4, 4, 4}, {5, 2, -2, -5}, {4, -4, -4, 4}, {2, -5, 5, -2}};
+int blk[16];
+
+static void transform(int *b)
+{
+    int tmp[16];
+    int i;
+    int j;
+    int k;
+    for (i = 0; i < 4; i++)
+        for (j = 0; j < 4; j++) {
+            int s = 0;
+            for (k = 0; k < 4; k++)
+                s += coef[i][k] * b[k * 4 + j];
+            tmp[i * 4 + j] = s >> 3;
+        }
+    for (i = 0; i < 16; i++)
+        b[i] = tmp[i];
+}
+
+int main(void)
+{
+    int checksum = 0;
+    while (__input_avail()) {
+        int i;
+        for (i = 0; i < 16; i++)
+            blk[i] = __input_int();
+        transform(blk);
+        for (i = 0; i < 16; i++)
+            checksum += blk[i];
+        __output_int(checksum & 255);
+    }
+    __output_int(checksum);
+    return checksum;
+}

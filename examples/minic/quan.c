@@ -1,0 +1,25 @@
+/* The paper's Figure 4: the original G.721 quan with three inputs.
+   Try:  python -m repro transform examples/minic/quan.c \
+             --inputs 5,100,3000,5,100,3000,12000,5,100,3000,5,100 \
+             --min-executions 4
+   and watch specialization bind table/size before memoization. */
+
+int power2[15] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384};
+
+static int quan(int val, int *table, int size)
+{
+    int i;
+    for (i = 0; i < size; i++)
+        if (val < table[i])
+            break;
+    return (i);
+}
+
+int main(void)
+{
+    int s = 0;
+    while (__input_avail())
+        s += quan(__input_int(), power2, 15);
+    __output_int(s);
+    return s;
+}

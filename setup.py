@@ -1,0 +1,6 @@
+"""Legacy setup shim (the environment has no `wheel`, so editable installs
+go through `setup.py develop`). All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

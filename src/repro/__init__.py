@@ -1,0 +1,76 @@
+"""repro — reproduction of "A Compiler Scheme for Reusing Intermediate
+Computation Results" (Yonghua Ding and Zhiyuan Li, CGO 2004).
+
+The package implements the paper's profile-guided, software-only
+computation-reuse compiler scheme end to end, on a self-contained stack:
+
+* :mod:`repro.minic` — the mini-C frontend the scheme operates on;
+* :mod:`repro.ir` / :mod:`repro.analysis` — CFGs, call graph, def-use
+  chains, pointer analysis, liveness/upward-exposure, MOD/REF, coverage;
+* :mod:`repro.opt` — the -O3 optimizer pipeline;
+* :mod:`repro.runtime` — the cycle/energy cost-model interpreter standing
+  in for the paper's iPAQ (StrongARM SA-1110 @ 206 MHz) and the reuse
+  hash tables;
+* :mod:`repro.profiling` — frequency and value-set profilers;
+* :mod:`repro.reuse` — the paper's contribution: cost-benefit analysis,
+  nesting-graph selection, specialization, table merging, and the
+  source-to-source transformation;
+* :mod:`repro.workloads` — the seven benchmark programs (+ quan
+  variants) with synthetic input generators;
+* :mod:`repro.experiments` — regenerates every table and figure.
+
+Quickstart::
+
+    from repro import ReusePipeline, PipelineConfig, Machine, compile_program
+    from repro.minic import frontend
+
+    result = ReusePipeline(source).run(inputs)
+    machine = Machine("O0")
+    machine.set_inputs(inputs)
+    for seg_id, table in result.build_tables().items():
+        machine.install_table(seg_id, table)
+    compile_program(result.program, machine).run("main")
+    print(machine.metrics())
+"""
+
+from .errors import (
+    AnalysisError,
+    InterpError,
+    LexError,
+    ParseError,
+    ReproError,
+    SemanticError,
+    TransformError,
+)
+from .minic import format_program, frontend, parse_program
+from .reuse import PipelineConfig, PipelineResult, ReusePipeline
+from .runtime import Machine, Metrics, ReuseTable, compile_program, run_source
+from .workloads import ALL_WORKLOADS, PRIMARY_WORKLOADS, Workload, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "InterpError",
+    "AnalysisError",
+    "TransformError",
+    "frontend",
+    "parse_program",
+    "format_program",
+    "ReusePipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "Machine",
+    "Metrics",
+    "ReuseTable",
+    "compile_program",
+    "run_source",
+    "Workload",
+    "get_workload",
+    "ALL_WORKLOADS",
+    "PRIMARY_WORKLOADS",
+    "__version__",
+]

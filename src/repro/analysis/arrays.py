@@ -1,0 +1,72 @@
+"""Array reference analysis for array inputs/outputs.
+
+When a segment's input or output is an array (the 64-entry blocks of the
+MPEG2 fdct / Reference_IDCT segments), the hashing-overhead analysis needs
+the array's size in words, and the transformation needs to know it can
+copy the whole object.  Pointer-typed inputs are resolved through the
+points-to sets to the arrays they may reference; a pointer whose target
+size cannot be bounded disqualifies the segment ("unknown extent" —
+the paper simply never selects such segments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..minic import astnodes as ast
+from ..minic.types import ArrayType, PointerType
+from .pointer import PointsTo
+
+
+@dataclass(frozen=True)
+class IOShape:
+    """The shape of one segment input or output variable."""
+
+    symbol: ast.Symbol
+    words: int  # size in 32-bit words
+    is_array: bool
+    is_float: bool
+
+
+def shape_of(symbol: ast.Symbol, points_to: Optional[PointsTo] = None) -> Optional[IOShape]:
+    """The I/O shape of a symbol, or None if its extent is unbounded."""
+    t = symbol.type
+    if isinstance(t, ArrayType):
+        base = t.base_elem
+        return IOShape(
+            symbol=symbol,
+            words=t.size_words(),
+            is_array=True,
+            is_float=getattr(base, "name", "") == "float",
+        )
+    if isinstance(t, PointerType):
+        if points_to is None:
+            return None
+        sizes = []
+        is_float = False
+        for target in points_to.pointees(symbol):
+            if isinstance(target.type, ArrayType):
+                sizes.append(target.type.size_words())
+                base = target.type.base_elem
+                is_float = is_float or getattr(base, "name", "") == "float"
+            elif target.type.is_scalar:
+                sizes.append(1)
+                is_float = is_float or getattr(target.type, "name", "") == "float"
+            else:
+                return None
+        if not sizes:
+            return None
+        return IOShape(symbol=symbol, words=max(sizes), is_array=True, is_float=is_float)
+    if t.is_scalar:
+        return IOShape(
+            symbol=symbol,
+            words=1,
+            is_array=False,
+            is_float=getattr(t, "name", "") == "float",
+        )
+    return None
+
+
+def total_words(shapes: list[IOShape]) -> int:
+    return sum(s.words for s in shapes)

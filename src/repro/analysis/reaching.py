@@ -1,0 +1,73 @@
+"""Reaching definitions (forward may-problem).
+
+Definitions are ``(node_id, symbol)`` pairs; parameters and globals get
+pseudo-definitions at the CFG entry.  Weak definitions (array element
+stores, stores through pointers, call side effects) generate but do not
+kill.  Def-use chains (:mod:`repro.ir.defuse`) are assembled from this
+result.
+"""
+
+from __future__ import annotations
+
+from ..minic import astnodes as ast
+from ..ir.cfg import CFG
+from .dataflow import DataflowResult, solve_forward
+from .usedef import UseDefExtractor
+
+Definition = tuple[int, ast.Symbol]  # (defining node id, symbol); entry defs use cfg.entry
+
+
+class ReachingDefinitions:
+    def __init__(
+        self,
+        cfg: CFG,
+        extractor: UseDefExtractor,
+        entry_symbols: frozenset = frozenset(),
+    ) -> None:
+        self.cfg = cfg
+        self.extractor = extractor
+        self._ud = {}
+        gen: dict[int, frozenset] = {}
+        kill_syms: dict[int, frozenset] = {}
+        all_defs_by_symbol: dict[ast.Symbol, set[Definition]] = {}
+
+        entry_defs = frozenset((cfg.entry, s) for s in entry_symbols)
+        for s in entry_symbols:
+            all_defs_by_symbol.setdefault(s, set()).add((cfg.entry, s))
+
+        for node in cfg:
+            if node.ast_node is None:
+                continue
+            if isinstance(node.ast_node, ast.Stmt):
+                ud = extractor.of_stmt(node.ast_node)
+            else:
+                ud = extractor.of_expr(node.ast_node)
+            self._ud[node.nid] = ud
+            node_defs = frozenset((node.nid, s) for s in ud.defs | ud.weak_defs)
+            gen[node.nid] = node_defs
+            kill_syms[node.nid] = frozenset(ud.defs)
+            for _, s in node_defs:
+                all_defs_by_symbol.setdefault(s, set()).add((node.nid, s))
+
+        self._defs_by_symbol = all_defs_by_symbol
+
+        def transfer(nid: int, inp: frozenset) -> frozenset:
+            killed = kill_syms.get(nid, frozenset())
+            if killed:
+                inp = frozenset(d for d in inp if d[1] not in killed)
+            return gen.get(nid, frozenset()) | inp
+
+        self.result: DataflowResult = solve_forward(cfg, transfer, entry_value=entry_defs)
+
+    def reaching_in(self, nid: int) -> frozenset:
+        return self.result.in_sets[nid]
+
+    def defs_reaching_use(self, nid: int, symbol: ast.Symbol) -> frozenset:
+        """Definitions of ``symbol`` that may reach a use at node ``nid``."""
+        return frozenset(d for d in self.result.in_sets[nid] if d[1] is symbol)
+
+    def use_def(self, nid: int):
+        return self._ud.get(nid)
+
+    def definitions_of(self, symbol: ast.Symbol) -> frozenset:
+        return frozenset(self._defs_by_symbol.get(symbol, ()))

@@ -1,0 +1,77 @@
+"""Upward-exposed reads of a code-segment region.
+
+"The inputs of a code segment are those variables or array elements that
+have upward-exposed reads in the code segment, excluding those recognized
+by the compiler as invariants at the entry of the code segment."
+
+A use of ``v`` at region node *n* is upward exposed when some path from a
+region entry to *n* contains no strong definition of ``v`` before the
+use.  We solve the classic backward formulation restricted to the region's
+subgraph: UE-in(n) = uses(n) ∪ (UE-out(n) − defs(n)), UE-out(n) =
+∪ UE-in(s) over region successors, and the region's upward-exposed set is
+the union of UE-in over its entry nodes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..minic import astnodes as ast
+from ..ir.cfg import CFG
+from .usedef import UseDefExtractor
+
+
+def upward_exposed(
+    cfg: CFG,
+    region: set[int],
+    extractor: UseDefExtractor,
+) -> frozenset:
+    """The symbols whose reads are upward-exposed at the region entry."""
+    uses: dict[int, frozenset] = {}
+    defs: dict[int, frozenset] = {}
+    for nid in region:
+        node = cfg.node(nid)
+        if node.ast_node is None:
+            uses[nid] = defs[nid] = frozenset()
+            continue
+        if isinstance(node.ast_node, ast.Stmt):
+            ud = extractor.of_stmt(node.ast_node)
+        else:
+            ud = extractor.of_expr(node.ast_node)
+        uses[nid] = frozenset(ud.uses)
+        defs[nid] = frozenset(ud.defs)  # weak defs do not kill exposure
+
+    ue_in: dict[int, frozenset] = {nid: frozenset() for nid in region}
+    worklist = deque(region)
+    queued = set(region)
+    while worklist:
+        nid = worklist.popleft()
+        queued.discard(nid)
+        node = cfg.node(nid)
+        out = frozenset()
+        for succ in node.succs:
+            if succ in region:
+                out |= ue_in[succ]
+        new_in = uses[nid] | (out - defs[nid])
+        if new_in != ue_in[nid]:
+            ue_in[nid] = new_in
+            for pred in node.preds:
+                if pred in region and pred not in queued:
+                    worklist.append(pred)
+                    queued.add(pred)
+
+    exposed: set = set()
+    for entry in cfg.region_entries(region):
+        exposed |= ue_in[entry]
+    return frozenset(exposed)
+
+
+def segment_inputs(
+    cfg: CFG,
+    region: set[int],
+    extractor: UseDefExtractor,
+    invariants: frozenset = frozenset(),
+) -> frozenset:
+    """The paper's input set: upward-exposed reads minus entry invariants
+    (an invariant never needs to be part of the hash key)."""
+    return upward_exposed(cfg, region, extractor) - invariants

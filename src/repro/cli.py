@@ -1,0 +1,218 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run program.c --inputs 1,2,3 --opt O3
+    python -m repro transform program.c --inputs-file stream.txt
+    python -m repro workloads
+    python -m repro report --table 6 --workload G721_encode --workload RASTA
+    python -m repro report --figure 14 --workload UNEPIC
+
+``run`` executes a mini-C file on the simulated StrongARM and prints the
+metrics; ``transform`` runs the full reuse pipeline and prints the
+memoized source plus the before/after comparison; ``report`` regenerates
+any of the paper's tables/figures for a subset of workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .minic import format_program, frontend
+from .reuse import PipelineConfig, ReusePipeline
+from .runtime import Machine, compile_program
+
+
+def _parse_inputs(args) -> list:
+    if getattr(args, "inputs_file", None):
+        with open(args.inputs_file) as f:
+            return [
+                float(tok) if "." in tok else int(tok)
+                for tok in f.read().split()
+            ]
+    if getattr(args, "inputs", None):
+        return [
+            float(tok) if "." in tok else int(tok)
+            for tok in args.inputs.split(",")
+            if tok.strip()
+        ]
+    return []
+
+
+def _read_source(path: str) -> str:
+    with open(path) as f:
+        return f.read()
+
+
+def cmd_run(args) -> int:
+    source = _read_source(args.file)
+    inputs = _parse_inputs(args)
+    program = frontend(source)
+    if args.opt == "O3":
+        from .opt.pipeline import optimize
+
+        optimize(program, "O3")
+    machine = Machine(args.opt)
+    machine.set_inputs(inputs)
+    result = compile_program(program, machine).run(args.entry)
+    metrics = machine.metrics()
+    print(f"result: {result}")
+    print(f"cycles: {metrics.cycles}")
+    print(f"time:   {metrics.seconds:.6f} s (simulated SA-1110 @ 206 MHz)")
+    print(f"energy: {metrics.energy_joules:.6f} J")
+    print(f"output: {metrics.output_count} values, checksum {metrics.output_checksum:#010x}")
+    return 0
+
+
+def cmd_transform(args) -> int:
+    source = _read_source(args.file)
+    inputs = _parse_inputs(args)
+    config = PipelineConfig(min_executions=args.min_executions)
+    result = ReusePipeline(source, config).run(inputs)
+
+    counts = result.counts
+    print(
+        f"// segments: {counts['analyzed']} analyzed, "
+        f"{counts['profiled']} profiled, {counts['transformed']} transformed"
+    )
+    for record in result.specializations:
+        bindings = ", ".join(b.describe() for b in record.bindings)
+        print(f"// specialized {record.original} -> {record.specialized} [{bindings}]")
+    for segment in result.selected:
+        print(
+            f"// {segment.describe()}: R={segment.reuse_rate:.3f} "
+            f"C={segment.measured_granularity:.0f}cy O={segment.overhead:.0f}cy "
+            f"gain={segment.gain:.0f}cy/exec"
+        )
+    print(format_program(result.program))
+
+    if not args.no_measure and result.selected:
+        machine_o = Machine("O0")
+        machine_o.set_inputs(list(inputs))
+        compile_program(frontend(source), machine_o).run(args.entry)
+        machine_t = Machine("O0")
+        machine_t.set_inputs(list(inputs))
+        for seg_id, table in result.build_tables().items():
+            machine_t.install_table(seg_id, table)
+        compile_program(result.program, machine_t).run(args.entry)
+        match = machine_o.output_checksum == machine_t.output_checksum
+        print(f"// original:    {machine_o.seconds:.6f} s")
+        print(f"// transformed: {machine_t.seconds:.6f} s")
+        print(f"// speedup:     {machine_o.seconds / machine_t.seconds:.2f}x")
+        print(f"// outputs match: {match}")
+        if not match:
+            return 1
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    from .workloads import ALL_WORKLOADS
+
+    for workload in ALL_WORKLOADS:
+        kind = "variant" if workload.is_variant else "primary"
+        print(f"{workload.name:16} [{kind}] {workload.description}")
+    return 0
+
+
+def _selected_workloads(args):
+    from .workloads import ALL_WORKLOADS, get_workload
+
+    if args.workload:
+        return [get_workload(name) for name in args.workload]
+    return ALL_WORKLOADS
+
+
+def cmd_report(args) -> int:
+    from .experiments import (
+        ExperimentRunner,
+        energy_table,
+        figure14,
+        figure15,
+        render_energy,
+        render_speedups,
+        render_sweep,
+        render_table3,
+        render_table4,
+        render_table5,
+        render_table10,
+        speedup_table,
+        table3,
+        table4,
+        table5,
+        table10,
+    )
+
+    runner = ExperimentRunner()
+    workloads = _selected_workloads(args)
+    if args.table == 3:
+        print(render_table3(table3(runner, workloads)))
+    elif args.table == 4:
+        print(render_table4(table4(runner, workloads)))
+    elif args.table == 5:
+        print(render_table5(table5(runner, workloads)))
+    elif args.table in (6, 7):
+        level = "O0" if args.table == 6 else "O3"
+        rows, mean = speedup_table(runner, level, workloads)
+        print(render_speedups(rows, mean, level, args.table))
+    elif args.table in (8, 9):
+        level = "O0" if args.table == 8 else "O3"
+        print(render_energy(energy_table(runner, level, workloads), level, args.table))
+    elif args.table == 10:
+        rows, mean = table10(runner, workloads)
+        print(render_table10(rows, mean))
+    elif args.figure in (14, 15):
+        fig = figure14 if args.figure == 14 else figure15
+        level = "O0" if args.figure == 14 else "O3"
+        print(render_sweep(fig(runner, workloads), level, args.figure))
+    else:
+        print("specify --table {3..10} or --figure {14,15}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Computation-reuse compiler scheme (Ding & Li, CGO 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a mini-C file on the simulated machine")
+    p_run.add_argument("file")
+    p_run.add_argument("--opt", choices=("O0", "O3"), default="O0")
+    p_run.add_argument("--entry", default="main")
+    p_run.add_argument("--inputs", help="comma-separated input stream")
+    p_run.add_argument("--inputs-file", help="whitespace-separated input stream file")
+    p_run.set_defaults(func=cmd_run)
+
+    p_tr = sub.add_parser("transform", help="apply the reuse pipeline to a mini-C file")
+    p_tr.add_argument("file")
+    p_tr.add_argument("--entry", default="main")
+    p_tr.add_argument("--inputs", help="comma-separated profiling input stream")
+    p_tr.add_argument("--inputs-file")
+    p_tr.add_argument("--min-executions", type=int, default=32)
+    p_tr.add_argument("--no-measure", action="store_true")
+    p_tr.set_defaults(func=cmd_transform)
+
+    p_wl = sub.add_parser("workloads", help="list the benchmark workloads")
+    p_wl.set_defaults(func=cmd_workloads)
+
+    p_rep = sub.add_parser("report", help="regenerate a paper table/figure")
+    p_rep.add_argument("--table", type=int)
+    p_rep.add_argument("--figure", type=int)
+    p_rep.add_argument(
+        "--workload", action="append", help="restrict to workload (repeatable)"
+    )
+    p_rep.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so
+client code can catch library failures with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class LexError(ReproError):
+    """Raised when the mini-C lexer encounters an invalid character."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+class ParseError(ReproError):
+    """Raised when the mini-C parser encounters invalid syntax."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        super().__init__(f"{line}:{col}: {message}" if line else message)
+        self.line = line
+        self.col = col
+
+
+class SemanticError(ReproError):
+    """Raised by semantic analysis (undeclared names, type mismatches...)."""
+
+
+class InterpError(ReproError):
+    """Raised by the runtime when a program performs an invalid operation."""
+
+
+class AnalysisError(ReproError):
+    """Raised by a static analysis that cannot handle the given program."""
+
+
+class TransformError(ReproError):
+    """Raised when a reuse transformation cannot be applied to a segment."""

@@ -1,0 +1,93 @@
+"""CSV export of tables and figures (for external plotting)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Sequence
+
+from .figures import Histogram, SweepSeries
+
+
+def _csv(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def table3_csv(rows) -> str:
+    return _csv(
+        ["program", "computation_us", "overhead_us", "distinct_inputs",
+         "reuse_rate", "table_bytes"],
+        [
+            [r.program, f"{r.computation_us:.4f}", f"{r.overhead_us:.4f}",
+             r.distinct_inputs, f"{r.reuse_rate:.6f}", r.table_bytes]
+            for r in rows
+        ],
+    )
+
+
+def table4_csv(rows) -> str:
+    return _csv(
+        ["program", "analyzed", "profiled", "transformed", "code_lines"],
+        [[r.program, r.analyzed, r.profiled, r.transformed, r.code_lines] for r in rows],
+    )
+
+
+def table5_csv(rows) -> str:
+    return _csv(
+        ["program", "hit_1", "hit_4", "hit_16", "hit_64", "buffer64_bytes"],
+        [
+            [r.program] + [f"{r.hit_ratios[s]:.6f}" for s in (1, 4, 16, 64)]
+            + [r.buffer64_bytes]
+            for r in rows
+        ],
+    )
+
+
+def speedup_csv(rows) -> str:
+    return _csv(
+        ["program", "original_s", "transformed_s", "speedup", "in_mean"],
+        [
+            [r.program, f"{r.original_s:.6f}", f"{r.transformed_s:.6f}",
+             f"{r.speedup:.4f}", int(r.in_mean)]
+            for r in rows
+        ],
+    )
+
+
+def energy_csv(rows) -> str:
+    return _csv(
+        ["program", "original_j", "transformed_j", "saving"],
+        [
+            [r.program, f"{r.original_j:.6f}", f"{r.transformed_j:.6f}",
+             f"{r.saving:.6f}"]
+            for r in rows
+        ],
+    )
+
+
+def table10_csv(rows) -> str:
+    return _csv(
+        ["program", "input_source", "original_s", "transformed_s", "speedup"],
+        [
+            [r.program, r.input_source, f"{r.original_s:.6f}",
+             f"{r.transformed_s:.6f}", f"{r.speedup:.4f}"]
+            for r in rows
+        ],
+    )
+
+
+def histogram_csv(histogram: Histogram) -> str:
+    return _csv(["bin", "count"], list(histogram.bins))
+
+
+def sweep_csv(series: list[SweepSeries]) -> str:
+    rows = []
+    for line in series:
+        for size, speedup in line.points:
+            rows.append([line.program, "optimal" if size is None else size,
+                         f"{speedup:.4f}"])
+    return _csv(["program", "table_bytes", "speedup"], rows)

@@ -1,0 +1,171 @@
+"""Text rendering for tables and figures (aligned monospace output)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .figures import Histogram, SweepSeries
+
+
+def _render(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def _kb(n_bytes: int) -> str:
+    if n_bytes >= 1024 * 1024:
+        return f"{n_bytes / 1024 / 1024:.2f}MB"
+    return f"{n_bytes / 1024:.1f}KB"
+
+
+def render_table3(rows) -> str:
+    body = [
+        [
+            r.program,
+            f"{r.computation_us:.2f}",
+            f"{r.overhead_us:.2f}",
+            str(r.distinct_inputs),
+            f"{r.reuse_rate * 100:.1f}%",
+            _kb(r.table_bytes),
+            f"{r.paper_computation_us:g}/{r.paper_overhead_us:g}",
+            f"{r.paper_distinct_inputs}/{r.paper_reuse_rate * 100:.1f}%",
+        ]
+        for r in rows
+    ]
+    return "Table 3: factors affecting the optimization decision\n" + _render(
+        ["Program", "C(us)", "O(us)", "DIP#", "ReuseRate", "TableSize",
+         "paper C/O", "paper DIP/R"],
+        body,
+    )
+
+
+def render_table4(rows) -> str:
+    body = [
+        [
+            r.program,
+            r.functions,
+            str(r.analyzed),
+            str(r.profiled),
+            str(r.transformed),
+            f"{r.code_lines}",
+            f"{r.paper_analyzed}/{r.paper_profiled}/{r.paper_transformed}",
+        ]
+        for r in rows
+    ]
+    return "Table 4: number of code segments\n" + _render(
+        ["Program", "Functions", "Analyzed", "Profiled", "Transformed",
+         "Lines", "paper A/P/T"],
+        body,
+    )
+
+
+def render_table5(rows) -> str:
+    body = []
+    for r in rows:
+        paper = (
+            "/".join(f"{v * 100:.1f}" for v in r.paper_hit_ratios)
+            if r.paper_hit_ratios
+            else "-"
+        )
+        body.append(
+            [
+                r.program,
+                *(f"{r.hit_ratios[s] * 100:.1f}%" for s in (1, 4, 16, 64)),
+                _kb(r.buffer64_bytes),
+                paper,
+            ]
+        )
+    return "Table 5: hit ratios with limited LRU buffers\n" + _render(
+        ["Program", "1-entry", "4-entry", "16-entry", "64-entry",
+         "64-entry size", "paper(1/4/16/64 %)"],
+        body,
+    )
+
+
+def render_speedups(rows, mean: float, opt_level: str, table_no: int) -> str:
+    body = [
+        [
+            r.program,
+            f"{r.original_s:.4f}",
+            f"{r.transformed_s:.4f}",
+            f"{r.speedup:.2f}",
+            f"{r.paper_speedup:.2f}" if r.paper_speedup else "-",
+        ]
+        for r in rows
+    ]
+    body.append(["Harmonic Mean", "", "", f"{mean:.2f}", ""])
+    return (
+        f"Table {table_no}: performance improvement with {opt_level}\n"
+        + _render(
+            ["Program", "Original(s)", "CompReuse(s)", "Speedup", "paper"], body
+        )
+    )
+
+
+def render_energy(rows, opt_level: str, table_no: int) -> str:
+    body = [
+        [
+            r.program,
+            f"{r.original_j:.3f}",
+            f"{r.transformed_j:.3f}",
+            f"{r.saving * 100:.1f}%",
+            f"{r.paper_saving * 100:.1f}%" if r.paper_saving else "-",
+        ]
+        for r in rows
+    ]
+    return f"Table {table_no}: energy saving with {opt_level}\n" + _render(
+        ["Program", "Original(J)", "CompReuse(J)", "Saving", "paper"], body
+    )
+
+
+def render_table10(rows, mean: float) -> str:
+    body = [
+        [
+            r.program,
+            r.input_source,
+            f"{r.original_s:.4f}",
+            f"{r.transformed_s:.4f}",
+            f"{r.speedup:.2f}",
+            f"{r.paper_speedup:.2f}" if r.paper_speedup else "-",
+        ]
+        for r in rows
+    ]
+    body.append(["Harmonic Mean", "", "", "", f"{mean:.2f}", ""])
+    return "Table 10: performance improvement for different input files (O3)\n" + _render(
+        ["Program", "Inputs", "Original(s)", "CompReuse(s)", "Speedup", "paper"],
+        body,
+    )
+
+
+def render_histogram(histogram: Histogram, width: int = 50) -> str:
+    if not histogram.bins:
+        return f"{histogram.title}\n(no data)"
+    peak = max(count for _, count in histogram.bins) or 1
+    label_w = max(len(label) for label, _ in histogram.bins)
+    lines = [histogram.title]
+    for label, count in histogram.bins:
+        bar = "#" * max(0, round(count / peak * width))
+        lines.append(f"{label.rjust(label_w)} |{bar} {count}")
+    return "\n".join(lines)
+
+
+def render_sweep(series: list[SweepSeries], opt_level: str, figure_no: int) -> str:
+    sizes = [p[0] for p in series[0].points]
+    headers = ["Program"] + [
+        ("optimal" if s is None else _kb(s)) for s in sizes
+    ]
+    body = [
+        [line.program] + [f"{speedup:.2f}" for _, speedup in line.points]
+        for line in series
+    ]
+    return (
+        f"Figure {figure_no}: speedups vs hash table size ({opt_level})\n"
+        + _render(headers, body)
+    )

@@ -1,0 +1,251 @@
+"""Experiment runner: builds, transforms, and measures workloads.
+
+The runner owns the expensive steps (the profiling pipeline runs once per
+workload and is cached) and produces the measurements every table and
+figure of the paper is derived from:
+
+* original vs transformed execution at O0 and O3 (cycles -> simulated
+  seconds at 206 MHz, energy in Joules);
+* runs under alternate (non-profiled) inputs (Table 10);
+* runs with capped hash-table sizes (figures 14/15);
+* the profiling statistics themselves (Tables 3/4/5, histogram figures).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..minic.parser import parse_program
+from ..minic.sema import analyze
+from ..opt.pipeline import optimize
+from ..reuse.pipeline import PipelineConfig, PipelineResult, ReusePipeline
+from ..runtime.compiler import compile_program
+from ..runtime.machine import Machine, Metrics
+from ..workloads.base import Workload
+
+
+@dataclass
+class MeasuredRun:
+    """One measured execution of one program variant."""
+
+    seconds: float
+    cycles: int
+    energy_joules: float
+    output_checksum: int
+
+    @classmethod
+    def from_machine(cls, machine: Machine) -> "MeasuredRun":
+        return cls(
+            seconds=machine.seconds,
+            cycles=machine.cycles,
+            energy_joules=machine.energy_joules,
+            output_checksum=machine.output_checksum,
+        )
+
+
+@dataclass
+class ComparisonRun:
+    """Original vs transformed under one optimization level and input."""
+
+    workload: str
+    opt_level: str
+    original: MeasuredRun
+    transformed: MeasuredRun
+    table_stats: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return self.original.seconds / self.transformed.seconds
+
+    @property
+    def energy_saving(self) -> float:
+        return 1.0 - self.transformed.energy_joules / self.original.energy_joules
+
+    @property
+    def outputs_match(self) -> bool:
+        return self.original.output_checksum == self.transformed.output_checksum
+
+
+class ExperimentRunner:
+    """Caches pipeline results and input streams per workload."""
+
+    def __init__(self) -> None:
+        self._pipelines: dict[str, PipelineResult] = {}
+        self._inputs: dict[str, list] = {}
+        self._alt_inputs: dict[str, list] = {}
+        self._comparisons: dict[tuple, ComparisonRun] = {}
+        self._originals: dict[tuple, MeasuredRun] = {}
+
+    # -- cached artifacts ---------------------------------------------------
+
+    def inputs(self, workload: Workload) -> list:
+        if workload.name not in self._inputs:
+            self._inputs[workload.name] = workload.default_inputs()
+        return self._inputs[workload.name]
+
+    def alternate_inputs(self, workload: Workload) -> list:
+        if workload.name not in self._alt_inputs:
+            self._alt_inputs[workload.name] = workload.alternate_inputs()
+        return self._alt_inputs[workload.name]
+
+    def pipeline(self, workload: Workload) -> PipelineResult:
+        """Run (once) the full Figure-1 pipeline for the workload."""
+        if workload.name not in self._pipelines:
+            config = PipelineConfig(
+                min_executions=workload.min_executions,
+                memory_budget_bytes=workload.memory_budget_bytes,
+            )
+            result = ReusePipeline(workload.source, config).run(self.inputs(workload))
+            self._pipelines[workload.name] = result
+        return self._pipelines[workload.name]
+
+    # -- measured executions ----------------------------------------------------
+
+    def _run_original(
+        self, workload: Workload, opt_level: str, inputs: Sequence
+    ) -> MeasuredRun:
+        program = analyze(parse_program(workload.source))
+        optimize(program, opt_level)
+        machine = Machine(opt_level)
+        machine.set_inputs(list(inputs))
+        compile_program(program, machine).run("main")
+        return MeasuredRun.from_machine(machine)
+
+    def _run_transformed(
+        self,
+        workload: Workload,
+        opt_level: str,
+        inputs: Sequence,
+        capacity_override: Optional[dict] = None,
+        max_table_bytes: Optional[int] = None,
+    ) -> tuple[MeasuredRun, dict]:
+        result = self.pipeline(workload)
+        # optimize a private copy so the cached pipeline program stays O0
+        program = copy.deepcopy(result.program)
+        analyze(program)
+        optimize(program, opt_level)
+        machine = Machine(opt_level)
+        machine.set_inputs(list(inputs))
+        tables = self._build_tables(result, max_table_bytes)
+        for seg_id, table in tables.items():
+            machine.install_table(seg_id, table)
+        compile_program(program, machine).run("main")
+        stats = {seg_id: table.stats for seg_id, table in tables.items()}
+        return MeasuredRun.from_machine(machine), stats
+
+    @staticmethod
+    def _build_tables(result: PipelineResult, max_table_bytes: Optional[int]):
+        if max_table_bytes is None:
+            return result.build_tables()
+        # figures 14/15: cap every table at the given byte size
+        from ..runtime.hashtable import MergedReuseTable, ReuseTable
+
+        tables: dict[int, object] = {}
+        merged_built: dict[str, MergedReuseTable] = {}
+        for spec in result.table_specs:
+            if spec.merged_group is not None:
+                group = merged_built.get(spec.merged_group)
+                if group is None:
+                    members = result.merged[spec.merged_group]
+                    bitvec = (len(members) + 31) // 32
+                    entry_words = (
+                        members[0].in_words
+                        + bitvec
+                        + sum(m.out_words for m in members)
+                    )
+                    capacity = max(1, max_table_bytes // (entry_words * 4))
+                    group = MergedReuseTable(
+                        spec.merged_group,
+                        capacity=_pow2_floor(capacity),
+                        in_words=members[0].in_words,
+                        member_out_words={str(m.seg_id): m.out_words for m in members},
+                    )
+                    merged_built[spec.merged_group] = group
+                tables[spec.segment_id] = group.view(str(spec.segment_id))
+            else:
+                entry_words = spec.in_words + spec.out_words
+                capacity = max(1, max_table_bytes // (entry_words * 4))
+                capacity = min(_pow2_floor(capacity), _pow2_ceil(spec.capacity))
+                tables[spec.segment_id] = ReuseTable(
+                    str(spec.segment_id),
+                    capacity=capacity,
+                    in_words=spec.in_words,
+                    out_words=spec.out_words,
+                )
+        return tables
+
+    def compare(
+        self,
+        workload: Workload,
+        opt_level: str = "O0",
+        alternate: bool = False,
+        max_table_bytes: Optional[int] = None,
+    ) -> ComparisonRun:
+        """Measure original vs transformed under one configuration.
+
+        Results are cached per configuration: Tables 8/9 reuse the very
+        runs of Tables 6/7, and the size sweeps reuse original runs."""
+        key = (workload.name, opt_level, alternate, max_table_bytes)
+        if key in self._comparisons:
+            return self._comparisons[key]
+        inputs = (
+            self.alternate_inputs(workload) if alternate else self.inputs(workload)
+        )
+        original_key = (workload.name, opt_level, alternate)
+        original = self._originals.get(original_key)
+        if original is None:
+            original = self._run_original(workload, opt_level, inputs)
+            self._originals[original_key] = original
+        transformed, stats = self._run_transformed(
+            workload, opt_level, inputs, max_table_bytes=max_table_bytes
+        )
+        run = ComparisonRun(
+            workload=workload.name,
+            opt_level=opt_level,
+            original=original,
+            transformed=transformed,
+            table_stats=stats,
+        )
+        if not run.outputs_match:
+            raise AssertionError(
+                f"{workload.name}: transformed output diverged from original"
+            )
+        self._comparisons[key] = run
+        return run
+
+    # -- profiling-derived data -----------------------------------------------------
+
+    def headline_segment(self, workload: Workload):
+        """The selected segment with the largest total gain (the one the
+        paper's Table 3 reports for each program)."""
+        result = self.pipeline(workload)
+        if not result.selected:
+            raise ValueError(f"{workload.name}: nothing was transformed")
+        return max(result.selected, key=lambda s: s.gain * max(1, s.executions))
+
+    def headline_profile(self, workload: Workload):
+        segment = self.headline_segment(workload)
+        return self.pipeline(workload).profiles[segment.seg_id]
+
+
+def _pow2_floor(n: int) -> int:
+    p = 1
+    while p * 2 <= n:
+        p *= 2
+    return p
+
+
+def _pow2_ceil(n: int) -> int:
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return len(values) / sum(1.0 / v for v in values)

@@ -1,0 +1,83 @@
+"""Def-use chain construction.
+
+Chains link each use of a symbol at a CFG node to the definitions that may
+reach it (reaching-definitions based).  The *global* flavor of the paper —
+"a definition in one procedure may be used in another procedure through
+pointers or global variables" — comes from the MOD/REF call-site effects
+folded into the per-node use/def sets: a call node that may modify a
+global is itself a (weak) definition site in the caller's chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..minic import astnodes as ast
+from ..analysis.reaching import ReachingDefinitions
+from ..analysis.usedef import UseDefExtractor
+from .cfg import CFG, build_cfg
+
+
+@dataclass(frozen=True)
+class Chain:
+    """One def-use link: definition node -> use node, for a symbol.
+
+    ``def_node == cfg.entry`` denotes the entry pseudo-definition
+    (parameter values / global initial values)."""
+
+    symbol: ast.Symbol
+    def_node: int
+    use_node: int
+
+
+class DefUseChains:
+    def __init__(self, cfg: CFG, extractor: UseDefExtractor) -> None:
+        self.cfg = cfg
+        entry_symbols: set = set()
+        for param in cfg.func.params:
+            if param.symbol is not None:
+                entry_symbols.add(param.symbol)
+        # globals are defined-at-entry too
+        entry_symbols.update(extractor.global_symbols)
+        self.reaching = ReachingDefinitions(cfg, extractor, frozenset(entry_symbols))
+        self.chains: list[Chain] = []
+        self._by_use: dict[tuple[int, ast.Symbol], list[Chain]] = {}
+        self._by_def: dict[tuple[int, ast.Symbol], list[Chain]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for node in self.cfg:
+            ud = self.reaching.use_def(node.nid)
+            if ud is None:
+                continue
+            for symbol in ud.uses:
+                for def_node, _ in self.reaching.defs_reaching_use(node.nid, symbol):
+                    chain = Chain(symbol=symbol, def_node=def_node, use_node=node.nid)
+                    self.chains.append(chain)
+                    self._by_use.setdefault((node.nid, symbol), []).append(chain)
+                    self._by_def.setdefault((def_node, symbol), []).append(chain)
+
+    def defs_of_use(self, use_node: int, symbol: ast.Symbol) -> list[Chain]:
+        return self._by_use.get((use_node, symbol), [])
+
+    def uses_of_def(self, def_node: int, symbol: ast.Symbol) -> list[Chain]:
+        return self._by_def.get((def_node, symbol), [])
+
+    def dead_definitions(self) -> list[tuple[int, ast.Symbol]]:
+        """Strong definitions with no reached use — candidates for dead-code
+        elimination (used by the O3 pipeline's DCE pass as a cross-check)."""
+        dead = []
+        for node in self.cfg:
+            ud = self.reaching.use_def(node.nid)
+            if ud is None:
+                continue
+            for symbol in ud.defs:
+                if symbol.kind == "global":
+                    continue  # visible after return
+                if not self.uses_of_def(node.nid, symbol):
+                    dead.append((node.nid, symbol))
+        return dead
+
+
+def build_defuse(func: ast.Function, extractor: UseDefExtractor) -> DefUseChains:
+    return DefUseChains(build_cfg(func), extractor)

@@ -1,0 +1,117 @@
+"""Strongly connected components (Tarjan) and condensation.
+
+Used twice in the paper's scheme: on the call graph (recursive functions
+form SCCs) and on the nesting graph (section 2.3: each non-singleton SCC
+is condensed to a single node keeping its best-gain member).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+Node = Hashable
+Graph = Mapping[Node, Iterable[Node]]
+
+
+def strongly_connected_components(graph: Graph) -> list[list[Node]]:
+    """Tarjan's algorithm, iterative (no recursion limit issues).
+
+    Returns SCCs in reverse topological order of the condensation (every
+    SCC appears after the SCCs it has edges into appear... precisely:
+    Tarjan emits an SCC only after all SCCs reachable from it).
+    """
+    index_of: dict[Node, int] = {}
+    lowlink: dict[Node, int] = {}
+    on_stack: set[Node] = set()
+    stack: list[Node] = []
+    result: list[list[Node]] = []
+    counter = [0]
+
+    for root in graph:
+        if root in index_of:
+            continue
+        # Iterative DFS with explicit work stack of (node, iterator).
+        work = [(root, iter(graph.get(root, ())))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in graph:
+                    continue
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(graph.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result
+
+
+def condense(graph: Graph) -> tuple[dict[Node, int], dict[int, list[Node]], dict[int, set[int]]]:
+    """Condense a graph by its SCCs.
+
+    Returns ``(component_of, members, dag)`` where ``component_of`` maps
+    each node to its component id, ``members`` maps component ids to their
+    node lists, and ``dag`` is the acyclic condensation adjacency.
+    """
+    sccs = strongly_connected_components(graph)
+    component_of: dict[Node, int] = {}
+    members: dict[int, list[Node]] = {}
+    for cid, component in enumerate(sccs):
+        members[cid] = component
+        for node in component:
+            component_of[node] = cid
+    dag: dict[int, set[int]] = {cid: set() for cid in members}
+    for node, succs in graph.items():
+        for succ in succs:
+            if succ not in component_of:
+                continue
+            a, b = component_of[node], component_of[succ]
+            if a != b:
+                dag[a].add(b)
+    return component_of, members, dag
+
+
+def topological_order(dag: Mapping[Node, Iterable[Node]]) -> list[Node]:
+    """Topological order of an acyclic graph (raises on cycles)."""
+    in_degree: dict[Node, int] = {n: 0 for n in dag}
+    for node, succs in dag.items():
+        for succ in succs:
+            if succ in in_degree:
+                in_degree[succ] += 1
+    ready = [n for n, d in in_degree.items() if d == 0]
+    order: list[Node] = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for succ in dag.get(node, ()):
+            if succ in in_degree:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+    if len(order) != len(in_degree):
+        raise ValueError("graph has a cycle")
+    return order

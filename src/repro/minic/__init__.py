@@ -1,0 +1,64 @@
+"""mini-C: the C subset our compiler scheme operates on.
+
+Typical usage::
+
+    from repro.minic import parse, analyze, format_program
+
+    program = analyze(parse(source_text))
+"""
+
+from . import astnodes
+from .astnodes import Program, Function, Symbol, walk
+from .lexer import tokenize
+from .parser import parse_expression, parse_program
+from .pretty import format_expr, format_function, format_program, format_stmt
+from .sema import SemanticAnalyzer, Typer, analyze
+from .types import (
+    FLOAT,
+    INT,
+    VOID,
+    ArrayType,
+    FuncType,
+    PointerType,
+    ScalarType,
+    Type,
+)
+
+
+def parse(source: str) -> Program:
+    """Parse mini-C source (alias of :func:`parse_program`)."""
+    return parse_program(source)
+
+
+def frontend(source: str) -> Program:
+    """Parse + analyze in one step."""
+    return analyze(parse_program(source))
+
+
+__all__ = [
+    "astnodes",
+    "Program",
+    "Function",
+    "Symbol",
+    "walk",
+    "tokenize",
+    "parse",
+    "parse_program",
+    "parse_expression",
+    "frontend",
+    "analyze",
+    "SemanticAnalyzer",
+    "Typer",
+    "format_expr",
+    "format_stmt",
+    "format_function",
+    "format_program",
+    "INT",
+    "FLOAT",
+    "VOID",
+    "ArrayType",
+    "PointerType",
+    "FuncType",
+    "ScalarType",
+    "Type",
+]

@@ -1,0 +1,180 @@
+"""Hand-written lexer for mini-C.
+
+The lexer performs maximal-munch tokenization, handles ``//`` and
+``/* ... */`` comments, decimal/hex integer literals, floating literals,
+and character literals (which lex as integer literals, as in C).
+"""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .tokens import (
+    EOF,
+    FLOAT_LIT,
+    IDENT,
+    INT_LIT,
+    KEYWORD,
+    KEYWORDS,
+    PUNCT,
+    PUNCTUATORS,
+    Token,
+)
+
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+
+_ESCAPES = {
+    "n": 10,
+    "t": 9,
+    "r": 13,
+    "0": 0,
+    "\\": 92,
+    "'": 39,
+    '"': 34,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert mini-C source text into a list of tokens ending with EOF."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message: str) -> LexError:
+        return LexError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+        # Whitespace ---------------------------------------------------
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r\f\v":
+            i += 1
+            col += 1
+            continue
+        # Comments -----------------------------------------------------
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "*":
+            start_line, start_col = line, col
+            i += 2
+            col += 2
+            while True:
+                if i + 1 >= n:
+                    raise LexError("unterminated block comment", start_line, start_col)
+                if source[i] == "*" and source[i + 1] == "/":
+                    i += 2
+                    col += 2
+                    break
+                if source[i] == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+                i += 1
+            continue
+        # Identifiers / keywords ----------------------------------------
+        if ch in _IDENT_START:
+            start = i
+            start_col = col
+            while i < n and source[i] in _IDENT_CONT:
+                i += 1
+                col += 1
+            text = source[start:i]
+            kind = KEYWORD if text in KEYWORDS else IDENT
+            tokens.append(Token(kind, text, None, line, start_col))
+            continue
+        # Numbers --------------------------------------------------------
+        if ch in _DIGITS or (ch == "." and i + 1 < n and source[i + 1] in _DIGITS):
+            start = i
+            start_col = col
+            is_float = False
+            if ch == "0" and i + 1 < n and source[i + 1] in "xX":
+                i += 2
+                col += 2
+                while i < n and source[i] in _HEX_DIGITS:
+                    i += 1
+                    col += 1
+                text = source[start:i]
+                tokens.append(Token(INT_LIT, text, int(text, 16), line, start_col))
+                continue
+            while i < n and source[i] in _DIGITS:
+                i += 1
+                col += 1
+            if i < n and source[i] == ".":
+                is_float = True
+                i += 1
+                col += 1
+                while i < n and source[i] in _DIGITS:
+                    i += 1
+                    col += 1
+            if i < n and source[i] in "eE":
+                is_float = True
+                i += 1
+                col += 1
+                if i < n and source[i] in "+-":
+                    i += 1
+                    col += 1
+                if i >= n or source[i] not in _DIGITS:
+                    raise error("malformed exponent in float literal")
+                while i < n and source[i] in _DIGITS:
+                    i += 1
+                    col += 1
+            if i < n and source[i] in "fF" and is_float:
+                i += 1
+                col += 1
+                text = source[start : i - 1]
+            else:
+                text = source[start:i]
+            if is_float:
+                tokens.append(Token(FLOAT_LIT, text, float(text), line, start_col))
+            else:
+                tokens.append(Token(INT_LIT, text, int(text), line, start_col))
+            continue
+        # Character literal (lexes to an int, as in C) --------------------
+        if ch == "'":
+            start_col = col
+            i += 1
+            col += 1
+            if i >= n:
+                raise error("unterminated character literal")
+            if source[i] == "\\":
+                i += 1
+                col += 1
+                if i >= n or source[i] not in _ESCAPES:
+                    raise error("unknown escape in character literal")
+                value = _ESCAPES[source[i]]
+            else:
+                value = ord(source[i])
+            i += 1
+            col += 1
+            if i >= n or source[i] != "'":
+                raise error("unterminated character literal")
+            i += 1
+            col += 1
+            tokens.append(Token(INT_LIT, f"'{chr(value)}'", value, line, start_col))
+            continue
+        # Punctuators ------------------------------------------------------
+        matched = None
+        for punct in PUNCTUATORS:
+            if source.startswith(punct, i):
+                matched = punct
+                break
+        if matched is not None:
+            tokens.append(Token(PUNCT, matched, None, line, col))
+            i += len(matched)
+            col += len(matched)
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(EOF, "", None, line, col))
+    return tokens

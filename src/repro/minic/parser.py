@@ -1,0 +1,578 @@
+"""Recursive-descent parser for mini-C.
+
+Produces an unresolved AST (:mod:`repro.minic.astnodes`); name resolution
+and slot assignment happen in :mod:`repro.minic.sema`.  Expressions are
+parsed with precedence climbing mirroring C's operator precedence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ParseError
+from . import astnodes as ast
+from .lexer import tokenize
+from .tokens import EOF, FLOAT_LIT, IDENT, INT_LIT, KEYWORD, Token
+from .types import FLOAT, INT, VOID, ArrayType, PointerType, Type
+
+# Binary operator precedence (higher binds tighter).  && and || are
+# handled separately because they produce Logical nodes.
+_BIN_PREC = {
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+_LOGICAL_PREC = {"||": 1, "&&": 2}
+
+_ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=", "&=", "|=", "^="})
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def _tok(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != EOF:
+            self._pos += 1
+        return tok
+
+    def _expect_punct(self, text: str) -> Token:
+        tok = self._tok
+        if not tok.is_punct(text):
+            raise ParseError(f"expected {text!r}, found {tok.text!r}", tok.line, tok.col)
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        tok = self._tok
+        if tok.kind != IDENT:
+            raise ParseError(f"expected identifier, found {tok.text!r}", tok.line, tok.col)
+        return self._advance()
+
+    def _accept_punct(self, text: str) -> bool:
+        if self._tok.is_punct(text):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, text: str) -> bool:
+        if self._tok.is_keyword(text):
+            self._advance()
+            return True
+        return False
+
+    # -- program ----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program(globals=[], functions=[], line=1)
+        while self._tok.kind != EOF:
+            self._parse_top_level(program)
+        return program
+
+    def _parse_top_level(self, program: ast.Program) -> None:
+        is_static = False
+        is_const = False
+        while True:
+            if self._accept_keyword("static"):
+                is_static = True
+            elif self._accept_keyword("const"):
+                is_const = True
+            else:
+                break
+        base = self._parse_base_type()
+        base = self._parse_stars(base)
+        name_tok = self._expect_ident()
+        if self._tok.is_punct("("):
+            fn = self._parse_function_rest(base, name_tok, is_static)
+            if fn is not None:
+                program.functions.append(fn)
+            return
+        # Global variable declaration(s).
+        while True:
+            var_type = self._parse_array_suffix(base)
+            init, array_init = self._parse_initializer_opt()
+            decl = ast.VarDecl(
+                name=name_tok.text,
+                type=var_type,
+                init=init,
+                array_init=array_init,
+                line=name_tok.line,
+            )
+            program.globals.append(
+                ast.GlobalVar(decl=decl, is_static=is_static, is_const=is_const, line=name_tok.line)
+            )
+            if not self._accept_punct(","):
+                break
+            name_tok = self._expect_ident()
+        self._expect_punct(";")
+
+    def _parse_function_rest(
+        self, ret_type: Type, name_tok: Token, is_static: bool
+    ) -> Optional[ast.Function]:
+        self._expect_punct("(")
+        params: list[ast.Param] = []
+        if not self._tok.is_punct(")"):
+            if self._tok.is_keyword("void") and self._peek().is_punct(")"):
+                self._advance()
+            else:
+                while True:
+                    params.append(self._parse_param())
+                    if not self._accept_punct(","):
+                        break
+        self._expect_punct(")")
+        if self._accept_punct(";"):
+            return None  # prototype; definitions are collected in a later pass
+        body = self._parse_block()
+        return ast.Function(
+            name=name_tok.text,
+            ret_type=ret_type,
+            params=params,
+            body=body,
+            is_static=is_static,
+            line=name_tok.line,
+        )
+
+    def _parse_param(self) -> ast.Param:
+        while self._accept_keyword("const") or self._accept_keyword("static"):
+            pass
+        base = self._parse_base_type()
+        base = self._parse_stars(base)
+        name_tok = self._expect_ident()
+        ptype: Type = base
+        # Function-pointer parameters use the K&R-ish form `int f(int, int)`.
+        if self._tok.is_punct("("):
+            self._advance()
+            ptypes: list[Type] = []
+            if not self._tok.is_punct(")"):
+                if self._tok.is_keyword("void") and self._peek().is_punct(")"):
+                    self._advance()
+                else:
+                    while True:
+                        pt = self._parse_stars(self._parse_base_type())
+                        if self._tok.kind == IDENT:
+                            self._advance()  # optional parameter name
+                        ptypes.append(pt)
+                        if not self._accept_punct(","):
+                            break
+            self._expect_punct(")")
+            from .types import FuncType
+
+            return ast.Param(
+                name=name_tok.text,
+                type=PointerType(FuncType(base, tuple(ptypes))),
+                line=name_tok.line,
+            )
+        # Array parameters decay to pointers; `int a[][8]` keeps the inner
+        # dimensions so indexing arithmetic still works.
+        dims: list[Optional[int]] = []
+        while self._accept_punct("["):
+            if self._tok.is_punct("]"):
+                dims.append(None)
+            else:
+                dims.append(self._parse_const_int())
+            self._expect_punct("]")
+        if dims:
+            inner: Type = base
+            for dim in reversed(dims[1:]):
+                if dim is None:
+                    raise ParseError(
+                        "only the first array dimension of a parameter may be empty",
+                        name_tok.line,
+                        name_tok.col,
+                    )
+                inner = ArrayType(inner, dim)
+            ptype = PointerType(inner)
+        return ast.Param(name=name_tok.text, type=ptype, line=name_tok.line)
+
+    # -- types --------------------------------------------------------------
+
+    def _parse_base_type(self) -> Type:
+        tok = self._tok
+        if tok.is_keyword("int"):
+            self._advance()
+            return INT
+        if tok.is_keyword("float"):
+            self._advance()
+            return FLOAT
+        if tok.is_keyword("void"):
+            self._advance()
+            return VOID
+        raise ParseError(f"expected type, found {tok.text!r}", tok.line, tok.col)
+
+    def _parse_stars(self, base: Type) -> Type:
+        while self._accept_punct("*"):
+            base = PointerType(base)
+        return base
+
+    def _parse_array_suffix(self, base: Type) -> Type:
+        dims: list[int] = []
+        while self._accept_punct("["):
+            dims.append(self._parse_const_int())
+            self._expect_punct("]")
+        result = base
+        for dim in reversed(dims):
+            result = ArrayType(result, dim)
+        return result
+
+    def _parse_const_int(self) -> int:
+        expr = self.parse_expression()
+        value = _const_eval(expr)
+        if not isinstance(value, int):
+            tok = self._tok
+            raise ParseError("array size must be a constant integer", tok.line, tok.col)
+        return value
+
+    def _parse_initializer_opt(self):
+        """Returns (scalar_init, array_init)."""
+        if not self._accept_punct("="):
+            return None, None
+        if self._tok.is_punct("{"):
+            return None, self._parse_init_list()
+        return self.parse_assignment(), None
+
+    def _parse_init_list(self) -> list:
+        self._expect_punct("{")
+        items: list = []
+        if not self._tok.is_punct("}"):
+            while True:
+                if self._tok.is_punct("{"):
+                    items.append(self._parse_init_list())
+                else:
+                    items.append(self.parse_assignment())
+                if not self._accept_punct(","):
+                    break
+        self._expect_punct("}")
+        return items
+
+    # -- statements -----------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        open_tok = self._expect_punct("{")
+        stmts: list[ast.Stmt] = []
+        while not self._tok.is_punct("}"):
+            if self._tok.kind == EOF:
+                raise ParseError("unterminated block", open_tok.line, open_tok.col)
+            stmts.append(self._parse_statement())
+        self._expect_punct("}")
+        return ast.Block(stmts=stmts, line=open_tok.line)
+
+    def _starts_declaration(self) -> bool:
+        tok = self._tok
+        return tok.kind == KEYWORD and tok.text in ("int", "float", "static", "const")
+
+    def _parse_statement(self) -> ast.Stmt:
+        tok = self._tok
+        if tok.is_punct("{"):
+            return self._parse_block()
+        if tok.is_punct(";"):
+            self._advance()
+            return ast.Block(stmts=[], line=tok.line)
+        if self._starts_declaration():
+            return self._parse_decl_stmt()
+        if tok.is_keyword("if"):
+            return self._parse_if()
+        if tok.is_keyword("while"):
+            return self._parse_while()
+        if tok.is_keyword("do"):
+            return self._parse_do_while()
+        if tok.is_keyword("for"):
+            return self._parse_for()
+        if tok.is_keyword("return"):
+            self._advance()
+            value = None if self._tok.is_punct(";") else self.parse_expression()
+            self._expect_punct(";")
+            return ast.Return(value=value, line=tok.line)
+        if tok.is_keyword("break"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.Break(line=tok.line)
+        if tok.is_keyword("continue"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.Continue(line=tok.line)
+        expr = self.parse_expression()
+        self._expect_punct(";")
+        return ast.ExprStmt(expr=expr, line=tok.line)
+
+    def _parse_decl_stmt(self) -> ast.DeclStmt:
+        first = self._tok
+        while self._accept_keyword("static") or self._accept_keyword("const"):
+            pass
+        base = self._parse_base_type()
+        decls: list[ast.VarDecl] = []
+        while True:
+            dtype = self._parse_stars(base)
+            name_tok = self._expect_ident()
+            dtype = self._parse_array_suffix(dtype)
+            init, array_init = self._parse_initializer_opt()
+            decls.append(
+                ast.VarDecl(
+                    name=name_tok.text,
+                    type=dtype,
+                    init=init,
+                    array_init=array_init,
+                    line=name_tok.line,
+                )
+            )
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(";")
+        return ast.DeclStmt(decls=decls, line=first.line)
+
+    def _parse_if(self) -> ast.If:
+        tok = self._advance()  # 'if'
+        self._expect_punct("(")
+        cond = self.parse_expression()
+        self._expect_punct(")")
+        then = self._as_block(self._parse_statement())
+        els = None
+        if self._accept_keyword("else"):
+            els = self._as_block(self._parse_statement())
+        return ast.If(cond=cond, then=then, els=els, line=tok.line)
+
+    def _parse_while(self) -> ast.While:
+        tok = self._advance()
+        self._expect_punct("(")
+        cond = self.parse_expression()
+        self._expect_punct(")")
+        body = self._as_block(self._parse_statement())
+        return ast.While(cond=cond, body=body, line=tok.line)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        tok = self._advance()
+        body = self._as_block(self._parse_statement())
+        if not self._accept_keyword("while"):
+            raise ParseError("expected 'while' after do-body", self._tok.line, self._tok.col)
+        self._expect_punct("(")
+        cond = self.parse_expression()
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.DoWhile(body=body, cond=cond, line=tok.line)
+
+    def _parse_for(self) -> ast.For:
+        tok = self._advance()
+        self._expect_punct("(")
+        init: Optional[ast.Stmt] = None
+        if not self._tok.is_punct(";"):
+            if self._starts_declaration():
+                init = self._parse_decl_stmt()
+            else:
+                expr = self.parse_expression()
+                self._expect_punct(";")
+                init = ast.ExprStmt(expr=expr, line=tok.line)
+        else:
+            self._advance()
+        cond = None if self._tok.is_punct(";") else self.parse_expression()
+        self._expect_punct(";")
+        step = None if self._tok.is_punct(")") else self.parse_expression()
+        self._expect_punct(")")
+        body = self._as_block(self._parse_statement())
+        return ast.For(init=init, cond=cond, step=step, body=body, line=tok.line)
+
+    @staticmethod
+    def _as_block(stmt: ast.Stmt) -> ast.Block:
+        if isinstance(stmt, ast.Block):
+            return stmt
+        return ast.Block(stmts=[stmt], line=stmt.line)
+
+    # -- expressions -------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        expr = self.parse_assignment()
+        while self._tok.is_punct(","):
+            # The comma operator: evaluate lhs for effect, yield rhs.  We
+            # model it as a Binary with op "," (rare; used in for-steps).
+            tok = self._advance()
+            rhs = self.parse_assignment()
+            expr = ast.Binary(op=",", lhs=expr, rhs=rhs, line=tok.line)
+        return expr
+
+    def parse_assignment(self) -> ast.Expr:
+        lhs = self._parse_ternary()
+        tok = self._tok
+        if tok.kind == "PUNCT" and tok.text in _ASSIGN_OPS:
+            self._advance()
+            rhs = self.parse_assignment()
+            if not _is_lvalue(lhs):
+                raise ParseError("invalid assignment target", tok.line, tok.col)
+            return ast.Assign(op=tok.text, target=lhs, value=rhs, line=tok.line)
+        return lhs
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self._tok.is_punct("?"):
+            tok = self._advance()
+            then = self.parse_assignment()
+            self._expect_punct(":")
+            els = self._parse_ternary()
+            return ast.Ternary(cond=cond, then=then, els=els, line=tok.line)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        lhs = self._parse_unary()
+        while True:
+            tok = self._tok
+            if tok.kind != "PUNCT":
+                return lhs
+            if tok.text in _LOGICAL_PREC and _LOGICAL_PREC[tok.text] >= min_prec:
+                prec = _LOGICAL_PREC[tok.text]
+                self._advance()
+                rhs = self._parse_binary(prec + 1)
+                lhs = ast.Logical(op=tok.text, lhs=lhs, rhs=rhs, line=tok.line)
+                continue
+            if tok.text in _BIN_PREC and _BIN_PREC[tok.text] >= min_prec:
+                prec = _BIN_PREC[tok.text]
+                self._advance()
+                rhs = self._parse_binary(prec + 1)
+                lhs = ast.Binary(op=tok.text, lhs=lhs, rhs=rhs, line=tok.line)
+                continue
+            return lhs
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._tok
+        if tok.kind == "PUNCT":
+            if tok.text in ("-", "+", "!", "~", "*", "&"):
+                self._advance()
+                operand = self._parse_unary()
+                if tok.text == "+":
+                    return operand
+                return ast.Unary(op=tok.text, operand=operand, line=tok.line)
+            if tok.text in ("++", "--"):
+                self._advance()
+                target = self._parse_unary()
+                return ast.IncDec(op=tok.text, prefix=True, target=target, line=tok.line)
+        if tok.is_keyword("sizeof"):
+            self._advance()
+            self._expect_punct("(")
+            base = self._parse_base_type()
+            base = self._parse_stars(base)
+            base = self._parse_array_suffix(base)
+            self._expect_punct(")")
+            return ast.IntLit(value=base.size_words() * 4, line=tok.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self._tok
+            if tok.is_punct("("):
+                self._advance()
+                args: list[ast.Expr] = []
+                if not self._tok.is_punct(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self._accept_punct(","):
+                            break
+                self._expect_punct(")")
+                expr = ast.Call(func=expr, args=args, line=tok.line)
+            elif tok.is_punct("["):
+                self._advance()
+                index = self.parse_expression()
+                self._expect_punct("]")
+                expr = ast.Index(base=expr, index=index, line=tok.line)
+            elif tok.is_punct("++") or tok.is_punct("--"):
+                self._advance()
+                expr = ast.IncDec(op=tok.text, prefix=False, target=expr, line=tok.line)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._tok
+        if tok.kind == INT_LIT:
+            self._advance()
+            return ast.IntLit(value=tok.value, line=tok.line)
+        if tok.kind == FLOAT_LIT:
+            self._advance()
+            return ast.FloatLit(value=tok.value, line=tok.line)
+        if tok.kind == IDENT:
+            self._advance()
+            return ast.Name(name=tok.text, line=tok.line)
+        if tok.is_punct("("):
+            self._advance()
+            # Support casts `(int) e` and `(float) e`.
+            if self._tok.kind == KEYWORD and self._tok.text in ("int", "float"):
+                base = self._parse_base_type()
+                base = self._parse_stars(base)
+                self._expect_punct(")")
+                operand = self._parse_unary()
+                return ast.Call(
+                    func=ast.Name(name=f"__cast_{base}", line=tok.line),
+                    args=[operand],
+                    line=tok.line,
+                )
+            expr = self.parse_expression()
+            self._expect_punct(")")
+            return expr
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line, tok.col)
+
+
+def _is_lvalue(expr: ast.Expr) -> bool:
+    return isinstance(expr, (ast.Name, ast.Index)) or (
+        isinstance(expr, ast.Unary) and expr.op == "*"
+    )
+
+
+def _const_eval(expr: ast.Expr):
+    """Evaluate a literal-only constant expression (used for array sizes)."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.FloatLit):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        inner = _const_eval(expr.operand)
+        return None if inner is None else -inner
+    if isinstance(expr, ast.Binary):
+        lhs = _const_eval(expr.lhs)
+        rhs = _const_eval(expr.rhs)
+        if lhs is None or rhs is None:
+            return None
+        ops = {
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a // b if isinstance(a, int) and isinstance(b, int) else a / b,
+            "<<": lambda a, b: a << b,
+            ">>": lambda a, b: a >> b,
+        }
+        fn = ops.get(expr.op)
+        return None if fn is None else fn(lhs, rhs)
+    return None
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse mini-C source text into an unresolved Program AST."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a single mini-C expression (convenience for tests)."""
+    parser = Parser(tokenize(source))
+    expr = parser.parse_expression()
+    tok = parser._tok
+    if tok.kind != EOF:
+        raise ParseError(f"trailing input after expression: {tok.text!r}", tok.line, tok.col)
+    return expr

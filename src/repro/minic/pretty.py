@@ -1,0 +1,207 @@
+"""Pretty-printer (unparser) for mini-C ASTs.
+
+The reuse pass is a source-to-source transformation, exactly like the
+paper's GCC implementation; this module renders transformed programs back
+to mini-C text.  The output re-parses to an equivalent AST (round-trip
+tested), which is how we validate structural transformations.
+"""
+
+from __future__ import annotations
+
+from . import astnodes as ast
+from .types import ArrayType, PointerType, Type
+
+_INDENT = "    "
+
+# Mirror of the parser's precedence table, used to decide where output
+# parentheses are required.
+_PREC = {
+    ",": 0,
+    "=": 1,
+    "?:": 2,
+    "||": 3,
+    "&&": 4,
+    "|": 5,
+    "^": 6,
+    "&": 7,
+    "==": 8,
+    "!=": 8,
+    "<": 9,
+    "<=": 9,
+    ">": 9,
+    ">=": 9,
+    "<<": 10,
+    ">>": 10,
+    "+": 11,
+    "-": 11,
+    "*": 12,
+    "/": 12,
+    "%": 12,
+}
+_UNARY_PREC = 13
+_POSTFIX_PREC = 14
+
+
+def type_prefix_suffix(t: Type) -> tuple[str, str]:
+    """Split a type into the (prefix, suffix) strings around a declarator
+    name: ``int x[4]`` has prefix ``int`` and suffix ``[4]``."""
+    suffix = ""
+    while isinstance(t, ArrayType):
+        suffix += f"[{t.length}]"
+        t = t.elem
+    prefix = str(t)
+    return prefix, suffix
+
+
+def format_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    text, prec = _expr_with_prec(expr)
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _expr_with_prec(expr: ast.Expr) -> tuple[str, int]:
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value), _POSTFIX_PREC + 1
+    if isinstance(expr, ast.FloatLit):
+        text = repr(expr.value)
+        if "." not in text and "e" not in text and "inf" not in text:
+            text += ".0"
+        return text, _POSTFIX_PREC + 1
+    if isinstance(expr, ast.Name):
+        return expr.name, _POSTFIX_PREC + 1
+    if isinstance(expr, ast.Unary):
+        inner = format_expr(expr.operand, _UNARY_PREC)
+        # `- -x` must not lex as `--x` (and likewise `& &x`).
+        sep = " " if inner.startswith(expr.op[0]) else ""
+        return f"{expr.op}{sep}{inner}", _UNARY_PREC
+    if isinstance(expr, ast.IncDec):
+        inner = format_expr(expr.target, _POSTFIX_PREC)
+        if expr.prefix:
+            return f"{expr.op}{inner}", _UNARY_PREC
+        return f"{inner}{expr.op}", _POSTFIX_PREC
+    if isinstance(expr, (ast.Binary, ast.Logical)):
+        prec = _PREC[expr.op]
+        lhs = format_expr(expr.lhs, prec)
+        rhs = format_expr(expr.rhs, prec + 1)
+        if expr.op == ",":
+            return f"{lhs}, {rhs}", prec
+        return f"{lhs} {expr.op} {rhs}", prec
+    if isinstance(expr, ast.Assign):
+        prec = _PREC["="]
+        target = format_expr(expr.target, prec + 1)
+        value = format_expr(expr.value, prec)
+        return f"{target} {expr.op} {value}", prec
+    if isinstance(expr, ast.Ternary):
+        prec = _PREC["?:"]
+        cond = format_expr(expr.cond, prec + 1)
+        then = format_expr(expr.then, 0)
+        els = format_expr(expr.els, prec)
+        return f"{cond} ? {then} : {els}", prec
+    if isinstance(expr, ast.Call):
+        func = format_expr(expr.func, _POSTFIX_PREC)
+        args = ", ".join(format_expr(a, _PREC["="]) for a in expr.args)
+        return f"{func}({args})", _POSTFIX_PREC
+    if isinstance(expr, ast.Index):
+        base = format_expr(expr.base, _POSTFIX_PREC)
+        index = format_expr(expr.index, 0)
+        return f"{base}[{index}]", _POSTFIX_PREC
+    raise TypeError(f"unknown expression node: {type(expr).__name__}")
+
+
+def _format_init(item) -> str:
+    if isinstance(item, list):
+        return "{" + ", ".join(_format_init(x) for x in item) + "}"
+    return format_expr(item)
+
+
+def _format_var_decl(decl: ast.VarDecl) -> str:
+    prefix, suffix = type_prefix_suffix(decl.type)
+    text = f"{prefix} {decl.name}{suffix}"
+    if decl.array_init is not None:
+        text += " = " + _format_init(decl.array_init)
+    elif decl.init is not None:
+        text += " = " + format_expr(decl.init, _PREC["="])
+    return text
+
+
+def _format_decl_stmt_inline(stmt: ast.DeclStmt) -> str:
+    return "; ".join(_format_var_decl(d) for d in stmt.decls) + ";"
+
+
+def format_stmt(stmt: ast.Stmt, indent: int = 0) -> str:
+    pad = _INDENT * indent
+    if isinstance(stmt, ast.DeclStmt):
+        return "\n".join(pad + _format_var_decl(d) + ";" for d in stmt.decls)
+    if isinstance(stmt, ast.ExprStmt):
+        return pad + format_expr(stmt.expr) + ";"
+    if isinstance(stmt, ast.Block):
+        if not stmt.stmts:
+            return pad + "{\n" + pad + "}"
+        body = "\n".join(format_stmt(s, indent + 1) for s in stmt.stmts)
+        return pad + "{\n" + body + "\n" + pad + "}"
+    if isinstance(stmt, ast.If):
+        text = pad + f"if ({format_expr(stmt.cond)})\n" + format_stmt(stmt.then, indent)
+        if stmt.els is not None:
+            text += "\n" + pad + "else\n" + format_stmt(stmt.els, indent)
+        return text
+    if isinstance(stmt, ast.While):
+        return pad + f"while ({format_expr(stmt.cond)})\n" + format_stmt(stmt.body, indent)
+    if isinstance(stmt, ast.DoWhile):
+        return (
+            pad
+            + "do\n"
+            + format_stmt(stmt.body, indent)
+            + "\n"
+            + pad
+            + f"while ({format_expr(stmt.cond)});"
+        )
+    if isinstance(stmt, ast.For):
+        if stmt.init is None:
+            init = ";"
+        elif isinstance(stmt.init, ast.DeclStmt):
+            init = _format_decl_stmt_inline(stmt.init)
+        else:
+            init = format_expr(stmt.init.expr) + ";"
+        cond = " " + format_expr(stmt.cond) if stmt.cond is not None else ""
+        step = " " + format_expr(stmt.step) if stmt.step is not None else ""
+        return pad + f"for ({init}{cond};{step})\n" + format_stmt(stmt.body, indent)
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return pad + "return;"
+        return pad + f"return {format_expr(stmt.value)};"
+    if isinstance(stmt, ast.Break):
+        return pad + "break;"
+    if isinstance(stmt, ast.Continue):
+        return pad + "continue;"
+    raise TypeError(f"unknown statement node: {type(stmt).__name__}")
+
+
+def _format_param(p: ast.Param) -> str:
+    from .types import FuncType, PointerType
+
+    t = p.type
+    if isinstance(t, PointerType) and isinstance(t.elem, FuncType):
+        args = ", ".join(str(a) for a in t.elem.params) or "void"
+        return f"{t.elem.ret} {p.name}({args})"
+    return f"{t} {p.name}"
+
+
+def format_function(fn: ast.Function) -> str:
+    params = ", ".join(_format_param(p) for p in fn.params) or "void"
+    static = "static " if fn.is_static else ""
+    header = f"{static}{fn.ret_type} {fn.name}({params})"
+    return header + "\n" + format_stmt(fn.body, 0)
+
+
+def format_program(program: ast.Program) -> str:
+    parts: list[str] = []
+    for g in program.globals:
+        qualifiers = ("static " if g.is_static else "") + ("const " if g.is_const else "")
+        parts.append(qualifiers + _format_var_decl(g.decl) + ";")
+    if parts:
+        parts.append("")
+    for fn in program.functions:
+        parts.append(format_function(fn))
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"

@@ -1,0 +1,118 @@
+"""Token definitions for the mini-C language.
+
+The mini-C language is the C subset that the paper's GCC modules operate
+on: scalar ``int``/``float`` variables, pointers, fixed-size arrays,
+functions, and structured control flow.  Tokens carry source positions so
+diagnostics and profiling stubs can reference the original code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Token kinds -----------------------------------------------------------
+
+IDENT = "IDENT"
+INT_LIT = "INT_LIT"
+FLOAT_LIT = "FLOAT_LIT"
+KEYWORD = "KEYWORD"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "float",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "static",
+        "const",
+        "sizeof",
+    }
+)
+
+# Multi-character punctuators, longest first so the lexer can use
+# maximal-munch by probing in order.
+PUNCTUATORS = (
+    "<<=",
+    ">>=",
+    "...",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "->",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ";",
+    ",",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ".",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        kind: one of IDENT, INT_LIT, FLOAT_LIT, KEYWORD, PUNCT, EOF.
+        text: the exact source spelling (keywords/punctuators included).
+        value: the decoded value for literals (int or float), else None.
+        line: 1-based source line.
+        col: 1-based source column.
+    """
+
+    kind: str
+    text: str
+    value: object
+    line: int
+    col: int
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == KEYWORD and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"

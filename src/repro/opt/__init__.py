@@ -1,0 +1,22 @@
+"""Optimizer passes (the -O3 pipeline)."""
+
+from .cse import CSEPass, cse_program, expr_fingerprint
+from .dce import dce_function, dce_program
+from .fold import fold_expr, fold_program, fold_stmt
+from .pipeline import optimize
+from .simplify import is_pure, simplify_expr, simplify_program
+
+__all__ = [
+    "CSEPass",
+    "cse_program",
+    "expr_fingerprint",
+    "dce_function",
+    "dce_program",
+    "fold_expr",
+    "fold_stmt",
+    "fold_program",
+    "optimize",
+    "is_pure",
+    "simplify_expr",
+    "simplify_program",
+]

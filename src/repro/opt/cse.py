@@ -1,0 +1,184 @@
+"""Per-statement common-subexpression elimination.
+
+A *pure* subexpression (no calls, assignments, inc/dec) occurring two or
+more times within one statement is evaluated once into a compiler
+temporary hoisted immediately before the statement::
+
+    r = a[i] * b + a[i] * c;   ==>   int __cse0 = a[i];
+                                     r = __cse0 * b + __cse0 * c;
+
+Scoping the analysis to a single statement keeps the transformation
+trivially sound (there is no intervening redefinition to reason about)
+while still capturing the common wins in expression-heavy code such as
+the DCT kernels.
+"""
+
+from __future__ import annotations
+
+from ..minic import astnodes as ast
+from ..minic.sema import Typer, analyze
+from ..minic.types import Type
+from .simplify import is_pure
+
+_TEMP_PREFIX = "__cse"
+
+
+def expr_fingerprint(expr: ast.Expr):
+    """A structural key for expression equivalence (symbol-identity based,
+    so shadowed names never collide)."""
+    if isinstance(expr, ast.IntLit):
+        return ("int", expr.value)
+    if isinstance(expr, ast.FloatLit):
+        return ("float", expr.value)
+    if isinstance(expr, ast.Name):
+        return ("name", expr.symbol.uid if expr.symbol else expr.name)
+    if isinstance(expr, ast.Unary):
+        return ("unary", expr.op, expr_fingerprint(expr.operand))
+    if isinstance(expr, ast.Binary):
+        return ("bin", expr.op, expr_fingerprint(expr.lhs), expr_fingerprint(expr.rhs))
+    if isinstance(expr, ast.Logical):
+        return ("log", expr.op, expr_fingerprint(expr.lhs), expr_fingerprint(expr.rhs))
+    if isinstance(expr, ast.Index):
+        return ("idx", expr_fingerprint(expr.base), expr_fingerprint(expr.index))
+    if isinstance(expr, ast.Ternary):
+        return (
+            "tern",
+            expr_fingerprint(expr.cond),
+            expr_fingerprint(expr.then),
+            expr_fingerprint(expr.els),
+        )
+    # calls/assignments are impure: give each occurrence a unique key
+    return ("unique", id(expr))
+
+
+def _expr_size(expr: ast.Expr) -> int:
+    return sum(1 for _ in ast.walk(expr))
+
+
+class CSEPass:
+    def __init__(self, program: ast.Program, min_size: int = 3) -> None:
+        self.program = program
+        self.typer = Typer(program)
+        self.min_size = min_size
+        self._counter = 0
+        self.eliminated = 0
+
+    def run(self) -> ast.Program:
+        for fn in self.program.functions:
+            self._block(fn.body)
+        analyze(self.program)
+        return self.program
+
+    def _fresh(self) -> str:
+        name = f"{_TEMP_PREFIX}{self._counter}"
+        self._counter += 1
+        return name
+
+    def _block(self, block: ast.Block) -> None:
+        new_stmts: list[ast.Stmt] = []
+        for stmt in block.stmts:
+            prefix: list[ast.Stmt] = []
+            self._stmt(stmt, prefix)
+            new_stmts.extend(prefix)
+            new_stmts.append(stmt)
+        block.stmts = new_stmts
+
+    def _stmt(self, stmt: ast.Stmt, prefix: list[ast.Stmt]) -> None:
+        if isinstance(stmt, ast.ExprStmt):
+            stmt.expr = self._cse_expr(stmt.expr, prefix)
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            stmt.value = self._cse_expr(stmt.value, prefix)
+        elif isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.decls:
+                if decl.init is not None:
+                    decl.init = self._cse_expr(decl.init, prefix)
+        elif isinstance(stmt, ast.Block):
+            self._block(stmt)
+        elif isinstance(stmt, ast.If):
+            self._block(stmt.then)
+            if stmt.els is not None:
+                self._block(stmt.els)
+        elif isinstance(stmt, (ast.While, ast.DoWhile)):
+            self._block(stmt.body)
+        elif isinstance(stmt, ast.For):
+            self._block(stmt.body)
+
+    def _cse_expr(self, expr: ast.Expr, prefix: list[ast.Stmt]) -> ast.Expr:
+        # An assignment's right-hand side can be processed on its own: the
+        # hoisted evaluation still happens before the store, with nothing
+        # in between.
+        if isinstance(expr, ast.Assign):
+            expr.value = self._cse_expr(expr.value, prefix)
+            return expr
+        # Otherwise the whole expression must be pure for single-evaluation
+        # hoisting to be sound (an inner assignment could change an operand
+        # between the original occurrences).
+        if not is_pure(expr):
+            return expr
+        counts: dict = {}
+        self._count(expr, counts)
+        # pick repeated subexpressions, largest first; skip ones nested in
+        # an already-chosen candidate
+        candidates = [
+            (fp, occurrences)
+            for fp, occurrences in counts.items()
+            if len(occurrences) >= 2 and _expr_size(occurrences[0]) >= self.min_size
+        ]
+        if not candidates:
+            return expr
+        candidates.sort(key=lambda item: -_expr_size(item[1][0]))
+        replaced: dict = {}
+        for fp, occurrences in candidates:
+            if fp in replaced:
+                continue
+            sample = occurrences[0]
+            try:
+                t: Type = self.typer.type_of(sample)
+            except Exception:
+                continue
+            if not t.is_scalar:
+                continue
+            name = self._fresh()
+            decl = ast.VarDecl(name=name, type=t, init=sample, line=sample.line)
+            prefix.append(ast.DeclStmt(decls=[decl], line=sample.line))
+            replaced[fp] = name
+            self.eliminated += len(occurrences) - 1
+            # only take the single largest candidate per statement; nested
+            # candidates would need occurrence bookkeeping inside the
+            # hoisted initializer
+            break
+        if not replaced:
+            return expr
+        return self._rewrite(expr, replaced)
+
+    def _count(self, expr: ast.Expr, counts: dict) -> None:
+        if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.Name)):
+            return
+        # conditionally-evaluated subtrees must not be hoisted
+        if isinstance(expr, (ast.Logical, ast.Ternary)):
+            return
+        fp = expr_fingerprint(expr)
+        counts.setdefault(fp, []).append(expr)
+        for child in expr.children():
+            if isinstance(child, ast.Expr):
+                self._count(child, counts)
+
+    def _rewrite(self, expr: ast.Expr, replaced: dict) -> ast.Expr:
+        fp = expr_fingerprint(expr)
+        if fp in replaced:
+            return ast.Name(name=replaced[fp], line=expr.line)
+        if isinstance(expr, ast.Unary):
+            expr.operand = self._rewrite(expr.operand, replaced)
+        elif isinstance(expr, (ast.Binary, ast.Logical)):
+            expr.lhs = self._rewrite(expr.lhs, replaced)
+            expr.rhs = self._rewrite(expr.rhs, replaced)
+        elif isinstance(expr, ast.Index):
+            expr.base = self._rewrite(expr.base, replaced)
+            expr.index = self._rewrite(expr.index, replaced)
+        elif isinstance(expr, ast.Ternary):
+            expr.cond = self._rewrite(expr.cond, replaced)
+        return expr
+
+
+def cse_program(program: ast.Program, min_size: int = 3) -> ast.Program:
+    return CSEPass(program, min_size=min_size).run()

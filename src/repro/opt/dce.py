@@ -1,0 +1,176 @@
+"""Dead-code elimination.
+
+Four in-place cleanups, iterated to a fixed point by the pipeline:
+
+* side-effect-free expression statements are dropped;
+* ``if (0)`` / ``if (1)`` with literal conditions are replaced by the
+  live branch; ``while (0)`` disappears; ``for (...; 0; ...)`` keeps only
+  its init;
+* statements after a ``return``/``break``/``continue`` in the same block
+  are unreachable and dropped;
+* assignments (and initializers) to *write-only locals* — locals never
+  read anywhere in the function — are removed; impure right-hand sides
+  are preserved as expression statements.
+"""
+
+from __future__ import annotations
+
+from ..minic import astnodes as ast
+from .simplify import is_pure
+
+
+def _read_symbols(fn: ast.Function) -> set:
+    """Symbols read (as opposed to only written) anywhere in the function.
+
+    Any appearance that is not a pure store counts as a read: an
+    address-taken or array symbol is always treated as read (stores
+    through pointers may be loads elsewhere)."""
+    reads: set = set()
+
+    def visit(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Name):
+            if expr.symbol is not None:
+                reads.add(expr.symbol)
+            return
+        if isinstance(expr, ast.Assign):
+            # the *direct* target name of a simple assignment is a write,
+            # not a read; compound assignments read the target
+            if not (isinstance(expr.target, ast.Name) and expr.op == "="):
+                visit(expr.target)
+            visit(expr.value)
+            return
+        for child in expr.children():
+            if isinstance(child, ast.Expr):
+                visit(child)
+
+    for node in ast.walk(fn.body):
+        if isinstance(node, ast.ExprStmt):
+            visit(node.expr)
+        elif isinstance(node, ast.DeclStmt):
+            for decl in node.decls:
+                if decl.init is not None:
+                    visit(decl.init)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            visit(node.value)
+        elif isinstance(node, (ast.If, ast.While, ast.DoWhile)):
+            visit(node.cond)
+        elif isinstance(node, ast.For):
+            if node.cond is not None:
+                visit(node.cond)
+            if node.step is not None:
+                visit(node.step)
+    return reads
+
+
+def _is_write_only_store(expr: ast.Expr, reads: set) -> bool:
+    """`x = pure` where local x is never read."""
+    if not isinstance(expr, ast.Assign) or expr.op != "=":
+        return False
+    target = expr.target
+    if not isinstance(target, ast.Name) or target.symbol is None:
+        return False
+    symbol = target.symbol
+    if symbol.kind not in ("local", "param") or symbol.address_taken:
+        return False
+    if symbol in reads:
+        return False
+    return True
+
+
+def _terminates(stmt: ast.Stmt) -> bool:
+    return isinstance(stmt, (ast.Return, ast.Break, ast.Continue))
+
+
+class DCE:
+    def __init__(self, fn: ast.Function) -> None:
+        self.fn = fn
+        self.removed = 0
+
+    def run(self) -> int:
+        self._reads = _read_symbols(self.fn)
+        self._block(self.fn.body)
+        return self.removed
+
+    def _block(self, block: ast.Block) -> None:
+        new_stmts: list[ast.Stmt] = []
+        terminated = False
+        for stmt in block.stmts:
+            if terminated:
+                self.removed += 1  # unreachable after return/break/continue
+                continue
+            stmt = self._stmt(stmt)
+            if stmt is None:
+                self.removed += 1
+                continue
+            new_stmts.append(stmt)
+            if _terminates(stmt):
+                terminated = True
+        block.stmts = new_stmts
+
+    def _stmt(self, stmt: ast.Stmt):
+        if isinstance(stmt, ast.ExprStmt):
+            if is_pure(stmt.expr) and not isinstance(stmt.expr, (ast.Assign, ast.IncDec)):
+                return None
+            if _is_write_only_store(stmt.expr, self._reads):
+                value = stmt.expr.value
+                if is_pure(value):
+                    return None
+                return ast.ExprStmt(expr=value, line=stmt.line)
+            return stmt
+        if isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.decls:
+                if (
+                    decl.init is not None
+                    and decl.symbol is not None
+                    and decl.symbol not in self._reads
+                    and not decl.symbol.address_taken
+                    and is_pure(decl.init)
+                ):
+                    decl.init = None
+                    self.removed += 1
+            return stmt
+        if isinstance(stmt, ast.Block):
+            self._block(stmt)
+            return stmt if stmt.stmts else None
+        if isinstance(stmt, ast.If):
+            self._block(stmt.then)
+            if stmt.els is not None:
+                self._block(stmt.els)
+                if not stmt.els.stmts:
+                    stmt.els = None
+            if isinstance(stmt.cond, ast.IntLit):
+                branch = stmt.then if stmt.cond.value else stmt.els
+                self.removed += 1
+                return branch  # may be None (dead branch, no else)
+            if not stmt.then.stmts and stmt.els is None and is_pure(stmt.cond):
+                return None
+            return stmt
+        if isinstance(stmt, ast.While):
+            self._block(stmt.body)
+            if isinstance(stmt.cond, ast.IntLit) and stmt.cond.value == 0:
+                self.removed += 1
+                return None
+            return stmt
+        if isinstance(stmt, ast.DoWhile):
+            self._block(stmt.body)
+            return stmt
+        if isinstance(stmt, ast.For):
+            self._block(stmt.body)
+            if (
+                stmt.cond is not None
+                and isinstance(stmt.cond, ast.IntLit)
+                and stmt.cond.value == 0
+            ):
+                self.removed += 1
+                return stmt.init  # init still executes; may be None
+            return stmt
+        return stmt
+
+
+def dce_function(fn: ast.Function) -> int:
+    """Run DCE on one function; returns the number of removals."""
+    return DCE(fn).run()
+
+
+def dce_program(program: ast.Program) -> int:
+    return sum(dce_function(fn) for fn in program.functions)

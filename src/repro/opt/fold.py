@@ -1,0 +1,178 @@
+"""Constant folding.
+
+Folds literal-only subexpressions using C99 arithmetic semantics (the
+same helpers the runtime uses, so folding can never change behaviour).
+Division/modulo by a literal zero is left unfolded — the runtime raises
+at execution time, matching the unoptimized program.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..minic import astnodes as ast
+from ..runtime.values import c_div, c_mod, c_shl, c_shr, wrap32
+
+
+def _lit_value(expr: ast.Expr):
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.FloatLit):
+        return expr.value
+    return None
+
+
+def _make_lit(value, line: int) -> ast.Expr:
+    if isinstance(value, float):
+        return ast.FloatLit(value=value, line=line)
+    return ast.IntLit(value=wrap32(value), line=line)
+
+
+_INT_OPS = {
+    "+": lambda a, b: wrap32(a + b),
+    "-": lambda a, b: wrap32(a - b),
+    "*": lambda a, b: wrap32(a * b),
+    "/": c_div,
+    "%": c_mod,
+    "<<": c_shl,
+    ">>": c_shr,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+}
+
+_FLOAT_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+_CMP_OPS = {
+    "==": lambda a, b: 1 if a == b else 0,
+    "!=": lambda a, b: 1 if a != b else 0,
+    "<": lambda a, b: 1 if a < b else 0,
+    "<=": lambda a, b: 1 if a <= b else 0,
+    ">": lambda a, b: 1 if a > b else 0,
+    ">=": lambda a, b: 1 if a >= b else 0,
+}
+
+
+def fold_expr(expr: ast.Expr) -> ast.Expr:
+    """Fold ``expr`` bottom-up; returns the (possibly new) expression."""
+    if isinstance(expr, ast.Unary):
+        expr.operand = fold_expr(expr.operand)
+        v = _lit_value(expr.operand)
+        if v is None:
+            return expr
+        if expr.op == "-":
+            return _make_lit(-v, expr.line)
+        if expr.op == "!":
+            return ast.IntLit(value=0 if v else 1, line=expr.line)
+        if expr.op == "~" and isinstance(v, int):
+            return ast.IntLit(value=wrap32(~v), line=expr.line)
+        return expr
+    if isinstance(expr, ast.Binary):
+        expr.lhs = fold_expr(expr.lhs)
+        expr.rhs = fold_expr(expr.rhs)
+        a = _lit_value(expr.lhs)
+        b = _lit_value(expr.rhs)
+        if a is None or b is None:
+            return expr
+        if expr.op in _CMP_OPS:
+            return ast.IntLit(value=_CMP_OPS[expr.op](a, b), line=expr.line)
+        both_int = isinstance(a, int) and isinstance(b, int)
+        if both_int and expr.op in _INT_OPS:
+            if expr.op in ("/", "%") and b == 0:
+                return expr  # defer the trap to run time
+            return _make_lit(_INT_OPS[expr.op](a, b), expr.line)
+        if not both_int and expr.op in _FLOAT_OPS:
+            if expr.op == "/" and b == 0:
+                return expr
+            return _make_lit(_FLOAT_OPS[expr.op](float(a), float(b)), expr.line)
+        return expr
+    if isinstance(expr, ast.Logical):
+        expr.lhs = fold_expr(expr.lhs)
+        a = _lit_value(expr.lhs)
+        if a is not None:
+            if expr.op == "&&":
+                if not a:
+                    return ast.IntLit(value=0, line=expr.line)
+                expr.rhs = fold_expr(expr.rhs)
+                b = _lit_value(expr.rhs)
+                if b is not None:
+                    return ast.IntLit(value=1 if b else 0, line=expr.line)
+                return expr
+            # "||"
+            if a:
+                return ast.IntLit(value=1, line=expr.line)
+            expr.rhs = fold_expr(expr.rhs)
+            b = _lit_value(expr.rhs)
+            if b is not None:
+                return ast.IntLit(value=1 if b else 0, line=expr.line)
+            return expr
+        expr.rhs = fold_expr(expr.rhs)
+        return expr
+    if isinstance(expr, ast.Ternary):
+        expr.cond = fold_expr(expr.cond)
+        expr.then = fold_expr(expr.then)
+        expr.els = fold_expr(expr.els)
+        c = _lit_value(expr.cond)
+        if c is not None:
+            return expr.then if c else expr.els
+        return expr
+    if isinstance(expr, ast.Assign):
+        expr.value = fold_expr(expr.value)
+        expr.target = fold_expr(expr.target)
+        return expr
+    if isinstance(expr, ast.Call):
+        expr.args = [fold_expr(a) for a in expr.args]
+        return expr
+    if isinstance(expr, ast.Index):
+        expr.base = fold_expr(expr.base)
+        expr.index = fold_expr(expr.index)
+        return expr
+    if isinstance(expr, ast.IncDec):
+        return expr
+    return expr
+
+
+def fold_stmt(stmt: ast.Stmt) -> None:
+    """Fold all expressions inside a statement, in place."""
+    if isinstance(stmt, ast.ExprStmt):
+        stmt.expr = fold_expr(stmt.expr)
+    elif isinstance(stmt, ast.DeclStmt):
+        for decl in stmt.decls:
+            if decl.init is not None:
+                decl.init = fold_expr(decl.init)
+    elif isinstance(stmt, ast.Block):
+        for s in stmt.stmts:
+            fold_stmt(s)
+    elif isinstance(stmt, ast.If):
+        stmt.cond = fold_expr(stmt.cond)
+        fold_stmt(stmt.then)
+        if stmt.els is not None:
+            fold_stmt(stmt.els)
+    elif isinstance(stmt, ast.While):
+        stmt.cond = fold_expr(stmt.cond)
+        fold_stmt(stmt.body)
+    elif isinstance(stmt, ast.DoWhile):
+        stmt.cond = fold_expr(stmt.cond)
+        fold_stmt(stmt.body)
+    elif isinstance(stmt, ast.For):
+        if stmt.init is not None:
+            fold_stmt(stmt.init)
+        if stmt.cond is not None:
+            stmt.cond = fold_expr(stmt.cond)
+        if stmt.step is not None:
+            stmt.step = fold_expr(stmt.step)
+        fold_stmt(stmt.body)
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            stmt.value = fold_expr(stmt.value)
+
+
+def fold_program(program: ast.Program) -> ast.Program:
+    for fn in program.functions:
+        fold_stmt(fn.body)
+    return program

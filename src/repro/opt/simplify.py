@@ -1,0 +1,177 @@
+"""Algebraic simplification and strength reduction.
+
+Identity eliminations (``x+0``, ``x*1``, ``x|0``, ...) and strength
+reduction of multiplications by powers of two into shifts.  Annihilating
+rewrites (``x*0 -> 0``, ``x&0 -> 0``) apply only when ``x`` is *pure* —
+free of calls, assignments, increments, and I/O — so side effects are
+never dropped.  Divisions are never strength-reduced: ``x/2`` and
+``x>>1`` disagree for negative ``x`` under C99 truncation.
+"""
+
+from __future__ import annotations
+
+from ..minic import astnodes as ast
+
+
+def is_pure(expr: ast.Expr) -> bool:
+    """Free of side effects (calls, assignments, inc/dec)."""
+    for node in ast.walk(expr):
+        if isinstance(node, (ast.Assign, ast.IncDec, ast.Call)):
+            return False
+    return True
+
+
+def _is_int_const(expr: ast.Expr, value: int) -> bool:
+    return isinstance(expr, ast.IntLit) and expr.value == value
+
+
+def _power_of_two_log(value: int) -> int:
+    """log2(value) if value is a positive power of two, else -1."""
+    if value > 0 and value & (value - 1) == 0:
+        return value.bit_length() - 1
+    return -1
+
+
+def _is_int_expr(expr: ast.Expr, typer) -> bool:
+    if typer is None:
+        return False
+    try:
+        from ..minic.types import INT
+
+        return typer.type_of(expr) == INT
+    except Exception:
+        return False
+
+
+def simplify_expr(expr: ast.Expr, typer=None) -> ast.Expr:
+    simplify = lambda e: simplify_expr(e, typer)
+    if isinstance(expr, ast.Binary):
+        expr.lhs = simplify(expr.lhs)
+        expr.rhs = simplify(expr.rhs)
+        op, lhs, rhs = expr.op, expr.lhs, expr.rhs
+        # identities -----------------------------------------------------
+        if op == "+":
+            if _is_int_const(rhs, 0):
+                return lhs
+            if _is_int_const(lhs, 0):
+                return rhs
+        elif op == "-":
+            if _is_int_const(rhs, 0):
+                return lhs
+        elif op == "*":
+            if _is_int_const(rhs, 1):
+                return lhs
+            if _is_int_const(lhs, 1):
+                return rhs
+            if _is_int_const(rhs, 0) and is_pure(lhs):
+                return ast.IntLit(value=0, line=expr.line)
+            if _is_int_const(lhs, 0) and is_pure(rhs):
+                return ast.IntLit(value=0, line=expr.line)
+            # strength reduction: x * 2^k -> x << k (integers only:
+            # float multiplies and pointer scaling must not become shifts)
+            if isinstance(rhs, ast.IntLit) and _is_int_expr(lhs, typer):
+                k = _power_of_two_log(rhs.value)
+                if k > 0:
+                    return ast.Binary(
+                        op="<<", lhs=lhs, rhs=ast.IntLit(value=k, line=expr.line), line=expr.line
+                    )
+            if isinstance(lhs, ast.IntLit) and _is_int_expr(rhs, typer):
+                k = _power_of_two_log(lhs.value)
+                if k > 0:
+                    return ast.Binary(
+                        op="<<", lhs=rhs, rhs=ast.IntLit(value=k, line=expr.line), line=expr.line
+                    )
+        elif op == "/":
+            if _is_int_const(rhs, 1):
+                return lhs
+        elif op in ("<<", ">>"):
+            if _is_int_const(rhs, 0):
+                return lhs
+        elif op == "|":
+            if _is_int_const(rhs, 0):
+                return lhs
+            if _is_int_const(lhs, 0):
+                return rhs
+        elif op == "^":
+            if _is_int_const(rhs, 0):
+                return lhs
+            if _is_int_const(lhs, 0):
+                return rhs
+        elif op == "&":
+            if _is_int_const(rhs, 0) and is_pure(lhs):
+                return ast.IntLit(value=0, line=expr.line)
+            if _is_int_const(lhs, 0) and is_pure(rhs):
+                return ast.IntLit(value=0, line=expr.line)
+        return expr
+    if isinstance(expr, ast.Unary):
+        expr.operand = simplify_expr(expr.operand, typer)
+        # double negation
+        if expr.op == "-" and isinstance(expr.operand, ast.Unary) and expr.operand.op == "-":
+            return expr.operand.operand
+        if expr.op == "~" and isinstance(expr.operand, ast.Unary) and expr.operand.op == "~":
+            return expr.operand.operand
+        return expr
+    if isinstance(expr, ast.Logical):
+        expr.lhs = simplify_expr(expr.lhs, typer)
+        expr.rhs = simplify_expr(expr.rhs, typer)
+        return expr
+    if isinstance(expr, ast.Ternary):
+        expr.cond = simplify_expr(expr.cond, typer)
+        expr.then = simplify_expr(expr.then, typer)
+        expr.els = simplify_expr(expr.els, typer)
+        return expr
+    if isinstance(expr, ast.Assign):
+        expr.target = simplify_expr(expr.target, typer)
+        expr.value = simplify_expr(expr.value, typer)
+        return expr
+    if isinstance(expr, ast.Call):
+        expr.args = [simplify_expr(a, typer) for a in expr.args]
+        return expr
+    if isinstance(expr, ast.Index):
+        expr.base = simplify_expr(expr.base, typer)
+        expr.index = simplify_expr(expr.index, typer)
+        return expr
+    return expr
+
+
+def simplify_stmt(stmt: ast.Stmt, typer=None) -> None:
+    if isinstance(stmt, ast.ExprStmt):
+        stmt.expr = simplify_expr(stmt.expr, typer)
+    elif isinstance(stmt, ast.DeclStmt):
+        for decl in stmt.decls:
+            if decl.init is not None:
+                decl.init = simplify_expr(decl.init, typer)
+    elif isinstance(stmt, ast.Block):
+        for s in stmt.stmts:
+            simplify_stmt(s, typer)
+    elif isinstance(stmt, ast.If):
+        stmt.cond = simplify_expr(stmt.cond, typer)
+        simplify_stmt(stmt.then, typer)
+        if stmt.els is not None:
+            simplify_stmt(stmt.els, typer)
+    elif isinstance(stmt, ast.While):
+        stmt.cond = simplify_expr(stmt.cond, typer)
+        simplify_stmt(stmt.body, typer)
+    elif isinstance(stmt, ast.DoWhile):
+        stmt.cond = simplify_expr(stmt.cond, typer)
+        simplify_stmt(stmt.body, typer)
+    elif isinstance(stmt, ast.For):
+        if stmt.init is not None:
+            simplify_stmt(stmt.init, typer)
+        if stmt.cond is not None:
+            stmt.cond = simplify_expr(stmt.cond, typer)
+        if stmt.step is not None:
+            stmt.step = simplify_expr(stmt.step, typer)
+        simplify_stmt(stmt.body, typer)
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            stmt.value = simplify_expr(stmt.value, typer)
+
+
+def simplify_program(program: ast.Program) -> ast.Program:
+    from ..minic.sema import Typer
+
+    typer = Typer(program)
+    for fn in program.functions:
+        simplify_stmt(fn.body, typer)
+    return program

@@ -1,0 +1,12 @@
+"""Profiling: execution frequency and value-set profilers."""
+
+from .freq import frequency_report, frequent_segments
+from .valueset import LRU_SIZES, SegmentProfile, ValueSetProfiler
+
+__all__ = [
+    "frequency_report",
+    "frequent_segments",
+    "LRU_SIZES",
+    "SegmentProfile",
+    "ValueSetProfiler",
+]

@@ -1,0 +1,146 @@
+"""Value-set profiling (section 2.1 of the paper).
+
+Single-variable value profiling cannot answer how often a *set* of input
+values repeats ("the locality of a set of values cannot be derived from
+the locality of the member values"), so the profiler records the distinct
+tuples of input values observed at each instrumented segment entry.
+
+For each segment the profiler tracks:
+
+* ``N`` — executions, ``N_ds`` — distinct input sets; the reuse rate is
+  ``R = 1 - N_ds / N``;
+* a full histogram of input sets (figures 5, 6, 11, 12, 13 of the paper);
+* hit ratios of small LRU buffers (1/4/16/64 entries) fed online with the
+  same key stream — the hardware-buffer comparison of Table 5;
+* inclusive cycles spent inside the segment (between ``__seg_enter`` and
+  ``__seg_exit``), giving the *measured* computation granularity C.
+
+Two modes: ``"freq"`` only counts executions (the cheap first profiling
+pass used to filter infrequent segments); ``"value"`` records everything,
+optionally restricted to an allow-list of surviving segment ids.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..runtime.hashtable import LRUBuffer
+from ..runtime.machine import Machine
+
+LRU_SIZES = (1, 4, 16, 64)
+
+
+@dataclass
+class SegmentProfile:
+    seg_id: int
+    executions: int = 0
+    value_counts: Counter = field(default_factory=Counter)
+    lru: dict[int, LRUBuffer] = field(
+        default_factory=lambda: {size: LRUBuffer(size) for size in LRU_SIZES}
+    )
+    inclusive_cycles: int = 0
+    _enter_stack: list[int] = field(default_factory=list)
+
+    @property
+    def distinct_inputs(self) -> int:
+        return len(self.value_counts)
+
+    @property
+    def reuse_rate(self) -> float:
+        """R = 1 - N_ds / N (0 when never executed)."""
+        if self.executions == 0:
+            return 0.0
+        return 1.0 - self.distinct_inputs / self.executions
+
+    @property
+    def mean_cycles(self) -> float:
+        """Measured granularity: inclusive cycles per execution."""
+        if self.executions == 0:
+            return 0.0
+        return self.inclusive_cycles / self.executions
+
+    def lru_hit_ratio(self, size: int) -> float:
+        return self.lru[size].hit_ratio
+
+    def histogram(self) -> list[tuple[tuple, int]]:
+        """(input set, count) pairs, most frequent first."""
+        return self.value_counts.most_common()
+
+    def key_width(self) -> int:
+        for key in self.value_counts:
+            return len(key)
+        return 0
+
+
+class ValueSetProfiler:
+    """The object installed as ``machine.profiler`` during profiling runs."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        mode: str = "value",
+        allowed: Optional[set[int]] = None,
+        record_lru: bool = True,
+    ) -> None:
+        if mode not in ("freq", "value"):
+            raise ValueError("mode must be 'freq' or 'value'")
+        self.machine = machine
+        self.mode = mode
+        self.allowed = allowed
+        self.record_lru = record_lru
+        self.profiles: dict[int, SegmentProfile] = {}
+
+    def _profile(self, seg_id: int) -> SegmentProfile:
+        profile = self.profiles.get(seg_id)
+        if profile is None:
+            profile = SegmentProfile(seg_id)
+            self.profiles[seg_id] = profile
+        return profile
+
+    def _enabled(self, seg_id: int) -> bool:
+        return self.allowed is None or seg_id in self.allowed
+
+    # -- hooks called by the runtime intrinsics -----------------------------
+
+    def record(self, seg_id: int, key: tuple) -> None:
+        """__profile: one segment execution with its input value set."""
+        if not self._enabled(seg_id):
+            return
+        profile = self._profile(seg_id)
+        profile.executions += 1
+        if self.mode == "value":
+            profile.value_counts[key] += 1
+            if self.record_lru:
+                for buffer in profile.lru.values():
+                    buffer.access(key)
+
+    def count_entry(self, seg_id: int) -> None:
+        """__freq: count-only entry event."""
+        if self._enabled(seg_id):
+            self._profile(seg_id).executions += 1
+
+    def segment_enter(self, seg_id: int) -> None:
+        if not self._enabled(seg_id):
+            return
+        self._profile(seg_id)._enter_stack.append(self.machine.cycles)
+
+    def segment_exit(self, seg_id: int) -> None:
+        if not self._enabled(seg_id):
+            return
+        profile = self._profile(seg_id)
+        if profile._enter_stack:
+            start = profile._enter_stack.pop()
+            # only accumulate for outermost dynamic instances so recursion
+            # does not double-count
+            if not profile._enter_stack:
+                profile.inclusive_cycles += self.machine.cycles - start
+
+    # -- results -----------------------------------------------------------------
+
+    def profile(self, seg_id: int) -> SegmentProfile:
+        return self._profile(seg_id)
+
+    def execution_counts(self) -> dict[int, int]:
+        return {seg: p.executions for seg, p in self.profiles.items()}

@@ -1,0 +1,46 @@
+"""The cost-benefit model: formulas (1)-(4) of the paper.
+
+Given a segment's computation granularity ``C``, hashing overhead ``O``
+(both in cycles) and reuse rate ``R``:
+
+* cost with reuse   (1):  ``(C + O) * (1 - R) + O * R``
+* gain              (2):  ``C - [(C+O)(1-R) + O R]  ==  R*C - O``
+* beneficial        (3):  ``R > O / C``  (equivalently ``R*C - O > 0``)
+* nested preference (4):  reuse the inner segment when
+  ``g_outer - n * g_inner < 0`` (``n`` inner executions per outer one)
+
+Since R <= 1 always, a segment with ``O/C >= 1`` can never benefit — the
+pre-filter that trims the value-profiling workload.
+"""
+
+from __future__ import annotations
+
+
+def cost_with_reuse(granularity: float, overhead: float, reuse_rate: float) -> float:
+    """Formula (1): expected per-execution cost after transformation."""
+    return (granularity + overhead) * (1.0 - reuse_rate) + overhead * reuse_rate
+
+
+def gain(granularity: float, overhead: float, reuse_rate: float) -> float:
+    """Formula (2): expected per-execution gain, R*C - O."""
+    return reuse_rate * granularity - overhead
+
+
+def is_beneficial(granularity: float, overhead: float, reuse_rate: float) -> bool:
+    """Formula (3): should this segment be transformed?"""
+    return gain(granularity, overhead, reuse_rate) > 0.0
+
+
+def passes_prefilter(granularity_lower: float, overhead_upper: float) -> bool:
+    """The O/C < 1 static filter applied before value profiling."""
+    if granularity_lower <= 0.0:
+        return False
+    return overhead_upper / granularity_lower < 1.0
+
+
+def prefer_inner(gain_outer: float, inner_total_gain: float) -> bool:
+    """Formula (4): reuse the inner segment(s) when g1 - n*g2 < 0.
+
+    ``inner_total_gain`` is the sum over sequential inner segments of
+    ``n_i * g_i`` (per one execution of the outer segment)."""
+    return gain_outer - inner_total_gain < 0.0

@@ -1,0 +1,61 @@
+"""Hashing-overhead analysis: the upper bound O for one probe.
+
+"The hashing overhead depends mainly on the complexity of the hash
+function and the size of each set of inputs and outputs. [...] The time
+taken to determine whether we have a hit is proportional to the size of
+the input. [...] the cost of copying is proportional to the size of the
+output.  Note that a hit and a miss have the same number of extra
+operations."
+
+The estimate mirrors exactly what the runtime intrinsics charge, plus the
+cost of evaluating the key arguments and storing the restored outputs, so
+the cost model and the measured execution agree by construction:
+
+    O = HASH_FIXED                       (index computation, entry access)
+      + HASH_WORD * in_words             (key build + compare)
+      + HASH_WORD * out_words            (output copy, either direction)
+      + read cost  * input variables     (feeding the key builder)
+      + write cost * output variables    (restoring outputs on a hit)
+      + BRANCH                           (the hit/miss dispatch)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime import costs
+from ..runtime.costs import CostTable
+from .segments import Segment
+
+
+def hashing_overhead(segment: Segment, cost_table: Optional[CostTable] = None) -> float:
+    cost = cost_table or costs.O0
+    c = cost.cycles
+    in_words = segment.in_words
+    out_words = segment.out_words
+    overhead = (
+        c[costs.HASH_FIXED]
+        + c[costs.HASH_WORD] * in_words
+        + c[costs.HASH_WORD] * out_words
+        + c[costs.BRANCH]
+    )
+    for shape in segment.inputs:
+        overhead += c[costs.MEM_RD] if shape.is_array else c[costs.LOCAL_RD]
+    for shape in segment.outputs:
+        overhead += c[costs.MEM_WR] if shape.is_array else c[costs.LOCAL_WR]
+    if segment.has_retval:
+        overhead += c[costs.LOCAL_WR]
+    return float(overhead)
+
+
+def annotate_costs(
+    segments: list[Segment],
+    granularity,
+    cost_table: Optional[CostTable] = None,
+) -> None:
+    """Fill static_granularity and overhead on every feasible segment."""
+    for segment in segments:
+        if not segment.feasible:
+            continue
+        segment.static_granularity = granularity.region_cycles(segment.region_root)
+        segment.overhead = hashing_overhead(segment, cost_table)

@@ -1,0 +1,118 @@
+"""Profiling instrumentation: inserting and stripping the value-set
+profiling stubs ("profiling code stubs can be inserted to record its
+distinct sets of input values").
+
+For each candidate segment the instrumenter inserts, at region entry::
+
+    __seg_enter(<id>);          // granularity timing (zero cost)
+    __profile(<id>, in1, ...);  // value-set capture (zero cost)
+
+and ``__seg_exit(<id>)`` at every region exit (the region end, and before
+every ``return`` for function-body segments).  All generated names carry
+their resolved symbols, so the program needs no re-analysis — symbol
+identity is preserved across the whole pipeline.
+
+``strip_instrumentation`` removes every stub again, leaving the original
+statements (and the segments' region blocks) intact.
+"""
+
+from __future__ import annotations
+
+from ..minic import astnodes as ast
+from .segments import Segment
+
+_STUB_NAMES = frozenset({"__seg_enter", "__seg_exit", "__profile"})
+
+
+def _call(name: str, args: list[ast.Expr]) -> ast.ExprStmt:
+    return ast.ExprStmt(expr=ast.Call(func=ast.Name(name=name), args=args))
+
+
+def _input_expr(shape, segment: Segment, program: ast.Program) -> ast.Expr:
+    """A Name expression reading one segment input (symbol pre-resolved)."""
+    symbol = shape.symbol
+    if symbol.kind == "global" or symbol.func_name == segment.func_name:
+        return ast.Name(name=symbol.name, symbol=symbol)
+    # a foreign local reachable only through a pointer parameter
+    fn = program.function(segment.func_name)
+    for param in fn.params:
+        if param.symbol is not None and param.symbol.type.is_pointer:
+            return ast.Name(name=param.name, symbol=param.symbol)
+    raise ValueError(f"segment {segment.seg_id}: cannot access input {symbol.name}")
+
+
+def instrument_segment(segment: Segment, program: ast.Program) -> None:
+    seg = ast.IntLit(value=segment.seg_id)
+    inputs = [_input_expr(shape, segment, program) for shape in segment.inputs]
+    enter = _call("__seg_enter", [seg])
+    profile = _call("__profile", [ast.IntLit(value=segment.seg_id)] + inputs)
+    exit_stub = lambda: _call("__seg_exit", [ast.IntLit(value=segment.seg_id)])
+
+    block = segment.region_root
+    if segment.kind == "function":
+        _instrument_returns(block, segment.seg_id)
+        block.stmts = [enter, profile] + block.stmts + [exit_stub()]
+    else:
+        block.stmts = [enter, profile] + block.stmts + [exit_stub()]
+
+
+def _instrument_returns(block: ast.Block, seg_id: int) -> None:
+    """Insert __seg_exit before every return nested in the block."""
+
+    def rewrite(stmts: list[ast.Stmt]) -> list[ast.Stmt]:
+        result: list[ast.Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, ast.Return):
+                result.append(_call("__seg_exit", [ast.IntLit(value=seg_id)]))
+                result.append(stmt)
+                continue
+            _descend(stmt)
+            result.append(stmt)
+        return result
+
+    def _descend(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            stmt.stmts = rewrite(stmt.stmts)
+        elif isinstance(stmt, ast.If):
+            stmt.then.stmts = rewrite(stmt.then.stmts)
+            if stmt.els is not None:
+                stmt.els.stmts = rewrite(stmt.els.stmts)
+        elif isinstance(stmt, (ast.While, ast.DoWhile)):
+            stmt.body.stmts = rewrite(stmt.body.stmts)
+        elif isinstance(stmt, ast.For):
+            stmt.body.stmts = rewrite(stmt.body.stmts)
+
+    block.stmts = rewrite(block.stmts)
+
+
+def instrument_program(segments: list[Segment], program: ast.Program) -> None:
+    """Instrument every given segment (call once; not idempotent)."""
+    for segment in segments:
+        instrument_segment(segment, program)
+
+
+def _is_stub(stmt: ast.Stmt) -> bool:
+    return (
+        isinstance(stmt, ast.ExprStmt)
+        and isinstance(stmt.expr, ast.Call)
+        and isinstance(stmt.expr.func, ast.Name)
+        and stmt.expr.func.name in _STUB_NAMES
+    )
+
+
+def strip_instrumentation(program: ast.Program) -> int:
+    """Remove all profiling stubs; returns the number removed."""
+    removed = 0
+    for fn in program.functions:
+        for node in ast.walk(fn.body):
+            if isinstance(node, ast.Block):
+                kept = [s for s in node.stmts if not _is_stub(s)]
+                removed += len(node.stmts) - len(kept)
+                node.stmts = kept
+            elif isinstance(node, ast.If):
+                for branch in (node.then, node.els):
+                    if branch is not None:
+                        kept = [s for s in branch.stmts if not _is_stub(s)]
+                        removed += len(branch.stmts) - len(kept)
+                        branch.stmts = kept
+    return removed

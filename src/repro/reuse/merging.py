@@ -1,0 +1,58 @@
+"""Hash-table merging (section 2.5).
+
+Segments with identical input variables can share one table: the key is
+stored once, and a per-entry bit vector records which member segments'
+outputs are valid for that key.  This is what makes GNU Go's eight
+``accumulate_influence`` segments fit in the iPAQ's memory in the paper.
+
+Identity of input variables means the *same symbols in the same order* —
+the case that arises naturally for sibling segments of one function.
+"""
+
+from __future__ import annotations
+
+from .segments import Segment
+
+
+def merge_groups(selected: list[Segment]) -> dict[str, list[Segment]]:
+    """Assign ``merged_group`` ids to segments with identical inputs.
+
+    Returns {group id: members} for every group of two or more segments.
+    """
+    by_inputs: dict[tuple, list[Segment]] = {}
+    for segment in selected:
+        key = tuple(shape.symbol.uid for shape in segment.inputs)
+        by_inputs.setdefault(key, []).append(segment)
+    groups: dict[str, list[Segment]] = {}
+    for members in by_inputs.values():
+        if len(members) < 2:
+            continue
+        members.sort(key=lambda s: s.seg_id)
+        group_id = f"merged{members[0].seg_id}"
+        for member in members:
+            member.merged_group = group_id
+        groups[group_id] = members
+    return groups
+
+
+def merged_size_bytes(members: list[Segment], capacity: int) -> int:
+    """Size of the merged table for ``members`` at the given capacity."""
+    in_words = members[0].in_words
+    bitvec_words = (len(members) + 31) // 32
+    out_words = sum(m.out_words for m in members)
+    entry_words = in_words + bitvec_words + out_words
+    cap = 1
+    while cap < capacity:
+        cap <<= 1
+    return cap * entry_words * 4
+
+
+def unmerged_size_bytes(members: list[Segment], capacity: int) -> int:
+    """Total size of per-segment tables for the same segments."""
+    total = 0
+    cap = 1
+    while cap < capacity:
+        cap <<= 1
+    for member in members:
+        total += cap * (member.in_words + member.out_words) * 4
+    return total

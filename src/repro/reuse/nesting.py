@@ -1,0 +1,181 @@
+"""The interprocedural nesting graph and segment selection (section 2.3).
+
+When profitable segments nest — loops in loops, loops in routines,
+routine calls inside loops, routines calling routines — the scheme
+transforms at most one segment per nest.  The decision procedure:
+
+1. build a graph with an arc from each profitable outer segment to each
+   profitable segment immediately nested in it (interprocedurally: a
+   segment containing a call reaching function *f* is outer to *f*'s
+   segments);
+2. condense recursion-induced SCCs, keeping only the best-gain member of
+   each non-singleton SCC as a candidate;
+3. traverse the DAG bottom-up computing, for every node, the better of
+   "transform me" (gain ``g(X)`` per execution) versus "transform my
+   inner segments" (``sum n_i * decided(c_i)``, formula (4) generalized
+   to sequential inner segments);
+4. walk top-down selecting nodes that chose themselves and have no
+   selected ancestor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..minic import astnodes as ast
+from ..ir.scc import condense, topological_order
+from .cost_model import prefer_inner
+from .segments import ProgramAnalysis, Segment
+
+
+def _contains_node(region_root: ast.Node, target: ast.Node) -> bool:
+    return any(node is target for node in ast.walk(region_root))
+
+
+def _region_call_names(region_root: ast.Node, analysis: ProgramAnalysis) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(region_root):
+        if isinstance(node, ast.Call):
+            names |= analysis.points_to.call_targets(node)
+    return names
+
+
+@dataclass
+class NestingDecision:
+    """Per-node record of the bottom-up comparison."""
+
+    seg_id: int
+    gain_self: float
+    gain_inner: float  # sum of n_i * decided(c_i)
+    chose_self: bool
+    decided: float
+
+
+class NestingGraph:
+    """Builds the graph over *profitable* segments and runs selection."""
+
+    def __init__(self, segments: list[Segment], analysis: ProgramAnalysis) -> None:
+        self.analysis = analysis
+        self.segments = {s.seg_id: s for s in segments}
+        self.edges: dict[int, set[int]] = {s.seg_id: set() for s in segments}
+        self._build_edges(segments)
+        self._transitive_reduce()
+        self.decisions: dict[int, NestingDecision] = {}
+
+    # -- graph construction ----------------------------------------------------
+
+    def _build_edges(self, segments: list[Segment]) -> None:
+        reachable = {
+            fn.name: self.analysis.callgraph.reachable_from(fn.name)
+            for fn in self.analysis.program.functions
+        }
+        for outer in segments:
+            called = _region_call_names(outer.region_root, self.analysis)
+            called_closure: set[str] = set()
+            for name in called:
+                called_closure |= reachable.get(name, {name})
+            for inner in segments:
+                if inner.seg_id == outer.seg_id:
+                    continue
+                if inner.func_name == outer.func_name and _contains_node(
+                    outer.region_root, inner.control
+                ):
+                    self.edges[outer.seg_id].add(inner.seg_id)
+                elif inner.func_name in called_closure:
+                    self.edges[outer.seg_id].add(inner.seg_id)
+
+    def _transitive_reduce(self) -> None:
+        """Keep only immediate-nesting arcs so inner gains are not
+        double-counted during the bottom-up sum."""
+        # first condense cycles (recursion): reduction happens on the DAG
+        component_of, members, dag = condense(self.edges)
+        reduced: dict[int, set[int]] = {cid: set(succs) for cid, succs in dag.items()}
+        for a in list(reduced):
+            for b in list(reduced[a]):
+                # drop a->b if some other successor c of a reaches b
+                for c in reduced[a]:
+                    if c == b:
+                        continue
+                    if self._reaches(reduced, c, b):
+                        reduced[a].discard(b)
+                        break
+        self._component_of = component_of
+        self._members = members
+        self._dag = reduced
+
+    @staticmethod
+    def _reaches(dag: dict[int, set[int]], src: int, dst: int) -> bool:
+        stack = [src]
+        seen = {src}
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            for succ in dag.get(node, ()):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return False
+
+    # -- selection -------------------------------------------------------------
+
+    def select(self) -> list[Segment]:
+        """Run the bottom-up comparison and return the selected segments."""
+        # SCC condensation: keep the best-gain member of each component.
+        best_member: dict[int, Segment] = {}
+        for cid, member_ids in self._members.items():
+            candidates = [self.segments[sid] for sid in member_ids]
+            best = max(candidates, key=lambda s: s.gain)
+            best_member[cid] = best
+
+        order = topological_order(self._dag)  # parents before children
+        # bottom-up: children first
+        for cid in reversed(order):
+            segment = best_member[cid]
+            inner_total = 0.0
+            for child_cid in self._dag.get(cid, ()):
+                child = best_member[child_cid]
+                child_decision = self.decisions[child.seg_id]
+                n = self._executions_ratio(child, segment)
+                inner_total += n * child_decision.decided
+            chose_self = not prefer_inner(segment.gain, inner_total)
+            self.decisions[segment.seg_id] = NestingDecision(
+                seg_id=segment.seg_id,
+                gain_self=segment.gain,
+                gain_inner=inner_total,
+                chose_self=chose_self,
+                decided=max(segment.gain, inner_total),
+            )
+
+        # top-down: select nodes that chose themselves and are uncovered
+        covered: dict[int, bool] = {}
+        selected: list[Segment] = []
+        parents: dict[int, set[int]] = {cid: set() for cid in self._dag}
+        for cid, succs in self._dag.items():
+            for s in succs:
+                parents[s].add(cid)
+        for cid in order:
+            segment = best_member[cid]
+            is_covered = any(
+                covered[p] or best_member[p].seg_id in self._selected_ids(selected)
+                for p in parents[cid]
+            )
+            covered[cid] = is_covered or (
+                self.decisions[segment.seg_id].chose_self and not is_covered
+            )
+            if not is_covered and self.decisions[segment.seg_id].chose_self:
+                selected.append(segment)
+        for segment in selected:
+            segment.selected = True
+        return selected
+
+    @staticmethod
+    def _selected_ids(selected: list[Segment]) -> set[int]:
+        return {s.seg_id for s in selected}
+
+    def _executions_ratio(self, inner: Segment, outer: Segment) -> float:
+        """n: average inner executions per outer execution."""
+        if outer.executions <= 0:
+            return 1.0
+        return inner.executions / outer.executions

@@ -1,0 +1,424 @@
+"""The end-to-end computation-reuse pipeline (Figure 1 of the paper).
+
+Steps, in order:
+
+1. clean-up pass (split calls out of complex expressions);
+2. whole-program analyses (pointer, mod/ref, CFGs, liveness);
+3. candidate segment identification + input/output analysis;
+4. static cost estimates (granularity lower bound, hashing-overhead upper
+   bound) and the ``O/C < 1`` pre-filter;
+5. *specialization*: function segments that fail the pre-filter but have
+   call-site-invariant arguments get specialized clones, and the analysis
+   round restarts once;
+6. execution-frequency profiling (count-only run) filters infrequent
+   segments;
+7. value-set profiling of the survivors measures N, N_ds, the reuse rate
+   R, and the per-execution granularity C;
+8. the cost-benefit test ``R*C - O > 0`` (formula 3) keeps profitable
+   segments;
+9. the nesting graph picks at most one segment per nest (formula 4);
+10. hash tables of segments with identical inputs are merged;
+11. the transformation rewrites the selected segments and emits table
+    specifications for the runtime.
+
+The pipeline mutates (a cleaned copy of) the input program; the result
+object carries everything the experiment harness and the examples need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..minic import astnodes as ast
+from ..minic.parser import parse_program
+from ..minic.sema import analyze
+from ..ir.cleanup import cleanup
+from ..profiling.valueset import SegmentProfile, ValueSetProfiler
+from ..runtime.compiler import compile_program
+from ..runtime.hashtable import MergedReuseTable, ReuseTable
+from ..runtime.machine import Machine
+from . import cost_model
+from .granularity import GranularityAnalysis
+from .hashing_cost import annotate_costs
+from .instrument import instrument_program, strip_instrumentation
+from .merging import merge_groups
+from .nesting import NestingGraph
+from .segments import ProgramAnalysis, Segment, enumerate_segments
+from .specialize import SpecializationRecord, Specializer
+from .transform import ReuseTransformer, TableSpec
+
+
+@dataclass
+class PipelineConfig:
+    """Tuning knobs for the pipeline (defaults follow the paper)."""
+
+    # frequency filter: minimum dynamic executions for value profiling
+    min_executions: int = 32
+    # cost model evaluated against this table (profiling also runs on it)
+    opt_level: str = "O0"
+    enable_specialization: bool = True
+    enable_merging: bool = True
+    # extension beyond the paper (its §5 future work): consider parts of
+    # bodies that were rejected as a whole (for I/O or escaping breaks)
+    enable_subsegments: bool = False
+    # ablation switches
+    enable_nesting_selection: bool = True
+    enable_cost_filter: bool = True
+    # table sizing: capacity = distinct inputs / load factor (then rounded
+    # up to a power of two); direct addressing wants plenty of slack
+    load_factor: float = 0.25
+    table_capacity_override: Optional[int] = None
+    # optional memory budget for all reuse tables (bytes); lowest
+    # gain-per-byte segments are dropped until the budget holds
+    memory_budget_bytes: Optional[int] = None
+    entry: str = "main"
+
+
+@dataclass
+class PipelineResult:
+    program: ast.Program
+    segments: list[Segment]
+    profiled: list[Segment]
+    profitable: list[Segment]
+    selected: list[Segment]
+    table_specs: list[TableSpec]
+    merged: dict[str, list[Segment]]
+    specializations: list[SpecializationRecord]
+    profiles: dict[int, SegmentProfile]
+    dropped_for_memory: list[Segment] = field(default_factory=list)
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """The Table 4 counters: analyzed / profiled / transformed."""
+        return {
+            "analyzed": len(self.segments),
+            "profiled": len(self.profiled),
+            "transformed": len(self.selected),
+        }
+
+    def segment(self, seg_id: int) -> Segment:
+        for segment in self.segments:
+            if segment.seg_id == seg_id:
+                return segment
+        raise KeyError(seg_id)
+
+    def total_table_bytes(self) -> int:
+        return sum(spec_size_bytes(s, self) for s in self.table_specs)
+
+    def build_tables(
+        self,
+        capacity_override: Optional[int] = None,
+        adaptive: bool = False,
+    ) -> dict[int, object]:
+        """Instantiate the runtime reuse tables described by the specs.
+
+        Returns {segment id: table or merged-table view} ready to install
+        on a machine.  ``capacity_override`` (entries) supports the
+        hash-table-size sweep of figures 14/15.  ``adaptive=True`` builds
+        self-deactivating tables (the runtime extension): each table's
+        break-even hit ratio is its segment's O/C."""
+        tables: dict[int, object] = {}
+        merged_built: dict[str, MergedReuseTable] = {}
+        group_capacity: dict[str, int] = {}
+        for spec in self.table_specs:
+            if spec.merged_group is not None:
+                group_capacity[spec.merged_group] = max(
+                    group_capacity.get(spec.merged_group, 1), spec.capacity
+                )
+        for spec in self.table_specs:
+            capacity = capacity_override or spec.capacity
+            if spec.merged_group is not None:
+                group = merged_built.get(spec.merged_group)
+                if group is None:
+                    members = self.merged[spec.merged_group]
+                    group = MergedReuseTable(
+                        spec.merged_group,
+                        capacity=capacity_override
+                        or group_capacity[spec.merged_group],
+                        in_words=members[0].in_words,
+                        member_out_words={
+                            str(m.seg_id): m.out_words for m in members
+                        },
+                    )
+                    merged_built[spec.merged_group] = group
+                tables[spec.segment_id] = group.view(str(spec.segment_id))
+            elif adaptive:
+                from ..runtime.adaptive import AdaptiveReuseTable
+
+                segment = self.segment(spec.segment_id)
+                c = max(1.0, segment.measured_granularity)
+                tables[spec.segment_id] = AdaptiveReuseTable(
+                    str(spec.segment_id),
+                    capacity=capacity,
+                    in_words=spec.in_words,
+                    out_words=spec.out_words,
+                    break_even=min(1.0, segment.overhead / c),
+                )
+            else:
+                tables[spec.segment_id] = ReuseTable(
+                    str(spec.segment_id),
+                    capacity=capacity,
+                    in_words=spec.in_words,
+                    out_words=spec.out_words,
+                )
+        return tables
+
+
+def spec_size_bytes(spec: TableSpec, result: PipelineResult) -> int:
+    cap = 1
+    while cap < spec.capacity:
+        cap <<= 1
+    if spec.merged_group is not None:
+        members = result.merged[spec.merged_group]
+        bitvec = (len(members) + 31) // 32
+        entry = members[0].in_words + bitvec + sum(m.out_words for m in members)
+        # count the shared table once, attributed to the first member
+        if spec.segment_id != members[0].seg_id:
+            return 0
+        return cap * entry * 4
+    return cap * (spec.in_words + spec.out_words) * 4
+
+
+class ReusePipeline:
+    def __init__(self, source: str, config: Optional[PipelineConfig] = None) -> None:
+        self.source = source
+        self.config = config or PipelineConfig()
+
+    # -- helpers ------------------------------------------------------------
+
+    def _fresh_program(self) -> ast.Program:
+        return analyze(parse_program(self.source))
+
+    def _profiling_run(
+        self,
+        program: ast.Program,
+        inputs: Sequence,
+        mode: str,
+        allowed: Optional[set[int]],
+    ) -> ValueSetProfiler:
+        machine = Machine(self.config.opt_level)
+        machine.set_inputs(list(inputs))
+        profiler = ValueSetProfiler(machine, mode=mode, allowed=allowed)
+        machine.profiler = profiler
+        compiled = compile_program(program, machine)
+        compiled.run(self.config.entry)
+        return profiler
+
+    # -- the pipeline ----------------------------------------------------------
+
+    def run(self, inputs: Sequence = ()) -> PipelineResult:
+        config = self.config
+        program = cleanup(self._fresh_program())
+
+        # Round 1: analysis + optional specialization -----------------------
+        analysis = ProgramAnalysis(program)
+        granularity = GranularityAnalysis(program)
+        segments = enumerate_segments(analysis)
+        annotate_costs(segments, granularity)
+        specializations: list[SpecializationRecord] = []
+        if config.enable_specialization:
+            failing = [
+                s
+                for s in segments
+                if s.feasible
+                and s.kind == "function"
+                and not cost_model.passes_prefilter(s.static_granularity, s.overhead)
+            ]
+            if failing:
+                specializer = Specializer(program, analysis.invariants)
+                for segment in failing:
+                    specializer.specialize_function(segment.func_name)
+                if specializer.records:
+                    specializations = specializer.records
+                    analyze(program)
+                    analysis = ProgramAnalysis(program)
+                    granularity = GranularityAnalysis(program)
+                    segments = enumerate_segments(analysis)
+                    annotate_costs(segments, granularity)
+
+        # Sub-segment extension (the paper's §5 future work) -----------------
+        if config.enable_subsegments:
+            from .subsegments import enumerate_subsegments
+
+            subs = enumerate_subsegments(
+                analysis, segments, next_id=len(segments)
+            )
+            annotate_costs(subs, granularity)
+            segments = segments + subs
+
+        # Pre-filter ------------------------------------------------------------
+        candidates = [s for s in segments if s.feasible]
+        if config.enable_cost_filter:
+            candidates = [
+                s
+                for s in candidates
+                if cost_model.passes_prefilter(s.static_granularity, s.overhead)
+            ]
+
+        # Frequency profiling -----------------------------------------------------
+        instrument_program(candidates, program)
+        freq = self._profiling_run(program, inputs, mode="freq", allowed=None)
+        frequent_ids = {
+            seg_id
+            for seg_id, profile in freq.profiles.items()
+            if profile.executions >= config.min_executions
+        }
+        profiled = [s for s in candidates if s.seg_id in frequent_ids]
+
+        # Value-set profiling -------------------------------------------------------
+        profiler = self._profiling_run(
+            program, inputs, mode="value", allowed=frequent_ids
+        )
+        strip_instrumentation(program)
+        profiles: dict[int, SegmentProfile] = {}
+        for segment in profiled:
+            profile = profiler.profile(segment.seg_id)
+            profiles[segment.seg_id] = profile
+            segment.executions = profile.executions
+            segment.distinct_inputs = profile.distinct_inputs
+            segment.reuse_rate = profile.reuse_rate
+            segment.measured_granularity = profile.mean_cycles
+            # "we can count the hash collision rate for each value set and
+            # deduct the reuse rate accordingly" (§2.1): estimate the hit
+            # rate the planned table can actually deliver
+            adjusted = _collision_adjusted_rate(
+                profile, _capacity_for(segment, config)
+            )
+            segment.gain = cost_model.gain(
+                segment.measured_granularity, segment.overhead, adjusted
+            )
+
+        # Cost-benefit test (formula 3) -----------------------------------------------
+        if config.enable_cost_filter:
+            profitable = [s for s in profiled if s.gain > 0.0]
+        else:
+            profitable = [s for s in profiled if s.executions > 0]
+
+        # Nesting selection (formulas in section 2.3) -----------------------------------
+        if config.enable_nesting_selection and profitable:
+            graph = NestingGraph(profitable, analysis)
+            selected = graph.select()
+        else:
+            selected = list(profitable)
+            for segment in selected:
+                segment.selected = True
+
+        # Merging --------------------------------------------------------------------------
+        merged: dict[str, list[Segment]] = {}
+        if config.enable_merging:
+            merged = merge_groups(selected)
+
+        # Memory budget: drop lowest-value segments before transforming so
+        # the emitted program never probes a table we refused to build
+        # (the paper's unmerged GNU Go tables "run out of memory").
+        dropped: list[Segment] = []
+        if config.memory_budget_bytes is not None:
+            dropped = _enforce_budget(
+                selected, merged, config, config.memory_budget_bytes
+            )
+
+        # Transformation ----------------------------------------------------------------------
+        transformer = ReuseTransformer(program, analysis)
+        specs: list[TableSpec] = []
+        for segment in selected:
+            spec = transformer.transform_segment(segment)
+            spec.capacity = _capacity_for(segment, config)
+            specs.append(spec)
+
+        return PipelineResult(
+            program=program,
+            segments=segments,
+            profiled=profiled,
+            profitable=profitable,
+            selected=selected,
+            table_specs=specs,
+            merged=merged,
+            specializations=specializations,
+            profiles=profiles,
+            dropped_for_memory=dropped,
+        )
+
+
+def _collision_adjusted_rate(profile: SegmentProfile, capacity: int) -> float:
+    """The reuse rate deliverable by a direct-addressed, replace-on-
+    collision table of the given capacity.
+
+    Keys that share an entry fight for it; under replacement, at best the
+    dominant key of each entry keeps its record, so the deliverable hits
+    are at most sum(dominant_count - 1) over occupied entries.  With no
+    collisions this equals N - N_ds, i.e. the raw reuse rate.
+    """
+    if profile.executions == 0:
+        return 0.0
+    from ..runtime.jenkins import hash_key_words
+
+    mask = _pow2(max(1, capacity)) - 1
+    dominant: dict[int, int] = {}
+    for key, count in profile.value_counts.items():
+        entry = hash_key_words(key) & mask
+        if count > dominant.get(entry, 0):
+            dominant[entry] = count
+    hits = sum(count - 1 for count in dominant.values())
+    return max(0.0, hits / profile.executions)
+
+
+def _capacity_for(segment: Segment, config: PipelineConfig) -> int:
+    if config.table_capacity_override is not None:
+        return config.table_capacity_override
+    return max(1, int(segment.distinct_inputs / config.load_factor))
+
+
+def _pow2(n: int) -> int:
+    cap = 1
+    while cap < n:
+        cap <<= 1
+    return cap
+
+
+def _table_bytes(selected: list[Segment], merged: dict, config: PipelineConfig) -> int:
+    total = 0
+    counted_groups: set[str] = set()
+    for segment in selected:
+        cap = _pow2(_capacity_for(segment, config))
+        if segment.merged_group is not None and segment.merged_group in merged:
+            if segment.merged_group in counted_groups:
+                continue
+            counted_groups.add(segment.merged_group)
+            members = [m for m in merged[segment.merged_group] if m in selected]
+            if not members:
+                continue
+            bitvec = (len(members) + 31) // 32
+            entry = members[0].in_words + bitvec + sum(m.out_words for m in members)
+            cap = max(_pow2(_capacity_for(m, config)) for m in members)
+            total += cap * entry * 4
+        else:
+            total += cap * (segment.in_words + segment.out_words) * 4
+    return total
+
+
+def _enforce_budget(
+    selected: list[Segment],
+    merged: dict[str, list[Segment]],
+    config: PipelineConfig,
+    budget: int,
+) -> list[Segment]:
+    """Drop lowest-total-gain segments (in place) until the tables fit."""
+    dropped: list[Segment] = []
+    while selected and _table_bytes(selected, merged, config) > budget:
+        worst = min(
+            selected, key=lambda s: s.gain * max(1, s.executions)
+        )
+        selected.remove(worst)
+        worst.selected = False
+        dropped.append(worst)
+        if worst.merged_group is not None and worst.merged_group in merged:
+            group_id = worst.merged_group
+            group = merged[group_id]
+            group.remove(worst)
+            worst.merged_group = None
+            if len(group) == 1:
+                # a single survivor no longer needs a merged table
+                group[0].merged_group = None
+                del merged[group_id]
+    return dropped

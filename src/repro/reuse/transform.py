@@ -1,0 +1,300 @@
+"""Code generation for computation reuse (Figure 2(b) of the paper).
+
+For a selected loop-body or IF-branch segment, the region block becomes::
+
+    if (__reuse_probe(<id>, in1, ...) == 0) {
+        <original statements>
+        __reuse_commit(<id>, out1, ..., outM);
+    }
+    else {
+        out1 = __reuse_out_i(<id>, 0);
+        ...
+        __reuse_end(<id>);
+    }
+
+For a function-body segment the probe guards the whole body and every
+``return e`` on the miss path becomes::
+
+    { int __rv_k = e; __reuse_commit(<id>, outs..., __rv_k); return __rv_k; }
+
+so the return value is memoized alongside the other outputs — exactly how
+the paper's transformed ``quan`` records ``i`` before returning it.
+
+All generated names carry resolved symbols, so the transformed program is
+immediately executable; it also pretty-prints to valid mini-C that
+re-parses (the source-to-source property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import TransformError
+from ..minic import astnodes as ast
+from ..minic.types import FLOAT, INT, VOID
+from .segments import ProgramAnalysis, Segment
+
+
+@dataclass
+class TableSpec:
+    """Everything the runner needs to build one segment's reuse table."""
+
+    segment_id: int
+    capacity: int
+    in_words: int
+    out_words: int
+    merged_group: Optional[str] = None
+    # for merged groups: (segment id -> out words) of all members
+    group_members: dict = field(default_factory=dict)
+
+
+def _always_returns(stmt: ast.Stmt) -> bool:
+    """Conservative: does control definitely not fall past this statement?"""
+    if isinstance(stmt, ast.Return):
+        return True
+    if isinstance(stmt, ast.Block):
+        return bool(stmt.stmts) and _always_returns(stmt.stmts[-1])
+    if isinstance(stmt, ast.If):
+        return (
+            stmt.els is not None
+            and _always_returns(stmt.then)
+            and _always_returns(stmt.els)
+        )
+    return False
+
+
+def _seg(segment: Segment) -> ast.IntLit:
+    return ast.IntLit(value=segment.seg_id)
+
+
+def _name(symbol: ast.Symbol) -> ast.Name:
+    return ast.Name(name=symbol.name, symbol=symbol)
+
+
+def _call(name: str, args: list[ast.Expr]) -> ast.Call:
+    return ast.Call(func=ast.Name(name=name), args=args)
+
+
+def _call_stmt(name: str, args: list[ast.Expr]) -> ast.ExprStmt:
+    return ast.ExprStmt(expr=_call(name, args))
+
+
+class ReuseTransformer:
+    def __init__(self, program: ast.Program, analysis: ProgramAnalysis) -> None:
+        self.program = program
+        self.analysis = analysis
+        self._rv_counter = 0
+
+    # -- public ------------------------------------------------------------
+
+    def transform(self, segments: list[Segment]) -> list[TableSpec]:
+        specs = []
+        for segment in segments:
+            specs.append(self.transform_segment(segment))
+        return specs
+
+    def transform_segment(self, segment: Segment) -> TableSpec:
+        if not segment.feasible:
+            raise TransformError(f"segment {segment.seg_id} is not feasible")
+        if segment.kind == "function":
+            self._transform_function(segment)
+        else:
+            self._transform_region(segment)
+        capacity = max(1, segment.distinct_inputs)
+        return TableSpec(
+            segment_id=segment.seg_id,
+            capacity=capacity,
+            in_words=segment.in_words,
+            out_words=segment.out_words,
+            merged_group=segment.merged_group,
+        )
+
+    # -- access expressions -----------------------------------------------------
+
+    def _access(self, segment: Segment, symbol: ast.Symbol) -> ast.Expr:
+        """An expression denoting ``symbol`` at the segment boundary."""
+        if symbol.kind == "global" or symbol.func_name == segment.func_name:
+            return _name(symbol)
+        # foreign local: reach it through a pointer parameter that aliases it
+        fn = self.program.function(segment.func_name)
+        for param in fn.params:
+            if param.symbol is None or not param.symbol.type.is_pointer:
+                continue
+            if symbol in self.analysis.points_to.pointees(param.symbol):
+                return _name(param.symbol)
+        raise TransformError(
+            f"segment {segment.seg_id}: no access path to {symbol.name!r}"
+        )
+
+    def _input_exprs(self, segment: Segment) -> list[ast.Expr]:
+        return [self._access(segment, s.symbol) for s in segment.inputs]
+
+    def _output_restore_stmts(self, segment: Segment) -> list[ast.Stmt]:
+        stmts: list[ast.Stmt] = []
+        for position, shape in enumerate(segment.outputs):
+            target = self._access(segment, shape.symbol)
+            if shape.is_array:
+                stmts.append(
+                    _call_stmt(
+                        "__reuse_out_arr", [_seg(segment), ast.IntLit(value=position), target]
+                    )
+                )
+            else:
+                reader = "__reuse_out_f" if shape.is_float else "__reuse_out_i"
+                read = _call(reader, [_seg(segment), ast.IntLit(value=position)])
+                stmts.append(
+                    ast.ExprStmt(expr=ast.Assign(op="=", target=target, value=read))
+                )
+        return stmts
+
+    def _commit_args(self, segment: Segment, retval: Optional[ast.Expr]) -> list[ast.Expr]:
+        args: list[ast.Expr] = [_seg(segment)]
+        for shape in segment.outputs:
+            args.append(self._access(segment, shape.symbol))
+        if retval is not None:
+            args.append(retval)
+        return args
+
+    # -- loop-body / if-branch segments --------------------------------------------
+
+    def _transform_region(self, segment: Segment) -> None:
+        block = segment.region_root
+        probe = _call("__reuse_probe", [_seg(segment)] + self._input_exprs(segment))
+        miss = ast.Block(
+            stmts=list(block.stmts)
+            + [_call_stmt("__reuse_commit", self._commit_args(segment, None))]
+        )
+        hit = ast.Block(
+            stmts=self._output_restore_stmts(segment)
+            + [_call_stmt("__reuse_end", [_seg(segment)])]
+        )
+        guard = ast.If(
+            cond=ast.Binary(op="==", lhs=probe, rhs=ast.IntLit(value=0)),
+            then=miss,
+            els=hit,
+        )
+        block.stmts = [guard]
+
+    # -- function-body segments -------------------------------------------------------
+
+    def _transform_function(self, segment: Segment) -> None:
+        fn = self.program.function(segment.func_name)
+        block = segment.region_root
+        probe = _call("__reuse_probe", [_seg(segment)] + self._input_exprs(segment))
+
+        # hit path
+        hit_stmts = self._output_restore_stmts(segment)
+        if segment.has_retval:
+            rv_symbol = self._fresh_local(fn, float_type=segment.retval_is_float)
+            reader = "__reuse_out_f" if segment.retval_is_float else "__reuse_out_i"
+            read = _call(reader, [_seg(segment), ast.IntLit(value=len(segment.outputs))])
+            hit_stmts.append(
+                ast.DeclStmt(
+                    decls=[
+                        ast.VarDecl(
+                            name=rv_symbol.name,
+                            type=rv_symbol.type,
+                            init=read,
+                            symbol=rv_symbol,
+                        )
+                    ]
+                )
+            )
+            hit_stmts.append(_call_stmt("__reuse_end", [_seg(segment)]))
+            hit_stmts.append(ast.Return(value=_name(rv_symbol)))
+        else:
+            hit_stmts.append(_call_stmt("__reuse_end", [_seg(segment)]))
+            hit_stmts.append(ast.Return(value=None))
+
+        # miss path: rewrite returns to commit first
+        self._rewrite_returns(block, segment, fn)
+        # fall-through commit (reachable only when control drops off the end)
+        if segment.has_retval:
+            rv_symbol = self._fresh_local(fn, float_type=segment.retval_is_float)
+            tail: list[ast.Stmt] = [
+                ast.DeclStmt(
+                    decls=[
+                        ast.VarDecl(
+                            name=rv_symbol.name,
+                            type=rv_symbol.type,
+                            init=ast.IntLit(value=0),
+                            symbol=rv_symbol,
+                        )
+                    ]
+                ),
+                _call_stmt("__reuse_commit", self._commit_args(segment, _name(rv_symbol))),
+                ast.Return(value=_name(rv_symbol)),
+            ]
+        else:
+            tail = [
+                _call_stmt("__reuse_commit", self._commit_args(segment, None)),
+            ]
+        guard = ast.If(cond=probe, then=ast.Block(stmts=hit_stmts), els=None)
+        # only append the tail when the body may actually fall through;
+        # a body ending in a (possibly nested) return makes it unreachable
+        if block.stmts and _always_returns(block.stmts[-1]):
+            tail = []
+        block.stmts = [guard] + block.stmts + tail
+
+    def _rewrite_returns(self, block: ast.Block, segment: Segment, fn: ast.Function) -> None:
+        def rewrite(stmts: list[ast.Stmt]) -> list[ast.Stmt]:
+            result: list[ast.Stmt] = []
+            for stmt in stmts:
+                if isinstance(stmt, ast.Return):
+                    result.append(self._commit_return(stmt, segment, fn))
+                    continue
+                descend(stmt)
+                result.append(stmt)
+            return result
+
+        def descend(stmt: ast.Stmt) -> None:
+            if isinstance(stmt, ast.Block):
+                stmt.stmts = rewrite(stmt.stmts)
+            elif isinstance(stmt, ast.If):
+                stmt.then.stmts = rewrite(stmt.then.stmts)
+                if stmt.els is not None:
+                    stmt.els.stmts = rewrite(stmt.els.stmts)
+            elif isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
+                stmt.body.stmts = rewrite(stmt.body.stmts)
+
+        block.stmts = rewrite(block.stmts)
+
+    def _commit_return(self, stmt: ast.Return, segment: Segment, fn: ast.Function) -> ast.Stmt:
+        if stmt.value is None:
+            return ast.Block(
+                stmts=[
+                    _call_stmt("__reuse_commit", self._commit_args(segment, None)),
+                    ast.Return(value=None),
+                ]
+            )
+        rv_symbol = self._fresh_local(fn, float_type=segment.retval_is_float)
+        return ast.Block(
+            stmts=[
+                ast.DeclStmt(
+                    decls=[
+                        ast.VarDecl(
+                            name=rv_symbol.name,
+                            type=rv_symbol.type,
+                            init=stmt.value,
+                            symbol=rv_symbol,
+                        )
+                    ]
+                ),
+                _call_stmt("__reuse_commit", self._commit_args(segment, _name(rv_symbol))),
+                ast.Return(value=_name(rv_symbol)),
+            ]
+        )
+
+    def _fresh_local(self, fn: ast.Function, float_type: bool) -> ast.Symbol:
+        name = f"__rv{self._rv_counter}"
+        self._rv_counter += 1
+        symbol = ast.Symbol(
+            name=name,
+            type=FLOAT if float_type else INT,
+            kind="local",
+            slot=fn.frame_size,
+            func_name=fn.name,
+        )
+        fn.frame_size += 1
+        return symbol

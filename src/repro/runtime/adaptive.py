@@ -1,0 +1,102 @@
+"""Adaptive reuse tables: runtime deactivation of unprofitable probing.
+
+A second extension beyond the paper.  The scheme's Achilles heel is an
+input whose value locality differs from the profiled run: the transformed
+program then pays probe+commit overhead on (almost) every execution and
+can run *slower* than the original.  The related hardware work (Connors &
+Hwu's compiler-directed reuse) solves this with dynamic activation; we do
+the software equivalent:
+
+the table monitors its hit ratio over windows of probes, and when the
+ratio stays below the break-even threshold ``O/C`` (computed by the
+compiler and baked into the table), probing switches off — a probe then
+costs a single flag test.  Periodic re-activation windows let the table
+recover if the input's locality returns.
+
+Wrapped around :class:`~repro.runtime.hashtable.ReuseTable`, preserving
+its probe/output/finish/commit interface, so the generated code and the
+interpreter are unchanged; only the cost accounting of a disabled probe
+differs (handled by the interpreter checking :attr:`bypassed`).
+"""
+
+from __future__ import annotations
+
+from .hashtable import ReuseTable
+
+
+class AdaptiveReuseTable(ReuseTable):
+    """A reuse table that disables itself when hits cannot pay for probes.
+
+    Args:
+        break_even: minimum acceptable hit ratio (the segment's O/C).
+        window: probes per monitoring window.
+        retry_every: while disabled, re-enable probing after this many
+            bypassed executions to re-sample the input's locality.
+    """
+
+    def __init__(
+        self,
+        segment_id: str,
+        capacity: int,
+        in_words: int,
+        out_words: int,
+        break_even: float = 0.1,
+        window: int = 256,
+        retry_every: int = 4096,
+    ) -> None:
+        super().__init__(segment_id, capacity, in_words, out_words)
+        if not 0.0 <= break_even <= 1.0:
+            raise ValueError("break_even must be in [0, 1]")
+        self.break_even = break_even
+        self.window = window
+        self.retry_every = retry_every
+        self.active = True
+        self.deactivations = 0
+        self.bypassed_probes = 0
+        self._window_probes = 0
+        self._window_hits = 0
+        self._bypass_count = 0
+
+    # -- runtime interface -------------------------------------------------
+
+    @property
+    def bypassed(self) -> bool:
+        """True when the upcoming probe should be skipped.
+
+        The interpreter consults this before doing any key-building work;
+        a bypassed execution charges only a flag test.  Bookkeeping for
+        periodic retry happens here."""
+        if self.active:
+            return False
+        self._bypass_count += 1
+        self.bypassed_probes += 1
+        if self._bypass_count >= self.retry_every:
+            self._reactivate()
+            return False
+        return True
+
+    def probe(self, key: tuple) -> bool:
+        hit = super().probe(key)
+        self._window_probes += 1
+        if hit:
+            self._window_hits += 1
+        if self._window_probes >= self.window:
+            self._end_window()
+        return hit
+
+    # -- monitoring ----------------------------------------------------------
+
+    def _end_window(self) -> None:
+        ratio = self._window_hits / self._window_probes
+        if ratio < self.break_even:
+            self.active = False
+            self.deactivations += 1
+            self._bypass_count = 0
+        self._window_probes = 0
+        self._window_hits = 0
+
+    def _reactivate(self) -> None:
+        self.active = True
+        self._bypass_count = 0
+        self._window_probes = 0
+        self._window_hits = 0

@@ -1,0 +1,320 @@
+"""Reuse hash tables: the runtime data structure of the paper's scheme.
+
+Two table kinds are provided:
+
+* :class:`ReuseTable` — the software table of section 3.1: direct
+  addressing, index = 32-bit key (Jenkins-compressed when the
+  concatenated input words exceed one word) modulo the table size,
+  replace-on-collision, one (inputs, outputs) record per entry.
+* :class:`MergedReuseTable` — the section 2.5 optimization: several code
+  segments with identical input variables share one table; a bit vector
+  per entry records which segments' outputs are valid for the stored
+  input (Table 2 of the paper).
+
+:class:`LRUBuffer` models the small hardware reuse buffers of the prior
+hardware proposals; it exists to regenerate Table 5 (hit ratios with 1,
+4, 16, 64-entry buffers under LRU replacement).
+
+All tables keep statistics (probes/hits/misses/collisions) that the
+experiment harness reads; *costs* are charged by the interpreter
+intrinsics, not here.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .jenkins import hash_key_words
+from .values import deep_copy_value
+
+_WORD_BYTES = 4
+
+
+# Sentinel on the pending stack for probes skipped by adaptive bypass.
+_BYPASSED = object()
+
+
+def _pow2_at_least(n: int) -> int:
+    size = 1
+    while size < n:
+        size <<= 1
+    return size
+
+
+@dataclass
+class TableStats:
+    probes: int = 0
+    hits: int = 0
+    misses: int = 0
+    collisions: int = 0  # probe landed on an occupied entry with a different key
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.probes if self.probes else 0.0
+
+
+class ReuseTable:
+    """Direct-addressed reuse table for a single code segment.
+
+    Args:
+        segment_id: identifier of the transformed code segment.
+        capacity: number of entries; rounded up to a power of two.
+        in_words: hash-key width in 32-bit words (for size accounting).
+        out_words: output record width in words (for size accounting).
+    """
+
+    def __init__(self, segment_id: str, capacity: int, in_words: int, out_words: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.segment_id = segment_id
+        self.capacity = _pow2_at_least(capacity)
+        self._mask = self.capacity - 1
+        self.in_words = in_words
+        self.out_words = out_words
+        self._keys: list[Optional[tuple]] = [None] * self.capacity
+        self._outputs: list[Optional[tuple]] = [None] * self.capacity
+        self.stats = TableStats()
+        # LIFO of (key, index) for in-flight probes; supports recursive
+        # segment execution (a probe may occur before the enclosing
+        # execution commits).
+        self._pending: list[tuple[tuple, int]] = []
+
+    # -- the runtime interface (called by interpreter intrinsics) ---------
+
+    def probe(self, key: tuple) -> bool:
+        """Look up ``key``; returns True on a hit.  Either way the probe is
+        left pending until :meth:`commit` (miss path) or :meth:`finish`
+        (hit path) is called."""
+        index = hash_key_words(key) & self._mask
+        self.stats.probes += 1
+        stored = self._keys[index]
+        self._pending.append((key, index))
+        if stored == key:
+            self.stats.hits += 1
+            return True
+        if stored is not None:
+            self.stats.collisions += 1
+        self.stats.misses += 1
+        return False
+
+    def output(self, position: int):
+        """Read one output value of the entry hit by the pending probe."""
+        _, index = self._pending[-1]
+        outputs = self._outputs[index]
+        assert outputs is not None, "output() without a hit"
+        return outputs[position]
+
+    def finish(self) -> None:
+        """Close the pending probe on the hit path."""
+        self._pending.pop()
+
+    def push_bypass(self) -> None:
+        """Mark the next commit as a no-op (adaptive deactivation skipped
+        the probe, so there is no pending key to record)."""
+        self._pending.append(_BYPASSED)
+
+    def pending_bypassed(self) -> bool:
+        """Is the innermost in-flight probe a bypassed one?"""
+        return bool(self._pending) and self._pending[-1] is _BYPASSED
+
+    def commit(self, outputs: tuple) -> None:
+        """Record outputs for the pending probe's key (miss path).
+
+        On a collision the previously recorded entry is replaced, exactly
+        as in section 3.1 of the paper.
+        """
+        pending = self._pending.pop()
+        if pending is _BYPASSED:
+            return
+        key, index = pending
+        self._keys[index] = key
+        self._outputs[index] = tuple(deep_copy_value(v) for v in outputs)
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def entry_words(self) -> int:
+        return self.in_words + self.out_words
+
+    @property
+    def size_bytes(self) -> int:
+        return self.capacity * self.entry_words * _WORD_BYTES
+
+    @property
+    def occupied(self) -> int:
+        return sum(1 for k in self._keys if k is not None)
+
+    def clear(self) -> None:
+        self._keys = [None] * self.capacity
+        self._outputs = [None] * self.capacity
+        self._pending.clear()
+        self.stats = TableStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ReuseTable {self.segment_id} cap={self.capacity} "
+            f"hits={self.stats.hits}/{self.stats.probes}>"
+        )
+
+
+class MergedReuseTable:
+    """A reuse table shared by segments with identical input variables.
+
+    Entries store one key, a validity bit vector (bit *i* set when member
+    segment *i*'s outputs are recorded for this key), and one output
+    record per member segment.
+    """
+
+    def __init__(
+        self,
+        table_id: str,
+        capacity: int,
+        in_words: int,
+        member_out_words: dict[str, int],
+    ) -> None:
+        self.table_id = table_id
+        self.capacity = _pow2_at_least(max(1, capacity))
+        self._mask = self.capacity - 1
+        self.in_words = in_words
+        self.members = list(member_out_words)
+        self._member_index = {seg: i for i, seg in enumerate(self.members)}
+        self.member_out_words = dict(member_out_words)
+        self._keys: list[Optional[tuple]] = [None] * self.capacity
+        self._bits: list[int] = [0] * self.capacity
+        self._outputs: list[list] = [[None] * len(self.members) for _ in range(self.capacity)]
+        self.stats_per_member: dict[str, TableStats] = {
+            seg: TableStats() for seg in self.members
+        }
+        self._pending: list[tuple[tuple, int, int]] = []  # (key, index, member)
+
+    def view(self, segment_id: str) -> "MergedTableView":
+        """The per-segment facade the interpreter binds to a segment id."""
+        return MergedTableView(self, self._member_index[segment_id])
+
+    # -- internals used by MergedTableView ----------------------------------
+
+    def _probe(self, member: int, key: tuple) -> bool:
+        index = hash_key_words(key) & self._mask
+        stats = self.stats_per_member[self.members[member]]
+        stats.probes += 1
+        self._pending.append((key, index, member))
+        stored = self._keys[index]
+        if stored == key and self._bits[index] & (1 << member):
+            stats.hits += 1
+            return True
+        if stored is not None and stored != key:
+            stats.collisions += 1
+        stats.misses += 1
+        return False
+
+    def _output(self, position: int):
+        _, index, member = self._pending[-1]
+        outputs = self._outputs[index][member]
+        assert outputs is not None
+        return outputs[position]
+
+    def _finish(self) -> None:
+        self._pending.pop()
+
+    def _commit(self, outputs: tuple) -> None:
+        key, index, member = self._pending.pop()
+        stored = self._keys[index]
+        if stored != key:
+            # Replace the whole entry: other members' outputs belong to the
+            # evicted input and must be invalidated.
+            self._keys[index] = key
+            self._bits[index] = 0
+            self._outputs[index] = [None] * len(self.members)
+        self._bits[index] |= 1 << member
+        self._outputs[index][member] = tuple(deep_copy_value(v) for v in outputs)
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def entry_words(self) -> int:
+        bitvec_words = (len(self.members) + 31) // 32
+        return self.in_words + bitvec_words + sum(self.member_out_words.values())
+
+    @property
+    def size_bytes(self) -> int:
+        return self.capacity * self.entry_words * _WORD_BYTES
+
+    @property
+    def stats(self) -> TableStats:
+        """Aggregated statistics over all member segments."""
+        total = TableStats()
+        for stats in self.stats_per_member.values():
+            total.probes += stats.probes
+            total.hits += stats.hits
+            total.misses += stats.misses
+            total.collisions += stats.collisions
+        return total
+
+
+@dataclass
+class MergedTableView:
+    """Adapter giving a :class:`MergedReuseTable` member the same probe /
+    output / finish / commit interface as a private :class:`ReuseTable`."""
+
+    table: MergedReuseTable
+    member: int
+
+    def probe(self, key: tuple) -> bool:
+        return self.table._probe(self.member, key)
+
+    def output(self, position: int):
+        return self.table._output(position)
+
+    def finish(self) -> None:
+        self.table._finish()
+
+    def commit(self, outputs: tuple) -> None:
+        self.table._commit(outputs)
+
+    @property
+    def stats(self) -> TableStats:
+        return self.table.stats_per_member[self.table.members[self.member]]
+
+    @property
+    def in_words(self) -> int:
+        return self.table.in_words
+
+    @property
+    def size_bytes(self) -> int:
+        return self.table.size_bytes
+
+
+class LRUBuffer:
+    """A small fully-associative buffer with LRU replacement.
+
+    Models the hardware reuse buffers of the prior proposals the paper
+    compares against (Table 5).  Keys map to opaque outputs; we only track
+    hit statistics.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, None] = OrderedDict()
+        self.stats = TableStats()
+
+    def access(self, key: tuple) -> bool:
+        """Record an access; returns True on hit.  A miss inserts the key,
+        evicting the least recently used entry when full."""
+        self.stats.probes += 1
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = None
+        return False
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.stats.hit_ratio

@@ -1,0 +1,47 @@
+"""Bob Jenkins' one-at-a-time hash.
+
+The paper (section 3.1) hashes keys wider than 32 bits down to a 32-bit
+key with "a hash function [11]" — reference [11] is Jenkins' Dr. Dobb's
+article.  We implement the classic one-at-a-time variant over the bytes
+of the key words.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+_U32 = 0xFFFFFFFF
+
+
+def jenkins_one_at_a_time(data: Iterable[int]) -> int:
+    """Hash a byte iterable to an unsigned 32-bit value."""
+    h = 0
+    for byte in data:
+        h = (h + (byte & 0xFF)) & _U32
+        h = (h + ((h << 10) & _U32)) & _U32
+        h ^= h >> 6
+    h = (h + ((h << 3) & _U32)) & _U32
+    h ^= h >> 11
+    h = (h + ((h << 15) & _U32)) & _U32
+    return h
+
+
+def _word_bytes(words: tuple) -> Iterable[int]:
+    for word in words:
+        w = word & _U32
+        yield w & 0xFF
+        yield (w >> 8) & 0xFF
+        yield (w >> 16) & 0xFF
+        yield (w >> 24) & 0xFF
+
+
+def hash_key_words(words: tuple) -> int:
+    """Hash a tuple of 32-bit key words to an unsigned 32-bit value.
+
+    A single-word key is used directly (the paper's simple case: "the
+    hash key is simply the value of the input"); wider keys go through
+    Jenkins' function.
+    """
+    if len(words) == 1:
+        return words[0] & _U32
+    return jenkins_one_at_a_time(_word_bytes(words))

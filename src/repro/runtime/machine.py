@@ -1,0 +1,148 @@
+"""The abstract machine that executes compiled mini-C programs.
+
+A :class:`Machine` bundles everything one execution needs:
+
+* the operation tally (``counters``) and the selected cost table;
+* global variable storage;
+* the program's input stream and output sink (workload data flows
+  through the ``__input_*`` / ``__output_*`` intrinsics; the output
+  checksum is how we assert that a transformed program computes exactly
+  what the original did);
+* installed reuse tables (segment id -> table), the runtime side of the
+  computation-reuse transformation;
+* an optional profiler receiving ``__profile`` / ``__freq`` events.
+
+Machines are cheap; experiments create one per (program variant, cost
+table, input file) combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..errors import InterpError
+from .costs import CLASS_NAMES, N_CLASSES, CostTable, cost_table
+from .values import float_bits, wrap32
+
+
+@dataclass
+class Metrics:
+    """Summary of one program execution on a machine."""
+
+    opt_level: str
+    cycles: int
+    seconds: float
+    energy_joules: float
+    counts: dict[str, int]
+    output_checksum: int
+    output_count: int
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"[{self.opt_level}] {self.cycles} cycles = {self.seconds:.6f}s, "
+            f"{self.energy_joules:.4f}J, outputs={self.output_count} "
+            f"(checksum {self.output_checksum:#010x})"
+        )
+
+
+class Machine:
+    """Execution context for compiled mini-C programs."""
+
+    def __init__(self, opt_level: str = "O0", capture_output: bool = False) -> None:
+        self.cost: CostTable = cost_table(opt_level)
+        self.counters: list[int] = [0] * N_CLASSES
+        self.globals: list = []
+        self.reuse_tables: dict[int, object] = {}
+        self.profiler = None
+        self.capture_output = capture_output
+        self.captured_outputs: list = []
+        self.debug_log: list[int] = []
+        self._inputs: Sequence = ()
+        self._input_pos = 0
+        self._checksum = 0
+        self._output_count = 0
+
+    # -- input stream -------------------------------------------------------
+
+    def set_inputs(self, inputs: Sequence) -> None:
+        """Install the data the program will read via ``__input_*``."""
+        self._inputs = inputs
+        self._input_pos = 0
+
+    def next_input(self):
+        if self._input_pos >= len(self._inputs):
+            raise InterpError("input stream exhausted (program should check __input_avail)")
+        value = self._inputs[self._input_pos]
+        self._input_pos += 1
+        return value
+
+    def input_available(self) -> int:
+        return 1 if self._input_pos < len(self._inputs) else 0
+
+    # -- output sink ----------------------------------------------------------
+
+    def emit(self, value) -> None:
+        if isinstance(value, float):
+            word = float_bits(value)
+        else:
+            word = value & 0xFFFFFFFF
+        self._checksum = (self._checksum * 31 + word) & 0xFFFFFFFF
+        self._output_count += 1
+        if self.capture_output:
+            self.captured_outputs.append(value)
+
+    @property
+    def output_checksum(self) -> int:
+        return self._checksum
+
+    @property
+    def output_count(self) -> int:
+        return self._output_count
+
+    # -- reuse tables -----------------------------------------------------------
+
+    def install_table(self, segment_id: int, table) -> None:
+        self.reuse_tables[segment_id] = table
+
+    def table_for(self, segment_id: int):
+        table = self.reuse_tables.get(segment_id)
+        if table is None:
+            raise InterpError(f"no reuse table installed for segment {segment_id}")
+        return table
+
+    # -- accounting ----------------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        self.counters = [0] * N_CLASSES
+
+    def reset_io(self) -> None:
+        self._input_pos = 0
+        self._checksum = 0
+        self._output_count = 0
+        self.captured_outputs = []
+        self.debug_log = []
+
+    @property
+    def cycles(self) -> int:
+        return self.cost.cycles_for(self.counters)
+
+    @property
+    def seconds(self) -> float:
+        return self.cost.seconds_for(self.counters)
+
+    @property
+    def energy_joules(self) -> float:
+        return self.cost.energy_joules_for(self.counters)
+
+    def metrics(self) -> Metrics:
+        counts = {name: self.counters[i] for i, name in enumerate(CLASS_NAMES)}
+        return Metrics(
+            opt_level=self.cost.name,
+            cycles=self.cycles,
+            seconds=self.seconds,
+            energy_joules=self.energy_joules,
+            counts=counts,
+            output_checksum=self.output_checksum,
+            output_count=self.output_count,
+        )

@@ -1,0 +1,125 @@
+"""Value representation helpers for the mini-C runtime.
+
+The runtime models a 32-bit machine (the paper's StrongARM SA-1110):
+
+* ``int`` is a two's-complement 32-bit integer; arithmetic wraps.
+* ``float`` is a Python float (the SA-1110 has no FPU; *cost* of float
+  operations models software emulation, but values are IEEE doubles).
+* arrays are Python lists (nested lists for multi-dimensional arrays);
+* pointers are ``(backing_list, offset)`` pairs, which supports pointer
+  arithmetic and aliasing through call arguments;
+* address-taken scalars are *boxed*: their frame slot holds a one-element
+  list, and ``&x`` yields ``(box, 0)``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+from ..errors import InterpError
+from ..minic.types import ArrayType, Type
+
+_U32 = 0xFFFFFFFF
+_SIGN = 0x80000000
+_WRAP = 0x100000000
+
+
+def wrap32(value: int) -> int:
+    """Wrap a Python int to signed 32-bit two's complement."""
+    value &= _U32
+    return value - _WRAP if value & _SIGN else value
+
+
+def to_u32(value: int) -> int:
+    """Reinterpret a signed 32-bit value as unsigned."""
+    return value & _U32
+
+
+def c_div(a: int, b: int) -> int:
+    """C99 integer division (truncates toward zero)."""
+    if b == 0:
+        raise InterpError("integer division by zero")
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def c_mod(a: int, b: int) -> int:
+    """C99 integer remainder (sign follows the dividend)."""
+    if b == 0:
+        raise InterpError("integer modulo by zero")
+    return a - c_div(a, b) * b
+
+
+def c_shl(a: int, b: int) -> int:
+    return wrap32(a << (b & 31))
+
+
+def c_shr(a: int, b: int) -> int:
+    """Arithmetic right shift (gcc behaviour for signed int)."""
+    return a >> (b & 31)
+
+
+def float_bits(value: float) -> int:
+    """The IEEE-754 single-precision bit pattern of ``value`` as an
+    unsigned int — used when a float participates in a hash key."""
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def zero_value(t: Type):
+    """The zero-initialized runtime value for a declared type."""
+    if isinstance(t, ArrayType):
+        return [zero_value(t.elem) for _ in range(t.length)]
+    if t.is_pointer:
+        return None  # a null pointer
+    if getattr(t, "name", "") == "float":
+        return 0.0
+    return 0
+
+
+def flatten_value(value) -> Iterable:
+    """Flatten a runtime value (scalar or nested array) to scalar words,
+    in row-major order — the order used to build hash keys."""
+    if isinstance(value, list):
+        for item in value:
+            yield from flatten_value(item)
+    elif isinstance(value, tuple):
+        # A pointer: keys are built from the pointed-to storage, which the
+        # caller resolves; a raw pointer never reaches key construction.
+        raise InterpError("pointer value cannot be flattened into a hash key")
+    else:
+        yield value
+
+
+def key_words(value) -> tuple:
+    """Build the hash-key words for one input value.
+
+    Integers contribute their 32-bit pattern; floats their IEEE-754 single
+    bit pattern; arrays contribute one word per element.
+    """
+    words = []
+    for scalar in flatten_value(value):
+        if isinstance(scalar, float):
+            words.append(float_bits(scalar))
+        else:
+            words.append(to_u32(scalar))
+    return tuple(words)
+
+
+def deep_copy_value(value):
+    """Copy a runtime value; nested arrays are copied recursively so the
+    reuse table never aliases live program storage."""
+    if isinstance(value, list):
+        return [deep_copy_value(item) for item in value]
+    return value
+
+
+def copy_into(dest: list, src: list) -> None:
+    """Copy array contents from ``src`` into existing storage ``dest``."""
+    if len(dest) != len(src):
+        raise InterpError("array copy with mismatched lengths")
+    for i, item in enumerate(src):
+        if isinstance(item, list):
+            copy_into(dest[i], item)
+        else:
+            dest[i] = item

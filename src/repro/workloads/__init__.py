@@ -1,0 +1,13 @@
+"""Benchmark workloads: mini-C programs + synthetic input generators."""
+
+from .base import PaperNumbers, Workload
+from .registry import ALL_WORKLOADS, PRIMARY_WORKLOADS, WORKLOADS, get_workload
+
+__all__ = [
+    "PaperNumbers",
+    "Workload",
+    "ALL_WORKLOADS",
+    "PRIMARY_WORKLOADS",
+    "WORKLOADS",
+    "get_workload",
+]

@@ -1,0 +1,47 @@
+"""Workload definition shared by all benchmark programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class PaperNumbers:
+    """The paper's reported figures for one program (for EXPERIMENTS.md
+    side-by-side reporting; absolute values are not reproduction targets,
+    shapes are)."""
+
+    granularity_us: float = 0.0
+    overhead_us: float = 0.0
+    distinct_inputs: int = 0
+    reuse_rate: float = 0.0
+    table_bytes: int = 0
+    speedup_o0: float = 0.0
+    speedup_o3: float = 0.0
+    energy_saving_o0: float = 0.0
+    energy_saving_o3: float = 0.0
+    speedup_alternate: float = 0.0
+    lru_hits: tuple = ()  # (1, 4, 16, 64)-entry hit ratios
+    analyzed_cs: int = 0
+    profiled_cs: int = 0
+    transformed_cs: int = 0
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark program: mini-C source plus its input streams."""
+
+    name: str
+    source: str
+    default_inputs: Callable[[], list]
+    alternate_inputs: Callable[[], list]
+    alternate_label: str
+    key_function: str  # the function holding the headline segment
+    description: str
+    paper: PaperNumbers = field(default_factory=PaperNumbers)
+    min_executions: int = 32
+    # programs excluded from harmonic means (the quan variants)
+    is_variant: bool = False
+    # optional table-memory budget in bytes (the GNU Go experiment)
+    memory_budget_bytes: Optional[int] = None

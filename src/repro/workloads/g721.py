@@ -1,0 +1,292 @@
+"""G721 voice codec workloads (G721_encode / G721_decode + quan variants).
+
+The reuse-relevant structure follows the Mediabench G.721 code: a
+``quan(val, table, size)`` linear-search quantizer called from the
+difference quantization and (via ``fmult``) from every predictor tap, an
+adaptive 4-tap predictor, and per-sample code emission.  The compiler
+scheme specializes ``quan`` down to the single input ``val`` (power2 is
+invariant, size is the literal 15 at every call site) and memoizes the
+specialized version — the paper's Figure 2/4 story, verbatim.
+
+Variants (used in Tables 6/7):
+
+* ``_s``: the power2 table is replaced by shift operations (Figure 10);
+* ``_b``: the linear search is replaced by a fully unrolled binary search
+  (Figure 9).
+"""
+
+from __future__ import annotations
+
+from .base import PaperNumbers, Workload
+from .inputs import g721_audio, g721_audio_alternate, g721_codes
+
+QUAN_LINEAR = """
+static int quan(int val, int *table, int size)
+{
+    int i;
+    for (i = 0; i < size; i++)
+        if (val < table[i])
+            break;
+    return (i);
+}
+"""
+
+# Figure 10 of the paper: table replaced by shift operations.
+QUAN_SHIFT = """
+static int quan(int val, int *table, int size)
+{
+    int i;
+    int j;
+    j = 1;
+    for (i = 0; i < 15; i++) {
+        if (val < j)
+            break;
+        j = j << 1;
+    }
+    return (i);
+}
+"""
+
+# Figure 9 of the paper: complete unrolling + binary search.
+QUAN_BINARY = """
+static int quan(int val, int *table, int size)
+{
+    int i;
+    if (val < power2[7]) {
+        if (val < power2[3]) {
+            if (val < power2[1])
+                i = (val < power2[0]) ? 0 : 1;
+            else
+                i = (val < power2[2]) ? 2 : 3;
+        }
+        else {
+            if (val < power2[5])
+                i = (val < power2[4]) ? 4 : 5;
+            else
+                i = (val < power2[6]) ? 6 : 7;
+        }
+    }
+    else {
+        if (val < power2[11]) {
+            if (val < power2[9])
+                i = (val < power2[8]) ? 8 : 9;
+            else
+                i = (val < power2[10]) ? 10 : 11;
+        }
+        else {
+            if (val < power2[13])
+                i = (val < power2[12]) ? 12 : 13;
+            else
+                i = (val < power2[14]) ? 14 : 15;
+        }
+    }
+    return (i);
+}
+"""
+
+_COMMON = """
+int power2[15] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384};
+
+int coef[4] = {160, 400, 640, 880};
+int hist[4];
+
+%(quan)s
+
+static int fmult(int an, int srn)
+{
+    int anmag;
+    int anexp;
+    int prod;
+    anmag = (an > 0) ? an : -an;
+    anexp = quan(anmag, power2, 15);
+    /* mantissa normalization, as in the fixed-point G.721 fmult */
+    int mant = anmag;
+    while (mant > 31)
+        mant = mant >> 1;
+    prod = ((anmag + mant) * srn) >> 10;
+    if (anexp > 10)
+        prod = prod >> (anexp - 10);
+    return (an < 0) ? -prod : prod;
+}
+
+static int predict(void)
+{
+    int p = 0;
+    int k;
+    for (k = 0; k < 4; k++)
+        p += fmult(coef[k], hist[k]);
+    return p >> 2;
+}
+
+static void update(int sr)
+{
+    /* the history holds reconstructed signal values (diverse), as the
+       pole section of the G.721 predictor does */
+    int k;
+    for (k = 3; k > 0; k--)
+        hist[k] = hist[k - 1];
+    hist[0] = sr;
+    /* sign-sign coefficient adaptation on a +/-4 lattice: coefficients
+       keep moving every sample (no immediate value repeats at quan) but
+       revisit the same few hundred lattice points (high overall reuse) */
+    for (k = 0; k < 4; k++) {
+        int lo = 64 + k * 240;
+        int hi = lo + 232;
+        if ((sr > 0) == (hist[k] > 0))
+            coef[k] = coef[k] + 8;
+        else
+            coef[k] = coef[k] - 8;
+        /* disjoint per-tap ranges (taps never collide in value) with
+           signal-jittered bounces (revisits are spread out in time) */
+        if (coef[k] > hi)
+            coef[k] = hi - 8 - ((sr & 7) << 3);
+        if (coef[k] < lo)
+            coef[k] = lo + 8 + ((-sr & 7) << 3);
+    }
+}
+"""
+
+ENCODE_MAIN = """
+int main(void)
+{
+    int checksum = 0;
+    while (__input_avail()) {
+        int sample = __input_int();
+        int p = predict();
+        int diff = sample - p;
+        int sign = 0;
+        if (diff < 0) {
+            sign = 8;
+            diff = -diff;
+        }
+        int dq = quan(diff, power2, 15);
+        if (dq > 7)
+            dq = 7;
+        int code = sign | dq;
+        int mag = power2[dq + 4] >> 2;
+        int dqr = sign ? -mag : mag;
+        update(p + dqr);
+        __output_int(code);
+        checksum += code;
+    }
+    __output_int(checksum);
+    return checksum;
+}
+"""
+
+DECODE_MAIN = """
+int main(void)
+{
+    int checksum = 0;
+    while (__input_avail()) {
+        int code = __input_int();
+        int sign = code & 8;
+        int dq = code & 7;
+        int mag = power2[dq + 4] >> 2;
+        int dqr = sign ? -mag : mag;
+        int p = predict();
+        int sample = p + dqr;
+        int level = quan((sample > 0) ? sample : -sample, power2, 15);
+        update(sample);
+        __output_int(sample);
+        checksum += sample + level;
+    }
+    __output_int(checksum);
+    return checksum;
+}
+"""
+
+
+def _source(quan: str, main: str) -> str:
+    return (_COMMON % {"quan": quan}) + main
+
+
+def _make(name, quan, main, default, alternate, alt_label, paper, variant):
+    return Workload(
+        name=name,
+        source=_source(quan, main),
+        default_inputs=default,
+        alternate_inputs=alternate,
+        alternate_label=alt_label,
+        key_function="quan",
+        description="G.721 voice codec; quan linear-search quantizer memoized after specialization",
+        paper=paper,
+        is_variant=variant,
+    )
+
+
+_ENC_PAPER = PaperNumbers(
+    granularity_us=1.28,
+    overhead_us=0.12,
+    distinct_inputs=9155,
+    reuse_rate=0.994,
+    table_bytes=86 * 1024,
+    speedup_o0=1.56,
+    speedup_o3=1.31,
+    energy_saving_o0=0.356,
+    energy_saving_o3=0.224,
+    speedup_alternate=1.35,
+    lru_hits=(0.001, 0.008, 0.031, 0.122),
+    analyzed_cs=81,
+    profiled_cs=4,
+    transformed_cs=2,
+)
+
+_DEC_PAPER = PaperNumbers(
+    granularity_us=1.38,
+    overhead_us=0.15,
+    distinct_inputs=8884,
+    reuse_rate=0.997,
+    table_bytes=86 * 1024,
+    speedup_o0=1.60,
+    speedup_o3=1.34,
+    energy_saving_o0=0.372,
+    energy_saving_o3=0.233,
+    speedup_alternate=1.36,
+    lru_hits=(0.0004, 0.005, 0.023, 0.099),
+    analyzed_cs=84,
+    profiled_cs=7,
+    transformed_cs=2,
+)
+
+
+def _enc_inputs():
+    return g721_audio()
+
+
+def _enc_inputs_alt():
+    return g721_audio_alternate()
+
+
+def _dec_inputs():
+    return g721_codes(g721_audio())
+
+
+def _dec_inputs_alt():
+    return g721_codes(g721_audio_alternate())
+
+
+G721_ENCODE = _make(
+    "G721_encode", QUAN_LINEAR, ENCODE_MAIN, _enc_inputs, _enc_inputs_alt,
+    "MiBench", _ENC_PAPER, False,
+)
+G721_ENCODE_S = _make(
+    "G721_encode_s", QUAN_SHIFT, ENCODE_MAIN, _enc_inputs, _enc_inputs_alt,
+    "MiBench", PaperNumbers(speedup_o0=1.48, speedup_o3=1.21), True,
+)
+G721_ENCODE_B = _make(
+    "G721_encode_b", QUAN_BINARY, ENCODE_MAIN, _enc_inputs, _enc_inputs_alt,
+    "MiBench", PaperNumbers(speedup_o0=1.11, speedup_o3=1.08), True,
+)
+G721_DECODE = _make(
+    "G721_decode", QUAN_LINEAR, DECODE_MAIN, _dec_inputs, _dec_inputs_alt,
+    "MiBench", _DEC_PAPER, False,
+)
+G721_DECODE_S = _make(
+    "G721_decode_s", QUAN_SHIFT, DECODE_MAIN, _dec_inputs, _dec_inputs_alt,
+    "MiBench", PaperNumbers(speedup_o0=1.50, speedup_o3=1.25), True,
+)
+G721_DECODE_B = _make(
+    "G721_decode_b", QUAN_BINARY, DECODE_MAIN, _dec_inputs, _dec_inputs_alt,
+    "MiBench", PaperNumbers(speedup_o0=1.13, speedup_o3=1.10), True,
+)

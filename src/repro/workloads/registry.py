@@ -1,0 +1,46 @@
+"""Registry of all benchmark workloads."""
+
+from __future__ import annotations
+
+from .base import Workload
+from .g721 import (
+    G721_DECODE,
+    G721_DECODE_B,
+    G721_DECODE_S,
+    G721_ENCODE,
+    G721_ENCODE_B,
+    G721_ENCODE_S,
+)
+from .gnugo import GNUGO
+from .mpeg2 import MPEG2_DECODE, MPEG2_ENCODE
+from .rasta import RASTA
+from .unepic import UNEPIC
+
+# Order follows the paper's tables.
+ALL_WORKLOADS: list[Workload] = [
+    G721_ENCODE,
+    G721_ENCODE_S,
+    G721_ENCODE_B,
+    G721_DECODE,
+    G721_DECODE_S,
+    G721_DECODE_B,
+    MPEG2_ENCODE,
+    MPEG2_DECODE,
+    RASTA,
+    UNEPIC,
+    GNUGO,
+]
+
+# The seven primary programs (variants excluded), as in Tables 3/4/5/8/9/10.
+PRIMARY_WORKLOADS: list[Workload] = [w for w in ALL_WORKLOADS if not w.is_variant]
+
+WORKLOADS: dict[str, Workload] = {w.name: w for w in ALL_WORKLOADS}
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None

@@ -1,0 +1,86 @@
+"""Tests for array-shape (I/O width) analysis."""
+
+from repro.minic import frontend
+from repro.analysis.arrays import IOShape, shape_of, total_words
+from repro.analysis.pointer import analyze_pointers
+
+
+def _symbols(src):
+    program = frontend(src)
+    pt = analyze_pointers(program)
+    table = {}
+    for g in program.globals:
+        table[g.decl.name] = g.decl.symbol
+    for fn in program.functions:
+        for p in fn.params:
+            table[f"{fn.name}.{p.name}"] = p.symbol
+    return table, pt
+
+
+def test_scalar_shape():
+    table, pt = _symbols("int f(int x) { return x; }")
+    shape = shape_of(table["f.x"], pt)
+    assert shape == IOShape(table["f.x"], 1, False, False)
+
+
+def test_float_scalar_flagged():
+    table, pt = _symbols("float f(float x) { return x; }")
+    assert shape_of(table["f.x"], pt).is_float
+
+
+def test_array_shape():
+    table, pt = _symbols("int a[6];\nint f(void) { return a[0]; }")
+    shape = shape_of(table["a"], pt)
+    assert shape.words == 6
+    assert shape.is_array
+
+
+def test_2d_array_shape():
+    table, pt = _symbols("float m[4][4];\nfloat f(void) { return m[0][0]; }")
+    shape = shape_of(table["m"], pt)
+    assert shape.words == 16
+    assert shape.is_float
+
+
+def test_pointer_resolves_to_pointee_size():
+    table, pt = _symbols(
+        """
+        int a[10];
+        int f(int *p) { return p[0]; }
+        int main(void) { return f(a); }
+        """
+    )
+    shape = shape_of(table["f.p"], pt)
+    assert shape is not None
+    assert shape.words == 10
+
+
+def test_pointer_with_multiple_pointees_takes_max():
+    table, pt = _symbols(
+        """
+        int a[4];
+        int b[12];
+        int f(int *p) { return p[0]; }
+        int main(void) { return f(a) + f(b); }
+        """
+    )
+    shape = shape_of(table["f.p"], pt)
+    # Steensgaard unifies a and b into one class; the bound is the max
+    assert shape is not None
+    assert shape.words == 12
+
+
+def test_unbound_pointer_rejected():
+    table, pt = _symbols("int f(int *p) { return p[0]; }")
+    assert shape_of(table["f.p"], pt) is None
+
+
+def test_pointer_without_points_to_rejected():
+    table, _ = _symbols("int a[4];\nint f(int *p) { return p[0]; }\nint main(void) { return f(a); }")
+    assert shape_of(table["f.p"], None) is None
+
+
+def test_total_words():
+    table, pt = _symbols("int a[3];\nint f(int x) { return a[x]; }")
+    shapes = [shape_of(table["a"], pt), shape_of(table["f.x"], pt)]
+    assert total_words(shapes) == 4

@@ -1,0 +1,199 @@
+"""Tests for the unification-based pointer analysis."""
+
+from repro.minic import frontend
+from repro.analysis.pointer import analyze_pointers
+
+
+def syms(prog):
+    table = {}
+    for g in prog.globals:
+        table[g.decl.name] = g.decl.symbol
+    for fn in prog.functions:
+        for p in fn.params:
+            table[f"{fn.name}.{p.name}"] = p.symbol
+        for node in _decls(fn.body):
+            table[f"{fn.name}.{node.name}"] = node.symbol
+    return table
+
+
+def _decls(block):
+    from repro.minic import astnodes as ast
+
+    for node in ast.walk(block):
+        if isinstance(node, ast.VarDecl):
+            yield node
+
+
+def names(symbols):
+    return {s.name for s in symbols}
+
+
+def test_pointer_to_local_array():
+    prog = frontend(
+        """
+        int f(void) {
+            int a[4];
+            int *p = a;
+            return p[0];
+        }
+        """
+    )
+    pt = analyze_pointers(prog)
+    s = syms(prog)
+    assert "a" in names(pt.pointees(s["f.p"]))
+
+
+def test_address_of_element():
+    prog = frontend(
+        """
+        int g[8];
+        int f(void) {
+            int *p = &g[3];
+            return *p;
+        }
+        """
+    )
+    pt = analyze_pointers(prog)
+    s = syms(prog)
+    assert "g" in names(pt.pointees(s["f.p"]))
+
+
+def test_param_aliases_caller_array():
+    prog = frontend(
+        """
+        int power2[15];
+        int quan(int val, int *table) { return table[0]; }
+        int main(void) { return quan(1, power2); }
+        """
+    )
+    pt = analyze_pointers(prog)
+    s = syms(prog)
+    assert "power2" in names(pt.pointees(s["quan.table"]))
+
+
+def test_two_pointers_may_alias_through_assignment():
+    prog = frontend(
+        """
+        int f(void) {
+            int a[4];
+            int *p = a;
+            int *q = p;
+            return *q;
+        }
+        """
+    )
+    pt = analyze_pointers(prog)
+    s = syms(prog)
+    assert pt.may_alias(s["f.p"], s["f.q"])
+    assert "a" in names(pt.pointees(s["f.q"]))
+
+
+def test_distinct_pointers_do_not_alias():
+    prog = frontend(
+        """
+        int f(void) {
+            int a[4];
+            int b[4];
+            int *p = a;
+            int *q = b;
+            return *p + *q;
+        }
+        """
+    )
+    pt = analyze_pointers(prog)
+    s = syms(prog)
+    assert not pt.may_alias(s["f.p"], s["f.q"])
+
+
+def test_pointer_arith_preserves_target():
+    prog = frontend(
+        """
+        int f(void) {
+            int a[4];
+            int *p = a + 2;
+            return *p;
+        }
+        """
+    )
+    pt = analyze_pointers(prog)
+    s = syms(prog)
+    assert "a" in names(pt.pointees(s["f.p"]))
+
+
+def test_address_of_scalar():
+    prog = frontend(
+        """
+        void g(int *p) { *p = 1; }
+        int f(void) {
+            int x = 0;
+            g(&x);
+            return x;
+        }
+        """
+    )
+    pt = analyze_pointers(prog)
+    s = syms(prog)
+    assert "x" in names(pt.pointees(s["g.p"]))
+
+
+def test_function_pointer_resolution():
+    prog = frontend(
+        """
+        int dbl(int x) { return 2 * x; }
+        int tpl(int x) { return 3 * x; }
+        int apply(int f(int), int v) { return f(v); }
+        int main(void) { return apply(dbl, 1) + apply(tpl, 2); }
+        """
+    )
+    pt = analyze_pointers(prog)
+    s = syms(prog)
+    assert pt.called_functions(s["apply.f"]) == {"dbl", "tpl"}
+
+
+def test_call_targets_direct_and_indirect():
+    prog = frontend(
+        """
+        int one(void) { return 1; }
+        int pick(int f(void)) { return f(); }
+        int main(void) { return pick(one); }
+        """
+    )
+    pt = analyze_pointers(prog)
+    from repro.minic import astnodes as ast
+
+    pick = prog.function("pick")
+    call = next(n for n in ast.walk(pick.body) if isinstance(n, ast.Call))
+    assert pt.call_targets(call) == {"one"}
+
+
+def test_returned_pointer_flows():
+    prog = frontend(
+        """
+        int buf[16];
+        int *get(void) { return buf; }
+        int f(void) {
+            int *p = get();
+            return *p;
+        }
+        """
+    )
+    pt = analyze_pointers(prog)
+    s = syms(prog)
+    assert "buf" in names(pt.pointees(s["f.p"]))
+
+
+def test_deref_targets_of_expression():
+    prog = frontend(
+        """
+        int a[4];
+        int f(int i) { return a[i]; }
+        """
+    )
+    pt = analyze_pointers(prog)
+    from repro.minic import astnodes as ast
+
+    fn = prog.function("f")
+    ret = fn.body.stmts[0]
+    index = ret.value
+    targets = pt.deref_targets(index.base)
+    assert "a" in names(targets)

@@ -1,0 +1,134 @@
+"""Unit tests for symbol-level use/def extraction."""
+
+from repro.minic import astnodes as ast
+from repro.minic import frontend
+from repro.analysis.modref import analyze_modref
+from repro.analysis.pointer import analyze_pointers
+from repro.analysis.usedef import UseDefExtractor
+
+
+def setup(src):
+    program = frontend(src)
+    pt = analyze_pointers(program)
+    modref = analyze_modref(program, pt)
+    globals_ = {g.decl.symbol for g in program.globals}
+    extractor = UseDefExtractor(pt, modref=modref, global_symbols=globals_)
+    return program, extractor
+
+
+def names(symbols):
+    return {s.name for s in symbols}
+
+
+def stmt_of(program, fn_name, index):
+    return program.function(fn_name).body.stmts[index]
+
+
+def test_simple_assignment():
+    program, ex = setup("void f(int a, int b) { int c; c = a + b; }")
+    ud = ex.of_stmt(stmt_of(program, "f", 1))
+    assert names(ud.uses) == {"a", "b"}
+    assert names(ud.defs) == {"c"}
+    assert not ud.weak_defs
+
+
+def test_compound_assignment_reads_target():
+    program, ex = setup("void f(int a) { int c = 0; c += a; }")
+    ud = ex.of_stmt(stmt_of(program, "f", 1))
+    assert "c" in names(ud.uses)
+    assert "c" in names(ud.defs)
+
+
+def test_declaration_with_init():
+    program, ex = setup("void f(int a) { int c = a * 2; }")
+    ud = ex.of_stmt(stmt_of(program, "f", 0))
+    assert names(ud.uses) == {"a"}
+    assert names(ud.defs) == {"c"}
+
+
+def test_array_element_store_is_weak():
+    program, ex = setup("void f(int i) { int a[4]; a[i] = 1; }")
+    ud = ex.of_stmt(stmt_of(program, "f", 1))
+    assert "a" in names(ud.weak_defs)
+    assert "a" not in names(ud.defs)
+    assert "i" in names(ud.uses)
+
+
+def test_array_element_read_uses_array():
+    program, ex = setup("int g[4];\nint f(int i) { return g[i]; }")
+    ud = ex.of_stmt(stmt_of(program, "f", 0))
+    assert {"g", "i"} <= names(ud.uses)
+
+
+def test_pointer_store_weak_defs_pointees():
+    program, ex = setup(
+        """
+        int buf[4];
+        void f(int *p) { *p = 9; }
+        int main(void) { f(buf); return buf[0]; }
+        """
+    )
+    ud = ex.of_stmt(stmt_of(program, "f", 0))
+    assert "buf" in names(ud.weak_defs)
+    assert "p" in names(ud.uses)
+
+
+def test_address_of_is_not_a_read():
+    program, ex = setup("void g(int *p) { *p = 1; }\nvoid f(void) { int x; g(&x); }")
+    ud = ex.of_stmt(stmt_of(program, "f", 1))
+    # x appears only as &x (plus the call's effect makes it a weak def)
+    assert "x" in names(ud.weak_defs)
+
+
+def test_ternary_arms_are_weak():
+    program, ex = setup("void f(int c) { int a; int b; (c ? (a = 1) : (b = 2)); }")
+    ud = ex.of_stmt(stmt_of(program, "f", 2))
+    assert {"a", "b"} <= names(ud.weak_defs)
+    assert not ({"a", "b"} & names(ud.defs))
+
+
+def test_short_circuit_rhs_weak():
+    program, ex = setup("void f(int c) { int a = 0; c && (a = 1); }")
+    ud = ex.of_stmt(stmt_of(program, "f", 1))
+    assert "a" in names(ud.weak_defs)
+
+
+def test_incdec_reads_and_writes():
+    program, ex = setup("void f(void) { int i = 0; i++; }")
+    ud = ex.of_stmt(stmt_of(program, "f", 1))
+    assert "i" in names(ud.uses)
+    assert "i" in names(ud.defs)
+
+
+def test_call_effects_via_modref():
+    program, ex = setup(
+        """
+        int g;
+        void w(int v) { g = v; }
+        void f(int v) { w(v); }
+        """
+    )
+    ud = ex.of_stmt(stmt_of(program, "f", 0))
+    assert "g" in names(ud.weak_defs)
+
+
+def test_call_without_modref_conservative_on_globals():
+    program = frontend(
+        """
+        int g;
+        void w(int v) { g = v; }
+        void f(int v) { w(v); }
+        """
+    )
+    pt = analyze_pointers(program)
+    globals_ = {gl.decl.symbol for gl in program.globals}
+    ex = UseDefExtractor(pt, modref=None, global_symbols=globals_)
+    ud = ex.of_stmt(program.function("f").body.stmts[0])
+    assert "g" in names(ud.weak_defs)
+    assert "g" in names(ud.uses)
+
+
+def test_return_uses_value():
+    program, ex = setup("int f(int a) { return a + 1; }")
+    ud = ex.of_stmt(stmt_of(program, "f", 0))
+    assert names(ud.uses) == {"a"}

@@ -1,0 +1,102 @@
+"""Tests for the CSV export helpers."""
+
+import csv
+import io
+
+from repro.experiments.export import (
+    energy_csv,
+    histogram_csv,
+    speedup_csv,
+    sweep_csv,
+    table3_csv,
+    table4_csv,
+    table5_csv,
+    table10_csv,
+)
+from repro.experiments.figures import Histogram, SweepSeries
+from repro.experiments.tables import (
+    EnergyRow,
+    SpeedupRow,
+    Table3Row,
+    Table4Row,
+    Table5Row,
+    Table10Row,
+)
+
+
+def parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+def test_table3_csv():
+    row = Table3Row(
+        program="X", computation_us=1.5, overhead_us=0.2, distinct_inputs=10,
+        reuse_rate=0.9, table_bytes=1024, paper_computation_us=0,
+        paper_overhead_us=0, paper_distinct_inputs=0, paper_reuse_rate=0,
+        paper_table_bytes=0,
+    )
+    rows = parse(table3_csv([row]))
+    assert rows[0][0] == "program"
+    assert rows[1][0] == "X"
+    assert float(rows[1][4]) == 0.9
+
+
+def test_table4_csv():
+    row = Table4Row(
+        program="X", functions="f", analyzed=5, profiled=3, transformed=1,
+        code_lines=40, paper_analyzed=0, paper_profiled=0, paper_transformed=0,
+    )
+    rows = parse(table4_csv([row]))
+    assert rows[1] == ["X", "5", "3", "1", "40"]
+
+
+def test_table5_csv():
+    row = Table5Row(
+        program="X",
+        hit_ratios={1: 0.1, 4: 0.2, 16: 0.3, 64: 0.4},
+        buffer64_bytes=512,
+        paper_hit_ratios=(),
+    )
+    rows = parse(table5_csv([row]))
+    assert rows[1][1] == "0.100000"
+    assert rows[1][5] == "512"
+
+
+def test_speedup_csv():
+    row = SpeedupRow(
+        program="X", original_s=2.0, transformed_s=1.0, speedup=2.0,
+        paper_speedup=1.5, in_mean=True,
+    )
+    rows = parse(speedup_csv([row]))
+    assert rows[1][3] == "2.0000"
+    assert rows[1][4] == "1"
+
+
+def test_energy_csv():
+    row = EnergyRow(program="X", original_j=1.0, transformed_j=0.5,
+                    saving=0.5, paper_saving=0.4)
+    rows = parse(energy_csv([row]))
+    assert rows[1][3] == "0.500000"
+
+
+def test_table10_csv():
+    row = Table10Row(
+        program="X", input_source="alt", original_s=1.0, transformed_s=0.5,
+        speedup=2.0, paper_speedup=1.9,
+    )
+    rows = parse(table10_csv([row]))
+    assert rows[1][1] == "alt"
+
+
+def test_histogram_csv():
+    hist = Histogram(title="t", bins=[("0..9", 5), ("10..19", 2)])
+    rows = parse(histogram_csv(hist))
+    assert rows[1] == ["0..9", "5"]
+    assert rows[2] == ["10..19", "2"]
+
+
+def test_sweep_csv():
+    series = [SweepSeries(program="X", points=[(1024, 1.1), (None, 1.5)])]
+    rows = parse(sweep_csv(series))
+    assert rows[1] == ["X", "1024", "1.1000"]
+    assert rows[2] == ["X", "optimal", "1.5000"]

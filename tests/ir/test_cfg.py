@@ -1,0 +1,165 @@
+"""Tests for statement-level CFG construction and region queries."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.minic import astnodes as ast
+from repro.minic import frontend
+from repro.ir.cfg import COND, STEP, STMT, build_cfg
+
+
+def cfg_for(src, name=None):
+    prog = frontend(src)
+    fn = prog.functions[-1] if name is None else prog.function(name)
+    return build_cfg(fn), fn
+
+
+def reachable(cfg, start):
+    seen = {start}
+    stack = [start]
+    while stack:
+        nid = stack.pop()
+        for s in cfg.node(nid).succs:
+            if s not in seen:
+                seen.add(s)
+                stack.append(s)
+    return seen
+
+
+def test_linear_sequence():
+    cfg, _ = cfg_for("int f(void) { int a = 1; int b = 2; return a + b; }")
+    kinds = [n.kind for n in cfg]
+    assert kinds.count(STMT) == 3
+    assert cfg.exit in reachable(cfg, cfg.entry)
+
+
+def test_if_else_diamond():
+    cfg, fn = cfg_for("int f(int x) { int r; if (x) r = 1; else r = 2; return r; }")
+    conds = [n for n in cfg if n.kind == COND]
+    assert len(conds) == 1
+    assert len(conds[0].succs) == 2
+
+
+def test_if_without_else_falls_through():
+    cfg, _ = cfg_for("int f(int x) { if (x) x = 1; return x; }")
+    cond = next(n for n in cfg if n.kind == COND)
+    # one successor is the then-branch, one is the return
+    assert len(cond.succs) == 2
+
+
+def test_while_back_edge():
+    cfg, _ = cfg_for("int f(int n) { while (n > 0) n--; return n; }")
+    cond = next(n for n in cfg if n.kind == COND)
+    body = next(n for n in cfg if n.kind == STMT and isinstance(n.ast_node, ast.ExprStmt))
+    assert cond.nid in body.succs  # back edge
+    assert body.nid in cond.succs
+
+
+def test_for_loop_structure():
+    cfg, _ = cfg_for("int f(void) { int s = 0; for (int i = 0; i < 3; i++) s += i; return s; }")
+    assert any(n.kind == STEP for n in cfg)
+    step = next(n for n in cfg if n.kind == STEP)
+    cond = next(n for n in cfg if n.kind == COND)
+    assert cond.nid in step.succs
+
+
+def test_break_exits_loop():
+    cfg, _ = cfg_for(
+        "int f(void) { while (1) { break; } return 0; }"
+    )
+    brk = next(
+        n for n in cfg if n.kind == STMT and isinstance(n.ast_node, ast.Break)
+    )
+    ret = next(
+        n for n in cfg if n.kind == STMT and isinstance(n.ast_node, ast.Return)
+    )
+    assert ret.nid in brk.succs
+
+
+def test_continue_goes_to_step():
+    cfg, _ = cfg_for(
+        "int f(void) { for (int i = 0; i < 9; i++) { if (i) continue; i = 2; } return 0; }"
+    )
+    cont = next(
+        n for n in cfg if n.kind == STMT and isinstance(n.ast_node, ast.Continue)
+    )
+    step = next(n for n in cfg if n.kind == STEP)
+    assert step.nid in cont.succs
+
+
+def test_return_connects_to_exit_only():
+    cfg, _ = cfg_for("int f(int x) { if (x) return 1; return 2; }")
+    returns = [
+        n for n in cfg if n.kind == STMT and isinstance(n.ast_node, ast.Return)
+    ]
+    assert len(returns) == 2
+    for node in returns:
+        assert node.succs == [cfg.exit]
+
+
+def test_do_while():
+    cfg, _ = cfg_for("int f(int n) { do { n--; } while (n > 0); return n; }")
+    cond = next(n for n in cfg if n.kind == COND)
+    body = next(n for n in cfg if n.kind == STMT and isinstance(n.ast_node, ast.ExprStmt))
+    assert cond.nid in body.succs
+    assert body.nid in cond.succs  # back edge
+
+
+def test_break_outside_loop_raises():
+    prog = frontend("int f(void) { return 0; }")
+    fn = prog.functions[0]
+    fn.body.stmts.insert(0, ast.Break(line=1))
+    with pytest.raises(AnalysisError):
+        build_cfg(fn)
+
+
+def test_reverse_postorder_starts_at_entry():
+    cfg, _ = cfg_for("int f(int x) { if (x) x = 1; else x = 2; return x; }")
+    order = cfg.reverse_postorder()
+    assert order[0] == cfg.entry
+    pos = {nid: i for i, nid in enumerate(order)}
+    cond = next(n for n in cfg if n.kind == COND)
+    for succ in cond.succs:
+        assert pos[cond.nid] < pos[succ]
+
+
+class TestRegions:
+    QUAN = """
+    int power2[15];
+    int quan(int val) {
+        int i;
+        for (i = 0; i < 15; i++)
+            if (val < power2[i])
+                break;
+        return (i);
+    }
+    """
+
+    def test_loop_body_region_excludes_cond(self):
+        cfg, fn = cfg_for(self.QUAN, "quan")
+        loop = fn.body.stmts[1]
+        region = cfg.nodes_in_region(loop.body)
+        cond = next(n for n in cfg if n.kind == COND and n.owner is loop)
+        assert cond.nid not in region
+        # the inner if-cond and break are inside
+        inner_if = loop.body.stmts[0]
+        if_cond = next(n for n in cfg if n.kind == COND and n.owner is inner_if)
+        assert if_cond.nid in region
+
+    def test_function_body_region_is_everything_but_entry_exit(self):
+        cfg, fn = cfg_for(self.QUAN, "quan")
+        region = cfg.nodes_in_region(fn.body)
+        non_virtual = {n.nid for n in cfg if n.kind not in ("entry", "exit")}
+        assert region == non_virtual
+
+    def test_region_entries_and_exits(self):
+        cfg, fn = cfg_for(self.QUAN, "quan")
+        loop = fn.body.stmts[1]
+        region = cfg.nodes_in_region(loop.body)
+        entries = cfg.region_entries(region)
+        assert len(entries) == 1  # the if-condition node
+        targets = cfg.region_exit_targets(region)
+        # body exits to the for-step (fallthrough/continue) or via break to
+        # the return
+        kinds = {cfg.node(t).kind for t in targets}
+        assert STEP in kinds

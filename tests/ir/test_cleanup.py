@@ -1,0 +1,140 @@
+"""Tests for the clean-up pass (call splitting)."""
+
+from repro.minic import astnodes as ast
+from repro.minic import frontend, format_program
+from repro.ir.cleanup import cleanup
+from repro.runtime import run_source
+
+
+def cleaned(src):
+    prog = cleanup(frontend(src))
+    return prog, format_program(prog)
+
+
+def test_call_in_binary_expression_is_split():
+    prog, text = cleaned(
+        """
+        int f(int x) { return x + 1; }
+        int main(void) { return f(1) + f(2); }
+        """
+    )
+    main = prog.function("main")
+    # two hoisted declarations before the return
+    decls = [s for s in main.body.stmts if isinstance(s, ast.DeclStmt)]
+    assert len(decls) == 2
+    assert "__cu0" in text and "__cu1" in text
+
+
+def test_direct_call_statement_not_split():
+    prog, text = cleaned(
+        """
+        void g(void) { }
+        void main(void) { g(); }
+        """
+    )
+    assert "__cu" not in text
+
+
+def test_direct_assignment_rhs_not_split():
+    prog, text = cleaned(
+        """
+        int f(void) { return 1; }
+        int main(void) { int x; x = f(); return x; }
+        """
+    )
+    assert "__cu" not in text
+
+
+def test_nested_call_args_split_inner_first():
+    prog, text = cleaned(
+        """
+        int f(int x) { return x + 1; }
+        int main(void) { return 1 + f(f(2)); }
+        """
+    )
+    # inner f(2) stays as the initializer of the first temp; outer call
+    # references it
+    assert text.index("__cu0") < text.index("__cu1")
+
+
+def test_if_condition_call_hoisted_before_if():
+    prog, text = cleaned(
+        """
+        int f(void) { return 1; }
+        int main(void) { if (f() > 0) return 1; return 0; }
+        """
+    )
+    main = prog.function("main")
+    assert isinstance(main.body.stmts[0], ast.DeclStmt)
+    assert isinstance(main.body.stmts[1], ast.If)
+
+
+def test_loop_condition_call_not_hoisted():
+    prog, text = cleaned(
+        """
+        int f(void) { return 0; }
+        int main(void) { while (f()) { } return 0; }
+        """
+    )
+    assert "__cu" not in text
+
+
+def test_short_circuit_rhs_not_hoisted():
+    prog, text = cleaned(
+        """
+        int f(void) { return 1; }
+        int main(void) { return 1 && f(); }
+        """
+    )
+    assert "__cu" not in text
+
+
+def test_builtin_calls_not_split():
+    prog, text = cleaned("int main(void) { return __abs(-3) + __abs(4); }")
+    assert "__cu" not in text
+
+
+def test_semantics_preserved():
+    src = """
+    int calls = 0;
+    int f(int x) { calls++; return x * 10; }
+    int main(void) { return f(1) + f(2) * f(3) + calls; }
+    """
+    before, _ = run_source(src)
+    prog = cleanup(frontend(src))
+    from repro.minic.pretty import format_program as fp
+    after, _ = run_source(fp(prog))
+    assert before == after
+
+
+def test_cleanup_inside_nested_blocks_and_loops():
+    prog, text = cleaned(
+        """
+        int f(int x) { return x; }
+        int main(void) {
+            int s = 0;
+            for (int i = 0; i < 3; i++) {
+                s += f(i) * 2;
+            }
+            return s;
+        }
+        """
+    )
+    # hoisted inside the loop body, before the += statement
+    loop = prog.function("main").body.stmts[1]
+    assert isinstance(loop.body.stmts[0], ast.DeclStmt)
+    assert loop.body.stmts[0].decls[0].name.startswith("__cu")
+
+
+def test_hoist_counter_reported():
+    from repro.ir.cleanup import CleanupPass
+
+    prog = frontend(
+        """
+        int f(int x) { return x; }
+        int main(void) { return f(1) * f(2); }
+        """
+    )
+    cp = CleanupPass(prog)
+    cp.run()
+    assert cp.hoisted == 2

@@ -1,0 +1,95 @@
+"""Tests for Tarjan SCC and condensation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.scc import condense, strongly_connected_components, topological_order
+
+
+def sccs_as_sets(graph):
+    return [frozenset(c) for c in strongly_connected_components(graph)]
+
+
+def test_empty_graph():
+    assert strongly_connected_components({}) == []
+
+
+def test_singletons_no_edges():
+    result = sccs_as_sets({1: [], 2: [], 3: []})
+    assert sorted(result, key=sorted) == [frozenset({1}), frozenset({2}), frozenset({3})]
+
+
+def test_simple_cycle():
+    result = sccs_as_sets({1: [2], 2: [3], 3: [1]})
+    assert result == [frozenset({1, 2, 3})]
+
+
+def test_two_components_with_bridge():
+    graph = {1: [2], 2: [1, 3], 3: [4], 4: [3]}
+    result = sccs_as_sets(graph)
+    assert frozenset({1, 2}) in result
+    assert frozenset({3, 4}) in result
+    # reverse topological: {3,4} (callee side) emitted before {1,2}
+    assert result.index(frozenset({3, 4})) < result.index(frozenset({1, 2}))
+
+
+def test_self_loop_is_singleton_scc():
+    result = sccs_as_sets({1: [1], 2: []})
+    assert frozenset({1}) in result
+
+
+def test_dag_order():
+    graph = {"a": ["b", "c"], "b": ["d"], "c": ["d"], "d": []}
+    result = strongly_connected_components(graph)
+    flat = [c[0] for c in result]
+    assert flat.index("d") < flat.index("b")
+    assert flat.index("b") < flat.index("a") or flat.index("c") < flat.index("a")
+
+
+def test_edges_to_unknown_nodes_ignored():
+    result = sccs_as_sets({1: [2, 99], 2: [1]})
+    assert result == [frozenset({1, 2})]
+
+
+def test_condense():
+    graph = {1: [2], 2: [1, 3], 3: []}
+    component_of, members, dag = condense(graph)
+    assert component_of[1] == component_of[2] != component_of[3]
+    c12 = component_of[1]
+    c3 = component_of[3]
+    assert dag[c12] == {c3}
+    assert dag[c3] == set()
+    assert sorted(members[c12]) == [1, 2]
+
+
+def test_topological_order():
+    dag = {1: [2, 3], 2: [4], 3: [4], 4: []}
+    order = topological_order(dag)
+    pos = {n: i for i, n in enumerate(order)}
+    assert pos[1] < pos[2] and pos[1] < pos[3]
+    assert pos[2] < pos[4] and pos[3] < pos[4]
+
+
+def test_topological_order_rejects_cycles():
+    with pytest.raises(ValueError):
+        topological_order({1: [2], 2: [1]})
+
+
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=14),
+        st.lists(st.integers(min_value=0, max_value=14), max_size=5),
+        max_size=15,
+    )
+)
+def test_scc_partition_property(graph):
+    """SCCs partition the node set, and condensation is acyclic."""
+    result = strongly_connected_components(graph)
+    seen = set()
+    for component in result:
+        assert not (set(component) & seen), "components must be disjoint"
+        seen.update(component)
+    assert seen == set(graph)
+    _, _, dag = condense(graph)
+    topological_order(dag)  # must not raise

@@ -1,0 +1,94 @@
+"""Unit tests for the mini-C lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.minic.lexer import tokenize
+from repro.minic.tokens import EOF, FLOAT_LIT, IDENT, INT_LIT, KEYWORD, PUNCT
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+def test_empty_source_yields_only_eof():
+    toks = tokenize("")
+    assert len(toks) == 1
+    assert toks[0].kind == EOF
+
+
+def test_identifiers_and_keywords():
+    toks = tokenize("int foo while_ _bar")
+    assert toks[0].kind == KEYWORD
+    assert toks[1].kind == IDENT and toks[1].text == "foo"
+    assert toks[2].kind == IDENT and toks[2].text == "while_"
+    assert toks[3].kind == IDENT and toks[3].text == "_bar"
+
+
+def test_integer_literals_decimal_and_hex():
+    toks = tokenize("42 0 0x1F")
+    assert [t.value for t in toks[:-1]] == [42, 0, 31]
+    assert all(t.kind == INT_LIT for t in toks[:-1])
+
+
+def test_float_literals():
+    toks = tokenize("3.14 1e3 2.5e-2 7.f")
+    assert toks[0].kind == FLOAT_LIT and toks[0].value == pytest.approx(3.14)
+    assert toks[1].value == pytest.approx(1000.0)
+    assert toks[2].value == pytest.approx(0.025)
+    assert toks[3].value == pytest.approx(7.0)
+
+
+def test_char_literal_lexes_as_int():
+    toks = tokenize("'a' '\\n' '\\0'")
+    assert [t.value for t in toks[:-1]] == [97, 10, 0]
+    assert all(t.kind == INT_LIT for t in toks[:-1])
+
+
+def test_maximal_munch_punctuators():
+    assert texts("a<<=b") == ["a", "<<=", "b"]
+    assert texts("a<<b") == ["a", "<<", "b"]
+    assert texts("a<b") == ["a", "<", "b"]
+    assert texts("x+++y") == ["x", "++", "+", "y"]
+
+
+def test_line_and_block_comments_skipped():
+    src = "a // comment\nb /* multi\nline */ c"
+    assert texts(src) == ["a", "b", "c"]
+
+
+def test_comment_tracks_line_numbers():
+    toks = tokenize("a /* x\ny */ b")
+    assert toks[1].line == 2
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("int a = $;")
+
+
+def test_positions_recorded():
+    toks = tokenize("ab\n  cd")
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+def test_malformed_exponent_raises():
+    with pytest.raises(LexError):
+        tokenize("1e+")
+
+
+def test_all_compound_assign_ops():
+    ops = "+= -= *= /= %= <<= >>= &= |= ^="
+    toks = tokenize(ops)
+    assert [t.text for t in toks[:-1]] == ops.split()
+    assert all(t.kind == PUNCT for t in toks[:-1])

@@ -1,0 +1,263 @@
+"""Unit tests for the mini-C parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minic import astnodes as ast
+from repro.minic.parser import parse_expression, parse_program
+from repro.minic.types import FLOAT, INT, VOID, ArrayType, PointerType
+
+
+# -- expressions -----------------------------------------------------------
+
+
+def test_precedence_mul_over_add():
+    e = parse_expression("a + b * c")
+    assert isinstance(e, ast.Binary) and e.op == "+"
+    assert isinstance(e.rhs, ast.Binary) and e.rhs.op == "*"
+
+
+def test_precedence_shift_below_add():
+    e = parse_expression("a << b + c")
+    assert isinstance(e, ast.Binary) and e.op == "<<"
+    assert isinstance(e.rhs, ast.Binary) and e.rhs.op == "+"
+
+
+def test_comparison_chains_left():
+    e = parse_expression("a < b == c")
+    assert e.op == "=="
+    assert e.lhs.op == "<"
+
+
+def test_logical_ops_produce_logical_nodes():
+    e = parse_expression("a && b || c")
+    assert isinstance(e, ast.Logical) and e.op == "||"
+    assert isinstance(e.lhs, ast.Logical) and e.lhs.op == "&&"
+
+
+def test_assignment_right_associative():
+    e = parse_expression("a = b = c")
+    assert isinstance(e, ast.Assign)
+    assert isinstance(e.value, ast.Assign)
+
+
+def test_compound_assignment():
+    e = parse_expression("x += y << 2")
+    assert isinstance(e, ast.Assign) and e.op == "+="
+
+
+def test_assignment_to_rvalue_rejected():
+    with pytest.raises(ParseError):
+        parse_expression("1 = 2")
+
+
+def test_ternary():
+    e = parse_expression("a ? b : c ? d : e")
+    assert isinstance(e, ast.Ternary)
+    assert isinstance(e.els, ast.Ternary)
+
+
+def test_unary_and_postfix():
+    e = parse_expression("-a[i]++")
+    assert isinstance(e, ast.Unary) and e.op == "-"
+    assert isinstance(e.operand, ast.IncDec) and not e.operand.prefix
+
+
+def test_prefix_incdec():
+    e = parse_expression("++x")
+    assert isinstance(e, ast.IncDec) and e.prefix
+
+
+def test_deref_and_addressof():
+    e = parse_expression("*p + &x")
+    assert isinstance(e.lhs, ast.Unary) and e.lhs.op == "*"
+    assert isinstance(e.rhs, ast.Unary) and e.rhs.op == "&"
+
+
+def test_call_with_args():
+    e = parse_expression("f(a, b + 1, g())")
+    assert isinstance(e, ast.Call)
+    assert len(e.args) == 3
+    assert isinstance(e.args[2], ast.Call)
+
+
+def test_cast_desugars_to_builtin_call():
+    e = parse_expression("(int) x")
+    assert isinstance(e, ast.Call)
+    assert e.func.name == "__cast_int"
+
+
+def test_parenthesized_expression_is_not_cast():
+    e = parse_expression("(x) + 1")
+    assert isinstance(e, ast.Binary) and e.op == "+"
+
+
+def test_sizeof_folds_to_int():
+    e = parse_expression("sizeof(int)")
+    assert isinstance(e, ast.IntLit) and e.value == 4
+    e = parse_expression("sizeof(int[8])")
+    assert e.value == 32
+
+
+def test_comma_operator():
+    e = parse_expression("a = 1, b = 2")
+    assert isinstance(e, ast.Binary) and e.op == ","
+
+
+# -- declarations and functions ---------------------------------------------
+
+
+def test_simple_function():
+    prog = parse_program("int add(int a, int b) { return a + b; }")
+    assert len(prog.functions) == 1
+    fn = prog.functions[0]
+    assert fn.name == "add"
+    assert fn.ret_type == INT
+    assert [p.name for p in fn.params] == ["a", "b"]
+
+
+def test_void_params():
+    prog = parse_program("void f(void) { }")
+    assert prog.functions[0].params == []
+
+
+def test_static_function_flag():
+    prog = parse_program("static int f(void) { return 0; }")
+    assert prog.functions[0].is_static
+
+
+def test_prototype_is_skipped():
+    prog = parse_program("int f(int x);\nint f(int x) { return x; }")
+    assert len(prog.functions) == 1
+
+
+def test_global_scalar_with_init():
+    prog = parse_program("int g = 42;")
+    g = prog.globals[0]
+    assert g.decl.name == "g"
+    assert isinstance(g.decl.init, ast.IntLit)
+
+
+def test_global_array_with_initializer_list():
+    prog = parse_program("int t[4] = {1, 2, 3, 4};")
+    decl = prog.globals[0].decl
+    assert decl.type == ArrayType(INT, 4)
+    assert len(decl.array_init) == 4
+
+
+def test_global_2d_array():
+    prog = parse_program("float m[2][3];")
+    decl = prog.globals[0].decl
+    assert decl.type == ArrayType(ArrayType(FLOAT, 3), 2)
+    assert decl.type.size_words() == 6
+
+
+def test_const_global_flag():
+    prog = parse_program("const int k = 1;")
+    assert prog.globals[0].is_const
+
+
+def test_multiple_declarators_per_global():
+    prog = parse_program("int a, b = 2, c;")
+    assert [g.decl.name for g in prog.globals] == ["a", "b", "c"]
+
+
+def test_pointer_param_and_array_param_decay():
+    prog = parse_program("int f(int *p, int a[], int m[][4]) { return 0; }")
+    params = prog.functions[0].params
+    assert params[0].type == PointerType(INT)
+    assert params[1].type == PointerType(INT)
+    assert params[2].type == PointerType(ArrayType(INT, 4))
+
+
+def test_array_size_constant_expression():
+    prog = parse_program("int t[4 * 2];")
+    assert prog.globals[0].decl.type.length == 8
+
+
+# -- statements ---------------------------------------------------------------
+
+
+def _body(src):
+    return parse_program("void f(void) {" + src + "}").functions[0].body.stmts
+
+
+def test_if_else_as_blocks():
+    (stmt,) = _body("if (x) y = 1; else y = 2;")
+    assert isinstance(stmt, ast.If)
+    assert isinstance(stmt.then, ast.Block)
+    assert isinstance(stmt.els, ast.Block)
+
+
+def test_dangling_else_binds_inner():
+    (stmt,) = _body("if (a) if (b) x = 1; else x = 2;")
+    assert stmt.els is None
+    inner = stmt.then.stmts[0]
+    assert inner.els is not None
+
+
+def test_while_and_do_while():
+    stmts = _body("while (i < 10) i++; do i--; while (i);")
+    assert isinstance(stmts[0], ast.While)
+    assert isinstance(stmts[1], ast.DoWhile)
+
+
+def test_for_with_decl_init():
+    (stmt,) = _body("for (int i = 0; i < 15; i++) s += i;")
+    assert isinstance(stmt, ast.For)
+    assert isinstance(stmt.init, ast.DeclStmt)
+    assert stmt.cond is not None and stmt.step is not None
+
+
+def test_for_with_empty_clauses():
+    (stmt,) = _body("for (;;) break;")
+    assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+
+def test_return_break_continue():
+    stmts = _body("return; break; continue;")
+    assert isinstance(stmts[0], ast.Return) and stmts[0].value is None
+    assert isinstance(stmts[1], ast.Break)
+    assert isinstance(stmts[2], ast.Continue)
+
+
+def test_local_declarations_with_init():
+    stmts = _body("int i = 0, j; float x = 1.5;")
+    assert isinstance(stmts[0], ast.DeclStmt)
+    assert len(stmts[0].decls) == 2
+    assert stmts[1].decls[0].type == FLOAT
+
+
+def test_empty_statement():
+    (stmt,) = _body(";")
+    assert isinstance(stmt, ast.Block) and not stmt.stmts
+
+
+def test_unterminated_block_raises():
+    with pytest.raises(ParseError):
+        parse_program("void f(void) { int x = 1;")
+
+
+def test_missing_semicolon_raises():
+    with pytest.raises(ParseError):
+        parse_program("void f(void) { x = 1 }")
+
+
+def test_quan_example_from_paper():
+    # Figure 2(a) of the paper.
+    src = """
+    int power2[15];
+    int quan(int val) {
+        int i;
+        for (i = 0; i < 15; i++)
+            if (val < power2[i])
+                break;
+        return (i);
+    }
+    """
+    prog = parse_program(src)
+    fn = prog.functions[0]
+    assert fn.name == "quan"
+    loop = fn.body.stmts[1]
+    assert isinstance(loop, ast.For)
+    assert isinstance(loop.body.stmts[0], ast.If)

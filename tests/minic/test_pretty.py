@@ -1,0 +1,176 @@
+"""Round-trip tests for the mini-C pretty-printer.
+
+The invariant: pretty-printing a parsed program and re-parsing the output
+yields a structurally identical AST.  This is the property that lets the
+reuse pass behave as a true source-to-source transformation.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minic import astnodes as ast
+from repro.minic.parser import parse_expression, parse_program
+from repro.minic.pretty import format_expr, format_program
+
+
+def ast_equal(a, b):
+    """Structural AST equality ignoring symbols/positions."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (int, float, str, bool)) or a is None:
+        return a == b
+    if isinstance(a, list):
+        return len(a) == len(b) and all(ast_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, ast.Node):
+        for f in dataclasses.fields(a):
+            if f.name in ("line", "symbol", "frame_size"):
+                continue
+            if not ast_equal(getattr(a, f.name), getattr(b, f.name)):
+                return False
+        return True
+    return a == b
+
+
+def roundtrip_program(src):
+    prog = parse_program(src)
+    text = format_program(prog)
+    reparsed = parse_program(text)
+    assert ast_equal(prog, reparsed), f"round-trip mismatch:\n{text}"
+    return text
+
+
+def roundtrip_expr(src):
+    e = parse_expression(src)
+    text = format_expr(e)
+    again = parse_expression(text)
+    assert ast_equal(e, again), f"round-trip mismatch: {src!r} -> {text!r}"
+
+
+def test_expression_roundtrips():
+    for src in [
+        "a + b * c",
+        "(a + b) * c",
+        "a << b + c",
+        "(a << b) + c",
+        "-x[i]++",
+        "a ? b : c ? d : e",
+        "(a ? b : c) ? d : e",
+        "f(a, b + 1, g())",
+        "*p + &x",
+        "*(p + 1)",
+        "a && b || c && d",
+        "a & b | c ^ d",
+        "x = y = z + 1",
+        "i += j << 2",
+        "a[i][j] * 2",
+        "!(a == b)",
+        "~x & 0xFF",
+        "- -x",
+        "a - -b",
+        "a % b / c",
+    ]:
+        roundtrip_expr(src)
+
+
+def test_program_roundtrip_quan():
+    src = """
+    int power2[15] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384};
+    int quan(int val) {
+        int i;
+        for (i = 0; i < 15; i++)
+            if (val < power2[i])
+                break;
+        return (i);
+    }
+    """
+    text = roundtrip_program(src)
+    assert "for (" in text
+    assert "power2[15]" in text
+
+
+def test_program_roundtrip_control_flow():
+    roundtrip_program(
+        """
+        int f(int n) {
+            int s = 0;
+            int i = 0;
+            while (i < n) {
+                if (i % 2 == 0)
+                    s += i;
+                else {
+                    s -= i;
+                    continue;
+                }
+                i++;
+            }
+            do { s++; } while (s < 0);
+            for (;;) break;
+            return s;
+        }
+        """
+    )
+
+
+def test_program_roundtrip_pointers_and_floats():
+    roundtrip_program(
+        """
+        static const float pi = 3.5;
+        float m[2][3];
+        static int helper(int *p, float x) {
+            *p = (int) x;
+            return p[0];
+        }
+        void f(void) {
+            int v = 0;
+            helper(&v, pi * 2.0);
+            m[1][2] = 0.5;
+        }
+        """
+    )
+
+
+def test_else_if_chain_roundtrip():
+    roundtrip_program(
+        """
+        int sign(int x) {
+            if (x > 0) return 1;
+            else if (x < 0) return -1;
+            else return 0;
+        }
+        """
+    )
+
+
+def test_empty_function_and_void_return():
+    text = roundtrip_program("void f(void) { return; }")
+    assert "void f(void)" in text
+
+
+# -- property-based expression round-trip ------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "x", "y"])
+
+
+def _exprs(depth):
+    if depth == 0:
+        return st.one_of(
+            st.integers(min_value=0, max_value=1000).map(str),
+            _names,
+        )
+    sub = _exprs(depth - 1)
+    binop = st.sampled_from(["+", "-", "*", "/", "%", "<<", ">>", "<", "==", "&", "|", "^", "&&", "||"])
+    return st.one_of(
+        sub,
+        st.tuples(sub, binop, sub).map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+        st.tuples(st.sampled_from(["-", "!", "~"]), sub).map(lambda t: f"{t[0]}({t[1]})"),
+        st.tuples(sub, sub, sub).map(lambda t: f"(({t[0]}) ? ({t[1]}) : ({t[2]}))"),
+        st.tuples(_names, sub).map(lambda t: f"{t[0]}[{t[1]}]"),
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(_exprs(3))
+def test_random_expressions_roundtrip(src):
+    roundtrip_expr(src)

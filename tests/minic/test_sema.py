@@ -1,0 +1,154 @@
+"""Unit tests for mini-C semantic analysis."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.minic import astnodes as ast
+from repro.minic import frontend
+from repro.minic.parser import parse_program
+from repro.minic.sema import Typer, analyze
+from repro.minic.types import FLOAT, INT, ArrayType, FuncType, PointerType
+
+
+def test_params_and_locals_get_slots():
+    prog = frontend("int f(int a, int b) { int c = a + b; return c; }")
+    fn = prog.functions[0]
+    assert [p.symbol.slot for p in fn.params] == [0, 1]
+    decl = fn.body.stmts[0].decls[0]
+    assert decl.symbol.slot == 2
+    assert fn.frame_size == 3
+
+
+def test_name_resolves_to_local_over_global():
+    prog = frontend("int x = 1;\nint f(void) { int x = 2; return x; }")
+    ret = prog.functions[0].body.stmts[1]
+    assert ret.value.symbol.kind == "local"
+
+
+def test_block_scoping_with_shadowing():
+    prog = frontend("int f(void) { int x = 1; { int x = 2; x = 3; } return x; }")
+    fn = prog.functions[0]
+    outer = fn.body.stmts[0].decls[0].symbol
+    inner_block = fn.body.stmts[1]
+    inner = inner_block.stmts[0].decls[0].symbol
+    assert outer is not inner
+    assign = inner_block.stmts[1].expr
+    assert assign.target.symbol is inner
+    ret = fn.body.stmts[2]
+    assert ret.value.symbol is outer
+
+
+def test_undeclared_identifier_rejected():
+    with pytest.raises(SemanticError):
+        frontend("int f(void) { return zzz; }")
+
+
+def test_duplicate_declaration_rejected():
+    with pytest.raises(SemanticError):
+        frontend("int f(void) { int a; int a; return 0; }")
+
+
+def test_call_arity_checked():
+    with pytest.raises(SemanticError):
+        frontend("int g(int a) { return a; } int f(void) { return g(1, 2); }")
+
+
+def test_call_to_undeclared_function_rejected():
+    with pytest.raises(SemanticError):
+        frontend("int f(void) { return nosuch(1); }")
+
+
+def test_builtin_calls_allowed():
+    prog = frontend("int f(int x) { return __abs(x); }")
+    assert prog.functions[0].name == "f"
+
+
+def test_address_taken_marks_symbol():
+    prog = frontend("int f(void) { int x = 1; int *p = &x; return *p; }")
+    x = prog.functions[0].body.stmts[0].decls[0].symbol
+    assert x.address_taken
+
+
+def test_address_of_array_does_not_box():
+    prog = frontend("int f(void) { int a[4]; int *p = &a[0]; return *p; }")
+    a = prog.functions[0].body.stmts[0].decls[0].symbol
+    assert not a.address_taken
+
+
+def test_global_never_written_is_const():
+    prog = frontend("int tbl[4] = {1,2,3,4};\nint f(int i) { return tbl[i]; }")
+    assert prog.globals[0].decl.symbol.is_const
+
+
+def test_global_written_is_not_const():
+    prog = frontend("int g;\nvoid f(void) { g = 1; }")
+    assert not prog.globals[0].decl.symbol.is_const
+
+
+def test_global_array_passed_to_call_is_not_const():
+    src = """
+    int tbl[4];
+    int g(int *p) { return p[0]; }
+    int f(void) { return g(tbl); }
+    """
+    prog = frontend(src)
+    assert not prog.globals[0].decl.symbol.is_const
+
+
+def test_return_without_value_in_int_function_rejected():
+    with pytest.raises(SemanticError):
+        frontend("int f(void) { return; }")
+
+
+def test_for_init_scope_is_local_to_loop():
+    src = "int f(void) { for (int i = 0; i < 3; i++) { } return 0; }"
+    prog = frontend(src)
+    assert prog.functions[0].frame_size == 1
+
+
+class TestTyper:
+    def _typer_and_fn(self, src):
+        prog = frontend(src)
+        return Typer(prog), prog.functions[-1]
+
+    def test_arith_promotion(self):
+        typer, fn = self._typer_and_fn("float f(int a, float b) { return a + b; }")
+        ret = fn.body.stmts[0]
+        assert typer.type_of(ret.value) == FLOAT
+
+    def test_comparison_is_int(self):
+        typer, fn = self._typer_and_fn("int f(float a) { return a < 1.0; }")
+        assert typer.type_of(fn.body.stmts[0].value) == INT
+
+    def test_index_of_2d_array(self):
+        typer, fn = self._typer_and_fn(
+            "float m[2][3];\nfloat f(int i, int j) { return m[i][j]; }"
+        )
+        ret = fn.body.stmts[0]
+        assert typer.type_of(ret.value) == FLOAT
+        assert typer.type_of(ret.value.base) == ArrayType(FLOAT, 3)
+
+    def test_pointer_arith(self):
+        typer, fn = self._typer_and_fn("int f(int *p) { return *(p + 1); }")
+        assert typer.type_of(fn.body.stmts[0].value) == INT
+
+    def test_function_symbol_type(self):
+        typer, fn = self._typer_and_fn("int g(int x) { return x; } int f(void) { return g(1); }")
+        call = fn.body.stmts[0].value
+        assert isinstance(typer.type_of(call.func), FuncType)
+        assert typer.type_of(call) == INT
+
+    def test_deref_non_pointer_rejected(self):
+        typer, fn = self._typer_and_fn("int f(int x) { return x; }")
+        bad = ast.Unary(op="*", operand=fn.body.stmts[0].value)
+        with pytest.raises(SemanticError):
+            typer.type_of(bad)
+
+    def test_array_decays_in_expression(self):
+        typer, fn = self._typer_and_fn("int a[4];\nint *f(void) { return a + 1; }")
+        assert typer.type_of(fn.body.stmts[0].value) == PointerType(INT)
+
+
+def test_analyze_returns_same_program_object():
+    prog = parse_program("int f(void) { return 1; }")
+    assert analyze(prog) is prog

@@ -1,0 +1,124 @@
+"""Tests for the value-set profiler."""
+
+import pytest
+
+from repro.profiling import LRU_SIZES, ValueSetProfiler, frequency_report, frequent_segments
+from repro.runtime import Machine
+
+
+def make_profiler(mode="value", allowed=None):
+    machine = Machine("O0")
+    return machine, ValueSetProfiler(machine, mode=mode, allowed=allowed)
+
+
+class TestRecording:
+    def test_reuse_rate(self):
+        _, p = make_profiler()
+        for v in [1, 2, 1, 2, 1, 2, 3, 1]:
+            p.record(0, (v,))
+        profile = p.profile(0)
+        assert profile.executions == 8
+        assert profile.distinct_inputs == 3
+        assert profile.reuse_rate == pytest.approx(1 - 3 / 8)
+
+    def test_reuse_rate_zero_when_all_distinct(self):
+        _, p = make_profiler()
+        for v in range(10):
+            p.record(0, (v,))
+        assert p.profile(0).reuse_rate == 0.0
+
+    def test_never_executed(self):
+        _, p = make_profiler()
+        assert p.profile(9).reuse_rate == 0.0
+        assert p.profile(9).mean_cycles == 0.0
+
+    def test_histogram_most_common_first(self):
+        _, p = make_profiler()
+        for v in [5, 5, 5, 7, 7, 9]:
+            p.record(0, (v,))
+        hist = p.profile(0).histogram()
+        assert hist[0] == ((5,), 3)
+
+    def test_freq_mode_skips_values(self):
+        _, p = make_profiler(mode="freq")
+        p.record(0, (1,))
+        p.record(0, (1,))
+        assert p.profile(0).executions == 2
+        assert p.profile(0).distinct_inputs == 0
+
+    def test_allowed_filter(self):
+        _, p = make_profiler(allowed={1})
+        p.record(0, (5,))
+        p.record(1, (5,))
+        assert p.profile(0).executions == 0
+        assert p.profile(1).executions == 1
+
+    def test_invalid_mode_rejected(self):
+        machine = Machine("O0")
+        with pytest.raises(ValueError):
+            ValueSetProfiler(machine, mode="bogus")
+
+
+class TestLRUSimulation:
+    def test_lru_sizes_tracked(self):
+        _, p = make_profiler()
+        for v in [1, 1, 2, 1]:
+            p.record(0, (v,))
+        profile = p.profile(0)
+        for size in LRU_SIZES:
+            assert 0.0 <= profile.lru_hit_ratio(size) <= 1.0
+        # 1-entry: hit on the second 1 only
+        assert profile.lru_hit_ratio(1) == pytest.approx(1 / 4)
+        # 4-entry: second 1 and fourth 1 hit
+        assert profile.lru_hit_ratio(4) == pytest.approx(2 / 4)
+
+    def test_hit_ratio_monotone_in_size(self):
+        _, p = make_profiler()
+        import random
+
+        rng = random.Random(3)
+        for _ in range(500):
+            p.record(0, (rng.randrange(40),))
+        profile = p.profile(0)
+        ratios = [profile.lru_hit_ratio(s) for s in LRU_SIZES]
+        assert ratios == sorted(ratios)
+
+
+class TestSegmentTiming:
+    def test_inclusive_cycles(self):
+        machine, p = make_profiler()
+        p.segment_enter(0)
+        machine.counters[7] += 100  # 100 ALU ops at 1 cycle
+        p.segment_exit(0)
+        p.record(0, (1,))
+        assert p.profile(0).inclusive_cycles == 100
+        assert p.profile(0).mean_cycles == 100.0
+
+    def test_recursion_counts_outermost_only(self):
+        machine, p = make_profiler()
+        p.segment_enter(0)
+        machine.counters[7] += 50
+        p.segment_enter(0)  # recursive instance
+        machine.counters[7] += 50
+        p.segment_exit(0)
+        machine.counters[7] += 50
+        p.segment_exit(0)
+        assert p.profile(0).inclusive_cycles == 150
+
+
+class TestFrequencyHelpers:
+    def test_frequent_segments(self):
+        _, p = make_profiler(mode="freq")
+        for _ in range(10):
+            p.count_entry(1)
+        p.count_entry(2)
+        assert frequent_segments(p, 5) == {1}
+        assert frequent_segments(p, 1) == {1, 2}
+
+    def test_frequency_report_sorted(self):
+        _, p = make_profiler(mode="freq")
+        for _ in range(3):
+            p.count_entry(1)
+        for _ in range(7):
+            p.count_entry(2)
+        assert frequency_report(p) == [(2, 7), (1, 3)]

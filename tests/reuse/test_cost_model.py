@@ -1,0 +1,75 @@
+"""Tests for the paper's cost-benefit formulas (section 2.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.reuse.cost_model import (
+    cost_with_reuse,
+    gain,
+    is_beneficial,
+    passes_prefilter,
+    prefer_inner,
+)
+
+pos = st.floats(min_value=1.0, max_value=1e6, allow_nan=False)
+rates = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def test_formula_1_extremes():
+    # never reused: pay C + O every time
+    assert cost_with_reuse(100, 10, 0.0) == pytest.approx(110)
+    # always reused: pay only O
+    assert cost_with_reuse(100, 10, 1.0) == pytest.approx(10)
+
+
+def test_formula_2_equivalence():
+    # C - [(C+O)(1-R) + O R] == R*C - O, checked numerically
+    for c, o, r in [(100, 10, 0.5), (1000, 50, 0.99), (20, 19, 0.9)]:
+        assert c - cost_with_reuse(c, o, r) == pytest.approx(gain(c, o, r))
+
+
+@given(pos, pos, rates)
+def test_formula_2_equivalence_property(c, o, r):
+    assert c - cost_with_reuse(c, o, r) == pytest.approx(gain(c, o, r), rel=1e-9, abs=1e-6)
+
+
+def test_formula_3_threshold():
+    # beneficial iff R > O/C
+    assert is_beneficial(100, 10, 0.11)
+    assert not is_beneficial(100, 10, 0.10)
+    assert not is_beneficial(100, 10, 0.09)
+
+
+@given(pos, pos, rates)
+def test_formula_3_matches_gain_sign(c, o, r):
+    assert is_beneficial(c, o, r) == (gain(c, o, r) > 0)
+
+
+def test_prefilter():
+    assert passes_prefilter(100, 10)
+    assert not passes_prefilter(10, 10)  # O/C == 1: R <= 1 can never win
+    assert not passes_prefilter(10, 100)
+    assert not passes_prefilter(0, 5)
+
+
+def test_formula_4_nested_preference():
+    # inner wins when its (scaled) gain exceeds the outer gain
+    assert prefer_inner(gain_outer=50, inner_total_gain=60)
+    assert not prefer_inner(gain_outer=50, inner_total_gain=40)
+    assert not prefer_inner(gain_outer=50, inner_total_gain=50)  # tie: outer
+
+
+def test_paper_quan_numbers_plausible():
+    """Table 3 G721_encode row: C=1.28us, O=0.12us, R=99.4% -> big win."""
+    c, o, r = 1.28, 0.12, 0.994
+    assert is_beneficial(c, o, r)
+    assert gain(c, o, r) == pytest.approx(1.15232)
+
+
+def test_paper_mpeg2_encode_numbers():
+    """Table 3 MPEG2_encode: C=13859, O=49.4, R=9.8% -> still positive but
+    small relative to C (matching the tiny 1.07 speedup)."""
+    c, o, r = 13859.0, 49.4, 0.098
+    assert is_beneficial(c, o, r)
+    assert gain(c, o, r) / c < 0.1

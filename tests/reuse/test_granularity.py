@@ -1,0 +1,113 @@
+"""Tests for the static granularity (C lower bound) estimator."""
+
+import pytest
+
+from repro.minic import frontend
+from repro.reuse.granularity import GranularityAnalysis
+from repro.runtime import costs
+
+
+def cycles_of(src, fn_name):
+    program = frontend(src)
+    g = GranularityAnalysis(program)
+    return g.function_cycles(fn_name)
+
+
+def test_straightline_counts_ops():
+    c = cycles_of("int f(int a, int b) { return a + b * 2; }", "f")
+    assert c > 0
+    # at least a multiply, an add, two loads
+    table = costs.O0.cycles
+    assert c >= table[costs.MUL] + table[costs.ALU] + 2 * table[costs.LOCAL_RD]
+
+
+def test_constant_trip_loop_multiplies():
+    one = cycles_of("int f(int x) { int s = 0; for (int i = 0; i < 1; i++) s += x; return s; }", "f")
+    ten = cycles_of("int f(int x) { int s = 0; for (int i = 0; i < 10; i++) s += x; return s; }", "f")
+    assert ten > 5 * one
+
+
+def test_loop_with_break_halves_estimate():
+    plain = """
+    int t[16];
+    int f(int x) { int s = 0; for (int i = 0; i < 16; i++) { s += t[i]; } return s; }
+    """
+    breaking = """
+    int t[16];
+    int f(int x) { int s = 0; for (int i = 0; i < 16; i++) { if (t[i] > x) break; s += t[i]; } return s; }
+    """
+    assert cycles_of(breaking, "f") < cycles_of(plain, "f")
+
+
+def test_unknown_trip_counts_once():
+    src = "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }"
+    c = cycles_of(src, "f")
+    fixed = "int f(int n) { int s = 0; for (int i = 0; i < 100; i++) s += i; return s; }"
+    assert c < cycles_of(fixed, "f") / 10
+
+
+def test_while_counts_one_iteration():
+    src = "int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }"
+    assert cycles_of(src, "f") > 0
+
+
+def test_if_takes_cheaper_branch():
+    src = """
+    float g(float x) { return x * x * x * x; }
+    int f(int c) {
+        if (c) { g(1.0); g(2.0); g(3.0); }
+        else { c = c + 1; }
+        return c;
+    }
+    """
+    program = frontend(src)
+    g = GranularityAnalysis(program)
+    f_cost = g.function_cycles("f")
+    g_cost = g.function_cycles("g")
+    # the lower bound must not include the expensive branch
+    assert f_cost < g_cost
+
+
+def test_float_ops_cost_more():
+    fsrc = "float f(float a, float b) { return a * b; }"
+    isrc = "int f(int a, int b) { return a * b; }"
+    assert cycles_of(fsrc, "f") > cycles_of(isrc, "f")
+
+
+def test_call_includes_callee():
+    src = """
+    int leaf(int x) { int s = 0; for (int i = 0; i < 8; i++) s += x * i; return s; }
+    int caller(int x) { return leaf(x) + 1; }
+    """
+    program = frontend(src)
+    g = GranularityAnalysis(program)
+    assert g.function_cycles("caller") > g.function_cycles("leaf")
+
+
+def test_recursion_terminates():
+    src = "int f(int n) { if (n < 1) return 0; return f(n - 1) + n; }"
+    c = cycles_of(src, "f")
+    assert 0 < c < 10_000  # finite, no infinite recursion
+
+
+def test_region_cycles_of_loop_body():
+    src = """
+    int f(int x) {
+        int s = 0;
+        for (int i = 0; i < 4; i++) {
+            s += x * i;
+        }
+        return s;
+    }
+    """
+    program = frontend(src)
+    g = GranularityAnalysis(program)
+    loop = program.function("f").body.stmts[1]
+    body_cost = g.region_cycles(loop.body)
+    assert 0 < body_cost < g.function_cycles("f")
+
+
+def test_math_intrinsics_charged():
+    with_math = cycles_of("float f(float x) { return __cos(x); }", "f")
+    without = cycles_of("float f(float x) { return x; }", "f")
+    assert with_math >= without + costs.O0.cycles[costs.MATH]

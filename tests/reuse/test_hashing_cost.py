@@ -1,0 +1,60 @@
+"""Unit tests for the hashing-overhead (O) estimator."""
+
+import pytest
+
+from repro.analysis.arrays import IOShape
+from repro.minic.astnodes import Symbol
+from repro.minic.types import INT
+from repro.reuse.hashing_cost import hashing_overhead
+from repro.reuse.segments import Segment
+from repro.runtime import costs
+
+
+def make_segment(n_in=1, n_out=1, arrays=0, retval=True):
+    seg = Segment(seg_id=0, kind="function", func_name="f", region_root=None, control=None)
+    for i in range(n_in):
+        is_array = i < arrays
+        words = 16 if is_array else 1
+        seg.inputs.append(IOShape(Symbol(f"i{i}", INT, "param"), words, is_array, False))
+    for i in range(n_out):
+        seg.outputs.append(IOShape(Symbol(f"o{i}", INT, "global"), 1, False, False))
+    seg.has_retval = retval
+    return seg
+
+
+def test_overhead_positive_and_has_fixed_part():
+    seg = make_segment()
+    o = hashing_overhead(seg)
+    assert o >= costs.O0.cycles[costs.HASH_FIXED]
+
+
+def test_overhead_monotone_in_inputs():
+    assert hashing_overhead(make_segment(n_in=4)) > hashing_overhead(make_segment(n_in=1))
+
+
+def test_overhead_monotone_in_outputs():
+    assert hashing_overhead(make_segment(n_out=6)) > hashing_overhead(make_segment(n_out=1))
+
+
+def test_array_inputs_charge_per_word():
+    scalar = hashing_overhead(make_segment(n_in=1))
+    array = hashing_overhead(make_segment(n_in=1, arrays=1))
+    # the 16-word array adds at least 15 extra HASH_WORD charges
+    assert array - scalar >= 15 * costs.O0.cycles[costs.HASH_WORD]
+
+
+def test_retval_counts_as_output_word():
+    with_rv = hashing_overhead(make_segment(retval=True))
+    without = hashing_overhead(make_segment(retval=False))
+    assert with_rv > without
+
+
+def test_matches_runtime_charges_for_quan_shape():
+    """The estimate must agree with what the intrinsics actually charge
+    (one int in, retval out): HASH_FIXED + 2 HASH_WORD plus access costs."""
+    seg = make_segment(n_in=1, n_out=0, retval=True)
+    o = hashing_overhead(seg)
+    table = costs.O0.cycles
+    floor = table[costs.HASH_FIXED] + 2 * table[costs.HASH_WORD]
+    assert o >= floor
+    assert o <= floor + 20  # access + branch overhead stays small

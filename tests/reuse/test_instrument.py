@@ -1,0 +1,96 @@
+"""Tests for profiling instrumentation insert/strip."""
+
+from repro.minic import astnodes as ast
+from repro.minic import format_program, frontend
+from repro.reuse.instrument import (
+    instrument_program,
+    instrument_segment,
+    strip_instrumentation,
+)
+from repro.reuse.segments import ProgramAnalysis, enumerate_segments
+from repro.runtime import Machine, compile_program
+
+SRC = """
+int tab[4] = {1, 2, 3, 4};
+int f(int x) {
+    int r = 0;
+    for (int i = 0; i < 4; i++)
+        r += tab[i] * x;
+    if (x > 100) return r * 2;
+    return r;
+}
+int main(void) { return f(7) + f(7); }
+"""
+
+
+def _prepare():
+    program = frontend(SRC)
+    analysis = ProgramAnalysis(program)
+    segments = [s for s in enumerate_segments(analysis) if s.feasible]
+    return program, analysis, segments
+
+
+def test_stubs_inserted_and_text_shows_them():
+    program, analysis, segments = _prepare()
+    instrument_program(segments, program)
+    text = format_program(program)
+    assert "__seg_enter" in text
+    assert "__profile" in text
+    assert "__seg_exit" in text
+
+
+def test_exit_before_every_return():
+    program, analysis, segments = _prepare()
+    fn_seg = next(s for s in segments if s.kind == "function")
+    instrument_segment(fn_seg, program)
+    fn = program.function("f")
+    exits = [
+        n
+        for n in ast.walk(fn.body)
+        if isinstance(n, ast.Call)
+        and isinstance(n.func, ast.Name)
+        and n.func.name == "__seg_exit"
+    ]
+    returns = [n for n in ast.walk(fn.body) if isinstance(n, ast.Return)]
+    # one exit stub per return plus the fall-through one
+    assert len(exits) == len(returns) + 1
+
+
+def test_strip_restores_program_text():
+    program, analysis, segments = _prepare()
+    before = format_program(program)
+    instrument_program(segments, program)
+    removed = strip_instrumentation(program)
+    assert removed > 0
+    assert format_program(program) == before
+
+
+def test_instrumented_run_records_and_is_zero_cost():
+    program, analysis, segments = _prepare()
+    fn_seg = next(s for s in segments if s.kind == "function")
+    instrument_segment(fn_seg, program)
+
+    from repro.profiling import ValueSetProfiler
+
+    machine = Machine("O0")
+    profiler = ValueSetProfiler(machine)
+    machine.profiler = profiler
+    compile_program(program, machine).run("main")
+    profile = profiler.profile(fn_seg.seg_id)
+    assert profile.executions == 2
+    assert profile.distinct_inputs == 1
+    assert profile.inclusive_cycles > 0
+
+    # same program, no profiler: identical cycle count (stubs are free)
+    machine2 = Machine("O0")
+    compile_program(program, machine2).run("main")
+    assert machine2.cycles == machine.cycles
+
+
+def test_region_object_survives_instrumentation():
+    program, analysis, segments = _prepare()
+    fn_seg = next(s for s in segments if s.kind == "function")
+    region_before = fn_seg.region_root
+    instrument_segment(fn_seg, program)
+    strip_instrumentation(program)
+    assert fn_seg.region_root is region_before

@@ -1,0 +1,122 @@
+"""Tests for the sub-segment extension (paper §5 future work)."""
+
+import pytest
+
+from repro.minic import format_program, frontend
+from repro.reuse import PipelineConfig, ReusePipeline
+from repro.reuse.segments import ProgramAnalysis, enumerate_segments
+from repro.reuse.subsegments import enumerate_subsegments
+from repro.runtime import Machine, compile_program
+
+# A main loop that is infeasible as a whole (I/O at both ends) but whose
+# middle — the expensive computation — is a clean run.
+IO_LOOP = """
+int tab[8] = {5, 3, 8, 1, 9, 2, 7, 4};
+
+int main(void) {
+    int acc = 0;
+    while (__input_avail()) {
+        int v = __input_int();
+        int r = 0;
+        int i;
+        for (i = 0; i < 12; i++)
+            r += tab[i & 7] * ((v + i) & 63) + v % (i + 2);
+        acc += r;
+        __output_int(r & 255);
+    }
+    __output_int(acc);
+    return acc;
+}
+"""
+
+
+def _run(program, inputs, tables=None):
+    machine = Machine("O0")
+    machine.set_inputs(list(inputs))
+    for seg_id, table in (tables or {}).items():
+        machine.install_table(seg_id, table)
+    result = compile_program(program, machine).run("main")
+    return result, machine
+
+
+class TestEnumeration:
+    def test_subsegment_found_in_io_loop(self):
+        program = frontend(IO_LOOP)
+        analysis = ProgramAnalysis(program)
+        segments = enumerate_segments(analysis)
+        loop = next(s for s in segments if s.kind == "loop")
+        assert not loop.feasible  # I/O disqualifies the whole body
+        subs = enumerate_subsegments(analysis, segments, next_id=100)
+        assert len(subs) >= 1
+        sub = subs[0]
+        assert sub.kind == "sub-block"
+        assert sub.feasible, sub.reject_reason
+        in_names = {s.symbol.name for s in sub.inputs}
+        assert "v" in in_names
+
+    def test_declaration_leak_shrinks_run(self):
+        # `r` is declared in the clean middle but read by the trailing
+        # output statement: the run must not swallow the declaration in a
+        # way that breaks scoping (the program must still resolve).
+        program = frontend(IO_LOOP)
+        analysis = ProgramAnalysis(program)
+        segments = enumerate_segments(analysis)
+        enumerate_subsegments(analysis, segments, next_id=100)
+        # the mutated program still parses/resolves after pretty-printing
+        from repro.minic.parser import parse_program
+        from repro.minic.sema import analyze
+
+        analyze(parse_program(format_program(program)))
+
+    def test_feasible_bodies_not_searched(self):
+        src = """
+        int f(int x) {
+            int r = 0;
+            int i;
+            for (i = 0; i < 4; i++)
+                r += x * i;
+            return r;
+        }
+        int main(void) { return f(3); }
+        """
+        program = frontend(src)
+        analysis = ProgramAnalysis(program)
+        segments = enumerate_segments(analysis)
+        subs = enumerate_subsegments(analysis, segments, next_id=100)
+        assert subs == []
+
+
+class TestPipelineIntegration:
+    INPUTS = [7, 21, 7, 99, 21, 7] * 60
+
+    def test_disabled_by_default(self):
+        result = ReusePipeline(IO_LOOP, PipelineConfig(min_executions=8)).run(
+            self.INPUTS
+        )
+        # without the extension only the inner for-loop body is available
+        # (fine-grained, small per-execution gain); no sub-block appears
+        assert all(s.kind != "sub-block" for s in result.segments)
+
+    def test_enabled_transforms_the_middle(self):
+        config = PipelineConfig(min_executions=8, enable_subsegments=True)
+        result = ReusePipeline(IO_LOOP, config).run(self.INPUTS)
+        assert any(s.kind == "sub-block" for s in result.selected)
+        text = format_program(result.program)
+        assert "__reuse_probe" in text
+
+    def test_equivalence_and_speedup(self):
+        config = PipelineConfig(min_executions=8, enable_subsegments=True)
+        result = ReusePipeline(IO_LOOP, config).run(self.INPUTS)
+        r_orig, m_orig = _run(frontend(IO_LOOP), self.INPUTS)
+        r_xfrm, m_xfrm = _run(result.program, self.INPUTS, result.build_tables())
+        assert r_orig == r_xfrm
+        assert m_orig.output_checksum == m_xfrm.output_checksum
+        assert m_xfrm.cycles < m_orig.cycles  # the extension pays off
+
+    def test_subsegment_respects_cost_filter(self):
+        # all-distinct inputs: the sub-block profiles R ~ 0 and must not
+        # be transformed
+        config = PipelineConfig(min_executions=8, enable_subsegments=True)
+        inputs = list(range(0, 3600, 10))
+        result = ReusePipeline(IO_LOOP, config).run(inputs)
+        assert not result.selected

@@ -1,0 +1,274 @@
+"""Tests for the reuse transformation: generated code shape and, above
+all, semantic equivalence with the original program."""
+
+import pytest
+
+from repro.minic import format_program, frontend
+from repro.minic.parser import parse_program
+from repro.reuse.segments import ProgramAnalysis, enumerate_segments
+from repro.reuse.transform import ReuseTransformer
+from repro.runtime import Machine, ReuseTable, compile_program
+
+
+def transform_segment_of(src, kind, func_name=None):
+    program = frontend(src)
+    analysis = ProgramAnalysis(program)
+    segments = enumerate_segments(analysis)
+    chosen = next(
+        s
+        for s in segments
+        if s.kind == kind and s.feasible and (func_name is None or s.func_name == func_name)
+    )
+    chosen.distinct_inputs = 64
+    transformer = ReuseTransformer(program, analysis)
+    spec = transformer.transform_segment(chosen)
+    return program, chosen, spec
+
+
+def run_both(src, entry="main", inputs=(), kind="function", func_name=None, capacity=256):
+    """Run original and transformed; return (orig_machine, xfrm_machine)."""
+    machine_o = Machine("O0")
+    machine_o.set_inputs(list(inputs))
+    ro = compile_program(frontend(src), machine_o).run(entry)
+
+    program, segment, spec = transform_segment_of(src, kind, func_name)
+    machine_t = Machine("O0")
+    machine_t.set_inputs(list(inputs))
+    machine_t.install_table(
+        segment.seg_id,
+        ReuseTable(str(segment.seg_id), capacity, spec.in_words, spec.out_words),
+    )
+    rt = compile_program(program, machine_t).run(entry)
+    assert ro == rt, f"result mismatch: {ro} != {rt}"
+    assert machine_o.output_checksum == machine_t.output_checksum
+    return machine_o, machine_t
+
+
+QUAN = """
+int power2[15] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384};
+int quan(int val) {
+    int i;
+    for (i = 0; i < 15; i++)
+        if (val < power2[i])
+            break;
+    return (i);
+}
+int main(void) {
+    int s = 0;
+    while (__input_avail())
+        s += quan(__input_int());
+    __output_int(s);
+    return s;
+}
+"""
+
+
+class TestFunctionSegment:
+    def test_generated_shape_matches_figure_2b(self):
+        program, segment, spec = transform_segment_of(QUAN, "function")
+        text = format_program(program)
+        assert "__reuse_probe" in text
+        assert "__reuse_commit" in text
+        assert "__reuse_out_i" in text
+        assert "__reuse_end" in text
+        # source-to-source: output re-parses
+        parse_program(text)
+
+    def test_equivalence_and_speedup_on_repetitive_input(self):
+        inputs = [3, 900, 17, 3, 900, 17] * 120
+        mo, mt = run_both(QUAN, inputs=inputs)
+        assert mt.cycles < mo.cycles  # high reuse: transformed wins
+
+    def test_equivalence_on_all_distinct_inputs(self):
+        inputs = list(range(0, 33000, 37))  # nearly all distinct
+        mo, mt = run_both(QUAN, inputs=inputs, capacity=4096)
+        # correctness holds even when reuse never pays off
+        assert mt.cycles > 0
+
+    def test_early_returns_committed(self):
+        src = """
+        int classify(int x) {
+            if (x < 0) return -1;
+            if (x == 0) return 0;
+            return 1;
+        }
+        int main(void) {
+            int s = 0;
+            while (__input_avail())
+                s += classify(__input_int());
+            return s;
+        }
+        """
+        inputs = [-5, 0, 7, -5, 0, 7, -5, 0, 7]
+        mo, mt = run_both(src, inputs=inputs)
+
+    def test_global_output_restored_on_hit(self):
+        src = """
+        int last;
+        int f(int x) {
+            last = x * 2;
+            return x + 1;
+        }
+        int main(void) {
+            int s = 0;
+            while (__input_avail()) {
+                s += f(__input_int());
+                s += last;
+            }
+            return s;
+        }
+        """
+        inputs = [4, 9, 4, 9, 4]
+        run_both(src, inputs=inputs)
+
+    def test_void_function_with_global_outputs(self):
+        src = """
+        int a;
+        int b;
+        void f(int x) {
+            a = x * 3;
+            b = x - 1;
+        }
+        int main(void) {
+            int s = 0;
+            while (__input_avail()) {
+                f(__input_int());
+                s += a * b;
+            }
+            return s;
+        }
+        """
+        inputs = [2, 5, 2, 5, 2, 5]
+        run_both(src, inputs=inputs)
+
+    def test_array_output_through_pointer_param(self):
+        src = """
+        int buf[4];
+        void expand(int x, int *out) {
+            out[0] = x;
+            out[1] = x * x;
+            out[2] = x + 1;
+            out[3] = x - 1;
+        }
+        int main(void) {
+            int s = 0;
+            while (__input_avail()) {
+                expand(__input_int(), buf);
+                s += buf[0] + buf[1] + buf[2] + buf[3];
+            }
+            return s;
+        }
+        """
+        inputs = [3, 8, 3, 8, 3]
+        run_both(src, inputs=inputs, func_name="expand")
+
+    def test_float_retval(self):
+        src = """
+        float half(int x) { return x / 2.0; }
+        int main(void) {
+            float s = 0.0;
+            while (__input_avail())
+                s = s + half(__input_int());
+            __output_float(s);
+            return (int) s;
+        }
+        """
+        inputs = [1, 2, 3, 1, 2, 3]
+        run_both(src, inputs=inputs)
+
+    def test_recursive_function_memoized(self):
+        src = """
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main(void) { return fib(14); }
+        """
+        mo, mt = run_both(src)
+        # memoized fib collapses the exponential tree
+        assert mt.cycles < mo.cycles / 5
+
+
+class TestRegionSegments:
+    def test_loop_body_segment(self):
+        src = """
+        int weight(int x) {
+            int s = 0;
+            for (int i = 0; i < 100; i++) {
+                int v = x;
+                int acc = 0;
+                for (int j = 0; j < 20; j++)
+                    acc += (v + j) * (v - j);
+                s += acc;
+            }
+            return s;
+        }
+        int main(void) {
+            int t = 0;
+            while (__input_avail())
+                t += weight(__input_int());
+            __output_int(t);
+            return t;
+        }
+        """
+        # the outer loop body has input {x, i?}... verify equivalence
+        inputs = [5, 5, 5, 9]
+        mo, mt = run_both(src, inputs=inputs, kind="loop", func_name="weight")
+
+    def test_if_branch_segment(self):
+        src = """
+        int g;
+        int f(int x, int mode) {
+            int r = 0;
+            if (mode) {
+                r = x * x + x;
+                g = r / 2;
+            }
+            else {
+                r = -x;
+            }
+            return r + g;
+        }
+        int main(void) {
+            int s = 0;
+            while (__input_avail())
+                s += f(__input_int(), s % 2);
+            return s;
+        }
+        """
+        inputs = [3, 3, 4, 3, 3, 4, 3]
+        run_both(src, inputs=inputs, kind="if-branch", func_name="f")
+
+    def test_region_transform_shape(self):
+        src = """
+        int f(int x) {
+            int r = 0;
+            for (int i = 0; i < 4; i++) {
+                r = r + x;
+            }
+            return r;
+        }
+        int main(void) { return f(3); }
+        """
+        program, segment, spec = transform_segment_of(src, "loop")
+        text = format_program(program)
+        assert "__reuse_probe" in text
+        assert "== 0" in text  # the Figure 2(b) check_hash(...) == 0 shape
+        parse_program(text)
+
+
+class TestTableStats:
+    def test_hits_match_expected_reuse(self):
+        inputs = [7, 7, 7, 7, 7, 7, 7, 7]
+        mo, mt = run_both(QUAN, inputs=inputs)
+        table = next(iter(mt.reuse_tables.values()))
+        assert table.stats.probes == 8
+        assert table.stats.hits == 7
+        assert table.stats.misses == 1
+
+    def test_tiny_table_still_correct(self):
+        inputs = [1, 2000, 1, 2000, 1, 2000]
+        # capacity 1: constant eviction, zero or near-zero hits, still correct
+        mo, mt = run_both(QUAN, inputs=inputs, capacity=1)
+        table = next(iter(mt.reuse_tables.values()))
+        assert table.stats.hits < table.stats.probes

@@ -1,0 +1,142 @@
+"""Tests for adaptive reuse tables (runtime deactivation extension)."""
+
+import pytest
+
+from repro.minic import frontend
+from repro.reuse import PipelineConfig, ReusePipeline
+from repro.runtime import Machine, compile_program
+from repro.runtime.adaptive import AdaptiveReuseTable
+
+
+class TestAdaptiveTable:
+    def _table(self, **kw):
+        defaults = dict(
+            capacity=64, in_words=1, out_words=1, break_even=0.5, window=10,
+            retry_every=20,
+        )
+        defaults.update(kw)
+        return AdaptiveReuseTable("s", **defaults)
+
+    def test_stays_active_on_good_locality(self):
+        t = self._table()
+        for i in range(100):
+            key = (i % 3,)
+            if not t.bypassed:
+                if t.probe(key):
+                    t.finish()
+                else:
+                    t.commit((1,))
+        assert t.active
+        assert t.deactivations == 0
+
+    def test_deactivates_on_bad_locality(self):
+        t = self._table()
+        for i in range(30):
+            if t.bypassed:
+                t.push_bypass()
+                t.commit(())
+                continue
+            key = (i,)  # all distinct: zero hits
+            if t.probe(key):
+                t.finish()
+            else:
+                t.commit((1,))
+        assert t.deactivations >= 1
+        assert t.bypassed_probes > 0
+
+    def test_reactivation_resamples(self):
+        t = self._table(window=5, retry_every=8)
+        # poison phase: deactivate
+        for i in range(10):
+            if not t.bypassed:
+                t.probe((1000 + i,))
+                t.commit((1,))
+            else:
+                t.push_bypass()
+                t.commit(())
+        assert not t.active
+        # keep bypassing until retry triggers, then feed it locality
+        hits = 0
+        for i in range(200):
+            if t.bypassed:
+                t.push_bypass()
+                t.commit(())
+                continue
+            if t.probe((7,)):
+                hits += 1
+                t.finish()
+            else:
+                t.commit((9,))
+        assert t.active  # recovered
+        assert hits > 0
+
+    def test_break_even_validation(self):
+        with pytest.raises(ValueError):
+            self._table(break_even=1.5)
+
+    def test_commit_after_bypass_is_noop(self):
+        t = self._table(window=2, retry_every=100)
+        t.probe((1,))
+        t.commit((10,))
+        t.probe((2,))
+        t.commit((20,))  # window closes, ratio 0 -> deactivate
+        assert not t.active
+        assert t.bypassed  # consumes one bypass
+        t.push_bypass()
+        t.commit(())  # must not raise or store anything
+        assert t.occupied <= 2
+
+
+PROGRAM = """
+int tab[8] = {5, 3, 8, 1, 9, 2, 7, 4};
+static int kernel(int v) {
+    int r = 0;
+    int i;
+    for (i = 0; i < 10; i++)
+        r += tab[i & 7] * ((v + i) & 63) + v % (i + 2);
+    return r;
+}
+int main(void) {
+    int acc = 0;
+    while (__input_avail())
+        acc += kernel(__input_int());
+    __output_int(acc);
+    return acc;
+}
+"""
+
+
+class TestEndToEnd:
+    def _measure(self, inputs, adaptive):
+        profile_inputs = [3, 9, 3, 17, 9, 3] * 40  # high-reuse profile run
+        result = ReusePipeline(PROGRAM, PipelineConfig(min_executions=16)).run(
+            profile_inputs
+        )
+        mo = Machine("O0")
+        mo.set_inputs(list(inputs))
+        compile_program(frontend(PROGRAM), mo).run("main")
+        mt = Machine("O0")
+        mt.set_inputs(list(inputs))
+        for seg_id, table in result.build_tables(adaptive=adaptive).items():
+            mt.install_table(seg_id, table)
+        compile_program(result.program, mt).run("main")
+        assert mo.output_checksum == mt.output_checksum
+        return mo.cycles / mt.cycles, mt
+
+    def test_good_inputs_unaffected(self):
+        inputs = [3, 9, 3, 17, 9, 3] * 80
+        plain, _ = self._measure(inputs, adaptive=False)
+        adaptive, _ = self._measure(inputs, adaptive=True)
+        assert adaptive > 1.2
+        assert adaptive == pytest.approx(plain, rel=0.05)
+
+    def test_adversarial_inputs_recovered(self):
+        # all-distinct values: the profiled transformation never hits
+        inputs = list(range(0, 40000, 7))
+        plain, _ = self._measure(inputs, adaptive=False)
+        adaptive, mt = self._measure(inputs, adaptive=True)
+        assert plain < 1.0  # the static scheme loses on this input
+        assert adaptive > plain  # deactivation recovers most of the loss
+        assert adaptive > 0.97
+        table = next(iter(mt.reuse_tables.values()))
+        assert table.deactivations >= 1

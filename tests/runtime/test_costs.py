@@ -1,0 +1,71 @@
+"""Tests for the cost model (cycle tables, time, energy)."""
+
+import pytest
+
+from repro.runtime import costs
+from repro.runtime.costs import CLOCK_HZ, O0, O3, cost_table
+
+
+def test_tables_cover_all_classes():
+    assert len(O0.cycles) == costs.N_CLASSES
+    assert len(O3.cycles) == costs.N_CLASSES
+    assert len(costs.CLASS_NAMES) == costs.N_CLASSES
+
+
+def test_o3_never_more_expensive_per_op():
+    for name, c0, c3 in zip(costs.CLASS_NAMES, O0.cycles, O3.cycles):
+        assert c3 <= c0, name
+
+
+def test_register_allocation_modelled():
+    # scalar local access is free at O3, a stack access at O0
+    assert O0.cycles[costs.LOCAL_RD] > 0
+    assert O3.cycles[costs.LOCAL_RD] == 0
+
+
+def test_software_floats_expensive():
+    # SA-1110 has no FPU: float ops cost an order of magnitude more
+    assert O0.cycles[costs.FALU] > 10 * O0.cycles[costs.ALU]
+    assert O0.cycles[costs.FDIV] > O0.cycles[costs.FMUL] > O0.cycles[costs.FALU]
+
+
+def test_cycles_for_dot_product():
+    counts = [0] * costs.N_CLASSES
+    counts[costs.ALU] = 10
+    counts[costs.MUL] = 2
+    expected = 10 * O0.cycles[costs.ALU] + 2 * O0.cycles[costs.MUL]
+    assert O0.cycles_for(counts) == expected
+
+
+def test_seconds_at_clock_rate():
+    counts = [0] * costs.N_CLASSES
+    counts[costs.ALU] = CLOCK_HZ  # one second of ALU work
+    assert O0.seconds_for(counts) == pytest.approx(O0.cycles[costs.ALU])
+
+
+def test_energy_dominated_by_base_power():
+    counts = [0] * costs.N_CLASSES
+    counts[costs.ALU] = 1_000_000
+    energy = O0.energy_joules_for(counts)
+    seconds = O0.seconds_for(counts)
+    base = costs.BASE_WATTS * seconds
+    assert energy > base
+    assert energy < base * 2  # op-extra is a minor term
+
+
+def test_memory_ops_carry_more_energy_than_alu():
+    alu_only = [0] * costs.N_CLASSES
+    alu_only[costs.ALU] = 100_000
+    mem_only = [0] * costs.N_CLASSES
+    mem_only[costs.MEM_RD] = 100_000
+    # compare per-op extra energy at equal op counts
+    e_alu = O0.energy_joules_for(alu_only) - costs.BASE_WATTS * O0.seconds_for(alu_only)
+    e_mem = O0.energy_joules_for(mem_only) - costs.BASE_WATTS * O0.seconds_for(mem_only)
+    assert e_mem > e_alu
+
+
+def test_cost_table_lookup():
+    assert cost_table("O0") is O0
+    assert cost_table("O3") is O3
+    with pytest.raises(KeyError):
+        cost_table("O2")

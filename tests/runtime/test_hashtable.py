@@ -1,0 +1,228 @@
+"""Tests for reuse tables, merged tables, and LRU buffers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.hashtable import LRUBuffer, MergedReuseTable, ReuseTable
+from repro.runtime.jenkins import hash_key_words, jenkins_one_at_a_time
+
+
+class TestJenkins:
+    def test_single_word_key_is_identity(self):
+        assert hash_key_words((42,)) == 42
+        assert hash_key_words((0xFFFFFFFF,)) == 0xFFFFFFFF
+
+    def test_multi_word_key_hashes(self):
+        h = hash_key_words((1, 2, 3))
+        assert 0 <= h <= 0xFFFFFFFF
+        assert h == hash_key_words((1, 2, 3))
+        assert h != hash_key_words((3, 2, 1))
+
+    def test_one_at_a_time_known_properties(self):
+        assert jenkins_one_at_a_time(b"") == 0
+        assert jenkins_one_at_a_time(b"a") != jenkins_one_at_a_time(b"b")
+
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFFFFFF), min_size=2, max_size=8))
+    def test_hash_in_u32_range(self, words):
+        h = hash_key_words(tuple(words))
+        assert 0 <= h <= 0xFFFFFFFF
+
+
+class TestReuseTable:
+    def test_miss_then_hit(self):
+        t = ReuseTable("s", capacity=16, in_words=1, out_words=1)
+        assert t.probe((5,)) is False
+        t.commit((50,))
+        assert t.probe((5,)) is True
+        assert t.output(0) == 50
+        t.finish()
+        assert t.stats.probes == 2
+        assert t.stats.hits == 1
+        assert t.stats.misses == 1
+
+    def test_capacity_rounded_to_power_of_two(self):
+        t = ReuseTable("s", capacity=9, in_words=1, out_words=1)
+        assert t.capacity == 16
+
+    def test_collision_replaces_entry(self):
+        t = ReuseTable("s", capacity=4, in_words=1, out_words=1)
+        # keys 1 and 5 collide in a 4-entry table (1 % 4 == 5 % 4).
+        t.probe((1,))
+        t.commit((10,))
+        assert t.probe((5,)) is False
+        assert t.stats.collisions == 1
+        t.commit((50,))
+        # the old key was evicted
+        assert t.probe((1,)) is False
+        t.commit((10,))
+
+    def test_multiword_outputs(self):
+        t = ReuseTable("s", capacity=8, in_words=1, out_words=3)
+        t.probe((7,))
+        t.commit((1, 2.5, 3))
+        assert t.probe((7,)) is True
+        assert t.output(1) == 2.5
+        t.finish()
+
+    def test_array_outputs_deep_copied(self):
+        t = ReuseTable("s", capacity=8, in_words=1, out_words=4)
+        arr = [1, 2, 3, 4]
+        t.probe((9,))
+        t.commit((arr,))
+        arr[0] = 99
+        assert t.probe((9,)) is True
+        assert t.output(0) == [1, 2, 3, 4]
+        t.finish()
+
+    def test_pending_stack_supports_nesting(self):
+        t = ReuseTable("s", capacity=8, in_words=1, out_words=1)
+        assert t.probe((1,)) is False  # outer miss
+        assert t.probe((2,)) is False  # inner (recursive) miss
+        t.commit((20,))  # inner commits first (LIFO)
+        t.commit((10,))
+        assert t.probe((1,)) is True
+        assert t.output(0) == 10
+        t.finish()
+
+    def test_size_bytes(self):
+        t = ReuseTable("s", capacity=64, in_words=2, out_words=3)
+        assert t.size_bytes == 64 * 5 * 4
+
+    def test_clear_resets(self):
+        t = ReuseTable("s", capacity=4, in_words=1, out_words=1)
+        t.probe((1,))
+        t.commit((2,))
+        t.clear()
+        assert t.stats.probes == 0
+        assert t.occupied == 0
+        assert t.probe((1,)) is False
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=200))
+    def test_deterministic_function_property(self, keys):
+        """With a large enough table, the reuse table behaves as a memo for
+        a deterministic function: every hit returns f(key)."""
+        f = lambda k: (k * k + 1,)
+        t = ReuseTable("s", capacity=1024, in_words=1, out_words=1)
+        for k in keys:
+            if t.probe((k,)):
+                assert t.output(0) == f(k)[0]
+                t.finish()
+            else:
+                t.commit(f(k))
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=300))
+    def test_stats_invariants(self, keys):
+        t = ReuseTable("s", capacity=64, in_words=1, out_words=1)
+        for k in keys:
+            if t.probe((k,)):
+                t.finish()
+            else:
+                t.commit((k,))
+        assert t.stats.hits + t.stats.misses == t.stats.probes == len(keys)
+        assert t.stats.collisions <= t.stats.misses
+
+
+class TestMergedReuseTable:
+    def _table(self):
+        return MergedReuseTable(
+            "m", capacity=16, in_words=2, member_out_words={"a": 1, "b": 2}
+        )
+
+    def test_members_share_keys_but_not_outputs(self):
+        m = self._table()
+        va, vb = m.view("a"), m.view("b")
+        assert va.probe((1, 2)) is False
+        va.commit((10,))
+        # Same key, other member: the key is present but its output bit is
+        # not set, so this is a miss.
+        assert vb.probe((1, 2)) is False
+        vb.commit((20, 21))
+        assert va.probe((1, 2)) is True
+        assert va.output(0) == 10
+        va.finish()
+        assert vb.probe((1, 2)) is True
+        assert vb.output(1) == 21
+        vb.finish()
+
+    def test_replacement_invalidates_all_members(self):
+        m = MergedReuseTable("m", capacity=4, in_words=1, member_out_words={"a": 1, "b": 1})
+        va, vb = m.view("a"), m.view("b")
+        va.probe((1,))
+        va.commit((10,))
+        vb.probe((1,))
+        vb.commit((11,))
+        # key 5 collides with key 1 (5 % 4 == 1); member a replaces the entry
+        va.probe((5,))
+        va.commit((50,))
+        # b's output for key 5 must not leak from key 1's record
+        assert vb.probe((5,)) is False
+        vb.commit((51,))
+        assert vb.probe((5,)) is True
+        assert vb.output(0) == 51
+        vb.finish()
+
+    def test_size_includes_bitvector_and_all_outputs(self):
+        m = self._table()
+        # entry = 2 key words + 1 bitvector word + (1 + 2) output words
+        assert m.entry_words == 6
+        assert m.size_bytes == 16 * 6 * 4
+
+    def test_per_member_stats(self):
+        m = self._table()
+        va = m.view("a")
+        va.probe((1, 1))
+        va.commit((1,))
+        va.probe((1, 1))
+        va.finish()
+        assert m.stats_per_member["a"].hits == 1
+        assert m.stats_per_member["b"].probes == 0
+        assert m.stats.probes == 2
+
+    def test_unknown_member_raises(self):
+        with pytest.raises(KeyError):
+            self._table().view("zzz")
+
+
+class TestLRUBuffer:
+    def test_hit_and_miss(self):
+        b = LRUBuffer(2)
+        assert b.access((1,)) is False
+        assert b.access((1,)) is True
+        assert b.access((2,)) is False
+        assert b.access((3,)) is False  # evicts 1
+        assert b.access((1,)) is False
+
+    def test_lru_order_updated_on_hit(self):
+        b = LRUBuffer(2)
+        b.access((1,))
+        b.access((2,))
+        b.access((1,))  # 1 becomes MRU
+        b.access((3,))  # evicts 2
+        assert b.access((1,)) is True
+        assert b.access((2,)) is False
+
+    def test_single_entry_buffer(self):
+        b = LRUBuffer(1)
+        assert b.access((1,)) is False
+        assert b.access((1,)) is True
+        assert b.access((2,)) is False
+        assert b.access((1,)) is False
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUBuffer(0)
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.lists(st.integers(min_value=0, max_value=20), max_size=300),
+    )
+    def test_hit_ratio_bounds_and_monotone_capacity(self, cap, keys):
+        small = LRUBuffer(cap)
+        big = LRUBuffer(cap * 4)
+        for k in keys:
+            small.access((k,))
+            big.access((k,))
+        assert small.stats.hits <= big.stats.hits
+        assert 0.0 <= small.hit_ratio <= 1.0

@@ -1,0 +1,160 @@
+"""Additional interpreter semantics edge cases."""
+
+import pytest
+
+from repro.errors import InterpError
+from repro.minic import frontend
+from repro.runtime import Machine, compile_program, run_source
+
+
+def run(src, entry="main", inputs=()):
+    result, _ = run_source(src, entry=entry, inputs=inputs)
+    return result
+
+
+def test_comma_in_for_step():
+    src = """
+    int main(void) {
+        int i;
+        int j = 0;
+        for (i = 0; i < 5; i++, j += 2)
+            ;
+        return j;
+    }
+    """
+    assert run(src) == 10
+
+
+def test_continue_in_do_while_checks_condition():
+    src = """
+    int main(void) {
+        int n = 3;
+        int c = 0;
+        do {
+            n--;
+            if (n > 0) continue;
+            c = 100;
+        } while (n > 0);
+        return c + n;
+    }
+    """
+    assert run(src) == 100
+
+
+def test_nested_ternary_evaluation_order():
+    src = """
+    int calls = 0;
+    int mark(int v) { calls++; return v; }
+    int main(void) {
+        int r = 1 ? mark(5) : mark(6);
+        return r * 10 + calls;
+    }
+    """
+    assert run(src) == 51  # only one arm evaluated
+
+
+def test_logical_results_are_zero_one():
+    src = "int main(void) { return (5 && 7) * 10 + (0 || 9); }"
+    assert run(src) == 11
+
+
+def test_division_by_zero_raises_at_runtime():
+    with pytest.raises(InterpError):
+        run("int main(void) { int z = 0; return 1 / z; }")
+
+
+def test_modulo_by_zero_raises():
+    with pytest.raises(InterpError):
+        run("int main(void) { int z = 0; return 1 % z; }")
+
+
+def test_float_division_by_zero_raises():
+    with pytest.raises(InterpError):
+        run("float main(void) { float z = 0.0; return 1.0 / z; }")
+
+
+def test_assert_builtin():
+    assert run("int main(void) { __assert(1 == 1); return 7; }") == 7
+    with pytest.raises(InterpError):
+        run("int main(void) { __assert(0); return 7; }")
+
+
+def test_print_int_collects_debug_log():
+    program = frontend(
+        "int main(void) { __print_int(3); __print_int(9); return 0; }"
+    )
+    machine = Machine()
+    compile_program(program, machine).run("main")
+    assert machine.debug_log == [3, 9]
+
+
+def test_min_max_builtins():
+    assert run("int main(void) { return __min(3, 9) * 100 + __max(3, 9); }") == 309
+
+
+def test_math_builtins_values():
+    src = """
+    int main(void) {
+        float c = __cos(0.0);
+        float s = __sin(0.0);
+        float q = __sqrt(16.0);
+        float fl = __floor(2.9);
+        return (int) (c * 1000.0 + s * 100.0 + q * 10.0 + fl);
+    }
+    """
+    assert run(src) == 1042
+
+
+def test_sqrt_negative_raises():
+    with pytest.raises(InterpError):
+        run("float main(void) { float m = -1.0; return __sqrt(m); }")
+
+
+def test_deep_recursion_works():
+    src = """
+    int down(int n) { if (n == 0) return 0; return down(n - 1) + 1; }
+    int main(void) { return down(200); }
+    """
+    assert run(src) == 200
+
+
+def test_shadowed_global_by_param():
+    src = """
+    int x = 100;
+    int f(int x) { return x + 1; }
+    int main(void) { return f(5) + x; }
+    """
+    assert run(src) == 106
+
+
+def test_multiple_runs_reset_globals():
+    program = frontend("int g;\nint main(void) { g = g + 1; return g; }")
+    machine = Machine()
+    compiled = compile_program(program, machine)
+    assert compiled.run("main") == 1
+    assert compiled.run("main") == 1  # run() resets globals
+
+
+def test_entry_other_than_main():
+    src = "int helper(int v) { return v * 3; }\nint main(void) { return 0; }"
+    program = frontend(src)
+    machine = Machine()
+    compiled = compile_program(program, machine)
+    compiled.reset_globals()
+    assert compiled.functions["helper"].invoke((7,)) == 21
+
+
+def test_unknown_entry_raises():
+    program = frontend("int main(void) { return 0; }")
+    machine = Machine()
+    compiled = compile_program(program, machine)
+    with pytest.raises(InterpError):
+        compiled.run("nothere")
+
+
+def test_char_literals_as_ints():
+    assert run("int main(void) { return 'a' + '\\n'; }") == 107
+
+
+def test_hex_literals():
+    assert run("int main(void) { return 0xFF & 0x0F; }") == 15

@@ -1,0 +1,103 @@
+"""Tests for the Machine API (I/O streams, counters, metrics)."""
+
+import pytest
+
+from repro.errors import InterpError
+from repro.runtime import Machine
+from repro.runtime.costs import ALU, CLOCK_HZ
+
+
+class TestInputs:
+    def test_stream_consumed_in_order(self):
+        m = Machine()
+        m.set_inputs([10, 20, 30])
+        assert m.next_input() == 10
+        assert m.next_input() == 20
+        assert m.input_available() == 1
+        assert m.next_input() == 30
+        assert m.input_available() == 0
+
+    def test_exhaustion_raises(self):
+        m = Machine()
+        m.set_inputs([])
+        with pytest.raises(InterpError):
+            m.next_input()
+
+    def test_reset_io_rewinds(self):
+        m = Machine()
+        m.set_inputs([1, 2])
+        m.next_input()
+        m.reset_io()
+        assert m.next_input() == 1
+
+
+class TestOutputs:
+    def test_checksum_accumulates(self):
+        m = Machine()
+        m.emit(1)
+        c1 = m.output_checksum
+        m.emit(2)
+        assert m.output_checksum != c1
+        assert m.output_count == 2
+
+    def test_float_outputs_checksummed(self):
+        a, b = Machine(), Machine()
+        a.emit(1.5)
+        b.emit(2.5)
+        assert a.output_checksum != b.output_checksum
+
+    def test_capture_mode(self):
+        m = Machine(capture_output=True)
+        m.emit(7)
+        m.emit(1.5)
+        assert m.captured_outputs == [7, 1.5]
+
+    def test_no_capture_by_default(self):
+        m = Machine()
+        m.emit(7)
+        assert m.captured_outputs == []
+
+
+class TestCountersAndMetrics:
+    def test_counters_drive_cycles(self):
+        m = Machine("O0")
+        assert m.cycles == 0
+        m.counters[ALU] += 5
+        assert m.cycles == 5 * m.cost.cycles[ALU]
+
+    def test_seconds_at_clock(self):
+        m = Machine("O0")
+        m.counters[ALU] += CLOCK_HZ  # cycles[ALU] == 1 at O0
+        assert m.seconds == pytest.approx(1.0)
+
+    def test_reset_counters(self):
+        m = Machine()
+        m.counters[ALU] += 3
+        m.reset_counters()
+        assert m.cycles == 0
+
+    def test_metrics_snapshot(self):
+        m = Machine("O3")
+        m.counters[ALU] += 10
+        m.emit(1)
+        metrics = m.metrics()
+        assert metrics.opt_level == "O3"
+        assert metrics.counts["alu"] == 10
+        assert metrics.output_count == 1
+        assert metrics.energy_joules > 0
+        assert "O3" in str(metrics)
+
+
+class TestTables:
+    def test_missing_table_raises(self):
+        m = Machine()
+        with pytest.raises(InterpError):
+            m.table_for(5)
+
+    def test_install_and_lookup(self):
+        from repro.runtime import ReuseTable
+
+        m = Machine()
+        table = ReuseTable("x", 8, 1, 1)
+        m.install_table(5, table)
+        assert m.table_for(5) is table

@@ -1,0 +1,152 @@
+"""Unit and property tests for runtime value helpers (C semantics)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InterpError
+from repro.minic.types import FLOAT, INT, ArrayType, PointerType
+from repro.runtime.values import (
+    c_div,
+    c_mod,
+    c_shl,
+    c_shr,
+    copy_into,
+    deep_copy_value,
+    flatten_value,
+    float_bits,
+    key_words,
+    to_u32,
+    wrap32,
+    zero_value,
+)
+
+INT32_MIN = -(2**31)
+INT32_MAX = 2**31 - 1
+
+ints32 = st.integers(min_value=INT32_MIN, max_value=INT32_MAX)
+
+
+def test_wrap32_identity_in_range():
+    assert wrap32(0) == 0
+    assert wrap32(INT32_MAX) == INT32_MAX
+    assert wrap32(INT32_MIN) == INT32_MIN
+
+
+def test_wrap32_overflow():
+    assert wrap32(INT32_MAX + 1) == INT32_MIN
+    assert wrap32(INT32_MIN - 1) == INT32_MAX
+    assert wrap32(2**32) == 0
+    assert wrap32(-(2**32)) == 0
+
+
+@given(st.integers())
+def test_wrap32_always_in_range(v):
+    w = wrap32(v)
+    assert INT32_MIN <= w <= INT32_MAX
+    assert (w - v) % 2**32 == 0
+
+
+@given(ints32)
+def test_to_u32_roundtrip(v):
+    assert wrap32(to_u32(v)) == v
+
+
+def test_c_div_truncates_toward_zero():
+    assert c_div(7, 2) == 3
+    assert c_div(-7, 2) == -3
+    assert c_div(7, -2) == -3
+    assert c_div(-7, -2) == 3
+
+
+def test_c_mod_sign_follows_dividend():
+    assert c_mod(7, 2) == 1
+    assert c_mod(-7, 2) == -1
+    assert c_mod(7, -2) == 1
+    assert c_mod(-7, -2) == -1
+
+
+@given(ints32, ints32.filter(lambda v: v != 0))
+def test_c_div_mod_identity(a, b):
+    assert c_div(a, b) * b + c_mod(a, b) == a
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(InterpError):
+        c_div(1, 0)
+    with pytest.raises(InterpError):
+        c_mod(1, 0)
+
+
+def test_shifts():
+    assert c_shl(1, 4) == 16
+    assert c_shl(1, 31) == INT32_MIN  # sign bit
+    assert c_shr(-8, 1) == -4  # arithmetic shift
+    assert c_shr(8, 1) == 4
+
+
+@given(ints32, st.integers(min_value=0, max_value=31))
+def test_shl_matches_wrap(a, s):
+    assert c_shl(a, s) == wrap32(a << s)
+
+
+def test_shift_count_masked_to_5_bits():
+    assert c_shl(1, 32) == 1
+    assert c_shr(16, 33) == 8
+
+
+def test_float_bits_deterministic_and_distinct():
+    assert float_bits(1.0) == float_bits(1.0)
+    assert float_bits(1.0) != float_bits(-1.0)
+    assert float_bits(0.0) == 0
+
+
+def test_zero_value_shapes():
+    assert zero_value(INT) == 0
+    assert zero_value(FLOAT) == 0.0
+    assert zero_value(ArrayType(INT, 3)) == [0, 0, 0]
+    assert zero_value(ArrayType(ArrayType(FLOAT, 2), 2)) == [[0.0, 0.0], [0.0, 0.0]]
+    assert zero_value(PointerType(INT)) is None
+
+
+def test_flatten_value_row_major():
+    assert list(flatten_value([[1, 2], [3, 4]])) == [1, 2, 3, 4]
+    assert list(flatten_value(5)) == [5]
+
+
+def test_key_words_ints_and_floats():
+    assert key_words(-1) == (0xFFFFFFFF,)
+    assert key_words([1, 2]) == (1, 2)
+    kw = key_words([1.5, 2.5])
+    assert len(kw) == 2
+    assert all(isinstance(w, int) for w in kw)
+
+
+def test_key_words_distinguish_int_from_float():
+    assert key_words(1) != key_words(1.0)
+
+
+def test_deep_copy_value_no_aliasing():
+    original = [[1, 2], [3, 4]]
+    copy = deep_copy_value(original)
+    copy[0][0] = 99
+    assert original[0][0] == 1
+
+
+def test_copy_into_preserves_identity_of_dest():
+    dest = [0, 0, 0]
+    alias = dest
+    copy_into(dest, [1, 2, 3])
+    assert alias == [1, 2, 3]
+
+
+def test_copy_into_nested():
+    dest = [[0, 0], [0, 0]]
+    inner = dest[1]
+    copy_into(dest, [[1, 2], [3, 4]])
+    assert inner == [3, 4]
+
+
+def test_copy_into_length_mismatch_raises():
+    with pytest.raises(InterpError):
+        copy_into([0, 0], [1, 2, 3])

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+int tab[8] = {5, 3, 8, 1, 9, 2, 7, 4};
+
+static int kernel(int v) {
+    int r = 0;
+    int i;
+    for (i = 0; i < 6; i++)
+        r += tab[i] * ((v + i) & 31) + v % (i + 2);
+    return r;
+}
+
+int main(void) {
+    int acc = 0;
+    while (__input_avail())
+        acc += kernel(__input_int());
+    __output_int(acc);
+    return acc;
+}
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestRun:
+    def test_run_prints_metrics(self, program_file, capsys):
+        rc = main(["run", program_file, "--inputs", "1,2,3,1,2,3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cycles:" in out
+        assert "energy:" in out
+        assert "checksum" in out
+
+    def test_run_o3_fewer_cycles(self, program_file, capsys):
+        main(["run", program_file, "--inputs", "1,2,3"])
+        o0 = capsys.readouterr().out
+        main(["run", program_file, "--opt", "O3", "--inputs", "1,2,3"])
+        o3 = capsys.readouterr().out
+        cycles0 = int(o0.split("cycles: ")[1].split()[0])
+        cycles3 = int(o3.split("cycles: ")[1].split()[0])
+        assert cycles3 < cycles0
+
+    def test_inputs_file(self, program_file, tmp_path, capsys):
+        stream = tmp_path / "inputs.txt"
+        stream.write_text("4 5 6 4 5 6")
+        rc = main(["run", program_file, "--inputs-file", str(stream)])
+        assert rc == 0
+        assert "output: 1 values" in capsys.readouterr().out
+
+
+class TestTransform:
+    def test_transform_prints_source_and_speedup(self, program_file, capsys):
+        inputs = ",".join(["7", "9", "7", "9"] * 30)
+        rc = main(["transform", program_file, "--inputs", inputs, "--min-executions", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "__reuse_probe" in out
+        assert "speedup:" in out
+        assert "outputs match: True" in out
+
+    def test_no_measure(self, program_file, capsys):
+        inputs = ",".join(["7", "9"] * 40)
+        rc = main(
+            [
+                "transform",
+                program_file,
+                "--inputs",
+                inputs,
+                "--min-executions",
+                "8",
+                "--no-measure",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "speedup" not in out
+
+
+class TestWorkloads:
+    def test_lists_all_eleven(self, capsys):
+        rc = main(["workloads"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("[primary]") == 7
+        assert out.count("[variant]") == 4
+        assert "GNUGO" in out
+
+
+class TestReport:
+    def test_table3_for_one_workload(self, capsys):
+        rc = main(["report", "--table", "3", "--workload", "RASTA"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Table 3" in out
+        assert "RASTA" in out
+
+    def test_missing_selector_errors(self, capsys):
+        rc = main(["report"])
+        assert rc == 2

@@ -1,0 +1,52 @@
+"""Smoke tests for the example scripts.
+
+Each example is importable and its ``main()`` runs to completion (with
+output captured).  The two heavier examples run on reduced data via the
+same entry points they expose.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "g721_specialization",
+        "gnugo_merged_tables",
+        "cost_model_explorer",
+        "subsegment_extension",
+    ],
+)
+def test_example_importable(name):
+    module = _load(name)
+    assert callable(module.main)
+
+
+def test_quickstart_runs(capsys):
+    module = _load("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "__reuse_probe" in out
+
+
+def test_subsegment_extension_runs(capsys):
+    module = _load("subsegment_extension")
+    module.main()
+    out = capsys.readouterr().out
+    assert "sub-block" in out
+    assert "speedup" in out

@@ -1,0 +1,131 @@
+"""Tests for the benchmark workloads: sources compile and run, input
+generators are deterministic and have the documented properties."""
+
+import pytest
+
+from repro.minic import frontend
+from repro.runtime import Machine, compile_program
+from repro.workloads import ALL_WORKLOADS, PRIMARY_WORKLOADS, WORKLOADS, get_workload
+from repro.workloads import inputs as gen
+
+
+class TestRegistry:
+    def test_eleven_programs(self):
+        assert len(ALL_WORKLOADS) == 11
+
+    def test_seven_primary(self):
+        assert len(PRIMARY_WORKLOADS) == 7
+        assert [w.name for w in PRIMARY_WORKLOADS] == [
+            "G721_encode",
+            "G721_decode",
+            "MPEG2_encode",
+            "MPEG2_decode",
+            "RASTA",
+            "UNEPIC",
+            "GNUGO",
+        ]
+
+    def test_get_workload(self):
+        assert get_workload("RASTA").name == "RASTA"
+        with pytest.raises(KeyError):
+            get_workload("nope")
+
+    def test_variants_flagged(self):
+        for name in ("G721_encode_s", "G721_encode_b", "G721_decode_s", "G721_decode_b"):
+            assert WORKLOADS[name].is_variant
+
+
+class TestSourcesRun:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_source_parses_and_runs(self, name):
+        workload = WORKLOADS[name]
+        program = frontend(workload.source)
+        machine = Machine("O0")
+        # a truncated input stream keeps this fast
+        inputs = workload.default_inputs()
+        machine.set_inputs(inputs[: min(len(inputs), 640)])
+        compile_program(program, machine).run("main")
+        assert machine.cycles > 0
+        assert machine.output_count > 0
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_deterministic_checksum(self, name):
+        workload = WORKLOADS[name]
+        results = []
+        for _ in range(2):
+            machine = Machine("O0")
+            machine.set_inputs(workload.default_inputs()[:320])
+            compile_program(frontend(workload.source), machine).run("main")
+            results.append(machine.output_checksum)
+        assert results[0] == results[1]
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_alternate_inputs_differ(self, name):
+        workload = WORKLOADS[name]
+        assert workload.default_inputs()[:200] != workload.alternate_inputs()[:200]
+
+
+class TestGenerators:
+    def test_generators_deterministic(self):
+        assert gen.g721_audio() == gen.g721_audio()
+        assert gen.rasta_bands() == gen.rasta_bands()
+        assert gen.gnugo_points() == gen.gnugo_points()
+
+    def test_audio_in_16bit_range(self):
+        for s in gen.g721_audio():
+            assert -32768 <= s <= 32767
+
+    def test_codes_are_4bit(self):
+        for c in gen.g721_codes(gen.g721_audio()):
+            assert 0 <= c <= 15
+
+    def test_rasta_has_31_distinct_bands(self):
+        bands = set(gen.rasta_bands())
+        assert bands <= set(range(31))
+        assert len(bands) == 31
+
+    def test_mpeg2_decode_duplicate_rate(self):
+        stream = gen.mpeg2_coeff_blocks()
+        blocks = [tuple(stream[i : i + 64]) for i in range(0, len(stream), 64)]
+        rate = 1 - len(set(blocks)) / len(blocks)
+        assert 0.35 < rate < 0.62  # the paper's 48.6% neighbourhood
+
+    def test_mpeg2_encode_duplicate_rate_low(self):
+        stream = gen.mpeg2_pixel_blocks()
+        blocks = [tuple(stream[i : i + 64]) for i in range(0, len(stream), 64)]
+        rate = 1 - len(set(blocks)) / len(blocks)
+        assert rate < 0.25
+
+    def test_mpeg2_decode_has_runs(self):
+        """Consecutive identical blocks exist (Table 5's 1-entry hits)."""
+        stream = gen.mpeg2_coeff_blocks()
+        blocks = [tuple(stream[i : i + 64]) for i in range(0, len(stream), 64)]
+        runs = sum(1 for a, b in zip(blocks, blocks[1:]) if a == b)
+        assert runs / len(blocks) > 0.15
+
+    def test_unepic_repetition_rate(self):
+        values = gen.unepic_coeffs()
+        rate = 1 - len(set(values)) / len(values)
+        assert 0.5 < rate < 0.8  # the paper's 65.1% neighbourhood
+
+    def test_unepic_no_temporal_locality(self):
+        """Immediate repeats are rare (shuffled stream)."""
+        values = gen.unepic_coeffs()
+        adjacent = sum(1 for a, b in zip(values, values[1:]) if a == b)
+        assert adjacent / len(values) < 0.05
+
+    def test_gnugo_values_in_range(self):
+        stream = gen.gnugo_points()
+        assert len(stream) % 4 == 0
+        assert all(0 <= v <= 19 for v in stream)
+
+    def test_gnugo_quadruples_repeat_across_moves(self):
+        stream = gen.gnugo_points()
+        quads = [tuple(stream[i : i + 4]) for i in range(0, len(stream), 4)]
+        rate = 1 - len(set(quads)) / len(quads)
+        assert rate > 0.85  # the paper's 98.2% neighbourhood (scaled)
+
+    def test_paper_numbers_attached(self):
+        wl = get_workload("MPEG2_decode")
+        assert wl.paper.reuse_rate == pytest.approx(0.486)
+        assert wl.paper.speedup_o0 == pytest.approx(1.82)
