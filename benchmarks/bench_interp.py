@@ -1,0 +1,93 @@
+"""Interpreter throughput benchmark: g721 + gnugo, fused vs unfused.
+
+Measures raw interpreter speed (dynamic mini-C operations per second and
+wall-clock seconds) over the G.721 encode/decode and GNU Go workloads at
+O0 and O3, with block-fused cost accounting on and off *in the same
+run*, and writes ``BENCH_interp.json`` at the repo root so the perf
+trajectory is tracked from PR to PR:
+
+    {"ops_per_sec": <fused>, "suite_seconds": <fused>, "fused": true,
+     "unfused_ops_per_sec": ..., "unfused_suite_seconds": ...,
+     "speedup": ..., "per_workload": {...}}
+
+Run directly (``python benchmarks/bench_interp.py``) or via pytest
+(``pytest benchmarks/bench_interp.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.minic.parser import parse_program
+from repro.minic.sema import analyze
+from repro.opt.pipeline import optimize
+from repro.runtime.compiler import compile_program
+from repro.runtime.machine import Machine
+from repro.workloads.registry import get_workload
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_interp.json"
+
+BENCH_WORKLOADS = ("G721_encode", "G721_decode", "GNUGO")
+OPT_LEVELS = ("O0", "O3")
+
+
+def _measure_one(workload, opt_level: str, fused: bool) -> tuple[int, float]:
+    """One measured execution; returns (dynamic ops, wall seconds)."""
+    program = analyze(parse_program(workload.source))
+    optimize(program, opt_level)
+    machine = Machine(opt_level, fuse=fused)
+    machine.set_inputs(workload.default_inputs())
+    compiled = compile_program(program, machine)
+    start = time.perf_counter()
+    compiled.run("main")
+    elapsed = time.perf_counter() - start
+    return sum(machine.counters), elapsed
+
+
+def run_benchmark() -> dict:
+    per_workload: dict[str, dict] = {}
+    totals = {True: [0, 0.0], False: [0, 0.0]}  # fused -> [ops, seconds]
+    for name in BENCH_WORKLOADS:
+        workload = get_workload(name)
+        entry: dict[str, float] = {}
+        for opt_level in OPT_LEVELS:
+            for fused in (False, True):
+                ops, seconds = _measure_one(workload, opt_level, fused)
+                totals[fused][0] += ops
+                totals[fused][1] += seconds
+                label = "fused" if fused else "unfused"
+                entry[f"{opt_level}_{label}_ops_per_sec"] = round(ops / seconds)
+        per_workload[name] = entry
+    fused_ops, fused_seconds = totals[True]
+    unfused_ops, unfused_seconds = totals[False]
+    assert fused_ops == unfused_ops, "fusion changed the dynamic op count"
+    return {
+        "fused": True,
+        "ops_per_sec": round(fused_ops / fused_seconds),
+        "suite_seconds": round(fused_seconds, 3),
+        "unfused_ops_per_sec": round(unfused_ops / unfused_seconds),
+        "unfused_suite_seconds": round(unfused_seconds, 3),
+        "speedup": round(unfused_seconds / fused_seconds, 2),
+        "workloads": list(BENCH_WORKLOADS),
+        "opt_levels": list(OPT_LEVELS),
+        "per_workload": per_workload,
+    }
+
+
+def write_result(result: dict, path: pathlib.Path = RESULT_PATH) -> None:
+    path.write_text(json.dumps(result, indent=1, sort_keys=True) + "\n")
+
+
+def test_bench_interp():
+    result = run_benchmark()
+    write_result(result)
+    assert result["ops_per_sec"] >= 2 * result["unfused_ops_per_sec"], result
+
+
+if __name__ == "__main__":
+    bench = run_benchmark()
+    write_result(bench)
+    print(json.dumps(bench, indent=1, sort_keys=True))

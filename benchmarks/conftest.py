@@ -7,22 +7,30 @@ of "profile once, then measure everything".
 
 Rendered tables are also written to ``benchmarks/results/`` so a full
 benchmark run leaves the paper-shaped artifacts on disk.
+
+The runner is backed by the disk cache (``.repro_cache/`` or
+``$REPRO_CACHE_DIR``): pipelines and measured runs persist across
+benchmark invocations, so a warm re-run is dominated by rendering.  Set
+``REPRO_NO_CACHE=1`` to force everything to recompute.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
-from repro.experiments import ExperimentRunner
+from repro.experiments import ExperimentCache, ExperimentRunner
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture(scope="session")
 def runner():
-    return ExperimentRunner()
+    if os.environ.get("REPRO_NO_CACHE"):
+        return ExperimentRunner()
+    return ExperimentRunner(cache=ExperimentCache())
 
 
 @pytest.fixture(scope="session")

@@ -14,7 +14,8 @@ figure of the paper is derived from:
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
 from typing import Optional, Sequence
 
 from ..minic.parser import parse_program
@@ -24,6 +25,7 @@ from ..reuse.pipeline import PipelineConfig, PipelineResult, ReusePipeline
 from ..runtime.compiler import compile_program
 from ..runtime.machine import Machine, Metrics
 from ..workloads.base import Workload
+from .cache import ExperimentCache, cache_key
 
 
 @dataclass
@@ -69,14 +71,30 @@ class ComparisonRun:
 
 
 class ExperimentRunner:
-    """Caches pipeline results and input streams per workload."""
+    """Caches pipeline results and input streams per workload.
 
-    def __init__(self) -> None:
+    ``cache`` is an optional :class:`~repro.experiments.cache.ExperimentCache`
+    that persists pipeline results and measured runs to disk across
+    processes and invocations; without it, caching is in-memory only.
+    ``fuse`` selects block-fused cost accounting for the measured machines
+    (metrics are bit-identical either way; the flag exists for the
+    differential harness).
+    """
+
+    def __init__(
+        self, cache: Optional[ExperimentCache] = None, fuse: bool = True
+    ) -> None:
+        self._cache = cache
+        self._fuse = fuse
         self._pipelines: dict[str, PipelineResult] = {}
         self._inputs: dict[str, list] = {}
         self._alt_inputs: dict[str, list] = {}
         self._comparisons: dict[tuple, ComparisonRun] = {}
         self._originals: dict[tuple, MeasuredRun] = {}
+        # analyzed+optimized transformed program per (workload, opt_level):
+        # measuring under several inputs / table caps must not re-deepcopy
+        # and re-optimize the pipeline's program every run
+        self._transformed_programs: dict[tuple[str, str], object] = {}
 
     # -- cached artifacts ---------------------------------------------------
 
@@ -90,14 +108,27 @@ class ExperimentRunner:
             self._alt_inputs[workload.name] = workload.alternate_inputs()
         return self._alt_inputs[workload.name]
 
+    def _pipeline_config(self, workload: Workload) -> PipelineConfig:
+        return PipelineConfig(
+            min_executions=workload.min_executions,
+            memory_budget_bytes=workload.memory_budget_bytes,
+        )
+
     def pipeline(self, workload: Workload) -> PipelineResult:
         """Run (once) the full Figure-1 pipeline for the workload."""
         if workload.name not in self._pipelines:
-            config = PipelineConfig(
-                min_executions=workload.min_executions,
-                memory_budget_bytes=workload.memory_budget_bytes,
-            )
-            result = ReusePipeline(workload.source, config).run(self.inputs(workload))
+            config = self._pipeline_config(workload)
+            inputs = self.inputs(workload)
+            key = None
+            if self._cache is not None:
+                key = cache_key("pipeline", workload.source, asdict(config), inputs)
+                cached = self._cache.load_pipeline(key)
+                if cached is not None:
+                    self._pipelines[workload.name] = cached
+                    return cached
+            result = ReusePipeline(workload.source, config).run(inputs)
+            if self._cache is not None:
+                self._cache.store_pipeline(key, result)
             self._pipelines[workload.name] = result
         return self._pipelines[workload.name]
 
@@ -106,12 +137,36 @@ class ExperimentRunner:
     def _run_original(
         self, workload: Workload, opt_level: str, inputs: Sequence
     ) -> MeasuredRun:
+        key = None
+        if self._cache is not None:
+            key = cache_key(
+                "run-original", workload.source, opt_level, self._fuse, inputs
+            )
+            cached = self._cache.load_run(key)
+            if cached is not None:
+                return cached[0]
         program = analyze(parse_program(workload.source))
         optimize(program, opt_level)
-        machine = Machine(opt_level)
+        machine = Machine(opt_level, fuse=self._fuse)
         machine.set_inputs(list(inputs))
         compile_program(program, machine).run("main")
-        return MeasuredRun.from_machine(machine)
+        run = MeasuredRun.from_machine(machine)
+        if self._cache is not None:
+            self._cache.store_run(key, run)
+        return run
+
+    def _transformed_program(self, workload: Workload, opt_level: str):
+        """The pipeline's transformed program, analyzed and optimized for
+        ``opt_level`` — computed once per (workload, opt_level)."""
+        memo_key = (workload.name, opt_level)
+        program = self._transformed_programs.get(memo_key)
+        if program is None:
+            # optimize a private copy so the cached pipeline program stays O0
+            program = copy.deepcopy(self.pipeline(workload).program)
+            analyze(program)
+            optimize(program, opt_level)
+            self._transformed_programs[memo_key] = program
+        return program
 
     def _run_transformed(
         self,
@@ -121,26 +176,46 @@ class ExperimentRunner:
         capacity_override: Optional[dict] = None,
         max_table_bytes: Optional[int] = None,
     ) -> tuple[MeasuredRun, dict]:
+        key = None
+        if self._cache is not None:
+            key = cache_key(
+                "run-transformed",
+                workload.source,
+                asdict(self._pipeline_config(workload)),
+                opt_level,
+                self._fuse,
+                capacity_override,
+                max_table_bytes,
+                inputs,
+            )
+            cached = self._cache.load_run(key)
+            if cached is not None and cached[1] is not None:
+                return cached
         result = self.pipeline(workload)
-        # optimize a private copy so the cached pipeline program stays O0
-        program = copy.deepcopy(result.program)
-        analyze(program)
-        optimize(program, opt_level)
-        machine = Machine(opt_level)
+        program = self._transformed_program(workload, opt_level)
+        machine = Machine(opt_level, fuse=self._fuse)
         machine.set_inputs(list(inputs))
         tables = self._build_tables(result, max_table_bytes)
         for seg_id, table in tables.items():
             machine.install_table(seg_id, table)
         compile_program(program, machine).run("main")
         stats = {seg_id: table.stats for seg_id, table in tables.items()}
-        return MeasuredRun.from_machine(machine), stats
+        run = MeasuredRun.from_machine(machine)
+        if self._cache is not None:
+            self._cache.store_run(key, run, stats)
+        return run, stats
 
     @staticmethod
     def _build_tables(result: PipelineResult, max_table_bytes: Optional[int]):
         if max_table_bytes is None:
             return result.build_tables()
         # figures 14/15: cap every table at the given byte size
-        from ..runtime.hashtable import MergedReuseTable, ReuseTable
+        from ..runtime.hashtable import (
+            MergedReuseTable,
+            ReuseTable,
+            pow2_ceil,
+            pow2_floor,
+        )
 
         tables: dict[int, object] = {}
         merged_built: dict[str, MergedReuseTable] = {}
@@ -158,7 +233,7 @@ class ExperimentRunner:
                     capacity = max(1, max_table_bytes // (entry_words * 4))
                     group = MergedReuseTable(
                         spec.merged_group,
-                        capacity=_pow2_floor(capacity),
+                        capacity=pow2_floor(capacity),
                         in_words=members[0].in_words,
                         member_out_words={str(m.seg_id): m.out_words for m in members},
                     )
@@ -167,7 +242,7 @@ class ExperimentRunner:
             else:
                 entry_words = spec.in_words + spec.out_words
                 capacity = max(1, max_table_bytes // (entry_words * 4))
-                capacity = min(_pow2_floor(capacity), _pow2_ceil(spec.capacity))
+                capacity = min(pow2_floor(capacity), pow2_ceil(spec.capacity))
                 tables[spec.segment_id] = ReuseTable(
                     str(spec.segment_id),
                     capacity=capacity,
@@ -215,6 +290,66 @@ class ExperimentRunner:
         self._comparisons[key] = run
         return run
 
+    # -- parallel fan-out ---------------------------------------------------
+
+    @staticmethod
+    def _normalize_config(config) -> tuple[str, str, bool, Optional[int]]:
+        """Normalize a compare_many item to picklable plain data.
+
+        Accepts a ``(workload, opt_level, alternate, max_table_bytes)``
+        tuple with trailing fields optional; ``workload`` may be a
+        :class:`Workload` or a registry name.
+        """
+        if isinstance(config, (Workload, str)):
+            config = (config,)
+        workload, *rest = config
+        name = workload.name if isinstance(workload, Workload) else workload
+        opt_level = rest[0] if len(rest) > 0 else "O0"
+        alternate = bool(rest[1]) if len(rest) > 1 else False
+        max_table_bytes = rest[2] if len(rest) > 2 else None
+        return (name, opt_level, alternate, max_table_bytes)
+
+    def compare_many(
+        self, configs: Sequence, max_workers: Optional[int] = None
+    ) -> list[ComparisonRun]:
+        """Measure many independent configurations across a process pool.
+
+        ``configs`` items are ``(workload, opt_level, alternate,
+        max_table_bytes)`` with trailing fields optional (workloads may be
+        given by registry name).  The benchmark grid is embarrassingly
+        parallel: configurations are grouped by workload (so each worker
+        pays the profiling pipeline at most once) and fanned across
+        ``ProcessPoolExecutor`` workers.  Results come back in input
+        order and are absorbed into this runner's in-memory memo; with a
+        disk cache attached, workers also persist every artifact for
+        later runs.  ``max_workers=1`` runs serially in-process (useful
+        under debuggers and in tests).
+        """
+        normalized = [self._normalize_config(c) for c in configs]
+        groups: dict[str, list[int]] = {}
+        for idx, cfg in enumerate(normalized):
+            groups.setdefault(cfg[0], []).append(idx)
+        cache_root = str(self._cache.root) if self._cache is not None else None
+        tasks = [
+            ([normalized[i] for i in indices], cache_root, self._fuse)
+            for indices in groups.values()
+        ]
+        results: list[Optional[ComparisonRun]] = [None] * len(normalized)
+        if max_workers == 1 or len(tasks) <= 1:
+            task_results = map(_compare_worker, tasks)
+        else:
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+            try:
+                task_results = list(pool.map(_compare_worker, tasks))
+            finally:
+                pool.shutdown()
+        for indices, runs in zip(groups.values(), task_results):
+            for idx, run in zip(indices, runs):
+                results[idx] = run
+                name, opt_level, alternate, max_table_bytes = normalized[idx]
+                self._comparisons[(name, opt_level, alternate, max_table_bytes)] = run
+        return results  # type: ignore[return-value]
+
     # -- profiling-derived data -----------------------------------------------------
 
     def headline_segment(self, workload: Workload):
@@ -230,18 +365,26 @@ class ExperimentRunner:
         return self.pipeline(workload).profiles[segment.seg_id]
 
 
-def _pow2_floor(n: int) -> int:
-    p = 1
-    while p * 2 <= n:
-        p *= 2
-    return p
+def _compare_worker(task) -> list[ComparisonRun]:
+    """Process-pool entry point: measure one workload's configurations.
 
+    Takes plain data only (workload *names*, a cache root path) because
+    :class:`Workload` holds callables that do not pickle portably.
+    """
+    configs, cache_root, fuse = task
+    from ..workloads.registry import get_workload
 
-def _pow2_ceil(n: int) -> int:
-    p = 1
-    while p < n:
-        p *= 2
-    return p
+    cache = ExperimentCache(cache_root) if cache_root is not None else None
+    runner = ExperimentRunner(cache=cache, fuse=fuse)
+    return [
+        runner.compare(
+            get_workload(name),
+            opt_level,
+            alternate=alternate,
+            max_table_bytes=max_table_bytes,
+        )
+        for name, opt_level, alternate, max_table_bytes in configs
+    ]
 
 
 def harmonic_mean(values: Sequence[float]) -> float:

@@ -36,7 +36,7 @@ from ..minic.sema import analyze
 from ..ir.cleanup import cleanup
 from ..profiling.valueset import SegmentProfile, ValueSetProfiler
 from ..runtime.compiler import compile_program
-from ..runtime.hashtable import MergedReuseTable, ReuseTable
+from ..runtime.hashtable import MergedReuseTable, ReuseTable, pow2_ceil as _pow2
 from ..runtime.machine import Machine
 from . import cost_model
 from .granularity import GranularityAnalysis
@@ -367,13 +367,6 @@ def _capacity_for(segment: Segment, config: PipelineConfig) -> int:
     if config.table_capacity_override is not None:
         return config.table_capacity_override
     return max(1, int(segment.distinct_inputs / config.load_factor))
-
-
-def _pow2(n: int) -> int:
-    cap = 1
-    while cap < n:
-        cap <<= 1
-    return cap
 
 
 def _table_bytes(selected: list[Segment], merged: dict, config: PipelineConfig) -> int:

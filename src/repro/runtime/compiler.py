@@ -35,7 +35,7 @@ from ..minic.types import (
     Type,
     decay,
 )
-from . import intrinsics
+from . import fuse, intrinsics
 from .costs import (
     ALU,
     BRANCH,
@@ -95,12 +95,11 @@ class CompiledFunction:
         self._ctr = self._machine.counters
 
     def invoke(self, args: tuple):
-        ctr = self._machine.counters
         frame = [0] * self._frame_size
         for (slot, boxed), value in zip(self._param_specs, args):
             frame[slot] = [value] if boxed else value
         result = self._body(frame)
-        ctr[RET] += 1
+        self._ctr[RET] += 1
         if type(result) is Ret:
             return result.value
         return 0
@@ -135,14 +134,36 @@ class CompiledProgram:
 
 
 _RECURSION_LIMIT = 40_000  # each mini-C call costs ~15 Python frames
+_recursion_limit_checked = False
 
 
-def compile_program(program: ast.Program, machine: Machine) -> CompiledProgram:
-    """Compile a resolved mini-C program against ``machine``."""
+def _ensure_recursion_limit() -> None:
+    """Raise the interpreter recursion limit once, idempotently.
+
+    Deep mini-C call chains need a large Python stack.  The limit is only
+    ever *raised* (a user-configured higher limit is left alone), and the
+    global is touched at most once per process so repeated compiles do not
+    keep mutating interpreter state.
+    """
+    global _recursion_limit_checked
+    if _recursion_limit_checked:
+        return
     import sys
 
     if sys.getrecursionlimit() < _RECURSION_LIMIT:
         sys.setrecursionlimit(_RECURSION_LIMIT)
+    _recursion_limit_checked = True
+
+
+def compile_program(program: ast.Program, machine: Machine) -> CompiledProgram:
+    """Compile a resolved mini-C program against ``machine``.
+
+    When ``machine.fuse`` is true (the default), straight-line regions
+    with compile-time-known operation classes are compiled to fused
+    Python functions that charge their tally vector in one batch (see
+    :mod:`repro.runtime.fuse`); accounting is bit-identical either way.
+    """
+    _ensure_recursion_limit()
     compiled = CompiledProgram(machine)
     # Phase 1: create shells so calls can reference any function.
     for fn in program.functions:
@@ -240,6 +261,7 @@ class _FunctionCompiler:
         self.typer = typer
         self.machine = machine
         self.ctr = machine.counters
+        self.fuse = machine.fuse
 
     # -- statements ----------------------------------------------------------
 
@@ -247,6 +269,11 @@ class _FunctionCompiler:
         return self.compile_stmt(self.fn.body)
 
     def compile_stmt(self, stmt: ast.Stmt) -> StmtClosure:
+        if self.fuse and fuse.fusable_stmt(stmt, self):
+            return fuse.fuse_region([stmt], self)
+        return self._compile_stmt_unfused(stmt)
+
+    def _compile_stmt_unfused(self, stmt: ast.Stmt) -> StmtClosure:
         if isinstance(stmt, ast.Block):
             return self._compile_block(stmt)
         if isinstance(stmt, ast.ExprStmt):
@@ -292,7 +319,24 @@ class _FunctionCompiler:
         raise InterpError(f"cannot compile statement {type(stmt).__name__}")
 
     def _compile_block(self, block: ast.Block) -> StmtClosure:
-        stmts = [self.compile_stmt(s) for s in block.stmts]
+        if self.fuse:
+            # Fuse maximal runs of consecutive fusable statements into
+            # single batched-accounting functions; calls, escaping control
+            # flow, and profiling stubs break runs and stay exact.
+            stmts: list[StmtClosure] = []
+            run: list[ast.Stmt] = []
+            for s in block.stmts:
+                if fuse.fusable_stmt(s, self):
+                    run.append(s)
+                else:
+                    if run:
+                        stmts.append(fuse.fuse_region(run, self))
+                        run = []
+                    stmts.append(self._compile_stmt_unfused(s))
+            if run:
+                stmts.append(fuse.fuse_region(run, self))
+        else:
+            stmts = [self.compile_stmt(s) for s in block.stmts]
         if not stmts:
             return lambda fr: None
         if len(stmts) == 1:
@@ -458,6 +502,15 @@ class _FunctionCompiler:
     # -- expressions -----------------------------------------------------------
 
     def compile_expr(self, expr: ast.Expr) -> ExprClosure:
+        if (
+            self.fuse
+            and fuse.expr_fuse_size(expr) >= fuse.EXPR_FUSE_THRESHOLD
+            and fuse.fusable_expr(expr, self)
+        ):
+            return fuse.fuse_expr(expr, self)
+        return self._compile_expr_unfused(expr)
+
+    def _compile_expr_unfused(self, expr: ast.Expr) -> ExprClosure:
         ctr = self.ctr
         if isinstance(expr, ast.IntLit):
             value = wrap32(expr.value)
@@ -927,6 +980,41 @@ class _FunctionCompiler:
             fn = self.compiled.functions.get(expr.func.name)
             if fn is None:
                 raise InterpError(f"function {expr.func.name!r} has no body")
+
+            # Specialize the common arities: building the argument tuple
+            # through a generator expression dominates call-heavy
+            # workloads, and calls are the hot unfused construct.
+            if len(args) == 0:
+
+                def run_call0(fr, fn=fn, ctr=ctr):
+                    ctr[CALL] += 1
+                    return fn.invoke(())
+
+                return run_call0
+            if len(args) == 1:
+                a0 = args[0]
+
+                def run_call1(fr, fn=fn, a0=a0, ctr=ctr):
+                    ctr[CALL] += 1
+                    return fn.invoke((a0(fr),))
+
+                return run_call1
+            if len(args) == 2:
+                a0, a1 = args
+
+                def run_call2(fr, fn=fn, a0=a0, a1=a1, ctr=ctr):
+                    ctr[CALL] += 1
+                    return fn.invoke((a0(fr), a1(fr)))
+
+                return run_call2
+            if len(args) == 3:
+                a0, a1, a2 = args
+
+                def run_call3(fr, fn=fn, a0=a0, a1=a1, a2=a2, ctr=ctr):
+                    ctr[CALL] += 1
+                    return fn.invoke((a0(fr), a1(fr), a2(fr)))
+
+                return run_call3
 
             def run_call(fr, fn=fn, args=args, ctr=ctr):
                 ctr[CALL] += 1

@@ -1,0 +1,811 @@
+"""Block-fused cost accounting: compile straight-line mini-C regions into
+single Python functions.
+
+The closure interpreter (:mod:`repro.runtime.compiler`) charges every
+dynamic operation individually — one ``ctr[K] += 1`` per executed node.
+For regions whose operation classes are fully known at compile time
+(no calls and no profiling stubs), that per-op tally traffic is
+redundant: the per-class counter delta of a basic block is a static
+property of the code.  This module exploits that
+by *fusing* such regions: each maximal fusable region is translated to
+Python source (three-address style, one temp per sub-expression) and
+compiled with :func:`compile`/``exec`` into one function that
+
+* charges each basic block's precomputed tally vector in a single batch
+  of ``ctr[K] += n`` updates, and
+* executes the region's value computations with no per-op accounting and
+  no per-node closure calls.
+
+Accounting is *bit-identical* to the unfused interpreter at every
+observable point: charges are batched only within basic blocks, and the
+region boundaries are exactly the unfusable constructs — calls (including
+every intrinsic and the ``__seg_enter``/``__profile``/``__seg_exit``
+profiling stubs), short-circuit operators, and ternaries — which
+therefore remain exact charge points.  ``break``/``continue``/``return``
+compile to native Python control flow inside generated loops (charging
+BRANCH exactly like their closures) and to the interpreter's sentinel
+returns at region boundaries.  Segment-
+granularity profiling and the zero-cost-stub invariant are preserved.
+The only divergence is a run aborted mid-region by an :class:`InterpError`
+(e.g. division by zero): the fused region has already charged its block's
+vector, the unfused one stops mid-block.  Erroring runs produce no
+metrics, so no measured number changes.
+
+Fusion is controlled by ``Machine(fuse=...)``; the differential harness
+(``tests/runtime/test_fusion.py``) runs every registered workload both
+ways and asserts identical :class:`~repro.runtime.machine.Metrics`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import InterpError
+from ..minic import astnodes as ast
+from ..minic.types import FLOAT, ArrayType, PointerType, decay
+from .costs import (
+    ALU,
+    BRANCH,
+    CONST,
+    DIV,
+    FALU,
+    FDIV,
+    FMUL,
+    GLOBAL_RD,
+    GLOBAL_WR,
+    LOCAL_RD,
+    LOCAL_WR,
+    MEM_RD,
+    MEM_WR,
+    MUL,
+)
+from .values import c_div, c_mod, deep_copy_value, wrap32, zero_value
+
+
+def _float_div(a: float, b: float) -> float:
+    if b == 0:
+        raise InterpError("float division by zero")
+    return a / b
+
+
+# ---------------------------------------------------------------------------
+# Fusability
+# ---------------------------------------------------------------------------
+
+_INT_BINOPS = {"+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^"}
+_FLOAT_BINOPS = {"+", "-", "*", "/"}
+_CMP_OPS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+def fusable_stmt(stmt: ast.Stmt, fc) -> bool:
+    """Can ``stmt`` be compiled into a fused region?
+
+    Fusable statements contain no calls (user functions, intrinsics, or
+    profiling stubs) and no short-circuit/ternary operators — every
+    operation they will execute on any path has a compile-time-known cost
+    class.  ``break``/``continue``/``return`` are fusable: they become
+    native Python control flow inside generated loops, or sentinel
+    returns at region boundaries.
+    """
+    if isinstance(stmt, ast.ExprStmt):
+        return fusable_expr(stmt.expr, fc)
+    if isinstance(stmt, ast.DeclStmt):
+        for decl in stmt.decls:
+            if decl.symbol is None:
+                return False
+            if isinstance(decl.symbol.type, ArrayType):
+                continue  # template / zero allocation, no dynamic charge
+            if decl.init is not None and not fusable_expr(decl.init, fc):
+                return False
+        return True
+    if isinstance(stmt, ast.Block):
+        return all(fusable_stmt(s, fc) for s in stmt.stmts)
+    if isinstance(stmt, ast.If):
+        if not fusable_expr(stmt.cond, fc) or not fusable_stmt(stmt.then, fc):
+            return False
+        return stmt.els is None or fusable_stmt(stmt.els, fc)
+    if isinstance(stmt, ast.While):
+        return fusable_expr(stmt.cond, fc) and fusable_stmt(stmt.body, fc)
+    if isinstance(stmt, ast.DoWhile):
+        return fusable_expr(stmt.cond, fc) and fusable_stmt(stmt.body, fc)
+    if isinstance(stmt, ast.For):
+        if stmt.cond is not None and not fusable_expr(stmt.cond, fc):
+            return False
+        if stmt.init is not None and not fusable_stmt(stmt.init, fc):
+            return False
+        if stmt.step is not None and not fusable_expr(stmt.step, fc):
+            return False
+        return fusable_stmt(stmt.body, fc)
+    if isinstance(stmt, ast.Return):
+        return stmt.value is None or fusable_expr(stmt.value, fc)
+    if isinstance(stmt, (ast.Break, ast.Continue)):
+        # Compiled to a native break/continue inside a generated loop, or
+        # to the interpreter's BREAK/CONTINUE sentinel at region top level.
+        return True
+    # Anything unknown is conservatively left to the closure compiler.
+    return False
+
+
+def fusable_expr(expr: ast.Expr, fc) -> bool:
+    if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.symbol is not None and expr.symbol.kind != "func"
+    if isinstance(expr, ast.Index):
+        return fusable_expr(expr.base, fc) and fusable_expr(expr.index, fc)
+    if isinstance(expr, ast.Unary):
+        if expr.op == "&":
+            return _fusable_addr_of(expr.operand, fc)
+        return fusable_expr(expr.operand, fc)
+    if isinstance(expr, ast.IncDec):
+        return _fusable_store_target(expr.target, fc) and fusable_expr(
+            expr.target, fc
+        )
+    if isinstance(expr, ast.Binary):
+        if not (fusable_expr(expr.lhs, fc) and fusable_expr(expr.rhs, fc)):
+            return False
+        if expr.op == "," or expr.op in _CMP_OPS:
+            return True
+        lhs_type = decay(fc.typer.type_of(expr.lhs))
+        rhs_type = decay(fc.typer.type_of(expr.rhs))
+        if isinstance(lhs_type, PointerType) or isinstance(rhs_type, PointerType):
+            return expr.op in ("+", "-")
+        if FLOAT in (lhs_type, rhs_type):
+            return expr.op in _FLOAT_BINOPS
+        return expr.op in _INT_BINOPS
+    if isinstance(expr, ast.Assign):
+        if not _fusable_store_target(expr.target, fc):
+            return False
+        if not fusable_expr(expr.value, fc):
+            return False
+        if expr.op == "=":
+            return True
+        # compound assignment desugars to load-op-store
+        binop = ast.Binary(
+            op=expr.op[:-1], lhs=expr.target, rhs=expr.value, line=expr.line
+        )
+        return fusable_expr(binop, fc)
+    # Logical (short-circuit), Ternary, Call: never fused.
+    return False
+
+
+def _fusable_store_target(expr: ast.Expr, fc) -> bool:
+    if isinstance(expr, ast.Name):
+        return expr.symbol is not None and expr.symbol.kind in (
+            "local",
+            "param",
+            "global",
+        )
+    if isinstance(expr, ast.Index):
+        return fusable_expr(expr.base, fc) and fusable_expr(expr.index, fc)
+    if isinstance(expr, ast.Unary) and expr.op == "*":
+        return fusable_expr(expr.operand, fc)
+    return False
+
+
+def _binds_break(stmt: ast.Stmt) -> bool:
+    """Does ``stmt`` contain a ``break`` binding to the *enclosing* loop?
+
+    Nested loops capture their own ``break``/``continue``, so recursion
+    stops at loop boundaries.
+    """
+    if isinstance(stmt, ast.Break):
+        return True
+    if isinstance(stmt, ast.Block):
+        return any(_binds_break(s) for s in stmt.stmts)
+    if isinstance(stmt, ast.If):
+        if _binds_break(stmt.then):
+            return True
+        return stmt.els is not None and _binds_break(stmt.els)
+    return False
+
+
+def _binds_continue(stmt: ast.Stmt) -> bool:
+    """Like :func:`_binds_break`, for ``continue``."""
+    if isinstance(stmt, ast.Continue):
+        return True
+    if isinstance(stmt, ast.Block):
+        return any(_binds_continue(s) for s in stmt.stmts)
+    if isinstance(stmt, ast.If):
+        if _binds_continue(stmt.then):
+            return True
+        return stmt.els is not None and _binds_continue(stmt.els)
+    return False
+
+
+def _fusable_addr_of(expr: ast.Expr, fc) -> bool:
+    if isinstance(expr, ast.Name):
+        symbol = expr.symbol
+        if symbol is None or symbol.kind == "func":
+            return False
+        if isinstance(symbol.type, ArrayType) or symbol.type.is_pointer:
+            return fusable_expr(expr, fc)
+        # &scalar: only boxed (address-taken) locals are supported
+        return symbol.address_taken and symbol.kind != "global"
+    if isinstance(expr, ast.Index):
+        return fusable_expr(expr.base, fc) and fusable_expr(expr.index, fc)
+    if isinstance(expr, ast.Unary) and expr.op == "*":
+        return fusable_expr(expr.operand, fc)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Code generation
+# ---------------------------------------------------------------------------
+
+
+def _w32(atom: str) -> str:
+    """Inline signed 32-bit wrap of an integer expression (no call)."""
+    return f"((({atom}) & 4294967295) ^ 2147483648) - 2147483648"
+
+
+class _Emitter:
+    """Generates the Python body for one fused region.
+
+    Value computations are emitted in closure-interpreter evaluation
+    order (three-address style); operation-class charges accumulate in a
+    pending tally and are flushed as batched ``_c[K] += n`` lines at
+    basic-block boundaries, so the counter state at every region exit is
+    identical to per-op charging.
+    """
+
+    def __init__(self, fc) -> None:
+        self.fc = fc
+        self.lines: list[str] = []
+        self.indent = 1
+        self.pending: dict[int, int] = {}
+        self.consts: list = []
+        self._tmp = 0
+        self.uses_counters = False
+        self.uses_globals = False
+        # Stack of generated-loop contexts, innermost last.  Each entry is
+        # (wrapped, break_flag): ``wrapped`` means the loop body sits in a
+        # one-pass ``for _ in _ONE`` wrapper (so mini-C ``continue`` falls
+        # through to the for-step / do-while-condition), and break_flag is
+        # the temp a ``break`` sets to escape both wrapper and loop.
+        self._loops: list[tuple[bool, Optional[str]]] = []
+
+    # -- infrastructure -----------------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def tmp(self) -> str:
+        self._tmp += 1
+        return f"_t{self._tmp}"
+
+    def const(self, value) -> str:
+        self.consts.append(value)
+        return f"_K[{len(self.consts) - 1}]"
+
+    def charge(self, cls: int, n: int = 1) -> None:
+        self.pending[cls] = self.pending.get(cls, 0) + n
+
+    def flush(self) -> None:
+        """Emit the pending tally as batched counter updates."""
+        for cls in sorted(self.pending):
+            n = self.pending[cls]
+            if n:
+                self.emit(f"_c[{cls}] += {n}")
+                self.uses_counters = True
+        self.pending.clear()
+
+    def globals_ref(self, slot: int) -> str:
+        self.uses_globals = True
+        return f"_g[{slot}]"
+
+    # -- statements ----------------------------------------------------------
+
+    def stmt(self, s: ast.Stmt) -> None:
+        if isinstance(s, ast.Block):
+            for sub in s.stmts:
+                self.stmt(sub)
+        elif isinstance(s, ast.ExprStmt):
+            self.expr(s.expr)
+        elif isinstance(s, ast.DeclStmt):
+            self._decl(s)
+        elif isinstance(s, ast.If):
+            self._if(s)
+        elif isinstance(s, ast.While):
+            self._while(s)
+        elif isinstance(s, ast.DoWhile):
+            self._do_while(s)
+        elif isinstance(s, ast.For):
+            self._for(s)
+        elif isinstance(s, ast.Return):
+            self._return(s)
+        elif isinstance(s, ast.Break):
+            self._break()
+        elif isinstance(s, ast.Continue):
+            self._continue()
+        else:  # pragma: no cover - guarded by fusable_stmt
+            raise AssertionError(f"cannot fuse statement {type(s).__name__}")
+
+    def _return(self, s: ast.Return) -> None:
+        if s.value is None:
+            self.flush()
+            self.emit("return _Ret(0)")
+        else:
+            v = self.expr(s.value)
+            self.flush()
+            self.emit(f"return _Ret({v})")
+
+    def _break(self) -> None:
+        self.charge(BRANCH)
+        self.flush()
+        if not self._loops:
+            # Region top level: the enclosing loop is closure-compiled and
+            # consumes the interpreter's BREAK sentinel.
+            self.emit("return _BRK")
+            return
+        wrapped, flag = self._loops[-1]
+        if wrapped:
+            self.emit(f"{flag} = 1")
+        self.emit("break")
+
+    def _continue(self) -> None:
+        self.charge(BRANCH)
+        self.flush()
+        if not self._loops:
+            self.emit("return _CONT")
+            return
+        # Unwrapped: only While loops stay unwrapped when a continue binds
+        # to them, and there Python continue re-enters at the condition.
+        # Wrapped: continue ends the one-pass wrapper, falling through to
+        # the for-step / do-while condition.
+        self.emit("continue")
+
+    def _loop_body(self, body: ast.Stmt, wrap: bool) -> None:
+        """Emit a generated loop's body, wrapping it in a one-pass loop
+        when a bound ``continue`` must fall through to trailing step/cond
+        code.  Leaves pending charges flushed iff wrapped."""
+        if wrap:
+            flag = self.tmp() if _binds_break(body) else None
+            if flag is not None:
+                self.emit(f"{flag} = 0")
+            self.emit(f"for {self.tmp()} in _ONE:")
+            self.indent += 1
+            self._loops.append((True, flag))
+            before = len(self.lines)
+            self.stmt(body)
+            self.flush()
+            if len(self.lines) == before:  # pragma: no cover - wrap implies a continue
+                self.emit("pass")
+            self._loops.pop()
+            self.indent -= 1
+            if flag is not None:
+                self.emit(f"if {flag}: break")
+        else:
+            self._loops.append((False, None))
+            self.stmt(body)
+            self._loops.pop()
+
+    def _decl(self, s: ast.DeclStmt) -> None:
+        from .compiler import _fill_array
+
+        for decl in s.decls:
+            symbol = decl.symbol
+            slot = symbol.slot
+            boxed = symbol.address_taken and symbol.type.is_scalar
+            if isinstance(symbol.type, ArrayType):
+                if decl.array_init is not None:
+                    template = self.const(_fill_array(symbol.type, decl.array_init))
+                    self.emit(f"fr[{slot}] = deep_copy_value({template})")
+                else:
+                    t = self.const(symbol.type)
+                    self.emit(f"fr[{slot}] = zero_value({t})")
+            elif decl.init is not None:
+                self.charge(LOCAL_WR)
+                value = self.expr(decl.init)
+                if boxed:
+                    self.emit(f"fr[{slot}] = [{value}]")
+                else:
+                    self.emit(f"fr[{slot}] = {value}")
+            else:
+                zero = zero_value(symbol.type)
+                atom = repr(zero) if zero is None or type(zero) is int else self.const(zero)
+                if boxed:
+                    self.emit(f"fr[{slot}] = [{atom}]")
+                else:
+                    self.emit(f"fr[{slot}] = {atom}")
+
+    def _suite(self, body: ast.Stmt) -> None:
+        """Emit an indented suite (with its own flushed charges)."""
+        self.indent += 1
+        before = len(self.lines)
+        self.stmt(body)
+        self.flush()
+        if len(self.lines) == before:
+            self.emit("pass")
+        self.indent -= 1
+
+    def _if(self, s: ast.If) -> None:
+        self.charge(BRANCH)
+        cond = self.expr(s.cond)
+        self.flush()
+        self.emit(f"if {cond}:")
+        self._suite(s.then)
+        if s.els is not None:
+            self.emit("else:")
+            self._suite(s.els)
+
+    def _while(self, s: ast.While) -> None:
+        self.flush()
+        self.emit("while True:")
+        self.indent += 1
+        self.charge(BRANCH)
+        cond = self.expr(s.cond)
+        self.flush()
+        self.emit(f"if not {cond}: break")
+        # No wrapper needed: Python continue re-enters at the condition.
+        self._loop_body(s.body, wrap=False)
+        self.flush()
+        self.indent -= 1
+
+    def _do_while(self, s: ast.DoWhile) -> None:
+        self.flush()
+        self.emit("while True:")
+        self.indent += 1
+        self._loop_body(s.body, wrap=_binds_continue(s.body))
+        self.charge(BRANCH)
+        cond = self.expr(s.cond)
+        self.flush()
+        self.emit(f"if not {cond}: break")
+        self.indent -= 1
+
+    def _for(self, s: ast.For) -> None:
+        if s.init is not None:
+            self.stmt(s.init)
+        self.flush()
+        self.emit("while True:")
+        self.indent += 1
+        before = len(self.lines)
+        if s.cond is not None:
+            self.charge(BRANCH)
+            cond = self.expr(s.cond)
+            self.flush()
+            self.emit(f"if not {cond}: break")
+        self._loop_body(s.body, wrap=_binds_continue(s.body))
+        if s.step is not None:
+            self.expr(s.step)
+        self.flush()
+        if len(self.lines) == before:
+            self.emit("pass")
+        self.indent -= 1
+
+    # -- expressions ---------------------------------------------------------
+    #
+    # Each method returns an *atom* (a temp name or a literal) after
+    # emitting the TAC lines that compute it.  Loads always materialize a
+    # temp so later stores cannot reorder against them.
+
+    def expr(self, e: ast.Expr) -> str:
+        if isinstance(e, ast.IntLit):
+            self.charge(CONST)
+            return repr(wrap32(e.value))
+        if isinstance(e, ast.FloatLit):
+            self.charge(CONST)
+            return self.const(e.value)
+        if isinstance(e, ast.Name):
+            return self._name_load(e)
+        if isinstance(e, ast.Index):
+            return self._index_load(e)
+        if isinstance(e, ast.Unary):
+            return self._unary(e)
+        if isinstance(e, ast.IncDec):
+            return self._incdec(e)
+        if isinstance(e, ast.Binary):
+            return self._binary(e)
+        if isinstance(e, ast.Assign):
+            return self._assign(e)
+        raise AssertionError(  # pragma: no cover - guarded by fusable_expr
+            f"cannot fuse expression {type(e).__name__}"
+        )
+
+    def _name_load(self, e: ast.Name) -> str:
+        symbol = e.symbol
+        slot = symbol.slot
+        t = self.tmp()
+        if symbol.kind == "global":
+            if isinstance(symbol.type, ArrayType):
+                self.charge(CONST)
+            else:
+                self.charge(GLOBAL_RD)
+            self.emit(f"{t} = {self.globals_ref(slot)}")
+            return t
+        if symbol.address_taken and symbol.type.is_scalar:
+            self.charge(LOCAL_RD)
+            self.emit(f"{t} = fr[{slot}][0]")
+            return t
+        if isinstance(symbol.type, ArrayType):
+            self.charge(CONST)
+        else:
+            self.charge(LOCAL_RD)
+        self.emit(f"{t} = fr[{slot}]")
+        return t
+
+    def _index_load(self, e: ast.Index) -> str:
+        base_type = decay(self.fc.typer.type_of(e.base))
+        elem_is_array = isinstance(base_type, PointerType) and isinstance(
+            base_type.elem, ArrayType
+        )
+        self.charge(ALU if elem_is_array else MEM_RD)
+        b = self.expr(e.base)
+        i = self.expr(e.index)
+        t = self.tmp()
+        self.emit(
+            f"{t} = {b}[0][{b}[1] + {i}] if type({b}) is tuple else {b}[{i}]"
+        )
+        return t
+
+    def _store(self, target: ast.Expr, atom: str) -> None:
+        if isinstance(target, ast.Name):
+            symbol = target.symbol
+            slot = symbol.slot
+            if symbol.kind == "global":
+                self.charge(GLOBAL_WR)
+                self.emit(f"{self.globals_ref(slot)} = {atom}")
+            elif symbol.address_taken and symbol.type.is_scalar:
+                self.charge(LOCAL_WR)
+                self.emit(f"fr[{slot}][0] = {atom}")
+            else:
+                self.charge(LOCAL_WR)
+                self.emit(f"fr[{slot}] = {atom}")
+        elif isinstance(target, ast.Index):
+            self.charge(MEM_WR)
+            b = self.expr(target.base)
+            i = self.expr(target.index)
+            self.emit(f"if type({b}) is tuple:")
+            self.emit(f"    {b}[0][{b}[1] + {i}] = {atom}")
+            self.emit("else:")
+            self.emit(f"    {b}[{i}] = {atom}")
+        else:  # *ptr = value
+            self.charge(MEM_WR)
+            p = self.expr(target.operand)
+            self.emit(f"if type({p}) is tuple:")
+            self.emit(f"    {p}[0][{p}[1]] = {atom}")
+            self.emit("else:")
+            self.emit(f"    {p}[0] = {atom}")
+
+    def _addr_of(self, e: ast.Expr) -> str:
+        if isinstance(e, ast.Name):
+            symbol = e.symbol
+            if isinstance(symbol.type, ArrayType) or symbol.type.is_pointer:
+                return self.expr(e)  # decays / copies the pointer
+            self.charge(ALU)
+            t = self.tmp()
+            self.emit(f"{t} = fr[{symbol.slot}]")  # the box list is the pointer
+            return t
+        if isinstance(e, ast.Index):
+            self.charge(ALU)
+            b = self.expr(e.base)
+            i = self.expr(e.index)
+            t = self.tmp()
+            self.emit(
+                f"{t} = ({b}[0], {b}[1] + {i}) if type({b}) is tuple else ({b}, {i})"
+            )
+            return t
+        # &*ptr
+        return self.expr(e.operand)
+
+    def _unary(self, e: ast.Unary) -> str:
+        if e.op == "&":
+            return self._addr_of(e.operand)
+        if e.op == "*":
+            self.charge(MEM_RD)
+            p = self.expr(e.operand)
+            t = self.tmp()
+            self.emit(f"{t} = {p}[0][{p}[1]] if type({p}) is tuple else {p}[0]")
+            return t
+        operand_type = decay(self.fc.typer.type_of(e.operand))
+        if e.op == "-":
+            if operand_type == FLOAT:
+                self.charge(FALU)
+                o = self.expr(e.operand)
+                t = self.tmp()
+                self.emit(f"{t} = -{o}")
+                return t
+            self.charge(ALU)
+            o = self.expr(e.operand)
+            t = self.tmp()
+            self.emit(f"{t} = {_w32(f'-{o}')}")
+            return t
+        if e.op == "!":
+            self.charge(ALU)
+            o = self.expr(e.operand)
+            t = self.tmp()
+            self.emit(f"{t} = 0 if {o} else 1")
+            return t
+        # "~"
+        self.charge(ALU)
+        o = self.expr(e.operand)
+        t = self.tmp()
+        self.emit(f"{t} = ~{o}")
+        return t
+
+    def _incdec(self, e: ast.IncDec) -> str:
+        target_type = decay(self.fc.typer.type_of(e.target))
+        delta = 1 if e.op == "++" else -1
+        self.charge(ALU)
+        v = self.expr(e.target)  # load (with its own charges)
+        nv = self.tmp()
+        if isinstance(target_type, PointerType):
+            self.emit(
+                f"{nv} = ({v}[0], {v}[1] + {delta}) if type({v}) is tuple "
+                f"else ({v}, {delta})"
+            )
+        elif target_type == FLOAT:
+            self.emit(f"{nv} = {v} + {delta}")
+        else:
+            self.emit(f"{nv} = {_w32(f'{v} + {delta}')}")
+        self._store(e.target, nv)
+        return nv if e.prefix else v
+
+    def _binary(self, e: ast.Binary) -> str:
+        if e.op == ",":
+            self.expr(e.lhs)
+            return self.expr(e.rhs)
+        lhs_type = decay(self.fc.typer.type_of(e.lhs))
+        rhs_type = decay(self.fc.typer.type_of(e.rhs))
+        op = e.op
+        # Pointer arithmetic -------------------------------------------------
+        if isinstance(lhs_type, PointerType) and op in ("+", "-"):
+            self.charge(ALU)
+            a = self.expr(e.lhs)
+            b = self.expr(e.rhs)
+            t = self.tmp()
+            if isinstance(rhs_type, PointerType):
+                self.emit(
+                    f"{t} = ({a}[1] if type({a}) is tuple else 0)"
+                    f" - ({b}[1] if type({b}) is tuple else 0)"
+                )
+                return t
+            if op == "-":
+                i = self.tmp()
+                self.emit(f"{i} = -{b}")
+            else:
+                i = b
+            self.emit(
+                f"{t} = ({a}[0], {a}[1] + {i}) if type({a}) is tuple else ({a}, {i})"
+            )
+            return t
+        if isinstance(rhs_type, PointerType) and op == "+":
+            self.charge(ALU)
+            a = self.expr(e.lhs)
+            b = self.expr(e.rhs)
+            t = self.tmp()
+            self.emit(
+                f"{t} = ({b}[0], {b}[1] + {a}) if type({b}) is tuple else ({b}, {a})"
+            )
+            return t
+        # Comparisons --------------------------------------------------------
+        if op in _CMP_OPS:
+            self.charge(FALU if FLOAT in (lhs_type, rhs_type) else ALU)
+            a = self.expr(e.lhs)
+            b = self.expr(e.rhs)
+            t = self.tmp()
+            self.emit(f"{t} = 1 if {a} {op} {b} else 0")
+            return t
+        # Arithmetic ---------------------------------------------------------
+        if FLOAT in (lhs_type, rhs_type):
+            cls = {"+": FALU, "-": FALU, "*": FMUL, "/": FDIV}[op]
+            self.charge(cls)
+            a = self.expr(e.lhs)
+            b = self.expr(e.rhs)
+            t = self.tmp()
+            if op == "/":
+                self.emit(f"{t} = _fdiv({a}, {b})")
+            else:
+                self.emit(f"{t} = {a} {op} {b}")
+            return t
+        cls = {"*": MUL, "/": DIV, "%": DIV}.get(op, ALU)
+        self.charge(cls)
+        a = self.expr(e.lhs)
+        b = self.expr(e.rhs)
+        t = self.tmp()
+        if op in ("+", "-", "*"):
+            self.emit(f"{t} = {_w32(f'{a} {op} {b}')}")
+        elif op == "/":
+            self.emit(f"{t} = c_div({a}, {b})")
+        elif op == "%":
+            self.emit(f"{t} = c_mod({a}, {b})")
+        elif op == "<<":
+            self.emit(f"{t} = {_w32(f'{a} << ({b} & 31)')}")
+        elif op == ">>":
+            self.emit(f"{t} = {a} >> ({b} & 31)")
+        else:  # & | ^
+            self.emit(f"{t} = {a} {op} {b}")
+        return t
+
+    def _assign(self, e: ast.Assign) -> str:
+        if e.op == "=":
+            v = self.expr(e.value)
+            self._store(e.target, v)
+            return v
+        # Compound assignment desugars to load-op-store, exactly as the
+        # closure compiler does (the store re-evaluates the target).
+        binop = ast.Binary(
+            op=e.op[:-1], lhs=e.target, rhs=e.value, line=e.line
+        )
+        v = self._binary(binop)
+        self._store(e.target, v)
+        return v
+
+
+# ---------------------------------------------------------------------------
+# Region entry points
+# ---------------------------------------------------------------------------
+
+_region_counter = [0]
+
+
+def _finish(em: _Emitter, fc, result_atom: Optional[str]) -> Callable:
+    """Assemble and compile the generated function for one region."""
+    em.flush()
+    header = []
+    if em.uses_counters:
+        header.append("    _c = ctr")
+    if em.uses_globals:
+        header.append("    _g = _m.globals")
+    _region_counter[0] += 1
+    name = f"_fused_{_region_counter[0]}"
+    src = "\n".join(
+        [f"def {name}(fr):"]
+        + header
+        + (em.lines or ["    pass"])
+        + [f"    return {result_atom if result_atom is not None else 'None'}"]
+    )
+    from .compiler import BREAK, CONTINUE, Ret  # circular at import time only
+
+    namespace = {
+        "ctr": fc.ctr,
+        "_m": fc.machine,
+        "_K": tuple(em.consts),
+        "c_div": c_div,
+        "c_mod": c_mod,
+        "_fdiv": _float_div,
+        "zero_value": zero_value,
+        "deep_copy_value": deep_copy_value,
+        "_Ret": Ret,
+        "_BRK": BREAK,
+        "_CONT": CONTINUE,
+        "_ONE": (0,),
+    }
+    code = compile(src, f"<fused:{fc.fn.name}:{name}>", "exec")
+    exec(code, namespace)
+    fn = namespace[name]
+    fn.fused_source = src  # for debugging / tests
+    return fn
+
+
+def fuse_region(stmts: list[ast.Stmt], fc) -> Callable[[list], Optional[object]]:
+    """Compile a fusable statement run into one Python function.
+
+    The returned function has the normal statement-closure signature
+    (``frame -> result``): ``None`` for fall-through, or the interpreter's
+    ``Ret``/``BREAK``/``CONTINUE`` signals when the region escapes into
+    closure-compiled control flow.
+    """
+    em = _Emitter(fc)
+    for s in stmts:
+        em.stmt(s)
+    return _finish(em, fc, None)
+
+
+def fuse_expr(expr: ast.Expr, fc) -> Callable[[list], object]:
+    """Compile a fusable expression into one Python function returning its
+    value — used for large fusable sub-expressions embedded in unfused
+    contexts (call arguments, branch conditions, return values)."""
+    em = _Emitter(fc)
+    atom = em.expr(expr)
+    return _finish(em, fc, atom)
+
+
+# Minimum number of AST nodes before an embedded expression is worth its
+# own generated function (below this a plain closure is just as fast).
+EXPR_FUSE_THRESHOLD = 4
+
+
+def expr_fuse_size(expr: ast.Expr) -> int:
+    """Node count of an expression, for the embedded-fusion heuristic."""
+    return sum(1 for _ in ast.walk(expr))

@@ -36,11 +36,29 @@ _WORD_BYTES = 4
 _BYPASSED = object()
 
 
-def _pow2_at_least(n: int) -> int:
+def pow2_ceil(n: int) -> int:
+    """Smallest power of two >= ``n`` (at least 1).
+
+    Table geometry helper: every reuse table is direct-addressed with a
+    power-of-two capacity so the probe mask is ``capacity - 1``.
+    """
     size = 1
     while size < n:
         size <<= 1
     return size
+
+
+def pow2_floor(n: int) -> int:
+    """Largest power of two <= ``n`` (at least 1) — used when fitting a
+    table under a byte budget."""
+    p = 1
+    while p * 2 <= n:
+        p <<= 1
+    return p
+
+
+# Historical internal name, kept for in-module readers.
+_pow2_at_least = pow2_ceil
 
 
 @dataclass

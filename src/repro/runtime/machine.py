@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..errors import InterpError
-from .costs import CLASS_NAMES, N_CLASSES, CostTable, cost_table
+from .costs import CLASS_NAMES, N_CLASSES, CostTable, add_tally, cost_table
 from .values import float_bits, wrap32
 
 
@@ -49,9 +49,18 @@ class Metrics:
 class Machine:
     """Execution context for compiled mini-C programs."""
 
-    def __init__(self, opt_level: str = "O0", capture_output: bool = False) -> None:
+    def __init__(
+        self,
+        opt_level: str = "O0",
+        capture_output: bool = False,
+        fuse: bool = True,
+    ) -> None:
         self.cost: CostTable = cost_table(opt_level)
         self.counters: list[int] = [0] * N_CLASSES
+        # Block-fused cost accounting (repro.runtime.fuse).  Fused and
+        # unfused execution produce bit-identical metrics; the flag exists
+        # for the differential harness and for debugging.
+        self.fuse = fuse
         self.globals: list = []
         self.reuse_tables: dict[int, object] = {}
         self.profiler = None
@@ -114,7 +123,12 @@ class Machine:
     # -- accounting ----------------------------------------------------------------
 
     def reset_counters(self) -> None:
-        self.counters = [0] * N_CLASSES
+        # In place: compiled closures and fused regions capture the list.
+        self.counters[:] = [0] * N_CLASSES
+
+    def charge_tally(self, delta) -> None:
+        """Charge a whole tally vector (see :func:`repro.runtime.costs.add_tally`)."""
+        add_tally(self.counters, delta)
 
     def reset_io(self) -> None:
         self._input_pos = 0

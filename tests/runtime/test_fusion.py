@@ -1,0 +1,239 @@
+"""Differential harness for block-fused cost accounting.
+
+Block fusion (:mod:`repro.runtime.fuse`) is a pure performance layer: a
+``Machine(fuse=True)`` must produce *bit-identical* metrics — per-class
+counter tallies, cycles, simulated seconds, energy, and output checksums
+— to the per-op closure interpreter, for every registered workload at
+every optimization level.  These tests enforce that, plus the structural
+invariants fusion relies on: a fused region never spans a call (user
+function, intrinsic, or profiling stub), and branch charges stay exact
+per basic block.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+from repro.minic import astnodes as ast
+from repro.minic.parser import parse_program
+from repro.minic.sema import Typer, analyze
+from repro.opt.pipeline import optimize
+from repro.runtime import compiler as rc
+from repro.runtime import fuse
+from repro.runtime.compiler import compile_program
+from repro.runtime.costs import BRANCH
+from repro.runtime.machine import Machine
+from repro.workloads.base import PaperNumbers, Workload
+from repro.workloads.registry import ALL_WORKLOADS
+
+# Every workload keeps working on a prefix of its default stream (they
+# all poll __input_avail), so the differential can run the whole registry
+# without the full-suite runtime.
+_INPUT_PREFIX = 1024
+
+
+def _measure(source, opt_level, inputs, fused):
+    program = analyze(parse_program(source))
+    optimize(program, opt_level)
+    machine = Machine(opt_level, fuse=fused)
+    machine.set_inputs(list(inputs))
+    compile_program(program, machine).run("main")
+    return machine.metrics()
+
+
+@pytest.mark.parametrize("opt_level", ["O0", "O3"])
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_differential_every_workload(workload, opt_level):
+    inputs = workload.default_inputs()[:_INPUT_PREFIX]
+    unfused = _measure(workload.source, opt_level, inputs, fused=False)
+    fused = _measure(workload.source, opt_level, inputs, fused=True)
+    # Metrics equality covers counters, cycles, seconds, joules, checksum.
+    assert fused == unfused
+
+
+# -- transformed programs ----------------------------------------------------
+
+_TINY_SOURCE = """
+int lut[12] = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8};
+
+static int classify(int v) {
+    int r = 0;
+    int i;
+    for (i = 0; i < 12; i++)
+        r += lut[i] * ((v >> (i & 3)) & 15) + v % (i + 2);
+    return r;
+}
+
+int main(void) {
+    int acc = 0;
+    while (__input_avail()) {
+        acc += classify(__input_int());
+        __output_int(acc & 255);
+    }
+    __output_int(acc);
+    return acc;
+}
+"""
+
+TINY = Workload(
+    name="TINY_FUSION",
+    source=_TINY_SOURCE,
+    default_inputs=lambda: [3, 8, 21, 3, 8, 21, 40, 3, 8] * 40,
+    alternate_inputs=lambda: [5, 9, 33, 5, 9] * 40,
+    alternate_label="alt",
+    key_function="classify",
+    description="fusion differential workload",
+    paper=PaperNumbers(),
+    min_executions=16,
+)
+
+
+@pytest.mark.parametrize("opt_level", ["O0", "O3"])
+def test_differential_transformed_program(opt_level):
+    """The reuse-transformed program (probe/commit intrinsics around fused
+    regions) measures identically with fusion on and off."""
+    fused = ExperimentRunner(fuse=True).compare(TINY, opt_level)
+    unfused = ExperimentRunner(fuse=False).compare(TINY, opt_level)
+    assert fused.original == unfused.original
+    assert fused.transformed == unfused.transformed
+    assert {k: vars(v) for k, v in fused.table_stats.items()} == {
+        k: vars(v) for k, v in unfused.table_stats.items()
+    }
+
+
+# -- structural invariants ---------------------------------------------------
+
+
+def _function_compiler(source, func="main"):
+    program = analyze(parse_program(source))
+    machine = Machine("O0", fuse=True)
+    compiled = compile_program(program, machine)
+    fn = next(f for f in program.functions if f.name == func)
+    return rc._FunctionCompiler(fn, compiled, Typer(program), machine), fn
+
+
+def _stmts(source, func="main"):
+    fc, fn = _function_compiler(source, func)
+    return fc, list(fn.body.stmts)
+
+
+def test_fusion_never_spans_user_call():
+    fc, stmts = _stmts(
+        """
+        int f(int x) { return x + 1; }
+        int main(void) { int a = 1; a = f(a); a = a + 2; return a; }
+        """
+    )
+    fusable = [fuse.fusable_stmt(s, fc) for s in stmts]
+    # decl fusable, call statement not, arithmetic fusable, return fusable
+    assert fusable == [True, False, True, True]
+
+
+def test_fusion_never_spans_intrinsic():
+    fc, stmts = _stmts(
+        "int main(void) { int a = 3; __output_int(a); a = a * 2; return 0; }"
+    )
+    assert [fuse.fusable_stmt(s, fc) for s in stmts] == [True, False, True, True]
+
+
+@pytest.mark.parametrize("stub", ["__seg_enter(7)", "__seg_exit(7)"])
+def test_fusion_never_spans_profiling_stub(stub):
+    # the zero-cost stubs are calls, so they always split fused regions
+    fc, stmts = _stmts(
+        f"int main(void) {{ int a = 1; {stub}; a = a + 1; return a; }}"
+    )
+    assert [fuse.fusable_stmt(s, fc) for s in stmts] == [True, False, True, True]
+
+
+def test_branch_charges_flushed_per_block():
+    """The static tally never spans a branch: the generated code flushes
+    pending charges before every conditional, and each arm charges its
+    own block."""
+    fc, stmts = _stmts(
+        """
+        int main(void) {
+            int x = 3;
+            int y = 0;
+            if (x > 1) { y = x + 1; } else { y = x - 1; }
+            return y;
+        }
+        """
+    )
+    assert all(fuse.fusable_stmt(s, fc) for s in stmts)
+    region = fuse.fuse_region(stmts, fc)
+    lines = region.fused_source.splitlines()
+    if_index = next(i for i, l in enumerate(lines) if l.lstrip().startswith("if "))
+    # ... a batched charge was emitted before the branch is taken,
+    assert any("_c[" in l for l in lines[:if_index])
+    # ... and none of the pre-branch batches includes the arms' charges:
+    # each arm flushes separately inside its own (deeper-indented) suite.
+    arm_lines = [l for l in lines[if_index + 1 :] if "_c[" in l]
+    assert arm_lines, "branch arms must charge their own blocks"
+    # the region still executes correctly and returns through Ret
+    frame = [0] * 8
+    result = region(frame)
+    assert type(result) is rc.Ret and result.value == 4
+
+
+def test_fused_break_charges_branch_exactly():
+    """break/continue compile to native control flow but still charge
+    BRANCH exactly like their closures."""
+    source = """
+    int main(void) {
+        int i;
+        int n = 0;
+        for (i = 0; i < 10; i++) {
+            if (i == 3) break;
+            n = n + 1;
+        }
+        return n;
+    }
+    """
+    unfused = _measure(source, "O0", [], fused=False)
+    fused = _measure(source, "O0", [], fused=True)
+    assert fused == unfused
+    assert fused.counts["branch"] > 0
+
+
+def test_continue_in_for_still_runs_step():
+    source = """
+    int main(void) {
+        int i;
+        int n = 0;
+        for (i = 0; i < 10; i++) {
+            if (i % 2 == 0) continue;
+            n = n + i;
+        }
+        return n;
+    }
+    """
+    unfused = _measure(source, "O0", [], fused=False)
+    fused = _measure(source, "O0", [], fused=True)
+    assert fused == unfused
+
+
+def test_do_while_break_and_continue():
+    source = """
+    int main(void) {
+        int i = 0;
+        int n = 0;
+        do {
+            i = i + 1;
+            if (i % 3 == 0) continue;
+            if (i > 7) break;
+            n = n + i;
+        } while (i < 100);
+        return n;
+    }
+    """
+    unfused = _measure(source, "O0", [], fused=False)
+    fused = _measure(source, "O0", [], fused=True)
+    assert fused == unfused
+
+
+def test_machine_fuse_flag_disables_fusion():
+    fc, stmts = _stmts("int main(void) { int a = 1; return a; }")
+    assert fc.fuse is True
+    machine = Machine("O0", fuse=False)
+    program = analyze(parse_program("int main(void) { return 4; }"))
+    compiled = compile_program(program, machine)
+    assert compiled.run("main") == 4
