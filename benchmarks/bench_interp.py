@@ -8,7 +8,12 @@ trajectory is tracked from PR to PR:
 
     {"ops_per_sec": <fused>, "suite_seconds": <fused>, "fused": true,
      "unfused_ops_per_sec": ..., "unfused_suite_seconds": ...,
-     "speedup": ..., "per_workload": {...}}
+     "speedup": ..., "per_workload": {...},
+     "tracer": {"disabled_ns_per_span": ..., "enabled_ns_per_span": ...}}
+
+The ``tracer`` section is the observability overhead floor: what one
+``tracer.span(...)`` costs with tracing off (the price every untraced
+run pays per instrumentation point) and with tracing on.
 
 Run directly (``python benchmarks/bench_interp.py``) or via pytest
 (``pytest benchmarks/bench_interp.py``).
@@ -22,6 +27,7 @@ import time
 
 from repro.minic.parser import parse_program
 from repro.minic.sema import analyze
+from repro.obs import Tracer
 from repro.opt.pipeline import optimize
 from repro.runtime.compiler import compile_program
 from repro.runtime.machine import Machine
@@ -32,6 +38,7 @@ RESULT_PATH = REPO_ROOT / "BENCH_interp.json"
 
 BENCH_WORKLOADS = ("G721_encode", "G721_decode", "GNUGO")
 OPT_LEVELS = ("O0", "O3")
+TRACER_SPANS = 50_000
 
 
 def _measure_one(workload, opt_level: str, fused: bool) -> tuple[int, float]:
@@ -45,6 +52,36 @@ def _measure_one(workload, opt_level: str, fused: bool) -> tuple[int, float]:
     compiled.run("main")
     elapsed = time.perf_counter() - start
     return sum(machine.counters), elapsed
+
+
+def _ns_per_span(tracer: Tracer, n: int) -> float:
+    start = time.perf_counter()
+    for _ in range(n):
+        with tracer.span("bench", category="bench"):
+            pass
+    return (time.perf_counter() - start) / n * 1e9
+
+
+def run_tracer_benchmark() -> dict:
+    """Cost of one span, tracing off vs on.
+
+    The disabled path is the one every untraced run pays at each
+    instrumentation point (one ``if``, then the shared null context
+    manager), so it is the number that keeps observability honest.
+    """
+    disabled = Tracer(enabled=False)
+    enabled = Tracer(enabled=True)
+    _ns_per_span(disabled, 1000)  # warm both paths off the books
+    _ns_per_span(enabled, 1000)
+    enabled.clear()
+    disabled_ns = _ns_per_span(disabled, TRACER_SPANS)
+    enabled_ns = _ns_per_span(enabled, TRACER_SPANS)
+    enabled.clear()
+    return {
+        "spans_measured": TRACER_SPANS,
+        "disabled_ns_per_span": round(disabled_ns, 1),
+        "enabled_ns_per_span": round(enabled_ns, 1),
+    }
 
 
 def run_benchmark() -> dict:
@@ -74,6 +111,7 @@ def run_benchmark() -> dict:
         "workloads": list(BENCH_WORKLOADS),
         "opt_levels": list(OPT_LEVELS),
         "per_workload": per_workload,
+        "tracer": run_tracer_benchmark(),
     }
 
 
@@ -85,6 +123,14 @@ def test_bench_interp():
     result = run_benchmark()
     write_result(result)
     assert result["ops_per_sec"] >= 2 * result["unfused_ops_per_sec"], result
+
+
+def test_bench_tracer_overhead():
+    result = run_tracer_benchmark()
+    assert result["disabled_ns_per_span"] < result["enabled_ns_per_span"], result
+    # a disabled span is one attribute load, one `if`, and the shared
+    # null context manager — generous bound for noisy CI machines
+    assert result["disabled_ns_per_span"] < 2_000, result
 
 
 if __name__ == "__main__":

@@ -11,8 +11,6 @@ import copy
 
 from conftest import save_and_print
 
-from repro.experiments.runner import ExperimentRunner
-from repro.minic import frontend
 from repro.minic.parser import parse_program
 from repro.minic.sema import analyze
 from repro.opt.pipeline import optimize

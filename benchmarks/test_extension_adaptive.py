@@ -6,14 +6,10 @@ the static transformation a net loss.  Adaptive tables cap that downside
 while leaving the profitable cases untouched.
 """
 
-import copy
 
 from conftest import save_and_print
 
 from repro.minic import frontend
-from repro.minic.parser import parse_program
-from repro.minic.sema import analyze
-from repro.opt.pipeline import optimize
 from repro.reuse import PipelineConfig, ReusePipeline
 from repro.runtime import Machine, compile_program
 from repro.workloads import get_workload

@@ -16,7 +16,6 @@ Run:  python examples/g721_specialization.py
 """
 
 from repro import Machine, PipelineConfig, compile_program
-from repro.minic import format_program, frontend
 from repro.minic.pretty import format_function
 from repro.reuse import ReusePipeline
 from repro.workloads import get_workload

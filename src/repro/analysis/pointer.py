@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..minic import astnodes as ast
-from ..minic.types import ArrayType, FuncType, PointerType
+from ..minic.types import ArrayType, PointerType
 
 
 class _UnionFind:

@@ -4,13 +4,18 @@
 
     python -m repro run program.c --inputs 1,2,3 --opt O3
     python -m repro transform program.c --inputs-file stream.txt
+    python -m repro trace program.c --why quan
+    python -m repro stats G721_encode --opt O3
     python -m repro workloads
     python -m repro report --table 6 --workload G721_encode --workload RASTA
     python -m repro report --figure 14 --workload UNEPIC
 
 ``run`` executes a mini-C file on the simulated StrongARM and prints the
 metrics; ``transform`` runs the full reuse pipeline and prints the
-memoized source plus the before/after comparison; ``report`` regenerates
+memoized source plus the before/after comparison; ``trace`` runs the
+pipeline with tracing on and exports a Chrome trace, a JSONL span log,
+and the segment decision ledger; ``stats`` prints the runtime
+reuse-table telemetry of a transformed execution; ``report`` regenerates
 any of the paper's tables/figures for a subset of workloads.
 """
 
@@ -107,6 +112,96 @@ def cmd_transform(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Run the reuse pipeline with tracing on and export the evidence:
+    a Chrome trace (``<stem>.trace.json``), the span/event log
+    (``<stem>.trace.jsonl``), and the decision ledger
+    (``<stem>.ledger.json``), plus the ledger table on stdout."""
+    import json
+    from pathlib import Path
+
+    from .obs import Tracer, set_tracer, write_chrome_trace, write_jsonl
+
+    source = _read_source(args.file)
+    inputs = _parse_inputs(args)
+    config = PipelineConfig(min_executions=args.min_executions)
+    tracer = Tracer(enabled=True)
+    previous = set_tracer(tracer)
+    try:
+        result = ReusePipeline(source, config).run(inputs)
+    finally:
+        set_tracer(previous)
+
+    out_dir = Path(args.out_dir or ".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    base = out_dir / Path(args.file).stem
+    chrome_path = f"{base}.trace.json"
+    jsonl_path = f"{base}.trace.jsonl"
+    ledger_path = f"{base}.ledger.json"
+    write_chrome_trace(tracer, chrome_path)
+    write_jsonl(tracer, jsonl_path)
+    with open(ledger_path, "w", encoding="utf-8") as f:
+        json.dump(result.ledger.to_json(), f, indent=1, sort_keys=True)
+        f.write("\n")
+
+    counts = result.counts
+    print(
+        f"// segments: {counts['analyzed']} analyzed, "
+        f"{counts['profiled']} profiled, {counts['transformed']} transformed"
+    )
+    print(f"// chrome trace: {chrome_path} ({len(tracer.spans)} spans)")
+    print(f"// span log:     {jsonl_path}")
+    print(f"// ledger:       {ledger_path}")
+    print()
+    if args.why:
+        print(result.ledger.why(args.why))
+    else:
+        print(result.ledger.render())
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Transform a program (or a registered workload), execute it with its
+    reuse tables installed, and print the runtime table telemetry."""
+    import os
+
+    from .experiments.report import render_hit_ratio_series, render_reuse_stats
+
+    if os.path.exists(args.target):
+        source = _read_source(args.target)
+        inputs = _parse_inputs(args)
+        config = PipelineConfig(min_executions=args.min_executions)
+    else:
+        from .workloads import get_workload
+
+        workload = get_workload(args.target)
+        source = workload.source
+        inputs = _parse_inputs(args) or workload.default_inputs()
+        config = PipelineConfig(
+            min_executions=workload.min_executions,
+            memory_budget_bytes=workload.memory_budget_bytes,
+        )
+    result = ReusePipeline(source, config).run(inputs)
+    if not result.selected:
+        print("nothing was transformed; no reuse tables to report")
+        return 1
+    program = result.program
+    if args.opt == "O3":
+        from .opt.pipeline import optimize
+
+        optimize(program, "O3")
+    machine = Machine(args.opt)
+    machine.set_inputs(list(inputs))
+    for seg_id, table in result.build_tables().items():
+        machine.install_table(seg_id, table)
+    compile_program(program, machine).run("main")
+    metrics = machine.metrics()
+    print(render_reuse_stats(metrics.table_stats, metrics.merged_members))
+    print()
+    print(render_hit_ratio_series(metrics.table_stats))
+    return 0
+
+
 def cmd_workloads(args) -> int:
     from .workloads import ALL_WORKLOADS
 
@@ -195,6 +290,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--min-executions", type=int, default=32)
     p_tr.add_argument("--no-measure", action="store_true")
     p_tr.set_defaults(func=cmd_transform)
+
+    p_trace = sub.add_parser(
+        "trace", help="trace the reuse pipeline and dump the decision ledger"
+    )
+    p_trace.add_argument("file")
+    p_trace.add_argument("--inputs", help="comma-separated profiling input stream")
+    p_trace.add_argument("--inputs-file")
+    p_trace.add_argument("--min-executions", type=int, default=32)
+    p_trace.add_argument(
+        "--out-dir", help="directory for the trace/ledger files (default: .)"
+    )
+    p_trace.add_argument(
+        "--why",
+        help="print the decision history of one segment "
+        "(id, function name, or function@workload)",
+    )
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_stats = sub.add_parser(
+        "stats", help="runtime reuse-table telemetry for a file or workload"
+    )
+    p_stats.add_argument("target", help="mini-C file path or workload name")
+    p_stats.add_argument("--opt", choices=("O0", "O3"), default="O0")
+    p_stats.add_argument("--inputs", help="comma-separated input stream")
+    p_stats.add_argument("--inputs-file")
+    p_stats.add_argument("--min-executions", type=int, default=32)
+    p_stats.set_defaults(func=cmd_stats)
 
     p_wl = sub.add_parser("workloads", help="list the benchmark workloads")
     p_wl.set_defaults(func=cmd_workloads)

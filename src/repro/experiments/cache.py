@@ -29,6 +29,7 @@ treated as misses.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -37,9 +38,13 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
+from ..obs import get_tracer
+
 # Participates in every cache key.  Bump on any change that can alter
 # measured cycles/energy/checksums or pipeline decisions.
-CODE_VERSION = "1"
+# "2": TableStats grew telemetry fields (empty_misses, evictions,
+# occupancy_hwm, hit-ratio samples) that must round-trip through the cache.
+CODE_VERSION = "2"
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 _DEFAULT_ROOT = ".repro_cache"
@@ -89,9 +94,12 @@ class ExperimentCache:
         path = self._path("pipelines", key, ".pkl")
         try:
             with open(path, "rb") as f:
-                return pickle.load(f)
+                result = pickle.load(f)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            get_tracer().event("cache.miss", category="cache", kind="pipeline", key=key)
             return None
+        get_tracer().event("cache.hit", category="cache", kind="pipeline", key=key)
+        return result
 
     def store_pipeline(self, key: str, result) -> None:
         self._write_atomic(
@@ -117,8 +125,10 @@ class ExperimentCache:
                     int(seg_id): TableStats(**fields)
                     for seg_id, fields in stats.items()
                 }
+            get_tracer().event("cache.hit", category="cache", kind="run", key=key)
             return run, stats
         except (OSError, ValueError, KeyError, TypeError):
+            get_tracer().event("cache.miss", category="cache", kind="run", key=key)
             return None
 
     def store_run(self, key: str, run, stats=None) -> None:
@@ -131,13 +141,11 @@ class ExperimentCache:
             }
         }
         if stats is not None:
+            # Full-fidelity snapshot: every TableStats field (including the
+            # hit-ratio sample series) must survive the JSON round-trip so
+            # cached runs report identical telemetry to fresh ones.
             doc["stats"] = {
-                str(seg_id): {
-                    "probes": s.probes,
-                    "hits": s.hits,
-                    "misses": s.misses,
-                    "collisions": s.collisions,
-                }
+                str(seg_id): dataclasses.asdict(s)
                 for seg_id, s in stats.items()
             }
         self._write_atomic(

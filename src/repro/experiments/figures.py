@@ -20,7 +20,7 @@ from typing import Optional
 from ..runtime.jenkins import hash_key_words
 from ..runtime.values import wrap32
 from ..workloads.base import Workload
-from ..workloads.registry import ALL_WORKLOADS, PRIMARY_WORKLOADS, get_workload
+from ..workloads.registry import PRIMARY_WORKLOADS, get_workload
 from .runner import ExperimentRunner
 
 # Per-table byte budgets swept in figures 14/15 (the paper's x axis runs

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from .figures import Histogram, SweepSeries
 
@@ -142,6 +142,62 @@ def render_table10(rows, mean: float) -> str:
         ["Program", "Inputs", "Original(s)", "CompReuse(s)", "Speedup", "paper"],
         body,
     )
+
+
+def render_reuse_stats(table_stats: dict, merged_members: Optional[dict] = None) -> str:
+    """Per-table runtime telemetry, one row per segment.
+
+    ``table_stats`` maps segment id -> :class:`TableStats`; for segments
+    probing through a shared :class:`MergedReuseTable`, the row shows the
+    *member* statistics and names the shared table (``merged_members``
+    maps table id -> member segment ids), so merged tables keep
+    per-member identity in reports.
+    """
+    group_of = {
+        seg_id: table_id
+        for table_id, members in (merged_members or {}).items()
+        for seg_id in members
+    }
+    body = []
+    for seg_id in sorted(table_stats):
+        s = table_stats[seg_id]
+        ratio = f"{s.hits / s.probes * 100:.1f}%" if s.probes else "-"
+        body.append(
+            [
+                str(seg_id),
+                str(s.probes),
+                str(s.hits),
+                ratio,
+                str(s.collisions),
+                str(s.empty_misses),
+                str(s.evictions),
+                str(s.occupancy_hwm),
+                group_of.get(seg_id, "-"),
+            ]
+        )
+    return "Reuse table telemetry\n" + _render(
+        ["Segment", "Probes", "Hits", "HitRatio", "Collisions",
+         "EmptyMiss", "Evictions", "OccHWM", "SharedTable"],
+        body,
+    )
+
+
+def render_hit_ratio_series(table_stats: dict) -> str:
+    """The sampled hit-ratio time series of each table, as sparklines."""
+    blocks = " .:-=+*#%@"
+    lines = ["Hit-ratio over time (sampled; one char per sample)"]
+    for seg_id in sorted(table_stats):
+        series = table_stats[seg_id].hit_ratio_series()
+        if not series:
+            lines.append(f"  segment {seg_id}: (no samples)")
+            continue
+        spark = "".join(
+            blocks[min(len(blocks) - 1, int(ratio * (len(blocks) - 1) + 0.5))]
+            for _, ratio in series
+        )
+        final = series[-1][1]
+        lines.append(f"  segment {seg_id}: |{spark}| final {final * 100:.1f}%")
+    return "\n".join(lines)
 
 
 def render_histogram(histogram: Histogram, width: int = 50) -> str:

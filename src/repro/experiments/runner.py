@@ -20,10 +20,11 @@ from typing import Optional, Sequence
 
 from ..minic.parser import parse_program
 from ..minic.sema import analyze
+from ..obs import Tracer, get_tracer, set_tracer
 from ..opt.pipeline import optimize
 from ..reuse.pipeline import PipelineConfig, PipelineResult, ReusePipeline
 from ..runtime.compiler import compile_program
-from ..runtime.machine import Machine, Metrics
+from ..runtime.machine import Machine
 from ..workloads.base import Workload
 from .cache import ExperimentCache, cache_key
 
@@ -149,7 +150,14 @@ class ExperimentRunner:
         optimize(program, opt_level)
         machine = Machine(opt_level, fuse=self._fuse)
         machine.set_inputs(list(inputs))
-        compile_program(program, machine).run("main")
+        with get_tracer().span(
+            "run.original",
+            category="experiment",
+            machine=machine,
+            workload=workload.name,
+            opt=opt_level,
+        ):
+            compile_program(program, machine).run("main")
         run = MeasuredRun.from_machine(machine)
         if self._cache is not None:
             self._cache.store_run(key, run)
@@ -198,7 +206,15 @@ class ExperimentRunner:
         tables = self._build_tables(result, max_table_bytes)
         for seg_id, table in tables.items():
             machine.install_table(seg_id, table)
-        compile_program(program, machine).run("main")
+        with get_tracer().span(
+            "run.transformed",
+            category="experiment",
+            machine=machine,
+            workload=workload.name,
+            opt=opt_level,
+            tables=len(tables),
+        ):
+            compile_program(program, machine).run("main")
         stats = {seg_id: table.stats for seg_id, table in tables.items()}
         run = MeasuredRun.from_machine(machine)
         if self._cache is not None:
@@ -265,17 +281,25 @@ class ExperimentRunner:
         key = (workload.name, opt_level, alternate, max_table_bytes)
         if key in self._comparisons:
             return self._comparisons[key]
-        inputs = (
-            self.alternate_inputs(workload) if alternate else self.inputs(workload)
-        )
-        original_key = (workload.name, opt_level, alternate)
-        original = self._originals.get(original_key)
-        if original is None:
-            original = self._run_original(workload, opt_level, inputs)
-            self._originals[original_key] = original
-        transformed, stats = self._run_transformed(
-            workload, opt_level, inputs, max_table_bytes=max_table_bytes
-        )
+        with get_tracer().span(
+            "experiment.compare",
+            category="experiment",
+            workload=workload.name,
+            opt=opt_level,
+            alternate=alternate,
+            max_table_bytes=max_table_bytes if max_table_bytes is not None else -1,
+        ):
+            inputs = (
+                self.alternate_inputs(workload) if alternate else self.inputs(workload)
+            )
+            original_key = (workload.name, opt_level, alternate)
+            original = self._originals.get(original_key)
+            if original is None:
+                original = self._run_original(workload, opt_level, inputs)
+                self._originals[original_key] = original
+            transformed, stats = self._run_transformed(
+                workload, opt_level, inputs, max_table_bytes=max_table_bytes
+            )
         run = ComparisonRun(
             workload=workload.name,
             opt_level=opt_level,
@@ -324,30 +348,43 @@ class ExperimentRunner:
         disk cache attached, workers also persist every artifact for
         later runs.  ``max_workers=1`` runs serially in-process (useful
         under debuggers and in tests).
+
+        When tracing is enabled, every worker traces into its own
+        :class:`~repro.obs.Tracer`, ships the spans back as plain data,
+        and the coordinator re-parents them under its ``compare_many``
+        span — one timeline across the whole pool.
         """
+        tracer = get_tracer()
         normalized = [self._normalize_config(c) for c in configs]
         groups: dict[str, list[int]] = {}
         for idx, cfg in enumerate(normalized):
             groups.setdefault(cfg[0], []).append(idx)
         cache_root = str(self._cache.root) if self._cache is not None else None
         tasks = [
-            ([normalized[i] for i in indices], cache_root, self._fuse)
+            ([normalized[i] for i in indices], cache_root, self._fuse, tracer.enabled)
             for indices in groups.values()
         ]
         results: list[Optional[ComparisonRun]] = [None] * len(normalized)
-        if max_workers == 1 or len(tasks) <= 1:
-            task_results = map(_compare_worker, tasks)
-        else:
-            pool = ProcessPoolExecutor(max_workers=max_workers)
-            try:
-                task_results = list(pool.map(_compare_worker, tasks))
-            finally:
-                pool.shutdown()
-        for indices, runs in zip(groups.values(), task_results):
-            for idx, run in zip(indices, runs):
-                results[idx] = run
-                name, opt_level, alternate, max_table_bytes = normalized[idx]
-                self._comparisons[(name, opt_level, alternate, max_table_bytes)] = run
+        with tracer.span(
+            "experiment.compare_many",
+            category="experiment",
+            configs=len(normalized),
+            tasks=len(tasks),
+        ) as parent:
+            if max_workers == 1 or len(tasks) <= 1:
+                task_results = [_compare_worker(t) for t in tasks]
+            else:
+                pool = ProcessPoolExecutor(max_workers=max_workers)
+                try:
+                    task_results = list(pool.map(_compare_worker, tasks))
+                finally:
+                    pool.shutdown()
+            for indices, (runs, payload) in zip(groups.values(), task_results):
+                tracer.absorb(payload, parent)
+                for idx, run in zip(indices, runs):
+                    results[idx] = run
+                    name, opt_level, alternate, max_table_bytes = normalized[idx]
+                    self._comparisons[(name, opt_level, alternate, max_table_bytes)] = run
         return results  # type: ignore[return-value]
 
     # -- profiling-derived data -----------------------------------------------------
@@ -365,26 +402,37 @@ class ExperimentRunner:
         return self.pipeline(workload).profiles[segment.seg_id]
 
 
-def _compare_worker(task) -> list[ComparisonRun]:
+def _compare_worker(task) -> tuple[list[ComparisonRun], Optional[dict]]:
     """Process-pool entry point: measure one workload's configurations.
 
-    Takes plain data only (workload *names*, a cache root path) because
-    :class:`Workload` holds callables that do not pickle portably.
+    Takes plain data only (workload *names*, a cache root path, the trace
+    flag) because :class:`Workload` holds callables that do not pickle
+    portably.  Returns the runs plus, when tracing, the worker's
+    serialized spans for the coordinator to absorb.  The worker always
+    traces into a private tracer (restoring the previous one on exit) so
+    the serial in-process path never double-records into the
+    coordinator's tracer.
     """
-    configs, cache_root, fuse = task
+    configs, cache_root, fuse, trace_enabled = task
     from ..workloads.registry import get_workload
 
-    cache = ExperimentCache(cache_root) if cache_root is not None else None
-    runner = ExperimentRunner(cache=cache, fuse=fuse)
-    return [
-        runner.compare(
-            get_workload(name),
-            opt_level,
-            alternate=alternate,
-            max_table_bytes=max_table_bytes,
-        )
-        for name, opt_level, alternate, max_table_bytes in configs
-    ]
+    worker_tracer = Tracer(enabled=trace_enabled)
+    previous = set_tracer(worker_tracer)
+    try:
+        cache = ExperimentCache(cache_root) if cache_root is not None else None
+        runner = ExperimentRunner(cache=cache, fuse=fuse)
+        runs = [
+            runner.compare(
+                get_workload(name),
+                opt_level,
+                alternate=alternate,
+                max_table_bytes=max_table_bytes,
+            )
+            for name, opt_level, alternate, max_table_bytes in configs
+        ]
+    finally:
+        set_tracer(previous)
+    return runs, worker_tracer.serialize() if trace_enabled else None
 
 
 def harmonic_mean(values: Sequence[float]) -> float:

@@ -16,7 +16,7 @@ from ..profiling.valueset import LRU_SIZES
 from ..runtime.costs import CLOCK_HZ
 from ..workloads.base import Workload
 from ..workloads.registry import ALL_WORKLOADS, PRIMARY_WORKLOADS
-from .runner import ComparisonRun, ExperimentRunner, harmonic_mean
+from .runner import ExperimentRunner, harmonic_mean
 
 
 def _us(cycles: float) -> float:

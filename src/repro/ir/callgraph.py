@@ -10,7 +10,7 @@ from :mod:`repro.ir.scc`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..minic import astnodes as ast

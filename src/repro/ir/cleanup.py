@@ -23,12 +23,11 @@ re-run :func:`repro.minic.sema.analyze` afterwards.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..minic import astnodes as ast
 from ..minic.builtins import BUILTINS
 from ..minic.sema import Typer, analyze
-from ..minic.types import FLOAT, VOID, Type
+from ..minic.types import VOID, Type
 
 _TEMP_PREFIX = "__cu"
 

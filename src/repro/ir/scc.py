@@ -7,7 +7,7 @@ is condensed to a single node keeping its best-gain member).
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Mapping, Sequence
+from typing import Hashable, Iterable, Mapping
 
 Node = Hashable
 Graph = Mapping[Node, Iterable[Node]]

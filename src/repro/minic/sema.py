@@ -28,7 +28,6 @@ from .types import (
     FLOAT,
     INT,
     VOID,
-    ArrayType,
     FuncType,
     PointerType,
     Type,

@@ -1,0 +1,36 @@
+"""Observability: structured tracing, decision ledger, trace exporters.
+
+Zero-dependency and off by default.  Three pillars:
+
+* :class:`Tracer` (:mod:`repro.obs.tracer`) — process-local nested spans
+  with wall-clock and simulated-cycle attribution, pool-safe via
+  serialize/absorb; enabled explicitly or with ``REPRO_TRACE``.
+* :class:`DecisionLedger` (:mod:`repro.obs.ledger`) — per-candidate
+  verdicts from every reuse-pipeline stage, with the numbers and margins
+  behind each decision.
+* Exporters (:mod:`repro.obs.export`) — JSONL and Chrome
+  ``chrome://tracing`` trace-event formats.
+
+Runtime reuse telemetry (eviction counts, occupancy high-water marks,
+hit-ratio time series) lives with the data structures that produce it in
+:mod:`repro.runtime.hashtable` and is surfaced through
+``Machine.metrics()`` and the ``repro stats`` CLI.
+"""
+
+from .ledger import DecisionLedger, SegmentRecord, Verdict
+from .tracer import Span, Tracer, get_tracer, set_tracer
+from .export import to_chrome, to_jsonl, write_chrome_trace, write_jsonl
+
+__all__ = [
+    "DecisionLedger",
+    "SegmentRecord",
+    "Verdict",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "to_chrome",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,98 @@
+"""Trace exporters: JSONL and Chrome ``chrome://tracing`` formats.
+
+Both exporters are deterministic functions of the tracer's recorded data
+(stable key order, no environment reads), so tests can golden-file their
+output byte-for-byte given a tracer with injected clocks.
+
+* **JSONL** — one JSON object per line, spans first (in start order)
+  then events, each tagged with ``"type"``; the format ``jq`` and
+  ad-hoc scripts want.
+* **Chrome trace-event** — a ``{"traceEvents": [...]}`` document of
+  complete (``"ph": "X"``) events for spans and instant (``"ph": "i"``)
+  events, loadable in ``chrome://tracing`` and Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .tracer import Tracer
+
+__all__ = [
+    "to_jsonl",
+    "to_chrome",
+    "write_jsonl",
+    "write_chrome_trace",
+]
+
+
+def _dumps(doc: dict) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def to_jsonl(tracer: Tracer) -> str:
+    """The trace as JSON-lines text (spans, then events)."""
+    lines = []
+    for span in tracer.spans:
+        doc = span.to_dict()
+        doc["type"] = "span"
+        lines.append(_dumps(doc))
+    for event in tracer.events:
+        doc = dict(event)
+        doc["type"] = "event"
+        lines.append(_dumps(doc))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_chrome(tracer: Tracer, process_name: str = "repro") -> dict:
+    """The trace as a Chrome trace-event document (a plain dict)."""
+    trace_events: list[dict] = []
+    pids = sorted({s.pid for s in tracer.spans} | {e["pid"] for e in tracer.events})
+    for pid in pids:
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process_name},
+            }
+        )
+    for span in tracer.spans:
+        trace_events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start_us,
+                "dur": span.dur_us,
+                "pid": span.pid,
+                "tid": 0,
+                "args": dict(span.args, span_id=span.span_id),
+            }
+        )
+    for event in tracer.events:
+        trace_events.append(
+            {
+                "name": event["name"],
+                "cat": event["category"],
+                "ph": "i",
+                "s": "p",  # process-scoped instant
+                "ts": event["ts_us"],
+                "pid": event["pid"],
+                "tid": 0,
+                "args": dict(event["args"]),
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_jsonl(tracer: Tracer, path) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(to_jsonl(tracer))
+
+
+def write_chrome_trace(tracer: Tracer, path) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(json.dumps(to_chrome(tracer), sort_keys=True, indent=1))
+        f.write("\n")

@@ -1,0 +1,295 @@
+"""Structured tracing: process-local nested spans and instant events.
+
+The tracer is the timing half of the observability layer (the decision
+half is :mod:`repro.obs.ledger`).  Design constraints, in order:
+
+1. **Disabled tracing is free.**  ``Tracer.span()`` on a disabled tracer
+   returns one shared no-op context manager — no allocation, no clock
+   read — and the process-local default tracer is disabled unless the
+   ``REPRO_TRACE`` environment variable turns it on.  Observability must
+   never change a measured number; the differential test in
+   ``tests/obs/test_noop_differential.py`` enforces that.
+2. **Spans nest and travel.**  A span opened while another is active
+   becomes its child.  Workers in a process pool trace into their own
+   tracer, :meth:`Tracer.serialize` the result, and the coordinator
+   :meth:`Tracer.absorb`\\ s the payload, re-parenting the worker's root
+   spans under the coordinating span (see
+   :meth:`repro.experiments.runner.ExperimentRunner.compare_many`).
+3. **Two time axes.**  Every span records wall-clock (epoch-based, so
+   spans from different processes land on one Chrome-trace timeline) and,
+   when a :class:`~repro.runtime.machine.Machine` is passed, the
+   simulated-cycle interval it covered (``cycles_begin``/``cycles``
+   in the span args).
+
+Clocks and the pid are injectable so exporter tests can be golden-file
+exact.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Span", "Tracer", "get_tracer", "set_tracer"]
+
+
+@dataclass
+class Span:
+    """One completed (or still-open) traced interval."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    start_us: int  # wall clock, microseconds since the epoch
+    dur_us: int = 0
+    pid: int = 0
+    args: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "start_us": self.start_us,
+            "dur_us": self.dur_us,
+            "pid": self.pid,
+            "args": self.args,
+        }
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager for one live span on an enabled tracer."""
+
+    __slots__ = ("_tracer", "_span", "_machine", "_t0")
+
+    def __init__(self, tracer: "Tracer", span: Span, machine) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._machine = machine
+        self._t0 = 0.0
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        span = self._span
+        span.start_us = int(tracer._wall() * 1_000_000)
+        if self._machine is not None:
+            span.args["cycles_begin"] = self._machine.cycles
+        tracer._stack.append(span.span_id)
+        tracer.spans.append(span)
+        self._t0 = tracer._clock()
+        return span
+
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
+        tracer = self._tracer
+        span = self._span
+        span.dur_us = max(0, int((tracer._clock() - self._t0) * 1_000_000))
+        if self._machine is not None:
+            span.args["cycles"] = self._machine.cycles - span.args["cycles_begin"]
+        if exc_type is not None:
+            span.args["error"] = exc_type.__name__
+        if tracer._stack and tracer._stack[-1] == span.span_id:
+            tracer._stack.pop()
+        return False
+
+
+class Tracer:
+    """Collects spans and events for one process.
+
+    Args:
+        enabled: when False every tracing entry point is a no-op.
+        clock: monotonic clock used for durations (injectable for tests).
+        wall: epoch clock used for timestamps (injectable for tests).
+        pid: process id recorded on spans (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        clock: Callable[[], float] = time.perf_counter,
+        wall: Callable[[], float] = time.time,
+        pid: Optional[int] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self.events: list[dict] = []
+        self._clock = clock
+        self._wall = wall
+        self._pid = os.getpid() if pid is None else pid
+        self._stack: list[int] = []
+        self._next_id = 1
+
+    # -- recording -----------------------------------------------------------
+
+    def span(self, name: str, category: str = "pipeline", machine=None, **args):
+        """Open a nested span; use as a context manager.
+
+        ``machine`` adds simulated-cycle attribution: the span's args gain
+        ``cycles_begin`` and ``cycles`` (the cycle interval covered).
+        Extra keyword arguments become span args verbatim.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        span = Span(
+            span_id=self._alloc_id(),
+            parent_id=self._stack[-1] if self._stack else None,
+            name=name,
+            category=category,
+            start_us=0,
+            pid=self._pid,
+            args=dict(args),
+        )
+        return _SpanContext(self, span, machine)
+
+    def event(self, name: str, category: str = "event", **args) -> None:
+        """Record an instant event (e.g. a cache hit) at the current time."""
+        if not self.enabled:
+            return
+        self.events.append(
+            {
+                "name": name,
+                "category": category,
+                "ts_us": int(self._wall() * 1_000_000),
+                "parent_id": self._stack[-1] if self._stack else None,
+                "pid": self._pid,
+                "args": dict(args),
+            }
+        )
+
+    def _alloc_id(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    # -- cross-process transport ----------------------------------------------
+
+    def serialize(self) -> dict:
+        """Plain-data payload for shipping spans out of a worker process."""
+        return {
+            "spans": [s.to_dict() for s in self.spans],
+            "events": list(self.events),
+        }
+
+    def absorb(self, payload: Optional[dict], parent: Optional[Span] = None) -> None:
+        """Merge a :meth:`serialize` payload from another tracer.
+
+        Span ids are remapped into this tracer's id space; spans that were
+        roots in the worker are re-parented under ``parent`` (when given),
+        which stitches a worker's trace beneath the coordinator's span.
+        """
+        if not payload or not self.enabled:
+            return
+        remap: dict[int, int] = {}
+        parent_id = parent.span_id if parent is not None else None
+        for doc in payload.get("spans", ()):
+            new_id = self._alloc_id()
+            remap[doc["span_id"]] = new_id
+            old_parent = doc.get("parent_id")
+            self.spans.append(
+                Span(
+                    span_id=new_id,
+                    parent_id=remap.get(old_parent, parent_id),
+                    name=doc["name"],
+                    category=doc["category"],
+                    start_us=doc["start_us"],
+                    dur_us=doc["dur_us"],
+                    pid=doc["pid"],
+                    args=dict(doc.get("args", {})),
+                )
+            )
+        for event in payload.get("events", ()):
+            event = dict(event)
+            event["parent_id"] = remap.get(event.get("parent_id"), parent_id)
+            self.events.append(event)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def clear(self) -> None:
+        self.spans = []
+        self.events = []
+        self._stack = []
+        self._next_id = 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "on" if self.enabled else "off"
+        return f"<Tracer {state} spans={len(self.spans)} events={len(self.events)}>"
+
+
+# -- the process-local tracer --------------------------------------------------
+
+_ENV_TRACE = "REPRO_TRACE"
+_ENV_TRACE_DIR = "REPRO_TRACE_DIR"
+_DEFAULT_TRACE_DIR = ".repro_trace"
+
+_tracer: Optional[Tracer] = None
+
+
+def get_tracer() -> Tracer:
+    """The process-local tracer, created on first use.
+
+    Disabled unless ``REPRO_TRACE`` is set to a truthy value (``1``,
+    ``chrome``, ``jsonl``, or ``both``); when enabled from the
+    environment, the trace is exported at interpreter exit into
+    ``REPRO_TRACE_DIR`` (default ``.repro_trace/``) in the requested
+    format(s).
+    """
+    global _tracer
+    if _tracer is None:
+        _tracer = _from_env()
+    return _tracer
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install ``tracer`` as the process-local tracer; returns the old one.
+
+    Passing ``None`` resets to the lazily-created environment default
+    (callers restoring a previous tracer can pass the value this function
+    returned without checking it)."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+def _from_env() -> Tracer:
+    value = os.environ.get(_ENV_TRACE, "").strip().lower()
+    if value in ("", "0", "false", "off", "no"):
+        return Tracer(enabled=False)
+    tracer = Tracer(enabled=True)
+    formats = ("chrome", "jsonl") if value in ("1", "true", "on", "yes", "both") else (value,)
+
+    import atexit
+
+    def _dump(tracer=tracer, formats=formats) -> None:
+        from .export import write_chrome_trace, write_jsonl
+
+        if not (tracer.spans or tracer.events):
+            return
+        directory = os.environ.get(_ENV_TRACE_DIR) or _DEFAULT_TRACE_DIR
+        os.makedirs(directory, exist_ok=True)
+        stem = os.path.join(directory, f"repro-{tracer._pid}")
+        if "chrome" in formats:
+            write_chrome_trace(tracer, stem + ".trace.json")
+        if "jsonl" in formats:
+            write_jsonl(tracer, stem + ".trace.jsonl")
+
+    atexit.register(_dump)
+    return tracer

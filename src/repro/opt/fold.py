@@ -8,7 +8,6 @@ at execution time, matching the unoptimized program.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..minic import astnodes as ast
 from ..runtime.values import c_div, c_mod, c_shl, c_shr, wrap32

@@ -17,7 +17,7 @@ from typing import Optional
 from ..minic import astnodes as ast
 from ..minic.builtins import BUILTINS
 from ..minic.sema import Typer
-from ..minic.types import FLOAT, PointerType, decay
+from ..minic.types import FLOAT, decay
 from ..runtime import costs
 from ..runtime.costs import CostTable
 

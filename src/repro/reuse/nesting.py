@@ -20,7 +20,7 @@ transforms at most one segment per nest.  The decision procedure:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..minic import astnodes as ast
@@ -128,6 +128,7 @@ class NestingGraph:
             candidates = [self.segments[sid] for sid in member_ids]
             best = max(candidates, key=lambda s: s.gain)
             best_member[cid] = best
+        self._best_member = best_member
 
         order = topological_order(self._dag)  # parents before children
         # bottom-up: children first
@@ -148,8 +149,12 @@ class NestingGraph:
                 decided=max(segment.gain, inner_total),
             )
 
-        # top-down: select nodes that chose themselves and are uncovered
+        # top-down: select nodes that chose themselves and are uncovered.
+        # ``cover_src`` remembers, for reporting, *which* selected segment
+        # covers each node: the covering ancestor when covered, the node's
+        # own segment when it was selected, None otherwise.
         covered: dict[int, bool] = {}
+        cover_src: dict[int, Optional[int]] = {}
         selected: list[Segment] = []
         parents: dict[int, set[int]] = {cid: set() for cid in self._dag}
         for cid, succs in self._dag.items():
@@ -157,18 +162,71 @@ class NestingGraph:
                 parents[s].add(cid)
         for cid in order:
             segment = best_member[cid]
-            is_covered = any(
-                covered[p] or best_member[p].seg_id in self._selected_ids(selected)
-                for p in parents[cid]
-            )
-            covered[cid] = is_covered or (
-                self.decisions[segment.seg_id].chose_self and not is_covered
-            )
-            if not is_covered and self.decisions[segment.seg_id].chose_self:
+            src: Optional[int] = None
+            for p in sorted(parents[cid]):
+                if covered[p]:
+                    src = cover_src[p] if cover_src[p] is not None else best_member[p].seg_id
+                    break
+                if best_member[p].seg_id in self._selected_ids(selected):
+                    src = best_member[p].seg_id
+                    break
+            is_covered = src is not None
+            chose_self = self.decisions[segment.seg_id].chose_self
+            covered[cid] = is_covered or (chose_self and not is_covered)
+            if not is_covered and chose_self:
                 selected.append(segment)
+                cover_src[cid] = segment.seg_id
+            else:
+                cover_src[cid] = src
+        self._cover_src = cover_src
         for segment in selected:
             segment.selected = True
         return selected
+
+    def explain(self) -> dict[int, dict]:
+        """Per-segment outcome of the nesting stage (call after select()).
+
+        Each entry has a ``reason`` — ``selected``, ``scc`` (a recursive
+        SCC kept a better member), ``inner-preferred`` (formula 4 chose
+        the nested segments), or ``covered`` (a selected ancestor already
+        subsumes this nest) — and a signed ``margin``: ``gain - best_gain``
+        for SCC losers, ``g_self - g_inner`` otherwise.
+        """
+        info: dict[int, dict] = {}
+        for cid, member_ids in self._members.items():
+            best = self._best_member[cid]
+            decision = self.decisions[best.seg_id]
+            margin = decision.gain_self - decision.gain_inner
+            src = self._cover_src.get(cid)
+            for sid in member_ids:
+                segment = self.segments[sid]
+                if sid != best.seg_id:
+                    info[sid] = {
+                        "reason": "scc",
+                        "margin": segment.gain - best.gain,
+                        "best": best.seg_id,
+                    }
+                elif src == sid:
+                    info[sid] = {
+                        "reason": "selected",
+                        "margin": margin,
+                        "gain_self": decision.gain_self,
+                        "gain_inner": decision.gain_inner,
+                    }
+                elif not decision.chose_self:
+                    info[sid] = {
+                        "reason": "inner-preferred",
+                        "margin": margin,
+                        "gain_self": decision.gain_self,
+                        "gain_inner": decision.gain_inner,
+                    }
+                else:
+                    info[sid] = {
+                        "reason": "covered",
+                        "margin": margin,
+                        "covered_by": src,
+                    }
+        return info
 
     @staticmethod
     def _selected_ids(selected: list[Segment]) -> set[int]:

@@ -34,6 +34,7 @@ from ..minic import astnodes as ast
 from ..minic.parser import parse_program
 from ..minic.sema import analyze
 from ..ir.cleanup import cleanup
+from ..obs import DecisionLedger, get_tracer
 from ..profiling.valueset import SegmentProfile, ValueSetProfiler
 from ..runtime.compiler import compile_program
 from ..runtime.hashtable import MergedReuseTable, ReuseTable, pow2_ceil as _pow2
@@ -87,6 +88,8 @@ class PipelineResult:
     specializations: list[SpecializationRecord]
     profiles: dict[int, SegmentProfile]
     dropped_for_memory: list[Segment] = field(default_factory=list)
+    # why every candidate was kept or killed, stage by stage
+    ledger: Optional[DecisionLedger] = None
 
     @property
     def counts(self) -> dict[str, int]:
@@ -202,40 +205,67 @@ class ReusePipeline:
         profiler = ValueSetProfiler(machine, mode=mode, allowed=allowed)
         machine.profiler = profiler
         compiled = compile_program(program, machine)
-        compiled.run(self.config.entry)
+        with get_tracer().span(
+            f"profile.{mode}",
+            category="profiling",
+            machine=machine,
+            allowed=len(allowed) if allowed is not None else -1,
+        ) as span:
+            compiled.run(self.config.entry)
+            if span is not None:
+                span.args["segments_seen"] = len(profiler.profiles)
         return profiler
 
     # -- the pipeline ----------------------------------------------------------
 
     def run(self, inputs: Sequence = ()) -> PipelineResult:
-        config = self.config
-        program = cleanup(self._fresh_program())
+        """Run the full Figure-1 pipeline.
 
-        # Round 1: analysis + optional specialization -----------------------
-        analysis = ProgramAnalysis(program)
-        granularity = GranularityAnalysis(program)
-        segments = enumerate_segments(analysis)
-        annotate_costs(segments, granularity)
+        Every stage is traced through the process-local
+        :class:`~repro.obs.Tracer` (a no-op unless tracing is enabled)
+        and every candidate's fate is recorded in a
+        :class:`~repro.obs.DecisionLedger` carried on the result.
+        """
+        config = self.config
+        tracer = get_tracer()
+        ledger = DecisionLedger()
+        with tracer.span("pipeline.run", opt=config.opt_level):
+            result = self._run_stages(inputs, tracer, ledger)
+        return result
+
+    def _run_stages(self, inputs: Sequence, tracer, ledger: DecisionLedger) -> PipelineResult:
+        config = self.config
+        with tracer.span("pipeline.analyze"):
+            program = cleanup(self._fresh_program())
+
+            # Round 1: analysis + optional specialization -------------------
+            analysis = ProgramAnalysis(program)
+            granularity = GranularityAnalysis(program)
+            segments = enumerate_segments(analysis)
+            annotate_costs(segments, granularity)
         specializations: list[SpecializationRecord] = []
         if config.enable_specialization:
-            failing = [
-                s
-                for s in segments
-                if s.feasible
-                and s.kind == "function"
-                and not cost_model.passes_prefilter(s.static_granularity, s.overhead)
-            ]
-            if failing:
-                specializer = Specializer(program, analysis.invariants)
-                for segment in failing:
-                    specializer.specialize_function(segment.func_name)
-                if specializer.records:
-                    specializations = specializer.records
-                    analyze(program)
-                    analysis = ProgramAnalysis(program)
-                    granularity = GranularityAnalysis(program)
-                    segments = enumerate_segments(analysis)
-                    annotate_costs(segments, granularity)
+            with tracer.span("pipeline.specialize") as span:
+                failing = [
+                    s
+                    for s in segments
+                    if s.feasible
+                    and s.kind == "function"
+                    and not cost_model.passes_prefilter(s.static_granularity, s.overhead)
+                ]
+                if failing:
+                    specializer = Specializer(program, analysis.invariants)
+                    for segment in failing:
+                        specializer.specialize_function(segment.func_name)
+                    if specializer.records:
+                        specializations = specializer.records
+                        analyze(program)
+                        analysis = ProgramAnalysis(program)
+                        granularity = GranularityAnalysis(program)
+                        segments = enumerate_segments(analysis)
+                        annotate_costs(segments, granularity)
+                if span is not None:
+                    span.args["specialized"] = len(specializations)
 
         # Sub-segment extension (the paper's §5 future work) -----------------
         if config.enable_subsegments:
@@ -247,14 +277,44 @@ class ReusePipeline:
             annotate_costs(subs, granularity)
             segments = segments + subs
 
+        for segment in segments:
+            ledger.open(segment)
+            ledger.record(
+                segment.seg_id,
+                "feasibility",
+                segment.feasible,
+                reason=segment.reject_reason or "ok",
+            )
+
         # Pre-filter ------------------------------------------------------------
-        candidates = [s for s in segments if s.feasible]
-        if config.enable_cost_filter:
-            candidates = [
-                s
-                for s in candidates
-                if cost_model.passes_prefilter(s.static_granularity, s.overhead)
-            ]
+        with tracer.span("pipeline.prefilter") as span:
+            candidates = [s for s in segments if s.feasible]
+            for segment in candidates:
+                if segment.static_granularity > 0.0:
+                    ratio = segment.overhead / segment.static_granularity
+                    margin = 1.0 - ratio
+                else:
+                    ratio, margin = None, -1.0
+                passes = cost_model.passes_prefilter(
+                    segment.static_granularity, segment.overhead
+                )
+                ledger.record(
+                    segment.seg_id,
+                    "prefilter",
+                    passes or not config.enable_cost_filter,
+                    margin=margin,
+                    C=segment.static_granularity,
+                    O=segment.overhead,
+                    OC=ratio if ratio is not None else "inf",
+                )
+            if config.enable_cost_filter:
+                candidates = [
+                    s
+                    for s in candidates
+                    if cost_model.passes_prefilter(s.static_granularity, s.overhead)
+                ]
+            if span is not None:
+                span.args["candidates"] = len(candidates)
 
         # Frequency profiling -----------------------------------------------------
         instrument_program(candidates, program)
@@ -264,6 +324,17 @@ class ReusePipeline:
             for seg_id, profile in freq.profiles.items()
             if profile.executions >= config.min_executions
         }
+        for segment in candidates:
+            freq_profile = freq.profiles.get(segment.seg_id)
+            executions = freq_profile.executions if freq_profile is not None else 0
+            ledger.record(
+                segment.seg_id,
+                "frequency",
+                segment.seg_id in frequent_ids,
+                margin=float(executions - config.min_executions),
+                executions=executions,
+                required=config.min_executions,
+            )
         profiled = [s for s in candidates if s.seg_id in frequent_ids]
 
         # Value-set profiling -------------------------------------------------------
@@ -289,43 +360,118 @@ class ReusePipeline:
                 segment.measured_granularity, segment.overhead, adjusted
             )
 
-        # Cost-benefit test (formula 3) -----------------------------------------------
+            # Cost-benefit test (formula 3), recorded per segment ------------
+            profitable_here = (
+                segment.gain > 0.0
+                if config.enable_cost_filter
+                else segment.executions > 0
+            )
+            ledger.record(
+                segment.seg_id,
+                "formula3",
+                profitable_here,
+                margin=segment.gain,
+                N=profile.executions,
+                N_ds=profile.distinct_inputs,
+                R=profile.reuse_rate,
+                R_adj=adjusted,
+                C=segment.measured_granularity,
+                O=segment.overhead,
+            )
+
         if config.enable_cost_filter:
             profitable = [s for s in profiled if s.gain > 0.0]
         else:
             profitable = [s for s in profiled if s.executions > 0]
 
         # Nesting selection (formulas in section 2.3) -----------------------------------
-        if config.enable_nesting_selection and profitable:
-            graph = NestingGraph(profitable, analysis)
-            selected = graph.select()
-        else:
-            selected = list(profitable)
-            for segment in selected:
-                segment.selected = True
+        with tracer.span("pipeline.nesting") as span:
+            if config.enable_nesting_selection and profitable:
+                graph = NestingGraph(profitable, analysis)
+                selected = graph.select()
+                for seg_id, info in graph.explain().items():
+                    detail = {k: v for k, v in info.items() if k != "margin"}
+                    ledger.record(
+                        seg_id,
+                        "nesting",
+                        info["reason"] == "selected",
+                        margin=info["margin"],
+                        **detail,
+                    )
+            else:
+                selected = list(profitable)
+                for segment in selected:
+                    segment.selected = True
+                    ledger.record(
+                        segment.seg_id, "nesting", True, reason="disabled"
+                    )
+            if span is not None:
+                span.args["selected"] = len(selected)
 
         # Merging --------------------------------------------------------------------------
         merged: dict[str, list[Segment]] = {}
         if config.enable_merging:
             merged = merge_groups(selected)
+            for group_id, members in merged.items():
+                for member in members:
+                    ledger.record(
+                        member.seg_id,
+                        "merging",
+                        True,
+                        group=group_id,
+                        members=len(members),
+                    )
 
         # Memory budget: drop lowest-value segments before transforming so
         # the emitted program never probes a table we refused to build
         # (the paper's unmerged GNU Go tables "run out of memory").
         dropped: list[Segment] = []
         if config.memory_budget_bytes is not None:
-            dropped = _enforce_budget(
-                selected, merged, config, config.memory_budget_bytes
-            )
+            with tracer.span("pipeline.budget") as span:
+                dropped = _enforce_budget(
+                    selected, merged, config, config.memory_budget_bytes
+                )
+                kept_scores = [s.gain * max(1, s.executions) for s in selected]
+                floor = min(kept_scores) if kept_scores else 0.0
+                for segment in dropped:
+                    score = segment.gain * max(1, segment.executions)
+                    ledger.record(
+                        segment.seg_id,
+                        "budget",
+                        False,
+                        margin=score - floor,
+                        score=score,
+                        budget_bytes=config.memory_budget_bytes,
+                    )
+                if span is not None:
+                    span.args["dropped"] = len(dropped)
 
         # Transformation ----------------------------------------------------------------------
-        transformer = ReuseTransformer(program, analysis)
-        specs: list[TableSpec] = []
-        for segment in selected:
-            spec = transformer.transform_segment(segment)
-            spec.capacity = _capacity_for(segment, config)
-            specs.append(spec)
+        with tracer.span("pipeline.transform") as span:
+            transformer = ReuseTransformer(program, analysis)
+            specs: list[TableSpec] = []
+            for segment in selected:
+                spec = transformer.transform_segment(segment)
+                spec.capacity = _capacity_for(segment, config)
+                specs.append(spec)
+                ledger.record(
+                    segment.seg_id,
+                    "selected",
+                    True,
+                    margin=segment.gain,
+                    capacity=spec.capacity,
+                    merged_group=spec.merged_group or "",
+                )
+            if span is not None:
+                span.args["transformed"] = len(specs)
 
+        tracer.event(
+            "pipeline.counts",
+            category="pipeline",
+            analyzed=len(segments),
+            profiled=len(profiled),
+            transformed=len(selected),
+        )
         return PipelineResult(
             program=program,
             segments=segments,
@@ -337,6 +483,7 @@ class ReusePipeline:
             specializations=specializations,
             profiles=profiles,
             dropped_for_memory=dropped,
+            ledger=ledger,
         )
 
 

@@ -23,7 +23,6 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..minic import astnodes as ast
-from ..minic.builtins import BUILTINS
 from ..minic.types import FLOAT, VOID
 from ..ir.callgraph import CallGraph
 from ..ir.cfg import CFG, build_cfg

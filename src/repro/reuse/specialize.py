@@ -16,11 +16,11 @@ the single input ``val``.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..minic import astnodes as ast
-from ..minic.types import ArrayType, PointerType
+from ..minic.types import ArrayType
 
 MAX_VERSIONS_PER_FUNCTION = 4
 

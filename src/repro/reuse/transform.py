@@ -32,7 +32,7 @@ from typing import Optional
 
 from ..errors import TransformError
 from ..minic import astnodes as ast
-from ..minic.types import FLOAT, INT, VOID
+from ..minic.types import FLOAT, INT
 from .segments import ProgramAnalysis, Segment
 
 

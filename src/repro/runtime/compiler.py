@@ -21,20 +21,11 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..errors import InterpError, SemanticError
+from ..errors import InterpError
 from ..minic import astnodes as ast
 from ..minic.builtins import BUILTINS
 from ..minic.sema import Typer
-from ..minic.types import (
-    FLOAT,
-    INT,
-    VOID,
-    ArrayType,
-    FuncType,
-    PointerType,
-    Type,
-    decay,
-)
+from ..minic.types import FLOAT, ArrayType, PointerType, decay
 from . import fuse, intrinsics
 from .costs import (
     ALU,

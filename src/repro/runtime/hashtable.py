@@ -15,9 +15,13 @@ Two table kinds are provided:
 hardware proposals; it exists to regenerate Table 5 (hit ratios with 1,
 4, 16, 64-entry buffers under LRU replacement).
 
-All tables keep statistics (probes/hits/misses/collisions) that the
-experiment harness reads; *costs* are charged by the interpreter
-intrinsics, not here.
+All tables keep statistics (:class:`TableStats`) that the experiment
+harness and the observability layer read: probe/hit/miss/collision
+counters with the invariant ``misses == collisions + empty_misses``,
+eviction counts, the occupancy high-water mark, and a sampled hit-ratio
+time series (fixed :data:`SAMPLE_BUDGET`-entry ring buffer whose
+sampling interval doubles when full).  *Costs* are charged by the
+interpreter intrinsics, not here.
 """
 
 from __future__ import annotations
@@ -61,16 +65,56 @@ def pow2_floor(n: int) -> int:
 _pow2_at_least = pow2_ceil
 
 
+# Fixed budget for the hit-ratio time series: once full, every other
+# sample is dropped and the sampling interval doubles, so the buffer
+# always covers the whole execution at uniform (coarsening) resolution.
+SAMPLE_BUDGET = 64
+
+
 @dataclass
 class TableStats:
     probes: int = 0
     hits: int = 0
     misses: int = 0
     collisions: int = 0  # probe landed on an occupied entry with a different key
+    empty_misses: int = 0  # probe landed on an entry with no usable record
+    evictions: int = 0  # commit replaced a different key's record
+    occupancy_hwm: int = 0  # high-water mark of occupied entries
+    # [probe count, hit count] pairs sampled over execution (ring buffer
+    # with a fixed budget); lists, not tuples, so JSON round-trips exactly
+    samples: list = field(default_factory=list)
+    sample_interval: int = 1
 
     @property
     def hit_ratio(self) -> float:
         return self.hits / self.probes if self.probes else 0.0
+
+    def record_probe(self, hit: bool, collision: bool = False) -> None:
+        """Count one probe; every miss is either a collision (occupied by
+        a different key) or an empty miss, so
+        ``misses == collisions + empty_misses`` is an invariant."""
+        self.probes += 1
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+            if collision:
+                self.collisions += 1
+            else:
+                self.empty_misses += 1
+        if self.probes % self.sample_interval == 0:
+            self.samples.append([self.probes, self.hits])
+            if len(self.samples) >= SAMPLE_BUDGET:
+                del self.samples[::2]
+                self.sample_interval *= 2
+
+    def note_occupancy(self, occupied: int) -> None:
+        if occupied > self.occupancy_hwm:
+            self.occupancy_hwm = occupied
+
+    def hit_ratio_series(self) -> list[tuple[int, float]]:
+        """(probe count, cumulative hit ratio) samples over execution."""
+        return [(probes, hits / probes) for probes, hits in self.samples]
 
 
 class ReuseTable:
@@ -94,6 +138,7 @@ class ReuseTable:
         self._keys: list[Optional[tuple]] = [None] * self.capacity
         self._outputs: list[Optional[tuple]] = [None] * self.capacity
         self.stats = TableStats()
+        self._occupied = 0
         # LIFO of (key, index) for in-flight probes; supports recursive
         # segment execution (a probe may occur before the enclosing
         # execution commits).
@@ -106,15 +151,12 @@ class ReuseTable:
         left pending until :meth:`commit` (miss path) or :meth:`finish`
         (hit path) is called."""
         index = hash_key_words(key) & self._mask
-        self.stats.probes += 1
         stored = self._keys[index]
         self._pending.append((key, index))
         if stored == key:
-            self.stats.hits += 1
+            self.stats.record_probe(True)
             return True
-        if stored is not None:
-            self.stats.collisions += 1
-        self.stats.misses += 1
+        self.stats.record_probe(False, collision=stored is not None)
         return False
 
     def output(self, position: int):
@@ -147,6 +189,12 @@ class ReuseTable:
         if pending is _BYPASSED:
             return
         key, index = pending
+        stored = self._keys[index]
+        if stored is None:
+            self._occupied += 1
+            self.stats.note_occupancy(self._occupied)
+        elif stored != key:
+            self.stats.evictions += 1
         self._keys[index] = key
         self._outputs[index] = tuple(deep_copy_value(v) for v in outputs)
 
@@ -162,12 +210,13 @@ class ReuseTable:
 
     @property
     def occupied(self) -> int:
-        return sum(1 for k in self._keys if k is not None)
+        return self._occupied
 
     def clear(self) -> None:
         self._keys = [None] * self.capacity
         self._outputs = [None] * self.capacity
         self._pending.clear()
+        self._occupied = 0
         self.stats = TableStats()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -205,6 +254,7 @@ class MergedReuseTable:
         self.stats_per_member: dict[str, TableStats] = {
             seg: TableStats() for seg in self.members
         }
+        self._occupied = 0
         self._pending: list[tuple[tuple, int, int]] = []  # (key, index, member)
 
     def view(self, segment_id: str) -> "MergedTableView":
@@ -216,15 +266,14 @@ class MergedReuseTable:
     def _probe(self, member: int, key: tuple) -> bool:
         index = hash_key_words(key) & self._mask
         stats = self.stats_per_member[self.members[member]]
-        stats.probes += 1
         self._pending.append((key, index, member))
         stored = self._keys[index]
         if stored == key and self._bits[index] & (1 << member):
-            stats.hits += 1
+            stats.record_probe(True)
             return True
-        if stored is not None and stored != key:
-            stats.collisions += 1
-        stats.misses += 1
+        # a matching key whose validity bit is unset is an *empty* miss —
+        # the member's output slot holds nothing usable for this key
+        stats.record_probe(False, collision=stored is not None and stored != key)
         return False
 
     def _output(self, position: int):
@@ -238,13 +287,21 @@ class MergedReuseTable:
 
     def _commit(self, outputs: tuple) -> None:
         key, index, member = self._pending.pop()
+        stats = self.stats_per_member[self.members[member]]
         stored = self._keys[index]
         if stored != key:
+            if stored is None:
+                self._occupied += 1
+            else:
+                # attributed to the committing member, though the evicted
+                # records may belong to any member sharing the entry
+                stats.evictions += 1
             # Replace the whole entry: other members' outputs belong to the
             # evicted input and must be invalidated.
             self._keys[index] = key
             self._bits[index] = 0
             self._outputs[index] = [None] * len(self.members)
+        stats.note_occupancy(self._occupied)
         self._bits[index] |= 1 << member
         self._outputs[index][member] = tuple(deep_copy_value(v) for v in outputs)
 
@@ -261,13 +318,21 @@ class MergedReuseTable:
 
     @property
     def stats(self) -> TableStats:
-        """Aggregated statistics over all member segments."""
+        """Aggregated statistics over all member segments.
+
+        Counters sum; ``occupancy_hwm`` takes the max (it tracks the
+        shared table).  The hit-ratio time series is per-member only —
+        use :attr:`stats_per_member` for it.
+        """
         total = TableStats()
         for stats in self.stats_per_member.values():
             total.probes += stats.probes
             total.hits += stats.hits
             total.misses += stats.misses
             total.collisions += stats.collisions
+            total.empty_misses += stats.empty_misses
+            total.evictions += stats.evictions
+            total.occupancy_hwm = max(total.occupancy_hwm, stats.occupancy_hwm)
         return total
 
 
@@ -322,15 +387,16 @@ class LRUBuffer:
     def access(self, key: tuple) -> bool:
         """Record an access; returns True on hit.  A miss inserts the key,
         evicting the least recently used entry when full."""
-        self.stats.probes += 1
         if key in self._entries:
             self._entries.move_to_end(key)
-            self.stats.hits += 1
+            self.stats.record_probe(True)
             return True
-        self.stats.misses += 1
+        self.stats.record_probe(False)
         if len(self._entries) >= self.capacity:
             self._entries.popitem(last=False)
+            self.stats.evictions += 1
         self._entries[key] = None
+        self.stats.note_occupancy(len(self._entries))
         return False
 
     @property

@@ -18,17 +18,25 @@ table, input file) combination.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..errors import InterpError
 from .costs import CLASS_NAMES, N_CLASSES, CostTable, add_tally, cost_table
-from .values import float_bits, wrap32
+from .values import float_bits
 
 
 @dataclass
 class Metrics:
-    """Summary of one program execution on a machine."""
+    """Summary of one program execution on a machine.
+
+    ``table_stats`` snapshots the per-segment reuse-table telemetry
+    (:class:`~repro.runtime.hashtable.TableStats`) — for merged tables
+    this is the *per-member* statistics, so shared-table reports keep
+    member identity; ``merged_members`` maps each merged table id to the
+    segment ids probing through it.
+    """
 
     opt_level: str
     cycles: int
@@ -37,6 +45,8 @@ class Metrics:
     counts: dict[str, int]
     output_checksum: int
     output_count: int
+    table_stats: dict = field(default_factory=dict)
+    merged_members: dict = field(default_factory=dict)
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return (
@@ -149,8 +159,26 @@ class Machine:
     def energy_joules(self) -> float:
         return self.cost.energy_joules_for(self.counters)
 
+    def table_telemetry(self) -> tuple[dict, dict]:
+        """Per-segment :class:`TableStats` snapshots plus merged-table
+        membership (table id -> segment ids), preserving per-member
+        identity for segments that share a merged table."""
+        table_stats: dict[int, object] = {}
+        merged_members: dict[str, list[int]] = {}
+        for seg_id in sorted(self.reuse_tables):
+            table = self.reuse_tables[seg_id]
+            stats = getattr(table, "stats", None)
+            if stats is None:
+                continue
+            table_stats[seg_id] = copy.deepcopy(stats)
+            merged = getattr(table, "table", None)  # a MergedTableView?
+            if merged is not None:
+                merged_members.setdefault(merged.table_id, []).append(seg_id)
+        return table_stats, merged_members
+
     def metrics(self) -> Metrics:
         counts = {name: self.counters[i] for i, name in enumerate(CLASS_NAMES)}
+        table_stats, merged_members = self.table_telemetry()
         return Metrics(
             opt_level=self.cost.name,
             cycles=self.cycles,
@@ -159,4 +187,6 @@ class Machine:
             counts=counts,
             output_checksum=self.output_checksum,
             output_count=self.output_count,
+            table_stats=table_stats,
+            merged_members=merged_members,
         )

@@ -1,6 +1,5 @@
 """Unit tests for symbol-level use/def extraction."""
 
-from repro.minic import astnodes as ast
 from repro.minic import frontend
 from repro.analysis.modref import analyze_modref
 from repro.analysis.pointer import analyze_pointers

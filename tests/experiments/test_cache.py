@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.experiments import (
     ComparisonRun,
@@ -158,15 +157,27 @@ class TestCompareMany:
         assert norm(("GNUGO", "O3", True, 4096)) == ("GNUGO", "O3", True, 4096)
 
     def test_worker_matches_compare(self, tmp_path):
-        # the process-pool entry point, run in-process
+        # the process-pool entry point, run in-process (tracing off)
         name = "G721_encode"
-        (run,) = _compare_worker(
-            ([(name, "O0", False, None)], str(tmp_path), True)
+        (run,), payload = _compare_worker(
+            ([(name, "O0", False, None)], str(tmp_path), True, False)
         )
+        assert payload is None
         direct = ExperimentRunner().compare(get_workload(name), "O0")
         assert isinstance(run, ComparisonRun)
         assert run.original == direct.original
         assert run.transformed == direct.transformed
+
+    def test_worker_ships_spans_when_tracing(self, tmp_path):
+        name = "G721_encode"
+        (run,), payload = _compare_worker(
+            ([(name, "O0", False, None)], str(tmp_path), True, True)
+        )
+        assert isinstance(run, ComparisonRun)
+        assert payload is not None
+        names = {s["name"] for s in payload["spans"]}
+        assert "experiment.compare" in names
+        assert "pipeline.run" in names
 
     def test_compare_many_serial_uses_memo(self, tmp_path):
         runner = ExperimentRunner(cache=ExperimentCache(tmp_path))

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ParseError
 from repro.minic import astnodes as ast
 from repro.minic.parser import parse_expression, parse_program
-from repro.minic.types import FLOAT, INT, VOID, ArrayType, PointerType
+from repro.minic.types import FLOAT, INT, ArrayType, PointerType
 
 
 # -- expressions -----------------------------------------------------------

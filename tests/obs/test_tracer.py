@@ -1,0 +1,208 @@
+"""Tests for the structured tracer (spans, events, pool transport)."""
+
+import pytest
+
+from repro.obs import Span, Tracer, get_tracer, set_tracer
+from repro.obs.tracer import _NULL_SPAN
+from repro.runtime.machine import Machine
+
+
+class FakeClock:
+    """Deterministic monotonic + wall clocks for exact timing assertions."""
+
+    def __init__(self, start: float = 1000.0, step: float = 0.001) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def make_tracer(**kwargs) -> Tracer:
+    clock = FakeClock()
+    kwargs.setdefault("clock", clock)
+    kwargs.setdefault("wall", clock)
+    kwargs.setdefault("pid", 42)
+    kwargs.setdefault("enabled", True)
+    return Tracer(**kwargs)
+
+
+class TestDisabledTracer:
+    def test_span_returns_shared_null_context(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is _NULL_SPAN
+        assert tracer.span("b", category="x", foo=1) is _NULL_SPAN
+
+    def test_null_span_enters_as_none(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("a") as span:
+            assert span is None
+        assert tracer.spans == []
+
+    def test_event_is_noop(self):
+        tracer = Tracer(enabled=False)
+        tracer.event("cache.hit", key="k")
+        assert tracer.events == []
+
+    def test_absorb_is_noop(self):
+        tracer = Tracer(enabled=False)
+        tracer.absorb({"spans": [], "events": []})
+        assert tracer.spans == []
+
+
+class TestSpans:
+    def test_nesting_sets_parent(self):
+        tracer = make_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+
+    def test_sibling_spans_share_parent(self):
+        tracer = make_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == outer.span_id
+        assert b.parent_id == outer.span_id
+
+    def test_duration_from_injected_clock(self):
+        tracer = make_tracer()
+        with tracer.span("timed") as span:
+            pass
+        # FakeClock advances 1 ms per read; enter + exit = one step apart
+        # (float subtraction may round one microsecond down)
+        assert span.dur_us in (999, 1000)
+
+    def test_span_args_recorded(self):
+        tracer = make_tracer()
+        with tracer.span("s", category="c", workload="RASTA", n=3) as span:
+            span.args["late"] = True
+        assert span.category == "c"
+        assert span.args["workload"] == "RASTA"
+        assert span.args["n"] == 3
+        assert span.args["late"] is True
+
+    def test_machine_cycle_attribution(self):
+        tracer = make_tracer()
+        machine = Machine("O0")
+        with tracer.span("work", machine=machine) as span:
+            machine.counters[0] += 10  # charge some ALU ops
+        assert span.args["cycles_begin"] == 0
+        assert span.args["cycles"] == machine.cycles
+        assert span.args["cycles"] > 0
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = make_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom") as span:
+                raise ValueError("no")
+        assert span.args["error"] == "ValueError"
+        assert tracer._stack == []
+
+    def test_event_parented_to_open_span(self):
+        tracer = make_tracer()
+        with tracer.span("outer") as outer:
+            tracer.event("cache.hit", category="cache", key="k")
+        (event,) = tracer.events
+        assert event["parent_id"] == outer.span_id
+        assert event["args"] == {"key": "k"}
+
+
+class TestTransport:
+    def test_serialize_round_trip(self):
+        tracer = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("tick")
+        payload = tracer.serialize()
+        assert [s["name"] for s in payload["spans"]] == ["outer", "inner"]
+        assert payload["events"][0]["name"] == "tick"
+
+    def test_absorb_remaps_ids_and_reparents_roots(self):
+        worker = make_tracer(pid=43)
+        with worker.span("w.root"):
+            with worker.span("w.child"):
+                worker.event("w.event")
+        payload = worker.serialize()
+
+        coordinator = make_tracer()
+        with coordinator.span("compare_many") as parent:
+            coordinator.absorb(payload, parent)
+        by_name = {s.name: s for s in coordinator.spans}
+        root = by_name["w.root"]
+        child = by_name["w.child"]
+        # worker roots hang under the coordinating span; children follow
+        assert root.parent_id == parent.span_id
+        assert child.parent_id == root.span_id
+        # ids were remapped into the coordinator's space (no collisions)
+        ids = [s.span_id for s in coordinator.spans]
+        assert len(ids) == len(set(ids))
+        # worker identity (pid) survives for the multi-process timeline
+        assert root.pid == 43
+        (event,) = coordinator.events
+        assert event["parent_id"] == child.span_id
+
+    def test_absorb_without_parent_keeps_roots(self):
+        worker = make_tracer()
+        with worker.span("w"):
+            pass
+        coordinator = make_tracer()
+        coordinator.absorb(worker.serialize())
+        assert coordinator.spans[0].parent_id is None
+
+    def test_absorb_none_payload(self):
+        tracer = make_tracer()
+        tracer.absorb(None)
+        assert tracer.spans == []
+
+
+class TestProcessLocal:
+    def test_set_tracer_returns_previous(self):
+        mine = Tracer(enabled=True)
+        previous = set_tracer(mine)
+        try:
+            assert get_tracer() is mine
+        finally:
+            set_tracer(previous)
+
+    def test_default_tracer_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        previous = set_tracer(None)
+        try:
+            assert get_tracer().enabled is False
+        finally:
+            set_tracer(previous)
+
+    def test_clear_resets_ids(self):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.spans == []
+        with tracer.span("b") as span:
+            pass
+        assert span.span_id == 1
+
+
+class TestSpanDict:
+    def test_to_dict_fields(self):
+        span = Span(
+            span_id=7, parent_id=3, name="n", category="c",
+            start_us=123, dur_us=45, pid=9, args={"k": 1},
+        )
+        assert span.to_dict() == {
+            "span_id": 7,
+            "parent_id": 3,
+            "name": "n",
+            "category": "c",
+            "start_us": 123,
+            "dur_us": 45,
+            "pid": 9,
+            "args": {"k": 1},
+        }

@@ -1,6 +1,5 @@
 """Tests for the static granularity (C lower bound) estimator."""
 
-import pytest
 
 from repro.minic import frontend
 from repro.reuse.granularity import GranularityAnalysis

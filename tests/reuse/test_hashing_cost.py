@@ -1,6 +1,5 @@
 """Unit tests for the hashing-overhead (O) estimator."""
 
-import pytest
 
 from repro.analysis.arrays import IOShape
 from repro.minic.astnodes import Symbol

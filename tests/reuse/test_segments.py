@@ -1,6 +1,5 @@
 """Tests for candidate segment identification and feasibility analysis."""
 
-import pytest
 
 from repro.minic import frontend
 from repro.reuse.granularity import GranularityAnalysis

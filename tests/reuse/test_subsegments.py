@@ -1,6 +1,5 @@
 """Tests for the sub-segment extension (paper §5 future work)."""
 
-import pytest
 
 from repro.minic import format_program, frontend
 from repro.reuse import PipelineConfig, ReusePipeline

@@ -1,7 +1,6 @@
 """Tests for the reuse transformation: generated code shape and, above
 all, semantic equivalence with the original program."""
 
-import pytest
 
 from repro.minic import format_program, frontend
 from repro.minic.parser import parse_program

@@ -13,14 +13,12 @@ per basic block.
 import pytest
 
 from repro.experiments import ExperimentRunner
-from repro.minic import astnodes as ast
 from repro.minic.parser import parse_program
 from repro.minic.sema import Typer, analyze
 from repro.opt.pipeline import optimize
 from repro.runtime import compiler as rc
 from repro.runtime import fuse
 from repro.runtime.compiler import compile_program
-from repro.runtime.costs import BRANCH
 from repro.runtime.machine import Machine
 from repro.workloads.base import PaperNumbers, Workload
 from repro.workloads.registry import ALL_WORKLOADS

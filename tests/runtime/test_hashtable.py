@@ -226,3 +226,143 @@ class TestLRUBuffer:
             big.access((k,))
         assert small.stats.hits <= big.stats.hits
         assert 0.0 <= small.hit_ratio <= 1.0
+
+
+class TestTelemetryInvariants:
+    """The PR-2 telemetry counters and their accounting identities."""
+
+    def test_every_miss_is_collision_or_empty(self):
+        t = ReuseTable("s", capacity=4, in_words=1, out_words=1)
+        t.probe((1,))          # empty miss
+        t.commit((10,))
+        t.probe((1,))          # hit
+        t.finish()
+        t.probe((5,))          # collision (1 % 4 == 5 % 4)
+        t.commit((50,))
+        s = t.stats
+        assert (s.misses, s.collisions, s.empty_misses) == (2, 1, 1)
+        assert s.misses == s.collisions + s.empty_misses
+
+    @given(st.lists(st.integers(min_value=0, max_value=40), max_size=300))
+    @settings(max_examples=50)
+    def test_invariants_hold_on_any_stream(self, keys):
+        t = ReuseTable("s", capacity=8, in_words=1, out_words=1)
+        for k in keys:
+            if t.probe((k,)):
+                t.finish()
+            else:
+                t.commit((k * 2,))
+        s = t.stats
+        assert s.probes == s.hits + s.misses
+        assert s.misses == s.collisions + s.empty_misses
+        assert s.occupancy_hwm == t.occupied <= t.capacity
+        # evictions happen only on collisions followed by commit
+        assert s.evictions <= s.collisions
+
+    def test_eviction_counted_on_replacement(self):
+        t = ReuseTable("s", capacity=4, in_words=1, out_words=1)
+        t.probe((1,))
+        t.commit((10,))
+        t.probe((5,))
+        t.commit((50,))        # replaces key 1
+        assert t.stats.evictions == 1
+        assert t.occupied == 1  # replacement does not grow occupancy
+        assert t.stats.occupancy_hwm == 1
+
+    def test_clear_resets_telemetry(self):
+        t = ReuseTable("s", capacity=4, in_words=1, out_words=1)
+        t.probe((1,))
+        t.commit((10,))
+        t.clear()
+        assert t.occupied == 0
+        assert t.stats.probes == 0
+        assert t.stats.samples == []
+
+    def test_merged_unset_bit_is_empty_miss(self):
+        m = MergedReuseTable("g", capacity=8, in_words=1,
+                             member_out_words={"a": 1, "b": 1})
+        va, vb = m.view("a"), m.view("b")
+        va.probe((3,))
+        va.commit((30,))
+        # same key through the other member: entry occupied by the *same*
+        # key, just no record for b -> an empty miss, not a collision
+        assert vb.probe((3,)) is False
+        assert vb.stats.empty_misses == 1
+        assert vb.stats.collisions == 0
+        vb.commit((33,))
+        assert vb.probe((3,)) is True
+        vb.finish()
+
+    def test_merged_aggregate_sums_and_maxes(self):
+        m = MergedReuseTable("g", capacity=8, in_words=1,
+                             member_out_words={"a": 1, "b": 1})
+        va, vb = m.view("a"), m.view("b")
+        for k in (1, 2, 3):
+            va.probe((k,))
+            va.commit((k,))
+        vb.probe((1,))
+        vb.commit((11,))
+        agg = m.stats
+        assert agg.probes == va.stats.probes + vb.stats.probes
+        assert agg.misses == agg.collisions + agg.empty_misses
+        assert agg.occupancy_hwm == max(
+            va.stats.occupancy_hwm, vb.stats.occupancy_hwm
+        )
+
+    def test_merged_eviction_attributed_to_committer(self):
+        m = MergedReuseTable("g", capacity=4, in_words=1,
+                             member_out_words={"a": 1, "b": 1})
+        va, vb = m.view("a"), m.view("b")
+        va.probe((1,))
+        va.commit((10,))
+        vb.probe((5,))         # collides with key 1 in a 4-entry table
+        vb.commit((50,))       # evicts the whole entry
+        assert vb.stats.evictions == 1
+        assert va.stats.evictions == 0
+
+    def test_lru_buffer_invariant(self):
+        b = LRUBuffer(2)
+        for k in (1, 2, 3, 1, 2, 3):
+            b.access((k,))
+        s = b.stats
+        assert s.misses == s.collisions + s.empty_misses
+        assert s.occupancy_hwm == 2
+        assert s.evictions == 4  # every miss after warm-up evicts
+
+
+class TestHitRatioSampling:
+    def test_samples_record_probe_and_hit_counts(self):
+        from repro.runtime.hashtable import TableStats
+
+        s = TableStats()
+        s.record_probe(False)
+        s.record_probe(True)
+        assert s.samples == [[1, 0], [2, 1]]
+        assert s.hit_ratio_series() == [(1, 0.0), (2, 0.5)]
+
+    def test_budget_never_exceeded_and_interval_doubles(self):
+        from repro.runtime.hashtable import SAMPLE_BUDGET, TableStats
+
+        s = TableStats()
+        for i in range(10_000):
+            s.record_probe(i % 2 == 0)
+        assert len(s.samples) < SAMPLE_BUDGET
+        assert s.sample_interval > 1
+        # the decimated series still spans the execution in order
+        probes = [p for p, _ in s.samples]
+        assert probes == sorted(probes)
+        assert probes[-1] > 9_000
+        for _, ratio in s.hit_ratio_series():
+            assert 0.0 <= ratio <= 1.0
+
+    def test_series_round_trips_through_json(self):
+        import dataclasses
+        import json
+
+        from repro.runtime.hashtable import TableStats
+
+        s = TableStats()
+        for i in range(100):
+            s.record_probe(i % 3 == 0)
+        clone = TableStats(**json.loads(json.dumps(dataclasses.asdict(s))))
+        assert clone == s

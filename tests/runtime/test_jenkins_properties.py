@@ -2,7 +2,7 @@
 
 from collections import Counter
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.runtime.jenkins import hash_key_words, jenkins_one_at_a_time

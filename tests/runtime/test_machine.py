@@ -101,3 +101,55 @@ class TestTables:
         table = ReuseTable("x", 8, 1, 1)
         m.install_table(5, table)
         assert m.table_for(5) is table
+
+
+class TestTableTelemetry:
+    """Machine.metrics() surfaces per-segment TableStats, keeping member
+    identity for segments sharing a MergedReuseTable."""
+
+    def test_metrics_snapshot_per_segment_stats(self):
+        from repro.runtime.hashtable import ReuseTable
+
+        machine = Machine("O0")
+        table = ReuseTable("7", capacity=4, in_words=1, out_words=1)
+        machine.install_table(7, table)
+        table.probe((1,))
+        table.commit((10,))
+        metrics = machine.metrics()
+        assert metrics.table_stats[7].probes == 1
+        assert metrics.merged_members == {}
+        # the snapshot is a copy: later probes do not mutate it
+        table.probe((1,))
+        table.finish()
+        assert metrics.table_stats[7].probes == 1
+
+    def test_merged_members_grouped_by_shared_table(self):
+        from repro.runtime.hashtable import MergedReuseTable
+
+        machine = Machine("O0")
+        merged = MergedReuseTable(
+            "g0", capacity=8, in_words=1, member_out_words={"3": 1, "9": 1}
+        )
+        machine.install_table(3, merged.view("3"))
+        machine.install_table(9, merged.view("9"))
+        view = machine.table_for(3)
+        view.probe((2,))
+        view.commit((20,))
+        metrics = machine.metrics()
+        assert metrics.merged_members == {"g0": [3, 9]}
+        # per-member identity: segment 3 probed, segment 9 did not
+        assert metrics.table_stats[3].probes == 1
+        assert metrics.table_stats[9].probes == 0
+
+    def test_report_renders_merged_identity(self):
+        from repro.experiments.report import render_reuse_stats
+        from repro.runtime.hashtable import TableStats
+
+        text = render_reuse_stats(
+            {3: TableStats(probes=10, hits=9), 9: TableStats()},
+            {"g0": [3, 9]},
+        )
+        lines = text.splitlines()
+        row3 = next(l for l in lines if l.startswith("3"))
+        assert "g0" in row3
+        assert "90.0%" in row3

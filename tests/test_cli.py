@@ -107,3 +107,112 @@ class TestReport:
     def test_missing_selector_errors(self, capsys):
         rc = main(["report"])
         assert rc == 2
+
+
+class TestTrace:
+    def test_trace_emits_chrome_jsonl_and_ledger(self, program_file, tmp_path, capsys):
+        import json
+
+        inputs = ",".join(["7", "9", "7", "9"] * 30)
+        rc = main(
+            [
+                "trace", program_file,
+                "--inputs", inputs,
+                "--min-executions", "8",
+                "--out-dir", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        # the printed ledger table names every candidate's fate
+        assert "Segment" in out and "Stage" in out
+
+        with open(tmp_path / "prog.trace.json") as f:
+            chrome = json.load(f)
+        names = {e["name"] for e in chrome["traceEvents"]}
+        assert {"pipeline.run", "pipeline.prefilter", "profile.freq",
+                "profile.value", "pipeline.transform"} <= names
+        assert {e["ph"] for e in chrome["traceEvents"]} <= {"X", "i", "M"}
+
+        with open(tmp_path / "prog.trace.jsonl") as f:
+            docs = [json.loads(line) for line in f]
+        assert any(d["type"] == "span" for d in docs)
+
+        with open(tmp_path / "prog.ledger.json") as f:
+            ledger = json.load(f)
+        for seg in ledger["segments"]:
+            if seg["selected"]:
+                continue
+            # every non-selected candidate has a rejecting verdict that
+            # names the stage and carries a margin or a reason
+            rejecting = [v for v in seg["verdicts"] if not v["passed"]]
+            assert rejecting, f"segment {seg['seg_id']} has no rejection"
+            v = rejecting[0]
+            assert v["stage"]
+            assert v["margin"] is not None or v["detail"].get("reason")
+
+    def test_trace_why_query(self, program_file, tmp_path, capsys):
+        inputs = ",".join(["7", "9"] * 40)
+        rc = main(
+            [
+                "trace", program_file,
+                "--inputs", inputs,
+                "--min-executions", "8",
+                "--out-dir", str(tmp_path),
+                "--why", "kernel@anything",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "kernel#" in out
+        assert "feasibility" in out
+
+    def test_trace_does_not_leak_process_tracer(self, program_file, tmp_path):
+        from repro.obs import get_tracer
+
+        inputs = ",".join(["7", "9"] * 20)
+        main(["trace", program_file, "--inputs", inputs,
+              "--min-executions", "8", "--out-dir", str(tmp_path)])
+        assert get_tracer().enabled is False
+
+
+class TestStats:
+    def test_stats_for_file(self, program_file, capsys):
+        inputs = ",".join(["7", "9", "7", "9"] * 30)
+        rc = main(
+            ["stats", program_file, "--inputs", inputs, "--min-executions", "8"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Reuse table telemetry" in out
+        assert "EmptyMiss" in out and "Evictions" in out and "OccHWM" in out
+        assert "Hit-ratio over time" in out
+
+    def test_stats_for_workload(self, capsys):
+        rc = main(["stats", "G721_encode"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Reuse table telemetry" in out
+
+    def test_stats_nothing_transformed(self, tmp_path, capsys):
+        path = tmp_path / "empty.c"
+        path.write_text("int main(void) { return 0; }")
+        rc = main(["stats", str(path)])
+        assert rc == 1
+        assert "nothing was transformed" in capsys.readouterr().out
+
+
+class TestReportEndToEnd:
+    def test_table4_counts(self, capsys):
+        rc = main(["report", "--table", "4", "--workload", "RASTA"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Table 4" in out
+        assert "RASTA" in out
+
+    def test_table6_speedups(self, capsys):
+        rc = main(["report", "--table", "6", "--workload", "G721_encode"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Table 6" in out
+        assert "Harmonic Mean" in out

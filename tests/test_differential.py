@@ -18,7 +18,7 @@ from repro.minic.parser import parse_program
 from repro.opt.pipeline import optimize
 from repro.reuse import PipelineConfig, ReusePipeline
 from repro.runtime import Machine, compile_program
-from repro.runtime.values import c_div, c_mod, c_shl, c_shr, wrap32
+from repro.runtime.values import c_shl, c_shr, wrap32
 
 
 # -- 1. interpreter vs Python oracle -----------------------------------------

@@ -7,7 +7,6 @@ same entry points they expose.
 
 import importlib.util
 import pathlib
-import sys
 
 import pytest
 
