@@ -1,0 +1,57 @@
+"""Adaptive governor benchmark: static vs governed tables under drift.
+
+Runs the :func:`repro.experiments.adaptive.adaptive_ablation` over the
+drift workload set — each profiled on its stationary default stream and
+executed on its distribution-shifted alternate stream with static tables
+(the paper's frozen scheme) and with governor-managed tables — and
+writes ``BENCH_adaptive.json`` at the repo root so the adaptive win is
+tracked from PR to PR:
+
+    {"opt": "O0",
+     "workloads": {"UNEPIC_drift": {"static_cycles": ..., "governed_cycles": ...,
+                                    "cycles_saved": ..., "saved_pct": ...,
+                                    "transitions": {...}, "final_states": {...},
+                                    "ledger_governor_verdicts": {...}}, ...}}
+
+The assertions are the extension's contract: on every drift workload the
+governed run burns strictly fewer simulated cycles than the static run,
+produces bit-identical outputs, and the decision ledger carries at least
+one governor transition explaining why.
+
+Run directly (``python benchmarks/bench_adaptive.py``) or via pytest
+(``pytest benchmarks/bench_adaptive.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.experiments.adaptive import adaptive_ablation
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_adaptive.json"
+
+
+def run_benchmark() -> dict:
+    return adaptive_ablation()
+
+
+def write_result(result: dict, path: pathlib.Path = RESULT_PATH) -> None:
+    path.write_text(json.dumps(result, indent=1, sort_keys=True) + "\n")
+
+
+def test_bench_adaptive():
+    result = run_benchmark()
+    write_result(result)
+    for name, row in result["workloads"].items():
+        assert row["outputs_match"], name
+        assert row["governed_cycles"] < row["static_cycles"], (name, row)
+        assert row["transitions"], (name, row)
+        assert row["ledger_governor_verdicts"], (name, row)
+
+
+if __name__ == "__main__":
+    bench = run_benchmark()
+    write_result(bench)
+    print(json.dumps(bench, indent=1, sort_keys=True))

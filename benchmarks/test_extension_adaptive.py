@@ -15,13 +15,13 @@ from repro.runtime import Machine, compile_program
 from repro.workloads import get_workload
 
 
-def _measure(workload, inputs, result, adaptive):
+def _measure(workload, inputs, result, governed):
     mo = Machine("O0")
     mo.set_inputs(list(inputs))
     compile_program(frontend(workload.source), mo).run("main")
     mt = Machine("O0")
     mt.set_inputs(list(inputs))
-    for seg_id, table in result.build_tables(adaptive=adaptive).items():
+    for seg_id, table in result.build_tables(governed=governed).items():
         mt.install_table(seg_id, table)
     compile_program(result.program, mt).run("main")
     assert mo.output_checksum == mt.output_checksum
@@ -43,13 +43,13 @@ def test_extension_adaptive(benchmark, results_dir):
         adversarial = [rng.randrange(-(2**22), 2**22) for _ in range(6000)]
 
         rows = {}
-        rows["default/static"] = _measure(workload, default, result, adaptive=False)
-        rows["default/adaptive"] = _measure(workload, default, result, adaptive=True)
+        rows["default/static"] = _measure(workload, default, result, governed=False)
+        rows["default/adaptive"] = _measure(workload, default, result, governed=True)
         rows["adversarial/static"] = _measure(
-            workload, adversarial, result, adaptive=False
+            workload, adversarial, result, governed=False
         )
         rows["adversarial/adaptive"] = _measure(
-            workload, adversarial, result, adaptive=True
+            workload, adversarial, result, governed=True
         )
         return rows
 

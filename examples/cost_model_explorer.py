@@ -5,8 +5,7 @@ validate one of its predictions against an actual simulated run.
 Run:  python examples/cost_model_explorer.py
 """
 
-from repro import Machine, PipelineConfig, ReusePipeline, compile_program
-from repro.minic import frontend
+import repro
 from repro.reuse.cost_model import cost_with_reuse, gain, is_beneficial
 
 SOURCE_TEMPLATE = """
@@ -59,27 +58,23 @@ def main():
     print(f"{'target R':>9} {'measured R':>11} {'predicted gain':>15} {'speedup':>8}")
     for rate in (0.0, 0.3, 0.6, 0.9, 0.98):
         inputs = stream_with_reuse_rate(rate)
-        result = ReusePipeline(
-            source, PipelineConfig(min_executions=16, enable_cost_filter=False)
-        ).run(inputs)
+        program = repro.compile(
+            source,
+            config=repro.PipelineConfig(min_executions=16, enable_cost_filter=False),
+        )
+        result = program.profile(inputs)
         segment = max(result.selected, key=lambda s: s.gain, default=None)
         if segment is None:
             print(f"{rate:9.2f}  (nothing profitable)")
             continue
 
-        mo = Machine("O0")
-        mo.set_inputs(list(inputs))
-        compile_program(frontend(source), mo).run("main")
-        mt = Machine("O0")
-        mt.set_inputs(list(inputs))
-        for seg_id, table in result.build_tables().items():
-            mt.install_table(seg_id, table)
-        compile_program(result.program, mt).run("main")
-        assert mo.output_checksum == mt.output_checksum
+        original = repro.compile(source, reuse=False).run(inputs)
+        transformed = program.run(inputs)
+        assert original.output_checksum == transformed.output_checksum
 
         print(
             f"{rate:9.2f} {segment.reuse_rate:11.3f} "
-            f"{segment.gain:15.1f} {mo.seconds / mt.seconds:8.2f}"
+            f"{segment.gain:15.1f} {transformed.speedup_vs(original):8.2f}"
         )
     print(
         "\nNote how the measured speedup crosses 1.0 exactly where "

@@ -15,20 +15,21 @@ Demonstrates the full section 2.4 story on the real workload:
 Run:  python examples/g721_specialization.py
 """
 
-from repro import Machine, PipelineConfig, compile_program
+import repro
 from repro.minic.pretty import format_function
-from repro.reuse import ReusePipeline
 from repro.workloads import get_workload
 
 
 def main():
     workload = get_workload("G721_encode")
     inputs = workload.default_inputs()
+    config = repro.PipelineConfig(min_executions=workload.min_executions)
 
-    pipeline = ReusePipeline(
-        workload.source, PipelineConfig(min_executions=workload.min_executions)
-    )
-    result = pipeline.run(inputs)
+    programs = {
+        level: repro.compile(workload.source, opt=level, config=config)
+        for level in ("O0", "O3")
+    }
+    result = programs["O0"].profile(inputs)
 
     print("=== specialization (section 2.4) ===")
     for record in result.specializations:
@@ -57,30 +58,13 @@ def main():
 
     print("\n=== measurement ===")
     for level in ("O0", "O3"):
-        from repro.minic.parser import parse_program
-        from repro.minic.sema import analyze
-        from repro.opt.pipeline import optimize
-        import copy
+        original = repro.compile(workload.source, opt=level, reuse=False).run(inputs)
+        transformed = programs[level].run(inputs)
 
-        original = analyze(parse_program(workload.source))
-        optimize(original, level)
-        mo = Machine(level)
-        mo.set_inputs(list(inputs))
-        compile_program(original, mo).run("main")
-
-        transformed = copy.deepcopy(result.program)
-        analyze(transformed)
-        optimize(transformed, level)
-        mt = Machine(level)
-        mt.set_inputs(list(inputs))
-        for seg_id, table in result.build_tables().items():
-            mt.install_table(seg_id, table)
-        compile_program(transformed, mt).run("main")
-
-        assert mo.output_checksum == mt.output_checksum
+        assert original.output_checksum == transformed.output_checksum
         print(
-            f"{level}: {mo.seconds:.4f}s -> {mt.seconds:.4f}s "
-            f"(speedup {mo.seconds / mt.seconds:.2f}, paper "
+            f"{level}: {original.seconds:.4f}s -> {transformed.seconds:.4f}s "
+            f"(speedup {transformed.speedup_vs(original):.2f}, paper "
             f"{workload.paper.speedup_o0 if level == 'O0' else workload.paper.speedup_o3})"
         )
 

@@ -9,27 +9,20 @@ a bit vector, eight output slots) fits and keeps the full speedup.
 Run:  python examples/gnugo_merged_tables.py
 """
 
-from repro import Machine, PipelineConfig, compile_program
-from repro.minic import frontend
-from repro.reuse import ReusePipeline, merged_size_bytes, unmerged_size_bytes
+import repro
+from repro.reuse import merged_size_bytes, unmerged_size_bytes
 from repro.workloads import get_workload
 
 
 def measure(workload, config):
     inputs = workload.default_inputs()
-    result = ReusePipeline(workload.source, config).run(inputs)
+    program = repro.compile(workload.source, config=config)
+    result = program.profile(inputs)
 
-    mo = Machine("O0")
-    mo.set_inputs(list(inputs))
-    compile_program(frontend(workload.source), mo).run("main")
-
-    mt = Machine("O0")
-    mt.set_inputs(list(inputs))
-    for seg_id, table in result.build_tables().items():
-        mt.install_table(seg_id, table)
-    compile_program(result.program, mt).run("main")
-    assert mo.output_checksum == mt.output_checksum
-    return mo.seconds / mt.seconds, result
+    baseline = repro.compile(workload.source, reuse=False).run(inputs)
+    transformed = program.run(inputs)
+    assert baseline.output_checksum == transformed.output_checksum
+    return transformed.speedup_vs(baseline), result
 
 
 def main():
@@ -37,10 +30,10 @@ def main():
     budget = workload.memory_budget_bytes
     print(f"memory budget for reuse tables: {budget // 1024} KB\n")
 
-    merged_cfg = PipelineConfig(
+    merged_cfg = repro.PipelineConfig(
         min_executions=workload.min_executions, memory_budget_bytes=budget
     )
-    unmerged_cfg = PipelineConfig(
+    unmerged_cfg = repro.PipelineConfig(
         min_executions=workload.min_executions,
         memory_budget_bytes=budget,
         enable_merging=False,

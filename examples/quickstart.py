@@ -1,12 +1,11 @@
 #!/usr/bin/env python3
 """Quickstart: memoize a mini-C function with the computation-reuse
-pipeline and measure the effect.
+pipeline and measure the effect — all through the stable ``repro`` facade.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Machine, PipelineConfig, ReusePipeline, compile_program, format_program
-from repro.minic import frontend
+import repro
 
 # A program with an expensive pure kernel called on repetitive values —
 # exactly the value-locality situation the paper targets.
@@ -34,20 +33,12 @@ int main(void) {
 INPUTS = [17, 42, 99, 17, 256, 42, 17, 99, 4096, 256] * 60
 
 
-def run_program(program, inputs, tables=None):
-    machine = Machine("O0")
-    machine.set_inputs(list(inputs))
-    for seg_id, table in (tables or {}).items():
-        machine.install_table(seg_id, table)
-    compile_program(program, machine).run("main")
-    return machine
-
-
 def main():
-    # 1. run the paper's pipeline: analyses, profiling, cost-benefit
-    #    selection, and the source-to-source transformation
-    pipeline = ReusePipeline(SOURCE, PipelineConfig(min_executions=32))
-    result = pipeline.run(INPUTS)
+    # 1. compile through the facade: the paper's pipeline (analyses,
+    #    profiling, cost-benefit selection, source-to-source transform)
+    #    runs on the first call that needs it
+    program = repro.compile(SOURCE, config=repro.PipelineConfig(min_executions=32))
+    result = program.profile(INPUTS)
 
     print("=== pipeline summary ===")
     print(f"segments analyzed:    {result.counts['analyzed']}")
@@ -64,17 +55,17 @@ def main():
 
     # 2. the transformation is source-to-source: inspect the result
     print("\n=== transformed source ===")
-    print(format_program(result.program))
+    print(program.transformed_source())
 
     # 3. measure original vs transformed on the simulated StrongARM
-    original = run_program(frontend(SOURCE), INPUTS)
-    transformed = run_program(result.program, INPUTS, result.build_tables())
+    original = repro.compile(SOURCE, reuse=False).run(INPUTS)
+    transformed = program.run(INPUTS)
 
     assert original.output_checksum == transformed.output_checksum
     print("=== measurement (simulated SA-1110 @ 206 MHz) ===")
     print(f"original:    {original.seconds * 1e3:8.3f} ms   {original.energy_joules:.5f} J")
     print(f"transformed: {transformed.seconds * 1e3:8.3f} ms   {transformed.energy_joules:.5f} J")
-    print(f"speedup:     {original.seconds / transformed.seconds:.2f}x")
+    print(f"speedup:     {transformed.speedup_vs(original):.2f}x")
     print(
         "energy save: "
         f"{(1 - transformed.energy_joules / original.energy_joules) * 100:.1f}%"

@@ -9,8 +9,7 @@ cost-effective clean statement range and memoizes just that.
 Run:  python examples/subsegment_extension.py
 """
 
-from repro import Machine, PipelineConfig, ReusePipeline, compile_program, format_program
-from repro.minic import frontend
+import repro
 from repro.workloads.inputs import unepic_coeffs
 
 SOURCE = """
@@ -36,37 +35,32 @@ int main(void) {
 """
 
 
-def measure(result, inputs):
-    machine_o = Machine("O0")
-    machine_o.set_inputs(list(inputs))
-    compile_program(frontend(SOURCE), machine_o).run("main")
-    machine_t = Machine("O0")
-    machine_t.set_inputs(list(inputs))
-    for seg_id, table in result.build_tables().items():
-        machine_t.install_table(seg_id, table)
-    compile_program(result.program, machine_t).run("main")
-    assert machine_o.output_checksum == machine_t.output_checksum
-    return machine_o.seconds / machine_t.seconds
+def measure(program, inputs):
+    original = repro.compile(SOURCE, reuse=False).run(inputs)
+    transformed = program.run(inputs)
+    assert original.output_checksum == transformed.output_checksum
+    return transformed.speedup_vs(original)
 
 
 def main():
     inputs = unepic_coeffs(n=5000)
 
-    base = ReusePipeline(SOURCE, PipelineConfig(min_executions=16)).run(inputs)
+    base = repro.compile(SOURCE, config=repro.PipelineConfig(min_executions=16))
     print("published scheme:")
-    print(f"  transformed segments: {len(base.selected)}")
+    print(f"  transformed segments: {len(base.profile(inputs).selected)}")
     print(f"  speedup: {measure(base, inputs):.2f}\n")
 
-    ext = ReusePipeline(
-        SOURCE, PipelineConfig(min_executions=16, enable_subsegments=True)
-    ).run(inputs)
+    ext = repro.compile(
+        SOURCE,
+        config=repro.PipelineConfig(min_executions=16, enable_subsegments=True),
+    )
     print("with sub-segment candidates (enable_subsegments=True):")
-    for segment in ext.selected:
+    for segment in ext.profile(inputs).selected:
         print(f"  selected: {segment.describe()}  R={segment.reuse_rate:.3f}")
     print(f"  speedup: {measure(ext, inputs):.2f}\n")
 
     print("the memoized sub-block inside main's loop:")
-    print(format_program(ext.program))
+    print(ext.transformed_source())
 
 
 if __name__ == "__main__":

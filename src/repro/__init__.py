@@ -19,22 +19,34 @@ computation-reuse compiler scheme end to end, on a self-contained stack:
   variants) with synthetic input generators;
 * :mod:`repro.experiments` — regenerates every table and figure.
 
-Quickstart::
+Quickstart — the stable facade (:mod:`repro.api`)::
 
-    from repro import ReusePipeline, PipelineConfig, Machine, compile_program
-    from repro.minic import frontend
+    import repro
 
-    result = ReusePipeline(source).run(inputs)
-    machine = Machine("O0")
-    machine.set_inputs(inputs)
-    for seg_id, table in result.build_tables().items():
-        machine.install_table(seg_id, table)
-    compile_program(result.program, machine).run("main")
-    print(machine.metrics())
+    program = repro.compile(source)        # reuse pipeline, lazy profiling
+    result = program.run(inputs)
+    print(result.cycles, result.output_checksum)
+
+    baseline = repro.compile(source, reuse=False).run(inputs)
+    print(result.speedup_vs(baseline))
+
+The lower layers (``ReusePipeline``, ``Machine``, ``compile_program``)
+remain importable for tooling that needs the pieces, but
+:func:`repro.compile` / :class:`repro.Session` are the supported entry
+points.
 """
 
+from .api import (
+    CompiledProgram,
+    RunResult,
+    Session,
+    compile,
+    parse_input_literal,
+    parse_input_stream,
+)
 from .errors import (
     AnalysisError,
+    ConfigError,
     InterpError,
     LexError,
     ParseError,
@@ -45,12 +57,21 @@ from .errors import (
 from .minic import format_program, frontend, parse_program
 from .reuse import PipelineConfig, PipelineResult, ReusePipeline
 from .runtime import Machine, Metrics, ReuseTable, compile_program, run_source
+from .runtime.governor import GovernorPolicy
 from .workloads import ALL_WORKLOADS, PRIMARY_WORKLOADS, Workload, get_workload
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "compile",
+    "CompiledProgram",
+    "RunResult",
+    "Session",
+    "parse_input_literal",
+    "parse_input_stream",
+    "GovernorPolicy",
     "ReproError",
+    "ConfigError",
     "LexError",
     "ParseError",
     "SemanticError",

@@ -1,0 +1,466 @@
+"""The stable public facade of the repro package.
+
+The package grew three layers — the reuse pipeline, the cost-model
+runtime, and the experiment harness — each with its own entry points.
+This module is the one supported way in::
+
+    import repro
+
+    program = repro.compile(source)           # reuse pipeline, lazy profile
+    result = program.run(inputs)              # RunResult: value + metrics
+    print(result.cycles, result.speedup_vs(baseline))
+
+    plain = repro.compile(source, reuse=False)  # no reuse transformation
+    plain.run(inputs)
+
+    with repro.Session(governed=True) as session:   # warmed tables + disk cache
+        for stream in streams:
+            session.run(source, stream)
+
+Everything here is a thin veneer over :class:`~repro.reuse.pipeline.ReusePipeline`,
+:class:`~repro.runtime.machine.Machine`, and the observability layer; the
+facade adds lifecycle (lazy profiling, per-opt program memoization, table
+warming, disk caching) and one stable result type.  The legacy entry
+points (``repro.runtime.run_source``, ``build_tables(adaptive=True)``)
+remain as deprecated shims.
+
+Input-literal parsing for the CLI also lives here
+(:func:`parse_input_literal` / :func:`parse_input_stream`): one parser for
+``--inputs`` and ``--inputs-file`` that accepts ints, floats, negative
+numbers, and scientific notation.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Optional, Sequence, Union
+
+from .errors import ConfigError
+from .minic import format_program, frontend
+from .obs import DecisionLedger, Tracer, set_tracer
+from .opt.pipeline import optimize
+from .reuse.pipeline import PipelineConfig, PipelineResult, ReusePipeline
+from .runtime.compiler import compile_program
+from .runtime.governor import GovernorPolicy
+from .runtime.machine import Machine, Metrics
+
+__all__ = [
+    "CompiledProgram",
+    "RunResult",
+    "Session",
+    "compile",
+    "parse_input_literal",
+    "parse_input_stream",
+    "GovernorPolicy",
+    "PipelineConfig",
+]
+
+_OPT_LEVELS = ("O0", "O3")
+
+
+# -- input literals ----------------------------------------------------------
+
+
+def parse_input_literal(token: str) -> Union[int, float]:
+    """Parse one numeric input literal.
+
+    Accepts decimal ints, floats with or without a dot, sign prefixes,
+    and scientific notation ("1e5", "-2.5e-3" — these parse as floats).
+    Raises :class:`~repro.errors.ConfigError` on anything else, including
+    non-finite values.
+    """
+    tok = token.strip()
+    if not tok:
+        raise ConfigError("empty input literal")
+    try:
+        return int(tok)
+    except ValueError:
+        pass
+    try:
+        value = float(tok)
+    except ValueError:
+        raise ConfigError(f"invalid input literal {token!r}") from None
+    if not math.isfinite(value):
+        raise ConfigError(f"non-finite input literal {token!r}")
+    return value
+
+
+def parse_input_stream(text: str) -> list:
+    """Parse a whole input stream: literals separated by commas and/or
+    whitespace (the one parser behind ``--inputs`` and ``--inputs-file``)."""
+    return [parse_input_literal(tok) for tok in text.replace(",", " ").split()]
+
+
+# -- results -----------------------------------------------------------------
+
+
+@dataclass
+class RunResult:
+    """Everything one measured execution produced.
+
+    ``value`` is the entry function's return value; ``metrics`` the full
+    :class:`~repro.runtime.machine.Metrics` (cycles, simulated seconds,
+    energy, output checksum, per-table telemetry, governor snapshots);
+    ``ledger`` the pipeline's decision ledger (None for ``reuse=False``
+    programs); ``trace`` the tracer handle when the program was compiled
+    with ``trace=True``.
+    """
+
+    value: object
+    metrics: Metrics
+    governor: dict = field(default_factory=dict)
+    ledger: Optional[DecisionLedger] = None
+    trace: Optional[Tracer] = None
+
+    @property
+    def cycles(self) -> int:
+        return self.metrics.cycles
+
+    @property
+    def seconds(self) -> float:
+        return self.metrics.seconds
+
+    @property
+    def energy_joules(self) -> float:
+        return self.metrics.energy_joules
+
+    @property
+    def output_checksum(self) -> int:
+        return self.metrics.output_checksum
+
+    @property
+    def table_stats(self) -> dict:
+        return self.metrics.table_stats
+
+    def governor_transitions(self) -> dict:
+        """{segment id: transition list} for every governed segment that
+        changed state (or resized/flushed) during this run."""
+        return {
+            seg_id: snap["transitions"]
+            for seg_id, snap in self.governor.items()
+            if snap["transitions"]
+        }
+
+    def speedup_vs(self, baseline: "RunResult") -> float:
+        return baseline.metrics.seconds / self.metrics.seconds
+
+
+# -- compiled programs -------------------------------------------------------
+
+
+class CompiledProgram:
+    """A program prepared for (repeated) measured execution.
+
+    With ``reuse=True`` (the default) the reuse pipeline runs lazily: the
+    first :meth:`run` profiles on its own inputs unless ``profile_inputs``
+    were given or :meth:`profile` was called.  With ``reuse=False`` the
+    program executes unmodified (optimized when ``opt="O3"``).
+
+    Construct through :func:`repro.compile` or
+    :meth:`Session.compile`; the constructor is considered internal.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        *,
+        opt: str = "O0",
+        reuse: bool = True,
+        config: Optional[PipelineConfig] = None,
+        governed: bool = False,
+        trace: bool = False,
+        profile_inputs: Optional[Sequence] = None,
+        _cache=None,
+        _persist_tables: bool = False,
+    ) -> None:
+        if opt not in _OPT_LEVELS:
+            raise ConfigError(f"unknown opt level {opt!r}; choose from {_OPT_LEVELS}")
+        if config is not None and not isinstance(config, PipelineConfig):
+            raise ConfigError(
+                f"config must be a PipelineConfig, got {type(config).__name__}"
+            )
+        self.source = source
+        self.opt = opt
+        self.reuse = reuse
+        self.config = config or PipelineConfig()
+        self.governed = governed
+        self.tracer: Optional[Tracer] = Tracer(enabled=True) if trace else None
+        self._profile_inputs = (
+            list(profile_inputs) if profile_inputs is not None else None
+        )
+        self._cache = _cache
+        self._persist_tables = _persist_tables
+        self._tables: Optional[dict] = None
+        self.result: Optional[PipelineResult] = None
+        self._programs: dict[str, object] = {}  # opt level -> executable AST
+        if not reuse:
+            program = frontend(source)
+            if opt == "O3":
+                optimize(program, "O3")
+            self._programs[opt] = program
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _traced(self):
+        """Context manager installing this program's tracer (if any)."""
+
+        class _Scope:
+            def __init__(self, tracer):
+                self._tracer = tracer
+                self._previous = None
+
+            def __enter__(self):
+                if self._tracer is not None:
+                    self._previous = set_tracer(self._tracer)
+
+            def __exit__(self, *exc):
+                if self._tracer is not None:
+                    set_tracer(self._previous)
+                return False
+
+        return _Scope(self.tracer)
+
+    def profile(self, inputs: Sequence = ()) -> PipelineResult:
+        """Run the reuse pipeline on ``inputs`` (idempotent; a second call
+        returns the first result).  Uses the attached disk cache when the
+        program came from a caching :class:`Session`."""
+        if not self.reuse:
+            raise ConfigError("profile() on a reuse=False program")
+        if self.result is not None:
+            return self.result
+        inputs = list(inputs)
+        key = None
+        if self._cache is not None:
+            from .experiments.cache import cache_key
+
+            key = cache_key("pipeline", self.source, asdict(self.config), inputs)
+            cached = self._cache.load_pipeline(key)
+            if cached is not None:
+                self.result = cached
+                return cached
+        with self._traced():
+            result = ReusePipeline(self.source, self.config).run(inputs)
+        if self._cache is not None and key is not None:
+            self._cache.store_pipeline(key, result)
+        self.result = result
+        return result
+
+    @property
+    def ledger(self) -> Optional[DecisionLedger]:
+        return self.result.ledger if self.result is not None else None
+
+    def transformed_source(self) -> str:
+        """The transformed program, pretty-printed as mini-C (the paper's
+        source-to-source property).  Requires a completed :meth:`profile`."""
+        if self.result is None:
+            raise ConfigError("transformed_source() before profile()/run()")
+        return format_program(self.result.program)
+
+    def _program_for(self, opt: str):
+        program = self._programs.get(opt)
+        if program is None:
+            # optimize a private copy so the pipeline's program stays O0
+            from .minic.sema import analyze
+
+            program = copy.deepcopy(self.result.program)
+            analyze(program)
+            optimize(program, opt)
+            self._programs[opt] = program
+        return program
+
+    def _tables_for_run(self) -> dict:
+        if self._persist_tables:
+            if self._tables is None:
+                self._tables = self.result.build_tables(governed=self.governed)
+            return self._tables
+        return self.result.build_tables(governed=self.governed)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, inputs: Sequence = (), *, entry: Optional[str] = None) -> RunResult:
+        """One measured execution; returns a :class:`RunResult`.
+
+        For ``reuse=True`` programs the first call profiles on these
+        inputs unless profiling already happened.  Session-bound programs
+        keep their (warmed) tables across calls; standalone programs
+        build fresh tables per run.
+        """
+        inputs = list(inputs)
+        if self.reuse and self.result is None:
+            self.profile(
+                self._profile_inputs if self._profile_inputs is not None else inputs
+            )
+        entry = entry or (self.config.entry if self.reuse else "main")
+        machine = Machine(self.opt)
+        machine.set_inputs(inputs)
+        tables = {}
+        if self.reuse:
+            tables = self._tables_for_run()
+            for seg_id, table in tables.items():
+                machine.install_table(seg_id, table)
+            program = self._program_for(self.opt)
+        else:
+            program = self._programs[self.opt]
+        with self._traced():
+            value = compile_program(program, machine).run(entry)
+        metrics = machine.metrics()
+        if self.governed:
+            self._record_governor_verdicts(metrics)
+        return RunResult(
+            value=value,
+            metrics=metrics,
+            governor=metrics.governor,
+            ledger=self.ledger,
+            trace=self.tracer,
+        )
+
+    def _record_governor_verdicts(self, metrics: Metrics) -> None:
+        """Append the online governor's runtime verdicts to the decision
+        ledger: the compile-time gates decided to build each table, the
+        ``governor`` stage records whether the run kept it profitable."""
+        ledger = self.ledger
+        if ledger is None:
+            return
+        for seg_id, snap in sorted(metrics.governor.items()):
+            if seg_id not in ledger.records:
+                continue
+            ledger.record(
+                seg_id,
+                "governor",
+                snap["state"] != "disabled",
+                state=snap["state"],
+                disables=snap["disables"],
+                reenables=snap["reenables"],
+                resizes=snap["resizes"],
+                flushes=snap["flushes"],
+                bypassed=snap["bypassed_executions"],
+                transitions=len(snap["transitions"]),
+            )
+
+
+def compile(
+    source: str,
+    *,
+    opt: str = "O0",
+    reuse: bool = True,
+    config: Optional[PipelineConfig] = None,
+    governed: bool = False,
+    trace: bool = False,
+    profile_inputs: Optional[Sequence] = None,
+) -> CompiledProgram:
+    """Prepare mini-C ``source`` for measured execution on the simulated
+    StrongARM; the stable entry point of the package.
+
+    Args:
+        opt: cost table and optimizer level, "O0" or "O3".
+        reuse: apply the paper's computation-reuse pipeline (profiling
+            happens lazily on the first :meth:`CompiledProgram.run`).
+        config: pipeline knobs (:class:`~repro.reuse.pipeline.PipelineConfig`);
+            validated at construction.
+        governed: install tables managed by the online reuse governor
+            (:mod:`repro.runtime.governor`) instead of static tables.
+        trace: record pipeline and run spans into
+            :attr:`CompiledProgram.tracer` for export.
+        profile_inputs: profile on this stream instead of the first run's.
+    """
+    return CompiledProgram(
+        source,
+        opt=opt,
+        reuse=reuse,
+        config=config,
+        governed=governed,
+        trace=trace,
+        profile_inputs=profile_inputs,
+    )
+
+
+# -- sessions ----------------------------------------------------------------
+
+
+class Session:
+    """Repeated runs sharing warmed reuse tables and the disk cache.
+
+    A session-bound :class:`CompiledProgram` keeps its reuse tables
+    across :meth:`CompiledProgram.run` calls — entries committed by one
+    run serve hits to the next, which is the deployment story the online
+    governor targets.  With ``cache=True`` (or a path, or an
+    :class:`~repro.experiments.cache.ExperimentCache`) profiling results
+    persist to disk under ``.repro_cache/`` exactly like the experiment
+    harness's.
+
+    Usable as a context manager; ``close()`` drops table references.
+    """
+
+    def __init__(
+        self,
+        *,
+        opt: str = "O0",
+        config: Optional[PipelineConfig] = None,
+        governed: bool = False,
+        trace: bool = False,
+        cache=None,
+    ) -> None:
+        if opt not in _OPT_LEVELS:
+            raise ConfigError(f"unknown opt level {opt!r}; choose from {_OPT_LEVELS}")
+        self.opt = opt
+        self.config = config
+        self.governed = governed
+        self.trace = trace
+        self.cache = self._resolve_cache(cache)
+        self._programs: dict[tuple[str, bool], CompiledProgram] = {}
+
+    @staticmethod
+    def _resolve_cache(cache):
+        if cache is None or cache is False:
+            return None
+        from .experiments.cache import ExperimentCache
+
+        if isinstance(cache, ExperimentCache):
+            return cache
+        if cache is True:
+            return ExperimentCache()
+        return ExperimentCache(cache)
+
+    def compile(
+        self,
+        source: str,
+        *,
+        reuse: bool = True,
+        config: Optional[PipelineConfig] = None,
+        profile_inputs: Optional[Sequence] = None,
+    ) -> CompiledProgram:
+        """Like :func:`repro.compile`, but the program shares this
+        session's settings, disk cache, and keeps warmed tables.
+        Compiling the same source twice returns the same program."""
+        memo = (source, reuse)
+        program = self._programs.get(memo)
+        if program is None:
+            program = CompiledProgram(
+                source,
+                opt=self.opt,
+                reuse=reuse,
+                config=config or self.config,
+                governed=self.governed,
+                trace=self.trace,
+                profile_inputs=profile_inputs,
+                _cache=self.cache,
+                _persist_tables=True,
+            )
+            self._programs[memo] = program
+        return program
+
+    def run(self, source: str, inputs: Sequence = ()) -> RunResult:
+        """Compile (memoized) and run in one call."""
+        return self.compile(source).run(inputs)
+
+    def close(self) -> None:
+        self._programs.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

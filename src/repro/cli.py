@@ -6,6 +6,7 @@
     python -m repro transform program.c --inputs-file stream.txt
     python -m repro trace program.c --why quan
     python -m repro stats G721_encode --opt O3
+    python -m repro stats GNUGO_drift --governed --alternate
     python -m repro workloads
     python -m repro report --table 6 --workload G721_encode --workload RASTA
     python -m repro report --figure 14 --workload UNEPIC
@@ -15,8 +16,13 @@ metrics; ``transform`` runs the full reuse pipeline and prints the
 memoized source plus the before/after comparison; ``trace`` runs the
 pipeline with tracing on and exports a Chrome trace, a JSONL span log,
 and the segment decision ledger; ``stats`` prints the runtime
-reuse-table telemetry of a transformed execution; ``report`` regenerates
-any of the paper's tables/figures for a subset of workloads.
+reuse-table telemetry of a transformed execution (``--governed`` adds
+the online governor's state and transitions, ``--alternate`` runs on a
+workload's alternate/shifted input stream); ``report`` regenerates any
+of the paper's tables/figures for a subset of workloads.
+
+Every command goes through the stable facade (:mod:`repro.api`); this
+module contains no pipeline or machine wiring of its own.
 """
 
 from __future__ import annotations
@@ -25,24 +31,16 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .minic import format_program, frontend
-from .reuse import PipelineConfig, ReusePipeline
-from .runtime import Machine, compile_program
+from . import api
+from .errors import ReproError
 
 
 def _parse_inputs(args) -> list:
     if getattr(args, "inputs_file", None):
         with open(args.inputs_file) as f:
-            return [
-                float(tok) if "." in tok else int(tok)
-                for tok in f.read().split()
-            ]
+            return api.parse_input_stream(f.read())
     if getattr(args, "inputs", None):
-        return [
-            float(tok) if "." in tok else int(tok)
-            for tok in args.inputs.split(",")
-            if tok.strip()
-        ]
+        return api.parse_input_stream(args.inputs)
     return []
 
 
@@ -54,16 +52,11 @@ def _read_source(path: str) -> str:
 def cmd_run(args) -> int:
     source = _read_source(args.file)
     inputs = _parse_inputs(args)
-    program = frontend(source)
-    if args.opt == "O3":
-        from .opt.pipeline import optimize
-
-        optimize(program, "O3")
-    machine = Machine(args.opt)
-    machine.set_inputs(inputs)
-    result = compile_program(program, machine).run(args.entry)
-    metrics = machine.metrics()
-    print(f"result: {result}")
+    result = api.compile(source, opt=args.opt, reuse=False).run(
+        inputs, entry=args.entry
+    )
+    metrics = result.metrics
+    print(f"result: {result.value}")
     print(f"cycles: {metrics.cycles}")
     print(f"time:   {metrics.seconds:.6f} s (simulated SA-1110 @ 206 MHz)")
     print(f"energy: {metrics.energy_joules:.6f} J")
@@ -74,8 +67,9 @@ def cmd_run(args) -> int:
 def cmd_transform(args) -> int:
     source = _read_source(args.file)
     inputs = _parse_inputs(args)
-    config = PipelineConfig(min_executions=args.min_executions)
-    result = ReusePipeline(source, config).run(inputs)
+    config = api.PipelineConfig(min_executions=args.min_executions)
+    program = api.compile(source, config=config)
+    result = program.profile(inputs)
 
     counts = result.counts
     print(
@@ -91,21 +85,15 @@ def cmd_transform(args) -> int:
             f"C={segment.measured_granularity:.0f}cy O={segment.overhead:.0f}cy "
             f"gain={segment.gain:.0f}cy/exec"
         )
-    print(format_program(result.program))
+    print(program.transformed_source())
 
     if not args.no_measure and result.selected:
-        machine_o = Machine("O0")
-        machine_o.set_inputs(list(inputs))
-        compile_program(frontend(source), machine_o).run(args.entry)
-        machine_t = Machine("O0")
-        machine_t.set_inputs(list(inputs))
-        for seg_id, table in result.build_tables().items():
-            machine_t.install_table(seg_id, table)
-        compile_program(result.program, machine_t).run(args.entry)
-        match = machine_o.output_checksum == machine_t.output_checksum
-        print(f"// original:    {machine_o.seconds:.6f} s")
-        print(f"// transformed: {machine_t.seconds:.6f} s")
-        print(f"// speedup:     {machine_o.seconds / machine_t.seconds:.2f}x")
+        original = api.compile(source, reuse=False).run(inputs, entry=args.entry)
+        transformed = program.run(inputs, entry=args.entry)
+        match = original.output_checksum == transformed.output_checksum
+        print(f"// original:    {original.seconds:.6f} s")
+        print(f"// transformed: {transformed.seconds:.6f} s")
+        print(f"// speedup:     {transformed.speedup_vs(original):.2f}x")
         print(f"// outputs match: {match}")
         if not match:
             return 1
@@ -120,17 +108,14 @@ def cmd_trace(args) -> int:
     import json
     from pathlib import Path
 
-    from .obs import Tracer, set_tracer, write_chrome_trace, write_jsonl
+    from .obs import write_chrome_trace, write_jsonl
 
     source = _read_source(args.file)
     inputs = _parse_inputs(args)
-    config = PipelineConfig(min_executions=args.min_executions)
-    tracer = Tracer(enabled=True)
-    previous = set_tracer(tracer)
-    try:
-        result = ReusePipeline(source, config).run(inputs)
-    finally:
-        set_tracer(previous)
+    config = api.PipelineConfig(min_executions=args.min_executions)
+    program = api.compile(source, config=config, trace=True)
+    result = program.profile(inputs)
+    tracer = program.tracer
 
     out_dir = Path(args.out_dir or ".")
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -162,43 +147,55 @@ def cmd_trace(args) -> int:
 
 def cmd_stats(args) -> int:
     """Transform a program (or a registered workload), execute it with its
-    reuse tables installed, and print the runtime table telemetry."""
+    reuse tables installed, and print the runtime table telemetry.
+
+    ``--governed`` installs governor-managed tables and reports the
+    governor's state machine; ``--alternate`` runs a registered workload
+    on its alternate (typically distribution-shifted) input stream while
+    still profiling on the default stream — the combination demonstrates
+    the governor reacting to a shift the profile never saw.
+    """
     import os
 
-    from .experiments.report import render_hit_ratio_series, render_reuse_stats
+    from .experiments.report import (
+        render_governor,
+        render_hit_ratio_series,
+        render_reuse_stats,
+    )
 
+    run_inputs = None
     if os.path.exists(args.target):
+        if args.alternate:
+            print("--alternate requires a registered workload", file=sys.stderr)
+            return 2
         source = _read_source(args.target)
         inputs = _parse_inputs(args)
-        config = PipelineConfig(min_executions=args.min_executions)
+        config = api.PipelineConfig(min_executions=args.min_executions)
     else:
+        from .experiments.adaptive import workload_config
         from .workloads import get_workload
 
         workload = get_workload(args.target)
         source = workload.source
         inputs = _parse_inputs(args) or workload.default_inputs()
-        config = PipelineConfig(
-            min_executions=workload.min_executions,
-            memory_budget_bytes=workload.memory_budget_bytes,
-        )
-    result = ReusePipeline(source, config).run(inputs)
-    if not result.selected:
+        if args.alternate:
+            run_inputs = workload.alternate_inputs()
+        config = workload_config(workload)
+    program = api.compile(
+        source, opt=args.opt, config=config, governed=args.governed
+    )
+    program.profile(inputs)
+    if not program.result.selected:
         print("nothing was transformed; no reuse tables to report")
         return 1
-    program = result.program
-    if args.opt == "O3":
-        from .opt.pipeline import optimize
-
-        optimize(program, "O3")
-    machine = Machine(args.opt)
-    machine.set_inputs(list(inputs))
-    for seg_id, table in result.build_tables().items():
-        machine.install_table(seg_id, table)
-    compile_program(program, machine).run("main")
-    metrics = machine.metrics()
+    result = program.run(run_inputs if run_inputs is not None else inputs)
+    metrics = result.metrics
     print(render_reuse_stats(metrics.table_stats, metrics.merged_members))
     print()
     print(render_hit_ratio_series(metrics.table_stats))
+    if args.governed:
+        print()
+        print(render_governor(metrics.governor))
     return 0
 
 
@@ -316,6 +313,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--inputs", help="comma-separated input stream")
     p_stats.add_argument("--inputs-file")
     p_stats.add_argument("--min-executions", type=int, default=32)
+    p_stats.add_argument(
+        "--governed",
+        action="store_true",
+        help="install governor-managed tables and report governor state",
+    )
+    p_stats.add_argument(
+        "--alternate",
+        action="store_true",
+        help="run a registered workload on its alternate (shifted) inputs "
+        "while profiling on the default stream",
+    )
     p_stats.set_defaults(func=cmd_stats)
 
     p_wl = sub.add_parser("workloads", help="list the benchmark workloads")
@@ -333,7 +341,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -43,3 +43,12 @@ class AnalysisError(ReproError):
 
 class TransformError(ReproError):
     """Raised when a reuse transformation cannot be applied to a segment."""
+
+
+class ConfigError(ReproError):
+    """Raised when a configuration object holds an invalid value.
+
+    Surfaced at construction time (``PipelineConfig``, ``GovernorPolicy``,
+    the ``repro.api`` entry points) so a bad knob fails fast instead of
+    deep inside table sizing or a measured run.
+    """

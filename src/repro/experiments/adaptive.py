@@ -1,0 +1,94 @@
+"""Adaptive-vs-static ablation: the online reuse governor under drift.
+
+The paper freezes reuse decisions at compile time; the governor
+(:mod:`repro.runtime.governor`) revisits them at run time.  This module
+measures what that buys: each drift workload is profiled on its
+*stationary* default stream, then the transformed program executes on
+the *shifted* alternate stream twice — once with static tables (the
+paper's scheme, which keeps paying probe overhead after the shift) and
+once with governed tables (which disable themselves).  The row records
+the cycle gap, every governor transition, and the ledger's runtime
+``governor`` verdicts next to the compile-time gates.
+
+``benchmarks/bench_adaptive.py`` writes the result as
+``BENCH_adaptive.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .. import api
+from ..workloads.base import Workload
+from ..workloads.drift import DRIFT_WORKLOADS
+
+__all__ = ["workload_config", "ablate_workload", "adaptive_ablation"]
+
+
+def workload_config(workload: Workload) -> api.PipelineConfig:
+    """The pipeline knobs a registered workload asks for, including its
+    governor-policy override (workloads with few, coarse segment
+    executions carry smaller windows than the runtime default)."""
+    return api.PipelineConfig(
+        min_executions=workload.min_executions,
+        memory_budget_bytes=workload.memory_budget_bytes,
+        governor=workload.governor or api.GovernorPolicy(),
+    )
+
+
+def ablate_workload(workload: Workload, opt: str = "O0") -> dict:
+    """One ablation row: profile on the default stream, run the
+    transformed program on the alternate stream, static vs governed."""
+    config = workload_config(workload)
+    default_inputs = workload.default_inputs()
+    alternate_inputs = workload.alternate_inputs()
+    runs: dict[bool, api.RunResult] = {}
+    governor_verdicts: dict[str, dict] = {}
+    for governed in (False, True):
+        program = api.compile(
+            workload.source, opt=opt, config=config, governed=governed
+        )
+        program.profile(default_inputs)
+        runs[governed] = program.run(alternate_inputs)
+        if governed:
+            for seg_id in sorted(program.ledger.records):
+                record = program.ledger.records[seg_id]
+                for verdict in record.verdicts:
+                    if verdict.stage == "governor":
+                        governor_verdicts[record.label] = {
+                            "passed": verdict.passed,
+                            **verdict.detail,
+                        }
+    static, governed_run = runs[False], runs[True]
+    return {
+        "opt": opt,
+        "static_cycles": static.cycles,
+        "governed_cycles": governed_run.cycles,
+        "cycles_saved": static.cycles - governed_run.cycles,
+        "saved_pct": round(
+            (static.cycles - governed_run.cycles) / static.cycles * 100, 3
+        ),
+        "outputs_match": static.output_checksum == governed_run.output_checksum,
+        "final_states": {
+            str(seg_id): snap["state"]
+            for seg_id, snap in sorted(governed_run.governor.items())
+        },
+        "transitions": {
+            str(seg_id): transitions
+            for seg_id, transitions in sorted(
+                governed_run.governor_transitions().items()
+            )
+        },
+        "ledger_governor_verdicts": governor_verdicts,
+    }
+
+
+def adaptive_ablation(
+    workloads: Optional[Sequence[Workload]] = None, opt: str = "O0"
+) -> dict:
+    """Static-vs-governed comparison over the drift workload set."""
+    rows = {
+        workload.name: ablate_workload(workload, opt)
+        for workload in (workloads if workloads is not None else DRIFT_WORKLOADS)
+    }
+    return {"opt": opt, "workloads": rows}

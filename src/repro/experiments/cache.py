@@ -44,7 +44,10 @@ from ..obs import get_tracer
 # measured cycles/energy/checksums or pipeline decisions.
 # "2": TableStats grew telemetry fields (empty_misses, evictions,
 # occupancy_hwm, hit-ratio samples) that must round-trip through the cache.
-CODE_VERSION = "2"
+# "3": TableSpec carries governor thresholds (granularity/overhead/policy)
+# and PipelineConfig grew the ``governor`` field, both inside pickled
+# PipelineResults.
+CODE_VERSION = "3"
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 _DEFAULT_ROOT = ".repro_cache"

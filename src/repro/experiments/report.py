@@ -182,6 +182,50 @@ def render_reuse_stats(table_stats: dict, merged_members: Optional[dict] = None)
     )
 
 
+def render_governor(governor: dict) -> str:
+    """The online governor's per-segment verdicts after a governed run.
+
+    ``governor`` maps segment id -> the snapshot dict produced by
+    :meth:`repro.runtime.governor.SegmentGovernor.snapshot` (surfaced as
+    ``Metrics.governor``): final state, disable/re-enable/resize/flush
+    counters, and the full transition history.
+    """
+    if not governor:
+        return "Governor: no governed tables installed"
+    body = []
+    transitions_out = []
+    for seg_id in sorted(governor):
+        snap = governor[seg_id]
+        body.append(
+            [
+                str(seg_id),
+                snap["state"],
+                str(snap["probes_observed"]),
+                str(snap["bypassed_executions"]),
+                str(snap["disables"]),
+                str(snap["reenables"]),
+                str(snap["resizes"]),
+                str(snap["flushes"]),
+            ]
+        )
+        for t in snap["transitions"]:
+            gain = f" gain={t['gain']:+.1f}" if "gain" in t else ""
+            transitions_out.append(
+                f"  segment {seg_id} @probe {t['probe']}: "
+                f"{t['from']} -> {t['to']} ({t['reason']}{gain})"
+            )
+    out = "Governor state\n" + _render(
+        ["Segment", "State", "Probes", "Bypassed",
+         "Disables", "Reenables", "Resizes", "Flushes"],
+        body,
+    )
+    if transitions_out:
+        out += "\nTransitions\n" + "\n".join(transitions_out)
+    else:
+        out += "\nTransitions\n  (none: every table stayed profitable)"
+    return out
+
+
 def render_hit_ratio_series(table_stats: dict) -> str:
     """The sampled hit-ratio time series of each table, as sparklines."""
     blocks = " .:-=+*#%@"

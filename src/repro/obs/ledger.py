@@ -28,7 +28,10 @@ from typing import Optional
 
 __all__ = ["Verdict", "SegmentRecord", "DecisionLedger"]
 
-# Stage names, in pipeline order (used for sorting and reports).
+# Stage names, in pipeline order (used for sorting and reports).  The
+# "governor" stage is appended after a governed *run*: it records the
+# online governor's runtime verdict (still profitable / disabled) and
+# transition history next to the compile-time decisions.
 STAGES = (
     "feasibility",
     "prefilter",
@@ -38,6 +41,7 @@ STAGES = (
     "merging",
     "budget",
     "selected",
+    "governor",
 )
 
 

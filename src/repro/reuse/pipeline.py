@@ -27,9 +27,11 @@ object carries everything the experiment harness and the examples need.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from ..errors import ConfigError
 from ..minic import astnodes as ast
 from ..minic.parser import parse_program
 from ..minic.sema import analyze
@@ -37,6 +39,12 @@ from ..ir.cleanup import cleanup
 from ..obs import DecisionLedger, get_tracer
 from ..profiling.valueset import SegmentProfile, ValueSetProfiler
 from ..runtime.compiler import compile_program
+from ..runtime.costs import TABLES as _COST_TABLES
+from ..runtime.governor import (
+    GovernedMergedReuseTable,
+    GovernedReuseTable,
+    GovernorPolicy,
+)
 from ..runtime.hashtable import MergedReuseTable, ReuseTable, pow2_ceil as _pow2
 from ..runtime.machine import Machine
 from . import cost_model
@@ -50,9 +58,14 @@ from .specialize import SpecializationRecord, Specializer
 from .transform import ReuseTransformer, TableSpec
 
 
-@dataclass
+@dataclass(kw_only=True)
 class PipelineConfig:
-    """Tuning knobs for the pipeline (defaults follow the paper)."""
+    """Tuning knobs for the pipeline (defaults follow the paper).
+
+    Keyword-only: every knob must be named at the call site.  Invalid
+    values raise :class:`~repro.errors.ConfigError` at construction time
+    instead of failing deep inside table sizing or a profiling run.
+    """
 
     # frequency filter: minimum dynamic executions for value profiling
     min_executions: int = 32
@@ -74,6 +87,33 @@ class PipelineConfig:
     # gain-per-byte segments are dropped until the budget holds
     memory_budget_bytes: Optional[int] = None
     entry: str = "main"
+    # thresholds emitted into every TableSpec for the online reuse
+    # governor (repro.runtime.governor); only consulted by governed runs
+    governor: GovernorPolicy = field(default_factory=GovernorPolicy)
+
+    def __post_init__(self) -> None:
+        if self.opt_level not in _COST_TABLES:
+            raise ConfigError(
+                f"unknown opt_level {self.opt_level!r}; choose from {sorted(_COST_TABLES)}"
+            )
+        if not 0.0 < self.load_factor <= 1.0:
+            raise ConfigError(f"load_factor must be in (0, 1], got {self.load_factor}")
+        if self.min_executions < 0:
+            raise ConfigError(f"min_executions must be >= 0, got {self.min_executions}")
+        if self.table_capacity_override is not None and self.table_capacity_override < 1:
+            raise ConfigError(
+                f"table_capacity_override must be >= 1, got {self.table_capacity_override}"
+            )
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes < 0:
+            raise ConfigError(
+                f"memory_budget_bytes must be >= 0, got {self.memory_budget_bytes}"
+            )
+        if not self.entry or not isinstance(self.entry, str):
+            raise ConfigError(f"entry must be a non-empty function name, got {self.entry!r}")
+        if not isinstance(self.governor, GovernorPolicy):
+            raise ConfigError(
+                f"governor must be a GovernorPolicy, got {type(self.governor).__name__}"
+            )
 
 
 @dataclass
@@ -113,17 +153,33 @@ class PipelineResult:
         self,
         capacity_override: Optional[int] = None,
         adaptive: bool = False,
+        governed: bool = False,
     ) -> dict[int, object]:
         """Instantiate the runtime reuse tables described by the specs.
 
         Returns {segment id: table or merged-table view} ready to install
         on a machine.  ``capacity_override`` (entries) supports the
-        hash-table-size sweep of figures 14/15.  ``adaptive=True`` builds
-        self-deactivating tables (the runtime extension): each table's
-        break-even hit ratio is its segment's O/C."""
+        hash-table-size sweep of figures 14/15.  ``governed=True`` builds
+        tables managed by the online reuse governor
+        (:mod:`repro.runtime.governor`): each table (and each merged-table
+        member) carries its segment's static ``C``/``O`` constants and the
+        governor thresholds emitted into its spec.
+
+        ``adaptive=True`` is the deprecated predecessor of ``governed``
+        and now builds governed tables.
+        """
+        if adaptive:
+            warnings.warn(
+                "repro.reuse.pipeline: build_tables(adaptive=True) is deprecated; "
+                "use build_tables(governed=True)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            governed = True
         tables: dict[int, object] = {}
         merged_built: dict[str, MergedReuseTable] = {}
         group_capacity: dict[str, int] = {}
+        spec_by_id = {spec.segment_id: spec for spec in self.table_specs}
         for spec in self.table_specs:
             if spec.merged_group is not None:
                 group_capacity[spec.merged_group] = max(
@@ -131,32 +187,49 @@ class PipelineResult:
                 )
         for spec in self.table_specs:
             capacity = capacity_override or spec.capacity
+            policy = spec.governor or GovernorPolicy()
             if spec.merged_group is not None:
                 group = merged_built.get(spec.merged_group)
                 if group is None:
                     members = self.merged[spec.merged_group]
-                    group = MergedReuseTable(
-                        spec.merged_group,
-                        capacity=capacity_override
-                        or group_capacity[spec.merged_group],
-                        in_words=members[0].in_words,
-                        member_out_words={
-                            str(m.seg_id): m.out_words for m in members
-                        },
-                    )
+                    member_out_words = {
+                        str(m.seg_id): m.out_words for m in members
+                    }
+                    group_cap = capacity_override or group_capacity[spec.merged_group]
+                    if governed:
+                        group = GovernedMergedReuseTable(
+                            spec.merged_group,
+                            capacity=group_cap,
+                            in_words=members[0].in_words,
+                            member_out_words=member_out_words,
+                            member_costs={
+                                str(m.seg_id): (
+                                    spec_by_id[m.seg_id].granularity_cycles,
+                                    spec_by_id[m.seg_id].overhead_cycles,
+                                )
+                                for m in members
+                                if m.seg_id in spec_by_id
+                            },
+                            policy=policy,
+                        )
+                    else:
+                        group = MergedReuseTable(
+                            spec.merged_group,
+                            capacity=group_cap,
+                            in_words=members[0].in_words,
+                            member_out_words=member_out_words,
+                        )
                     merged_built[spec.merged_group] = group
                 tables[spec.segment_id] = group.view(str(spec.segment_id))
-            elif adaptive:
-                from ..runtime.adaptive import AdaptiveReuseTable
-
-                segment = self.segment(spec.segment_id)
-                c = max(1.0, segment.measured_granularity)
-                tables[spec.segment_id] = AdaptiveReuseTable(
+            elif governed:
+                tables[spec.segment_id] = GovernedReuseTable(
                     str(spec.segment_id),
                     capacity=capacity,
                     in_words=spec.in_words,
                     out_words=spec.out_words,
-                    break_even=min(1.0, segment.overhead / c),
+                    granularity=spec.granularity_cycles,
+                    overhead=spec.overhead_cycles,
+                    policy=policy,
                 )
             else:
                 tables[spec.segment_id] = ReuseTable(
@@ -453,6 +526,10 @@ class ReusePipeline:
             for segment in selected:
                 spec = transformer.transform_segment(segment)
                 spec.capacity = _capacity_for(segment, config)
+                # compile-time half of the online governor: the guard
+                # carries the measured C, the O upper bound, and the
+                # thresholds the runtime state machine enforces
+                spec.governor = config.governor
                 specs.append(spec)
                 ledger.record(
                     segment.seg_id,

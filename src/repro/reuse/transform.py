@@ -33,12 +33,23 @@ from typing import Optional
 from ..errors import TransformError
 from ..minic import astnodes as ast
 from ..minic.types import FLOAT, INT
+from ..runtime.governor import GovernorPolicy
 from .segments import ProgramAnalysis, Segment
 
 
 @dataclass
 class TableSpec:
-    """Everything the runner needs to build one segment's reuse table."""
+    """Everything the runner needs to build one segment's reuse table.
+
+    Beyond the geometry, the spec carries the static constants the
+    generated guard needs at run time: the measured per-execution cost
+    ``C`` (``granularity_cycles``), the hashing-overhead upper bound
+    ``O`` (``overhead_cycles``), and the governor thresholds — the
+    compile-time half of the online reuse governor
+    (:mod:`repro.runtime.governor`).  ``governor`` is None when the
+    pipeline ran without value profiling (direct transformer use); the
+    runtime then falls back to the default policy.
+    """
 
     segment_id: int
     capacity: int
@@ -47,6 +58,11 @@ class TableSpec:
     merged_group: Optional[str] = None
     # for merged groups: (segment id -> out words) of all members
     group_members: dict = field(default_factory=dict)
+    # static guard constants: measured C and the O upper bound, in cycles
+    granularity_cycles: float = 0.0
+    overhead_cycles: float = 0.0
+    # governor thresholds emitted by the pipeline (None = not configured)
+    governor: Optional[GovernorPolicy] = None
 
 
 def _always_returns(stmt: ast.Stmt) -> bool:
@@ -108,6 +124,8 @@ class ReuseTransformer:
             in_words=segment.in_words,
             out_words=segment.out_words,
             merged_group=segment.merged_group,
+            granularity_cycles=segment.measured_granularity,
+            overhead_cycles=segment.overhead,
         )
 
     # -- access expressions -----------------------------------------------------

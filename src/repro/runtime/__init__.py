@@ -32,8 +32,23 @@ from .values import (
 def run_source(source: str, entry: str = "main", opt_level: str = "O0", inputs=()):
     """Compile and run mini-C source in one call; returns (result, metrics).
 
-    Convenience wrapper used by tests and the quickstart example.
+    .. deprecated::
+        Use the stable facade instead::
+
+            result = repro.compile(source, opt=opt_level, reuse=False).run(inputs)
+
+        Note one semantic difference: ``run_source`` never runs the -O3
+        optimizer (``opt_level`` only selects the cost table), while the
+        facade optimizes at ``opt="O3"``.
     """
+    import warnings
+
+    warnings.warn(
+        "repro.runtime.run_source is deprecated; use "
+        "repro.compile(source, reuse=False).run(inputs)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from ..minic import frontend
 
     program = frontend(source)

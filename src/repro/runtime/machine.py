@@ -35,7 +35,10 @@ class Metrics:
     (:class:`~repro.runtime.hashtable.TableStats`) — for merged tables
     this is the *per-member* statistics, so shared-table reports keep
     member identity; ``merged_members`` maps each merged table id to the
-    segment ids probing through it.
+    segment ids probing through it.  ``governor`` holds one
+    :meth:`~repro.runtime.governor.SegmentGovernor.snapshot` per governed
+    segment (state, lifetime counters, transition history); it is empty
+    for runs on plain static tables.
     """
 
     opt_level: str
@@ -47,6 +50,7 @@ class Metrics:
     output_count: int
     table_stats: dict = field(default_factory=dict)
     merged_members: dict = field(default_factory=dict)
+    governor: dict = field(default_factory=dict)
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return (
@@ -176,6 +180,16 @@ class Machine:
                 merged_members.setdefault(merged.table_id, []).append(seg_id)
         return table_stats, merged_members
 
+    def governor_telemetry(self) -> dict:
+        """Per-segment governor snapshots (empty unless governed tables
+        are installed); see :class:`~repro.runtime.governor.SegmentGovernor`."""
+        snapshots: dict[int, dict] = {}
+        for seg_id in sorted(self.reuse_tables):
+            governor = getattr(self.reuse_tables[seg_id], "governor", None)
+            if governor is not None:
+                snapshots[seg_id] = governor.snapshot()
+        return snapshots
+
     def metrics(self) -> Metrics:
         counts = {name: self.counters[i] for i, name in enumerate(CLASS_NAMES)}
         table_stats, merged_members = self.table_telemetry()
@@ -189,4 +203,5 @@ class Machine:
             output_count=self.output_count,
             table_stats=table_stats,
             merged_members=merged_members,
+            governor=self.governor_telemetry(),
         )

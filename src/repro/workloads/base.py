@@ -45,3 +45,7 @@ class Workload:
     is_variant: bool = False
     # optional table-memory budget in bytes (the GNU Go experiment)
     memory_budget_bytes: Optional[int] = None
+    # optional online-governor thresholds (a GovernorPolicy); workloads
+    # with few, coarse segment executions need smaller windows than the
+    # runtime default to close any decision window at all
+    governor: Optional[object] = None

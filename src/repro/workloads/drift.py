@@ -1,0 +1,61 @@
+"""Distribution-shift ("drift") workload variants for the online governor.
+
+Each variant shares its parent's source and *stationary* default stream —
+profiling and the governor no-op differential behave exactly as for the
+parent — but its alternate stream shifts distribution mid-run (see the
+``*_drift`` generators in :mod:`repro.workloads.inputs`).  Running the
+profiled program on the alternate stream is the adaptive-vs-static
+ablation scenario: static tables keep paying probe+commit overhead after
+the shift, governed tables disable themselves.
+
+The three parents cover the governor's table shapes: UNEPIC (single
+plain table, many fine executions), MPEG2_encode (few, coarse
+executions — needs a smaller governor window to close any decision
+window at all), GNUGO (merged table with per-member governors).  G.721
+has no drift variant on purpose: quan's input domain is bounded by
+construction, so its reuse rate survives any input shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..runtime.governor import GovernorPolicy
+from .gnugo import GNUGO
+from .inputs import gnugo_points_drift, mpeg2_pixel_blocks_drift, unepic_coeffs_drift
+from .mpeg2 import MPEG2_ENCODE
+from .unepic import UNEPIC
+
+UNEPIC_DRIFT = replace(
+    UNEPIC,
+    name="UNEPIC_drift",
+    alternate_inputs=lambda: unepic_coeffs_drift(),
+    alternate_label="distribution shift (novel coefficients after prefix)",
+    description="UNEPIC with mid-stream coefficient shift; governor disable scenario",
+    is_variant=True,
+)
+
+MPEG2_ENCODE_DRIFT = replace(
+    MPEG2_ENCODE,
+    name="MPEG2_encode_drift",
+    alternate_inputs=lambda: mpeg2_pixel_blocks_drift(),
+    alternate_label="distribution shift (scene cut to pure texture)",
+    description="MPEG2 encoder with scene cut to texture; coarse-grain governor scenario",
+    is_variant=True,
+    # fdct executes only a few hundred times per stream: the default
+    # 256-probe warmup+window would never close a single decision window
+    governor=GovernorPolicy(
+        warmup_probes=32, window=32, probe_window=16, reprobe_after=256
+    ),
+)
+
+GNUGO_DRIFT = replace(
+    GNUGO,
+    name="GNUGO_drift",
+    alternate_inputs=lambda: gnugo_points_drift(),
+    alternate_label="distribution shift (board churn after opening)",
+    description="GNU Go with whole-board churn; merged-table governor scenario",
+    is_variant=True,
+)
+
+DRIFT_WORKLOADS = [UNEPIC_DRIFT, MPEG2_ENCODE_DRIFT, GNUGO_DRIFT]

@@ -289,3 +289,79 @@ def gnugo_points(seed: int = 41, moves: int = 18, points: int = 230) -> list[int
 def gnugo_points_alternate(seed: int = 83, moves: int = 27, points: int = 230) -> list[int]:
     """The '-b 9' (9-step) run: same board dynamics, more moves."""
     return gnugo_points(seed=seed, moves=moves, points=points)
+
+
+# ---------------------------------------------------------------------------
+# Distribution-shift ("drift") streams for the online reuse governor
+# ---------------------------------------------------------------------------
+#
+# Each drift stream opens with a stationary prefix drawn from the same
+# distribution as the workload's default (profiling) stream, then shifts
+# to a regime the profile never saw: novel, rarely-repeating values that
+# turn the profiled reuse tables into pure overhead.  A static table
+# keeps paying probe+commit on every execution; the governor detects the
+# negative windowed gain and disables the table (re-probing periodically
+# in case the old regime returns).
+
+
+def unepic_coeffs_drift(seed: int = 101, n: int = 12000, shift_at: int = 3000) -> list[int]:
+    """UNEPIC under distribution shift: the image's first strip follows
+    the profiled Laplacian, then the coefficients become near-unique
+    wide-range values (think a noise-dense image region) with essentially
+    no repetition for the rest of the stream."""
+    prefix = unepic_coeffs(n=shift_at)  # same distribution profiling saw
+    rng = random.Random(seed)
+    tail = []
+    for i in range(n - shift_at):
+        magnitude = 100_000 + i * 7 + rng.randrange(0, 5)
+        tail.append(magnitude if rng.random() < 0.5 else -magnitude)
+    return prefix + tail
+
+
+def mpeg2_pixel_blocks_drift(
+    seed: int = 109, frames: int = 4, blocks_per_frame: int = 40, shift_frame: int = 1
+) -> list[int]:
+    """A scene cut from a flat-background clip to pure texture: after
+    ``shift_frame`` frames, every 8x8 block is unique noise, so the fdct
+    table (profiled at a ~10% reuse rate) never hits again.
+
+    (G.721 is deliberately *not* given a drift variant: quan's input
+    domain is small by construction, so its reuse survives any input
+    shift — a bounded-domain segment cannot drift.)"""
+    rng = random.Random(seed)
+    flat_levels = [16, 16, 235, 128]
+    stream: list[int] = []
+    for frame in range(frames):
+        for b in range(blocks_per_frame):
+            if frame < shift_frame and rng.random() < 0.14:
+                stream.extend([rng.choice(flat_levels)] * 64)
+            else:
+                base = rng.randrange(30, 220)
+                stream.extend(
+                    max(0, min(255, base + rng.randrange(-25, 26))) for _ in range(64)
+                )
+    return stream
+
+
+def gnugo_points_drift(seed: int = 107, moves: int = 24, points: int = 230, shift_move: int = 6) -> list[int]:
+    """Influence classes that stay stable for the opening moves, then the
+    whole board churns: every move rerolls every point's strength and
+    decay class, so (p, q, s, d) quadruples almost never repeat across
+    moves and the merged table stops earning its keep."""
+    rng = random.Random(seed)
+    strength = [rng.randrange(0, 20) // 2 * 2 for _ in range(points)]
+    decay = [rng.randrange(0, 8) for _ in range(points)]
+    stream: list[int] = []
+    for move in range(moves):
+        if move < shift_move:
+            for _ in range(4):
+                idx = rng.randrange(points)
+                strength[idx] = rng.randrange(0, 20)
+        else:
+            strength = [rng.randrange(0, 20) for _ in range(points)]
+            decay = [rng.randrange(0, 20) for _ in range(points)]
+        for point in range(points):
+            p = point % 19
+            q = (point // 19) % 19
+            stream.extend((p, q, strength[point], decay[point]))
+    return stream

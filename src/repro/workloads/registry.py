@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from .base import Workload
+from .drift import GNUGO_DRIFT, MPEG2_ENCODE_DRIFT, UNEPIC_DRIFT
 from .g721 import (
     G721_DECODE,
     G721_DECODE_B,
@@ -29,6 +30,10 @@ ALL_WORKLOADS: list[Workload] = [
     RASTA,
     UNEPIC,
     GNUGO,
+    # distribution-shift variants for the online reuse governor
+    MPEG2_ENCODE_DRIFT,
+    UNEPIC_DRIFT,
+    GNUGO_DRIFT,
 ]
 
 # The seven primary programs (variants excluded), as in Tables 3/4/5/8/9/10.

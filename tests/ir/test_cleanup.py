@@ -3,7 +3,7 @@
 from repro.minic import astnodes as ast
 from repro.minic import frontend, format_program
 from repro.ir.cleanup import cleanup
-from repro.runtime import run_source
+from tests.support import run_plain
 
 
 def cleaned(src):
@@ -100,10 +100,10 @@ def test_semantics_preserved():
     int f(int x) { calls++; return x * 10; }
     int main(void) { return f(1) + f(2) * f(3) + calls; }
     """
-    before, _ = run_source(src)
+    before, _ = run_plain(src)
     prog = cleanup(frontend(src))
     from repro.minic.pretty import format_program as fp
-    after, _ = run_source(fp(prog))
+    after, _ = run_plain(fp(prog))
     assert before == after
 
 

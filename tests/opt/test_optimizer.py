@@ -13,7 +13,9 @@ from repro.opt.dce import dce_program
 from repro.opt.fold import fold_expr, fold_program
 from repro.opt.pipeline import optimize
 from repro.opt.simplify import is_pure, simplify_program
-from repro.runtime import Machine, compile_program, run_source
+from repro.runtime import Machine, compile_program
+
+from tests.support import run_plain
 
 
 def fold_src(src):
@@ -232,10 +234,10 @@ class TestCSE:
         int f(int i) { return (a[i] + 2) * (a[i] + 2) + (a[i] + 2); }
         int main(void) { return f(1) + f(3); }
         """
-        before, _ = run_source(src)
+        before, _ = run_plain(src)
         prog = frontend(src)
         CSEPass(prog).run()
-        after, _ = run_source(format_program(prog))
+        after, _ = run_plain(format_program(prog))
         assert before == after
 
 
@@ -311,7 +313,7 @@ class TestPipeline:
             return s;
         }}
         """
-        r0, m0 = run_source(src, inputs=values)
+        r0, m0 = run_plain(src, inputs=values)
         prog = frontend(src)
         optimize(prog, "O3")
         machine = Machine("O3")

@@ -194,10 +194,11 @@ class TestSpecializer:
 
     def test_semantics_preserved(self):
         from repro.minic.sema import analyze
-        from repro.runtime import run_source
+
+        from tests.support import run_plain
 
         src = self.SRC + "\nint main(void) { return use_a(3) * 100 + use_b(40); }"
-        before, _ = run_source(src)
+        before, _ = run_plain(src)
         program, _ = self._specialize(src)
         analyze(program)
         machine = Machine("O0")

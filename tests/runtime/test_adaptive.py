@@ -107,7 +107,7 @@ int main(void) {
 
 
 class TestEndToEnd:
-    def _measure(self, inputs, adaptive):
+    def _measure(self, inputs, governed):
         profile_inputs = [3, 9, 3, 17, 9, 3] * 40  # high-reuse profile run
         result = ReusePipeline(PROGRAM, PipelineConfig(min_executions=16)).run(
             profile_inputs
@@ -117,7 +117,7 @@ class TestEndToEnd:
         compile_program(frontend(PROGRAM), mo).run("main")
         mt = Machine("O0")
         mt.set_inputs(list(inputs))
-        for seg_id, table in result.build_tables(adaptive=adaptive).items():
+        for seg_id, table in result.build_tables(governed=governed).items():
             mt.install_table(seg_id, table)
         compile_program(result.program, mt).run("main")
         assert mo.output_checksum == mt.output_checksum
@@ -125,18 +125,34 @@ class TestEndToEnd:
 
     def test_good_inputs_unaffected(self):
         inputs = [3, 9, 3, 17, 9, 3] * 80
-        plain, _ = self._measure(inputs, adaptive=False)
-        adaptive, _ = self._measure(inputs, adaptive=True)
-        assert adaptive > 1.2
-        assert adaptive == pytest.approx(plain, rel=0.05)
+        plain, _ = self._measure(inputs, governed=False)
+        governed, _ = self._measure(inputs, governed=True)
+        assert governed > 1.2
+        assert governed == pytest.approx(plain, rel=0.05)
 
     def test_adversarial_inputs_recovered(self):
         # all-distinct values: the profiled transformation never hits
         inputs = list(range(0, 40000, 7))
-        plain, _ = self._measure(inputs, adaptive=False)
-        adaptive, mt = self._measure(inputs, adaptive=True)
+        plain, _ = self._measure(inputs, governed=False)
+        governed, mt = self._measure(inputs, governed=True)
         assert plain < 1.0  # the static scheme loses on this input
-        assert adaptive > plain  # deactivation recovers most of the loss
-        assert adaptive > 0.97
+        assert governed > plain  # bypassing recovers most of the loss
+        assert governed > 0.97
         table = next(iter(mt.reuse_tables.values()))
-        assert table.deactivations >= 1
+        assert table.governor.disables >= 1
+        assert table.governor.bypassed_executions > 0
+        assert any(t["reason"] == "unprofitable" for t in table.governor.transitions)
+
+    def test_adaptive_kwarg_is_deprecated_shim(self):
+        profile_inputs = [3, 9, 3, 17, 9, 3] * 40
+        result = ReusePipeline(PROGRAM, PipelineConfig(min_executions=16)).run(
+            profile_inputs
+        )
+        with pytest.warns(DeprecationWarning, match=r"repro\."):
+            tables = result.build_tables(adaptive=True)
+        from repro.runtime.governor import GovernedReuseTable
+
+        assert tables and all(
+            isinstance(t, GovernedReuseTable) or hasattr(t, "governor")
+            for t in tables.values()
+        )

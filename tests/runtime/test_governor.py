@@ -1,0 +1,233 @@
+"""Unit tests for the online reuse governor: policy validation, the
+hysteresis edges of the state machine, recovery re-probes, and the
+resize/flush working-set escape hatch."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.governor import (
+    GovernedMergedReuseTable,
+    GovernedReuseTable,
+    GovernorPolicy,
+    SegmentGovernor,
+)
+from repro.runtime.hashtable import ReuseTable
+
+
+def _policy(**kw):
+    defaults = dict(
+        warmup_probes=0, window=4, hysteresis=2, reprobe_after=8, probe_window=2
+    )
+    defaults.update(kw)
+    return GovernorPolicy(**defaults)
+
+
+def _governor(**kw):
+    # gain = hit_rate * 100 - 30: a window is profitable at >= 30% hits
+    return SegmentGovernor("s", granularity=100.0, overhead=30.0, policy=_policy(**kw))
+
+
+def _feed(gov, hits, misses=0):
+    for _ in range(hits):
+        gov.observe(True)
+    for _ in range(misses):
+        gov.observe(False)
+
+
+class TestPolicyValidation:
+    def test_defaults_valid(self):
+        GovernorPolicy()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"warmup_probes": -1},
+            {"window": 0},
+            {"hysteresis": 0},
+            {"reprobe_after": 0},
+            {"probe_window": 0},
+            {"resize_evict_ratio": 0.0},
+            {"resize_evict_ratio": 1.5},
+            {"max_growth": 0},
+        ],
+    )
+    def test_rejects_bad_thresholds(self, kw):
+        with pytest.raises(ConfigError):
+            GovernorPolicy(**kw)
+
+
+class TestStateMachine:
+    def test_warmup_probes_never_judged(self):
+        gov = _governor(warmup_probes=8, window=2)
+        _feed(gov, hits=0, misses=8)  # a cold table's miss burst
+        assert gov.windows_closed == 0
+        assert gov.state == "active"
+        _feed(gov, hits=2)
+        assert gov.windows_closed == 1
+
+    def test_profitable_windows_never_disable(self):
+        gov = _governor()
+        for _ in range(50):
+            _feed(gov, hits=2, misses=2)  # 50% hits: gain = +20
+        assert gov.state == "active"
+        assert gov.disables == 0
+        assert gov.transitions == []
+
+    def test_single_negative_window_is_not_enough(self):
+        gov = _governor(hysteresis=2)
+        _feed(gov, hits=0, misses=4)  # one unprofitable window
+        assert gov.state == "active"
+
+    def test_disables_after_hysteresis_consecutive_negatives(self):
+        gov = _governor(hysteresis=2)
+        _feed(gov, hits=0, misses=8)  # two unprofitable windows
+        assert gov.state == "disabled"
+        assert gov.disables == 1
+        assert gov.transitions[-1]["reason"] == "unprofitable"
+
+    def test_positive_window_resets_hysteresis(self):
+        gov = _governor(hysteresis=2)
+        _feed(gov, hits=0, misses=4)  # negative
+        _feed(gov, hits=4)  # positive: streak resets
+        _feed(gov, hits=0, misses=4)  # negative again, streak is 1
+        assert gov.state == "active"
+        _feed(gov, hits=0, misses=4)  # streak reaches hysteresis
+        assert gov.state == "disabled"
+
+    def test_bypasses_trigger_reprobe(self):
+        gov = _governor(reprobe_after=8)
+        _feed(gov, hits=0, misses=8)
+        assert gov.state == "disabled"
+        for _ in range(7):
+            assert gov.should_bypass()
+        assert not gov.should_bypass()  # the 8th flips to probing
+        assert gov.state == "probing"
+        assert gov.bypassed_executions == 8
+
+    def test_probe_window_recovers(self):
+        gov = _governor()
+        _feed(gov, hits=0, misses=8)
+        while gov.state == "disabled":
+            gov.should_bypass()
+        _feed(gov, hits=2)  # trial window: all hits
+        assert gov.state == "active"
+        assert gov.reenables == 1
+        assert gov.transitions[-1]["reason"] == "recovered"
+
+    def test_probe_window_can_fail_again(self):
+        gov = _governor()
+        _feed(gov, hits=0, misses=8)
+        while gov.state == "disabled":
+            gov.should_bypass()
+        _feed(gov, hits=0, misses=2)  # trial window: still no locality
+        assert gov.state == "disabled"
+        assert gov.disables == 2
+        assert gov.transitions[-1]["reason"] == "still_unprofitable"
+
+    def test_snapshot_is_json_shaped(self):
+        gov = _governor()
+        _feed(gov, hits=0, misses=8)
+        snap = gov.snapshot()
+        assert snap["state"] == "disabled"
+        assert snap["disables"] == 1
+        assert snap["transitions"][-1]["to"] == "disabled"
+        # snapshots are copies: mutating one must not corrupt history
+        snap["transitions"][-1]["to"] = "corrupted"
+        assert gov.transitions[-1]["to"] == "disabled"
+
+
+def _drive(table, keys, outputs=(1,)):
+    for key in keys:
+        if table.bypassed:
+            table.push_bypass() if hasattr(table, "push_bypass") else None
+            if hasattr(table, "pending_bypassed"):
+                table.commit(())
+            continue
+        if table.probe((key,)):
+            table.finish()
+        else:
+            table.commit(outputs)
+
+
+class TestGovernedTable:
+    def _table(self, capacity=4, **policy_kw):
+        return GovernedReuseTable(
+            "s",
+            capacity,
+            in_words=1,
+            out_words=1,
+            granularity=100.0,
+            overhead=30.0,
+            policy=_policy(**policy_kw),
+        )
+
+    def test_active_matches_plain_table(self):
+        """While active the governed table is bit-identical to ReuseTable."""
+        keys = [i % 3 for i in range(64)]
+        plain = ReuseTable("s", 16, 1, 1)
+        governed = self._table(capacity=16)
+        for table in (plain, governed):
+            for key in keys:
+                if table.probe((key,)):
+                    table.finish()
+                else:
+                    table.commit((key * 2,))
+        assert governed.stats.probes == plain.stats.probes
+        assert governed.stats.hits == plain.stats.hits
+        assert governed.stats.collisions == plain.stats.collisions
+        assert governed.governor.state == "active"
+
+    def test_eviction_thrash_resizes(self):
+        table = self._table(capacity=4, window=8, resize_evict_ratio=0.25)
+        _drive(table, range(64))  # all-distinct keys: constant evictions
+        assert table.governor.resizes >= 1
+        assert table.capacity > 4
+        assert table.capacity <= table.max_capacity
+
+    def test_growth_is_bounded_then_flushes(self):
+        table = self._table(
+            capacity=4, window=8, resize_evict_ratio=0.25, max_growth=1, reprobe_after=4
+        )
+        _drive(table, range(64))
+        assert table.capacity == 4  # never grew past the bound
+        assert table.governor.flushes >= 1
+
+    def test_flush_keeps_statistics(self):
+        table = self._table(capacity=8)
+        _drive(table, [1, 2, 3])
+        probes_before = table.stats.probes
+        table.flush()
+        assert table.occupied == 0
+        assert table.stats.probes == probes_before
+
+
+class TestGovernedMergedTable:
+    def test_members_disable_independently(self):
+        table = GovernedMergedReuseTable(
+            "m",
+            capacity=32,
+            in_words=1,
+            member_out_words={"a": 1, "b": 1},
+            member_costs={"a": (100.0, 30.0), "b": (100.0, 30.0)},
+            policy=_policy(),
+        )
+        view_a, view_b = table.view("a"), table.view("b")
+        for i in range(16):
+            # member a sees all-distinct keys, member b constant reuse
+            if not view_a.bypassed:
+                if view_a.probe((1000 + i,)):
+                    view_a.finish()
+                else:
+                    view_a.commit((1,))
+            else:
+                view_a.push_bypass()
+                view_a.commit(())
+            if view_b.probe((7,)):
+                view_b.finish()
+            else:
+                view_b.commit((2,))
+        # a disabled (and may already be in its recovery re-probe); b never judged guilty
+        assert view_a.governor.disables >= 1
+        assert view_a.governor.bypassed_executions > 0
+        assert view_b.governor.state == "active"
+        assert view_b.governor.disables == 0

@@ -4,11 +4,13 @@ import pytest
 
 from repro.errors import InterpError
 from repro.minic import frontend
-from repro.runtime import Machine, ReuseTable, compile_program, run_source
+from repro.runtime import Machine, ReuseTable, compile_program
+
+from tests.support import run_plain
 
 
 def run(src, entry="main", opt="O0", inputs=()):
-    result, _ = run_source(src, entry=entry, opt_level=opt, inputs=inputs)
+    result, _ = run_plain(src, entry=entry, opt_level=opt, inputs=inputs)
     return result
 
 
@@ -286,16 +288,16 @@ class TestIO:
             return 0;
         }
         """
-        _, m1 = run_source(src)
-        _, m2 = run_source(src)
+        _, m1 = run_plain(src)
+        _, m2 = run_plain(src)
         assert m1.output_checksum == m2.output_checksum
         assert m1.output_count == 5
 
     def test_output_checksum_order_sensitive(self):
         a = "int main(void) { __output_int(1); __output_int(2); return 0; }"
         b = "int main(void) { __output_int(2); __output_int(1); return 0; }"
-        _, ma = run_source(a)
-        _, mb = run_source(b)
+        _, ma = run_plain(a)
+        _, mb = run_plain(b)
         assert ma.output_checksum != mb.output_checksum
 
 
@@ -303,27 +305,27 @@ class TestCostModel:
     def test_cycles_positive_and_scale_with_work(self):
         small = "int main(void) { int s = 0; for (int i = 0; i < 10; i++) s += i; return s; }"
         big = "int main(void) { int s = 0; for (int i = 0; i < 1000; i++) s += i; return s; }"
-        _, ms = run_source(small)
-        _, mb = run_source(big)
+        _, ms = run_plain(small)
+        _, mb = run_plain(big)
         assert 0 < ms.cycles < mb.cycles
         assert mb.cycles > 50 * ms.cycles
 
     def test_o3_cheaper_than_o0(self):
         src = "int main(void) { int s = 0; for (int i = 0; i < 100; i++) s += i * 3; return s; }"
-        _, m0 = run_source(src, opt_level="O0")
-        _, m3 = run_source(src, opt_level="O3")
+        _, m0 = run_plain(src, opt_level="O0")
+        _, m3 = run_plain(src, opt_level="O3")
         assert m3.cycles < m0.cycles
 
     def test_float_ops_cost_more_than_int(self):
         fsrc = "float main(void) { float s = 0.0; for (int i = 0; i < 100; i++) s = s * 1.5; return s; }"
         isrc = "int main(void) { int s = 0; for (int i = 0; i < 100; i++) s = s * 3; return s; }"
-        _, mf = run_source(fsrc)
-        _, mi = run_source(isrc)
+        _, mf = run_plain(fsrc)
+        _, mi = run_plain(isrc)
         assert mf.cycles > mi.cycles
 
     def test_energy_positive_and_tracks_time(self):
         src = "int main(void) { int s = 0; for (int i = 0; i < 500; i++) s += i; return s; }"
-        _, m = run_source(src)
+        _, m = run_plain(src)
         assert m.energy_joules > 0
         # base power dominates: energy/seconds should be within sane wattage
         watts = m.energy_joules / m.seconds
@@ -331,7 +333,7 @@ class TestCostModel:
 
     def test_metrics_counts_sum(self):
         src = "int main(void) { return 1 + 2; }"
-        _, m = run_source(src)
+        _, m = run_plain(src)
         assert m.counts["alu"] >= 1
         assert m.counts["ret"] == 1
 

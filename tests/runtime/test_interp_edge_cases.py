@@ -4,11 +4,13 @@ import pytest
 
 from repro.errors import InterpError
 from repro.minic import frontend
-from repro.runtime import Machine, compile_program, run_source
+from repro.runtime import Machine, compile_program
+
+from tests.support import run_plain
 
 
 def run(src, entry="main", inputs=()):
-    result, _ = run_source(src, entry=entry, inputs=inputs)
+    result, _ = run_plain(src, entry=entry, inputs=inputs)
     return result
 
 

@@ -1,0 +1,216 @@
+"""Tests for the stable facade (:mod:`repro.api`).
+
+The facade is a thin, validated veneer over the existing pipeline and
+runtime — these tests pin three contracts: (1) facade runs are
+bit-identical to the legacy wiring they replaced, (2) the input parser
+accepts the full numeric-literal grammar and rejects garbage with
+:class:`~repro.errors.ConfigError`, and (3) the legacy entry points
+survive as shims that warn but still work.
+"""
+
+import pytest
+
+import repro
+from repro import api
+from repro.errors import ConfigError
+from repro.reuse import PipelineConfig, ReusePipeline
+from repro.runtime import Machine, compile_program, run_source
+
+# The heavier kernel from the adaptive tests: enough work per call that
+# the reuse transformation is profitable on a high-locality stream.
+PROGRAM = """
+int tab[8] = {5, 3, 8, 1, 9, 2, 7, 4};
+static int kernel(int v) {
+    int r = 0;
+    int i;
+    for (i = 0; i < 10; i++)
+        r += tab[i & 7] * ((v + i) & 63) + v % (i + 2);
+    return r;
+}
+int main(void) {
+    int acc = 0;
+    while (__input_avail())
+        acc += kernel(__input_int());
+    __output_int(acc);
+    return acc;
+}
+"""
+
+INPUTS = [3, 9, 3, 17, 9, 3] * 40
+
+
+class TestInputParser:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("42", 42),
+            ("-7", -7),
+            ("  3 ", 3),
+            ("2.5", 2.5),
+            ("-0.125", -0.125),
+            ("1e5", 100000.0),
+            ("-1e-3", -0.001),
+            ("+2E2", 200.0),
+        ],
+    )
+    def test_accepts_numeric_literals(self, token, expected):
+        value = api.parse_input_literal(token)
+        assert value == expected
+        assert type(value) is type(expected)
+
+    @pytest.mark.parametrize("token", ["", "  ", "abc", "1..2", "0x10", "nan", "inf", "-inf"])
+    def test_rejects_garbage(self, token):
+        with pytest.raises(ConfigError):
+            api.parse_input_literal(token)
+
+    def test_stream_mixes_commas_and_whitespace(self):
+        assert api.parse_input_stream("1, 2\n3\t4,5") == [1, 2, 3, 4, 5]
+        assert api.parse_input_stream("") == []
+
+    def test_exported_from_package_root(self):
+        assert repro.parse_input_literal is api.parse_input_literal
+        assert repro.parse_input_stream is api.parse_input_stream
+
+
+class TestValidation:
+    def test_unknown_opt_level(self):
+        with pytest.raises(ConfigError, match="opt"):
+            repro.compile(PROGRAM, opt="O2")
+
+    def test_config_type_checked(self):
+        with pytest.raises(ConfigError, match="PipelineConfig"):
+            repro.compile(PROGRAM, config={"min_executions": 8})
+
+    def test_session_validates_opt(self):
+        with pytest.raises(ConfigError):
+            api.Session(opt="fast")
+
+    def test_governor_policy_exported_and_validated(self):
+        with pytest.raises(ConfigError):
+            repro.GovernorPolicy(window=0)
+
+    def test_pipeline_config_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            PipelineConfig(8)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"opt_level": "O2"},
+            {"load_factor": 0.0},
+            {"load_factor": 1.5},
+            {"min_executions": -1},
+            {"table_capacity_override": 0},
+            {"memory_budget_bytes": -1},
+            {"entry": ""},
+            {"governor": "fast"},
+        ],
+    )
+    def test_pipeline_config_rejects_bad_knobs(self, kw):
+        with pytest.raises(ConfigError):
+            PipelineConfig(**kw)
+
+
+class TestFacadeVsLegacy:
+    def test_plain_run_matches_legacy_run_source(self):
+        program = repro.compile(PROGRAM, reuse=False)
+        facade = program.run(INPUTS)
+        with pytest.warns(DeprecationWarning, match=r"repro\."):
+            value, metrics = run_source(PROGRAM, inputs=INPUTS)
+        assert facade.value == value
+        assert facade.metrics == metrics
+
+    def test_reuse_run_matches_legacy_pipeline_wiring(self):
+        config = PipelineConfig(min_executions=16)
+        program = repro.compile(PROGRAM, config=config)
+        facade = program.run(INPUTS)
+
+        result = ReusePipeline(PROGRAM, config).run(list(INPUTS))
+        machine = Machine("O0")
+        machine.set_inputs(list(INPUTS))
+        for seg_id, table in result.build_tables().items():
+            machine.install_table(seg_id, table)
+        value = compile_program(result.program, machine).run("main")
+        assert facade.value == value
+        assert facade.metrics == machine.metrics()
+
+    def test_transformed_output_matches_plain(self):
+        plain = repro.compile(PROGRAM, reuse=False).run(INPUTS)
+        reused = repro.compile(PROGRAM).run(INPUTS)
+        assert reused.output_checksum == plain.output_checksum
+        assert reused.cycles < plain.cycles  # high-locality stream profits
+        assert reused.speedup_vs(plain) > 1.0
+
+
+class TestCompiledProgram:
+    def test_profile_is_idempotent(self):
+        program = repro.compile(PROGRAM, config=PipelineConfig(min_executions=16))
+        first = program.profile(INPUTS)
+        second = program.profile([1, 2, 3])  # ignored: already profiled
+        assert first is second
+
+    def test_transformed_source_roundtrip(self):
+        program = repro.compile(PROGRAM, config=PipelineConfig(min_executions=16))
+        with pytest.raises(ConfigError):
+            program.transformed_source()  # not profiled yet
+        program.profile(INPUTS)
+        text = program.transformed_source()
+        assert "main" in text
+        assert text != PROGRAM
+
+    def test_governed_run_reports_telemetry(self):
+        program = repro.compile(
+            PROGRAM, config=PipelineConfig(min_executions=16), governed=True
+        )
+        result = program.run(INPUTS)
+        assert result.governor
+        for snap in result.governor.values():
+            assert snap["state"] == "active"  # stationary inputs
+        assert result.governor_transitions() == {}
+
+    def test_run_result_properties(self):
+        result = repro.compile(PROGRAM, reuse=False).run(INPUTS)
+        assert result.cycles == result.metrics.cycles > 0
+        assert result.seconds == pytest.approx(result.metrics.seconds)
+        assert result.energy_joules > 0
+        assert result.table_stats == {}
+
+
+class TestSession:
+    def test_compile_is_memoized(self):
+        with api.Session() as session:
+            a = session.compile(PROGRAM)
+            b = session.compile(PROGRAM)
+        assert a is b
+
+    def test_tables_stay_warm_across_runs(self):
+        with api.Session(config=PipelineConfig(min_executions=16)) as session:
+            program = session.compile(PROGRAM)
+            program.profile(INPUTS)
+            first = program.run(INPUTS)
+            second = program.run(INPUTS)
+        hits = lambda r: sum(s.hits for s in r.table_stats.values())
+        # the second run probes tables the first already filled
+        assert hits(second) > hits(first)
+        assert second.output_checksum == first.output_checksum
+
+    def test_one_shot_runs_are_cold(self):
+        program = repro.compile(PROGRAM, config=PipelineConfig(min_executions=16))
+        program.profile(INPUTS)
+        hits = lambda r: sum(s.hits for s in r.table_stats.values())
+        assert hits(program.run(INPUTS)) == hits(program.run(INPUTS))
+
+
+class TestShims:
+    def test_run_source_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match=r"repro\.runtime\.run_source"):
+            value, metrics = run_source(PROGRAM, inputs=[1, 2, 3])
+        assert metrics.cycles > 0
+
+    def test_build_tables_adaptive_kwarg_warns(self):
+        result = ReusePipeline(PROGRAM, PipelineConfig(min_executions=16)).run(
+            list(INPUTS)
+        )
+        with pytest.warns(DeprecationWarning, match=r"repro\."):
+            tables = result.build_tables(adaptive=True)
+        assert all(hasattr(t, "governor") for t in tables.values())

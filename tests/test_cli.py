@@ -87,12 +87,12 @@ class TestTransform:
 
 
 class TestWorkloads:
-    def test_lists_all_eleven(self, capsys):
+    def test_lists_all_fourteen(self, capsys):
         rc = main(["workloads"])
         out = capsys.readouterr().out
         assert rc == 0
         assert out.count("[primary]") == 7
-        assert out.count("[variant]") == 4
+        assert out.count("[variant]") == 7
         assert "GNUGO" in out
 
 

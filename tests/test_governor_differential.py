@@ -1,0 +1,80 @@
+"""The governor must be a pure observer on stationary inputs.
+
+A governed table in the ``active`` state charges exactly the same
+simulated cycles as a plain :class:`~repro.runtime.hashtable.ReuseTable`
+— the governor only *reads* the probe stream until it has evidence of
+drift.  On each workload's own stationary default stream that evidence
+never arrives, so a governed run must produce bit-identical metrics to a
+static run (with the governor's telemetry snapshot normalized away) and
+zero state transitions, for every registered workload at O0 and O3.
+
+This is the differential that licenses installing governed tables by
+default in deployments: the adaptive machinery is free until it fires.
+"""
+
+import copy
+import dataclasses
+
+import pytest
+
+from repro.minic.sema import analyze
+from repro.opt.pipeline import optimize
+from repro.reuse.pipeline import PipelineConfig, ReusePipeline
+from repro.runtime.compiler import compile_program
+from repro.runtime.governor import GovernorPolicy
+from repro.runtime.machine import Machine
+from repro.workloads.registry import ALL_WORKLOADS
+
+# Same prefix trick as the fusion and observability differentials: every
+# workload polls __input_avail, so a prefix keeps the sweep fast.  All
+# prefixed streams stay stationary (the drift variants shift later in
+# their *alternate* streams, which this test never runs).
+_INPUT_PREFIX = 1024
+
+_cache: dict[str, tuple] = {}
+
+
+def _pipeline(workload):
+    if workload.name not in _cache:
+        inputs = workload.default_inputs()[:_INPUT_PREFIX]
+        config = PipelineConfig(
+            min_executions=workload.min_executions,
+            memory_budget_bytes=workload.memory_budget_bytes,
+            governor=workload.governor or GovernorPolicy(),
+        )
+        result = ReusePipeline(workload.source, config).run(inputs)
+        _cache[workload.name] = (result, inputs)
+    return _cache[workload.name]
+
+
+def _measure(result, opt_level, inputs, governed):
+    program = copy.deepcopy(result.program)
+    analyze(program)
+    optimize(program, opt_level)
+    machine = Machine(opt_level)
+    machine.set_inputs(list(inputs))
+    for seg_id, table in result.build_tables(governed=governed).items():
+        machine.install_table(seg_id, table)
+    compile_program(program, machine).run("main")
+    return machine.metrics()
+
+
+@pytest.mark.parametrize("opt_level", ["O0", "O3"])
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_governed_noop_on_stationary_inputs(workload, opt_level):
+    result, inputs = _pipeline(workload)
+    if not result.selected:
+        pytest.skip("nothing transformed; no tables to govern")
+    static = _measure(result, opt_level, inputs, governed=False)
+    governed = _measure(result, opt_level, inputs, governed=True)
+    # the governor never fired: no disables, resizes, or flushes
+    for seg_id, snap in governed.governor.items():
+        assert snap["state"] == "active", (seg_id, snap)
+        assert snap["transitions"] == [], (seg_id, snap)
+        assert snap["bypassed_executions"] == 0, (seg_id, snap)
+    assert governed.governor  # governed tables do report telemetry
+    assert static.governor == {}
+    # with the telemetry normalized away, the runs are bit-identical:
+    # cycles, seconds, joules, checksum, per-segment TableStats (incl.
+    # the sampled hit-ratio series), merged membership
+    assert dataclasses.replace(governed, governor={}) == static

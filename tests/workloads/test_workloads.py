@@ -10,8 +10,8 @@ from repro.workloads import inputs as gen
 
 
 class TestRegistry:
-    def test_eleven_programs(self):
-        assert len(ALL_WORKLOADS) == 11
+    def test_fourteen_programs(self):
+        assert len(ALL_WORKLOADS) == 14
 
     def test_seven_primary(self):
         assert len(PRIMARY_WORKLOADS) == 7
@@ -31,8 +31,29 @@ class TestRegistry:
             get_workload("nope")
 
     def test_variants_flagged(self):
-        for name in ("G721_encode_s", "G721_encode_b", "G721_decode_s", "G721_decode_b"):
+        for name in (
+            "G721_encode_s",
+            "G721_encode_b",
+            "G721_decode_s",
+            "G721_decode_b",
+            "MPEG2_encode_drift",
+            "UNEPIC_drift",
+            "GNUGO_drift",
+        ):
             assert WORKLOADS[name].is_variant
+
+    def test_drift_variants_share_parent_defaults(self):
+        # profiling (and the governor no-op differential) must see the
+        # parent's stationary stream; only the alternate stream drifts
+        for drift, parent in (
+            ("UNEPIC_drift", "UNEPIC"),
+            ("MPEG2_encode_drift", "MPEG2_encode"),
+            ("GNUGO_drift", "GNUGO"),
+        ):
+            d, p = WORKLOADS[drift], WORKLOADS[parent]
+            assert d.source == p.source
+            assert d.default_inputs() == p.default_inputs()
+            assert d.alternate_inputs() != p.alternate_inputs()
 
 
 class TestSourcesRun:
