@@ -40,6 +40,7 @@ from typing import Optional, Sequence, Union
 from .errors import ConfigError
 from .minic import format_program, frontend
 from .obs import DecisionLedger, Tracer, set_tracer
+from .obs.profiler import CycleProfile, CycleProfiler, ledger_costs
 from .opt.pipeline import optimize
 from .reuse.pipeline import PipelineConfig, PipelineResult, ReusePipeline
 from .runtime.compiler import compile_program
@@ -113,6 +114,7 @@ class RunResult:
     governor: dict = field(default_factory=dict)
     ledger: Optional[DecisionLedger] = None
     trace: Optional[Tracer] = None
+    cycle_profile: Optional[CycleProfile] = None
 
     @property
     def cycles(self) -> int:
@@ -146,6 +148,18 @@ class RunResult:
     def speedup_vs(self, baseline: "RunResult") -> float:
         return baseline.metrics.seconds / self.metrics.seconds
 
+    def profile(self) -> CycleProfile:
+        """The run's cycle-attribution profile
+        (:class:`~repro.obs.profiler.CycleProfile`): the attribution
+        tree, the per-segment measured ``C``/``O``/``R``, and the
+        measured-vs-ledger report.  Requires the program to have been
+        compiled with ``profile=True``."""
+        if self.cycle_profile is None:
+            raise ConfigError(
+                "no cycle profile on this run; compile with profile=True"
+            )
+        return self.cycle_profile
+
 
 # -- compiled programs -------------------------------------------------------
 
@@ -171,6 +185,7 @@ class CompiledProgram:
         config: Optional[PipelineConfig] = None,
         governed: bool = False,
         trace: bool = False,
+        profile: bool = False,
         profile_inputs: Optional[Sequence] = None,
         _cache=None,
         _persist_tables: bool = False,
@@ -186,6 +201,7 @@ class CompiledProgram:
         self.reuse = reuse
         self.config = config or PipelineConfig()
         self.governed = governed
+        self.profiled = profile
         self.tracer: Optional[Tracer] = Tracer(enabled=True) if trace else None
         self._profile_inputs = (
             list(profile_inputs) if profile_inputs is not None else None
@@ -303,6 +319,15 @@ class CompiledProgram:
             program = self._program_for(self.opt)
         else:
             program = self._programs[self.opt]
+        profiler = None
+        if self.profiled:
+            # install before compile_program: the attribution hooks are a
+            # compile-time decision (zero overhead when absent)
+            profiler = CycleProfiler(
+                machine,
+                seg_costs=ledger_costs(self.result) if self.reuse else None,
+            )
+            machine.cycle_profiler = profiler
         with self._traced():
             value = compile_program(program, machine).run(entry)
         metrics = machine.metrics()
@@ -314,6 +339,7 @@ class CompiledProgram:
             governor=metrics.governor,
             ledger=self.ledger,
             trace=self.tracer,
+            cycle_profile=profiler.finalize() if profiler is not None else None,
         )
 
     def _record_governor_verdicts(self, metrics: Metrics) -> None:
@@ -348,6 +374,7 @@ def compile(
     config: Optional[PipelineConfig] = None,
     governed: bool = False,
     trace: bool = False,
+    profile: bool = False,
     profile_inputs: Optional[Sequence] = None,
 ) -> CompiledProgram:
     """Prepare mini-C ``source`` for measured execution on the simulated
@@ -363,6 +390,12 @@ def compile(
             (:mod:`repro.runtime.governor`) instead of static tables.
         trace: record pipeline and run spans into
             :attr:`CompiledProgram.tracer` for export.
+        profile: attach a cycle-attribution profiler
+            (:mod:`repro.obs.profiler`) to every run; the profile is
+            returned via :meth:`RunResult.profile`.  Attribution is
+            exact — per-node cycles sum bit-identically to
+            ``Metrics.cycles`` — and a profiled run's metrics are
+            bit-identical to an unprofiled one's.
         profile_inputs: profile on this stream instead of the first run's.
     """
     return CompiledProgram(
@@ -372,6 +405,7 @@ def compile(
         config=config,
         governed=governed,
         trace=trace,
+        profile=profile,
         profile_inputs=profile_inputs,
     )
 

@@ -8,6 +8,9 @@
     python -m repro stats G721_encode --opt O3
     python -m repro stats GNUGO_drift --governed --alternate
     python -m repro workloads
+    python -m repro perf record --workload UNEPIC --update-baseline
+    python -m repro perf report GNUGO --flamegraph gnugo.folded
+    python -m repro perf check --baseline PERF_BASELINE.json
     python -m repro report --table 6 --workload G721_encode --workload RASTA
     python -m repro report --figure 14 --workload UNEPIC
 
@@ -18,8 +21,12 @@ pipeline with tracing on and exports a Chrome trace, a JSONL span log,
 and the segment decision ledger; ``stats`` prints the runtime
 reuse-table telemetry of a transformed execution (``--governed`` adds
 the online governor's state and transitions, ``--alternate`` runs on a
-workload's alternate/shifted input stream); ``report`` regenerates any
-of the paper's tables/figures for a subset of workloads.
+workload's alternate/shifted input stream); ``perf`` records
+cycle-attribution profiles into the append-only perf store, renders the
+measured-vs-ledger report, and gates CI against a committed baseline
+(``check`` exits non-zero on any cycle or checksum regression);
+``report`` regenerates any of the paper's tables/figures for a subset
+of workloads.
 
 Every command goes through the stable facade (:mod:`repro.api`); this
 module contains no pipeline or machine wiring of its own.
@@ -199,6 +206,89 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_perf_record(args) -> int:
+    from .experiments.perf import record_workloads
+    from .obs.perfdb import PerfDB, write_baseline
+
+    names = args.workload or _default_perf_workloads()
+    db = PerfDB(args.db)
+    rows = record_workloads(
+        names,
+        opts=args.opt or ["O0"],
+        variants=args.variant or ["static"],
+        db=db,
+    )
+    for row in rows:
+        print(
+            f"recorded {row['workload']}@{row['opt']}@{row['variant']}: "
+            f"{row['cycles']} cycles, checksum {row['output_checksum']:#010x}"
+        )
+    if args.update_baseline:
+        write_baseline(args.baseline, rows, tolerance_pct=args.tolerance)
+        print(f"baseline written: {args.baseline} ({len(rows)} rows)")
+    print(f"store: {db.path}")
+    return 0
+
+
+def cmd_perf_report(args) -> int:
+    from pathlib import Path
+
+    from .experiments.perf import measure_workload
+    from .experiments.report import render_perf_history
+    from .obs.perfdb import PerfDB
+
+    row, result = measure_workload(
+        args.target, opt=args.opt_level, variant=args.variant_name
+    )
+    profile = result.profile()
+    print(profile.measured_vs_ledger())
+    print()
+    print(profile.render(max_depth=args.depth))
+    if args.flamegraph:
+        Path(args.flamegraph).write_text(profile.collapsed() + "\n", encoding="utf-8")
+        print(f"\ncollapsed stacks: {args.flamegraph}")
+    if args.history:
+        db = PerfDB(args.db)
+        print()
+        print(
+            render_perf_history(
+                db.rows(args.target, args.opt_level, args.variant_name) + [row]
+            )
+        )
+    return 0
+
+
+def cmd_perf_check(args) -> int:
+    from .experiments.perf import check_workloads
+    from .obs.perfdb import PerfDB
+
+    db = PerfDB(args.db) if args.record else None
+    regressions, rows = check_workloads(
+        args.baseline, workloads=args.workload or None, db=db
+    )
+    for row in rows:
+        print(
+            f"measured {row['workload']}@{row['opt']}@{row['variant']}: "
+            f"{row['cycles']} cycles, checksum {row['output_checksum']:#010x}"
+        )
+    if not rows:
+        print("no baseline rows matched the selected workloads", file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) against {args.baseline}:")
+        for regression in regressions:
+            print(f"  FAIL {regression.describe()}")
+        return 1
+    print(f"\nOK: {len(rows)} row(s) within baseline {args.baseline}")
+    return 0
+
+
+def _default_perf_workloads() -> list[str]:
+    # the two representative workloads the CI gate measures: one loop
+    # segment (UNEPIC) and one function segment workload (GNU Go)
+    return ["UNEPIC", "GNUGO"]
+
+
 def cmd_workloads(args) -> int:
     from .workloads import ALL_WORKLOADS
 
@@ -328,6 +418,74 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_wl = sub.add_parser("workloads", help="list the benchmark workloads")
     p_wl.set_defaults(func=cmd_workloads)
+
+    p_perf = sub.add_parser(
+        "perf", help="cycle-attribution profiles, perf store, regression gate"
+    )
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+
+    p_rec = perf_sub.add_parser(
+        "record", help="measure workloads and append rows to the perf store"
+    )
+    p_rec.add_argument(
+        "--workload", action="append",
+        help="workload to measure (repeatable; default: UNEPIC, GNUGO)",
+    )
+    p_rec.add_argument(
+        "--opt", action="append", choices=("O0", "O3"),
+        help="opt level (repeatable; default: O0)",
+    )
+    p_rec.add_argument(
+        "--variant", action="append", choices=("static", "governed"),
+        help="table variant (repeatable; default: static)",
+    )
+    p_rec.add_argument("--db", default=".repro_perf", help="perf store directory")
+    p_rec.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the committed baseline from these measurements",
+    )
+    p_rec.add_argument("--baseline", default="PERF_BASELINE.json")
+    p_rec.add_argument(
+        "--tolerance", type=float, default=0.0,
+        help="default cycle tolerance (%%) written into the baseline",
+    )
+    p_rec.set_defaults(func=cmd_perf_record)
+
+    p_prep = perf_sub.add_parser(
+        "report", help="measured-vs-ledger table and attribution tree for a workload"
+    )
+    p_prep.add_argument("target", help="workload name")
+    p_prep.add_argument("--opt-level", choices=("O0", "O3"), default="O0")
+    p_prep.add_argument(
+        "--variant-name", choices=("static", "governed"), default="static"
+    )
+    p_prep.add_argument(
+        "--depth", type=int, default=6, help="attribution tree depth limit"
+    )
+    p_prep.add_argument(
+        "--flamegraph", help="write collapsed-stack lines to this path"
+    )
+    p_prep.add_argument(
+        "--history", action="store_true",
+        help="append the perf-store cycle history for this configuration",
+    )
+    p_prep.add_argument("--db", default=".repro_perf", help="perf store directory")
+    p_prep.set_defaults(func=cmd_perf_report)
+
+    p_chk = perf_sub.add_parser(
+        "check", help="re-measure the baseline configurations; exit 1 on regression"
+    )
+    p_chk.add_argument("--baseline", default="PERF_BASELINE.json")
+    p_chk.add_argument(
+        "--workload", action="append",
+        help="restrict the gate to these workloads (repeatable)",
+    )
+    p_chk.add_argument(
+        "--record", action="store_true",
+        help="also append the measured rows to the perf store",
+    )
+    p_chk.add_argument("--db", default=".repro_perf", help="perf store directory")
+    p_chk.set_defaults(func=cmd_perf_check)
 
     p_rep = sub.add_parser("report", help="regenerate a paper table/figure")
     p_rep.add_argument("--table", type=int)

@@ -47,7 +47,9 @@ from ..obs import get_tracer
 # "3": TableSpec carries governor thresholds (granularity/overhead/policy)
 # and PipelineConfig grew the ``governor`` field, both inside pickled
 # PipelineResults.
-CODE_VERSION = "3"
+# "4": TableSpec/PipelineConfig carry the TableStats sample budget and
+# TableStats itself grew the ``sample_budget`` field.
+CODE_VERSION = "4"
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 _DEFAULT_ROOT = ".repro_cache"

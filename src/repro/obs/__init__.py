@@ -20,6 +20,14 @@ hit-ratio time series) lives with the data structures that produce it in
 from .ledger import DecisionLedger, SegmentRecord, Verdict
 from .tracer import Span, Tracer, get_tracer, set_tracer
 from .export import to_chrome, to_jsonl, write_chrome_trace, write_jsonl
+from .profiler import (
+    CycleProfile,
+    CycleProfiler,
+    ProfileNode,
+    SegmentAttribution,
+    ledger_costs,
+)
+from .perfdb import PerfDB, Regression, baseline_key, check_rows, load_baseline, write_baseline
 
 __all__ = [
     "DecisionLedger",
@@ -33,4 +41,15 @@ __all__ = [
     "to_jsonl",
     "write_chrome_trace",
     "write_jsonl",
+    "CycleProfile",
+    "CycleProfiler",
+    "ProfileNode",
+    "SegmentAttribution",
+    "ledger_costs",
+    "PerfDB",
+    "Regression",
+    "baseline_key",
+    "check_rows",
+    "load_baseline",
+    "write_baseline",
 ]

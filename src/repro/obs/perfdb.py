@@ -1,0 +1,237 @@
+"""Persistent performance store and regression gate.
+
+An append-only JSONL database under ``.repro_perf/`` records one row per
+measured (workload, opt level, variant) run: cycles, output checksum,
+per-segment attribution summary, hit ratios, governor transition counts,
+plus the code version and git revision that produced them.  Rows are
+plain dicts so the file is greppable and diffable; nothing is ever
+rewritten in place.
+
+The regression gate compares a set of current rows against a committed
+baseline (``PERF_BASELINE.json``): a run regresses when its cycles
+exceed the baseline by more than the row's tolerance, or when its output
+checksum changes at all (correctness beats performance).  The simulator
+is deterministic, so the default tolerance is zero.
+
+This module is storage and comparison only — it does not import the
+facade or the workload registry; :mod:`repro.experiments.perf` does the
+measuring.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+__all__ = [
+    "PerfDB",
+    "Regression",
+    "baseline_key",
+    "check_rows",
+    "load_baseline",
+    "write_baseline",
+    "git_revision",
+]
+
+PERF_DIR = ".repro_perf"
+RUNS_FILE = "runs.jsonl"
+
+
+def baseline_key(workload: str, opt: str, variant: str) -> str:
+    """The stable identity of a measured configuration."""
+    return f"{workload}@{opt}@{variant}"
+
+
+def git_revision(repo_dir: Optional[str] = None) -> str:
+    """Short git revision of the working tree, or ``"unknown"`` outside a
+    repository (the store must work in exported tarballs too)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_dir or os.getcwd(),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+class PerfDB:
+    """Append-only run store: one JSON object per line in
+    ``<root>/runs.jsonl``."""
+
+    def __init__(self, root: str = PERF_DIR) -> None:
+        self.root = Path(root)
+
+    @property
+    def path(self) -> Path:
+        return self.root / RUNS_FILE
+
+    def append(self, row: dict) -> dict:
+        """Persist one run row (adds a timestamp if missing); returns it."""
+        row = dict(row)
+        row.setdefault("ts", time.time())
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as f:
+            f.write(json.dumps(row, sort_keys=True) + "\n")
+        return row
+
+    def rows(
+        self,
+        workload: Optional[str] = None,
+        opt: Optional[str] = None,
+        variant: Optional[str] = None,
+    ) -> list[dict]:
+        """All stored rows, oldest first, optionally filtered."""
+        if not self.path.exists():
+            return []
+        out = []
+        with open(self.path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                row = json.loads(line)
+                if workload is not None and row.get("workload") != workload:
+                    continue
+                if opt is not None and row.get("opt") != opt:
+                    continue
+                if variant is not None and row.get("variant") != variant:
+                    continue
+                out.append(row)
+        return out
+
+    def latest(
+        self,
+        workload: Optional[str] = None,
+        opt: Optional[str] = None,
+        variant: Optional[str] = None,
+    ) -> Optional[dict]:
+        rows = self.rows(workload, opt, variant)
+        return rows[-1] if rows else None
+
+    def history(self, workload: str, opt: str, variant: str) -> list[int]:
+        """The cycle trend of one configuration, oldest first."""
+        return [
+            row["cycles"]
+            for row in self.rows(workload, opt, variant)
+            if "cycles" in row
+        ]
+
+
+# -- baseline compare --------------------------------------------------------
+
+
+@dataclass
+class Regression:
+    """One baseline comparison that failed."""
+
+    key: str
+    kind: str  # "cycles" | "checksum" | "missing"
+    measured: object
+    expected: object
+    limit: Optional[float] = None
+
+    def describe(self) -> str:
+        if self.kind == "cycles":
+            return (
+                f"{self.key}: {self.measured} cycles exceeds baseline "
+                f"{self.expected} (limit {self.limit:.0f})"
+            )
+        if self.kind == "checksum":
+            return (
+                f"{self.key}: output checksum {self.measured:#010x} != "
+                f"baseline {self.expected:#010x}"
+            )
+        return f"{self.key}: no measurement for baseline row"
+
+
+def load_baseline(path: str) -> dict:
+    """Read a baseline file; returns its dict form
+    ``{"default_tolerance_pct": float, "rows": {key: {...}}}``."""
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    data.setdefault("default_tolerance_pct", 0.0)
+    data.setdefault("rows", {})
+    return data
+
+
+def write_baseline(path: str, rows: Iterable[dict], tolerance_pct: float = 0.0) -> dict:
+    """Write (or refresh) a baseline from measured run rows."""
+    baseline = {
+        "default_tolerance_pct": tolerance_pct,
+        "rows": {
+            baseline_key(r["workload"], r["opt"], r["variant"]): {
+                "cycles": r["cycles"],
+                "output_checksum": r["output_checksum"],
+            }
+            for r in rows
+        },
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(baseline, f, indent=1, sort_keys=True)
+        f.write("\n")
+    return baseline
+
+
+def check_rows(
+    current: Iterable[dict], baseline: dict, require_all: bool = False
+) -> list[Regression]:
+    """Compare measured rows against a baseline.
+
+    By default only baseline rows whose key was measured are judged (the
+    gate may run on a workload subset); with ``require_all`` an
+    unmeasured baseline row is itself a failure.  A regression is cycles
+    above ``baseline * (1 + tolerance_pct/100)`` or any checksum change.
+    """
+    default_tol = float(baseline.get("default_tolerance_pct", 0.0))
+    measured = {
+        baseline_key(r["workload"], r["opt"], r["variant"]): r for r in current
+    }
+    failures: list[Regression] = []
+    for key, expected in sorted(baseline.get("rows", {}).items()):
+        row = measured.get(key)
+        if row is None:
+            if require_all:
+                failures.append(
+                    Regression(
+                        key=key,
+                        kind="missing",
+                        measured=None,
+                        expected=expected.get("cycles"),
+                    )
+                )
+            continue
+        if (
+            "output_checksum" in expected
+            and row.get("output_checksum") != expected["output_checksum"]
+        ):
+            failures.append(
+                Regression(
+                    key=key,
+                    kind="checksum",
+                    measured=row.get("output_checksum"),
+                    expected=expected["output_checksum"],
+                )
+            )
+            continue
+        tol = float(expected.get("tolerance_pct", default_tol))
+        limit = expected["cycles"] * (1.0 + tol / 100.0)
+        if row["cycles"] > limit:
+            failures.append(
+                Regression(
+                    key=key,
+                    kind="cycles",
+                    measured=row["cycles"],
+                    expected=expected["cycles"],
+                    limit=limit,
+                )
+            )
+    return failures

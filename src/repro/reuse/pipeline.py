@@ -45,7 +45,12 @@ from ..runtime.governor import (
     GovernedReuseTable,
     GovernorPolicy,
 )
-from ..runtime.hashtable import MergedReuseTable, ReuseTable, pow2_ceil as _pow2
+from ..runtime.hashtable import (
+    SAMPLE_BUDGET as _SAMPLE_BUDGET,
+    MergedReuseTable,
+    ReuseTable,
+    pow2_ceil as _pow2,
+)
 from ..runtime.machine import Machine
 from . import cost_model
 from .granularity import GranularityAnalysis
@@ -90,6 +95,9 @@ class PipelineConfig:
     # thresholds emitted into every TableSpec for the online reuse
     # governor (repro.runtime.governor); only consulted by governed runs
     governor: GovernorPolicy = field(default_factory=GovernorPolicy)
+    # hit-ratio ring-buffer capacity emitted into every TableSpec
+    # (repro.runtime.hashtable.TableStats); >= 2
+    stats_sample_budget: int = _SAMPLE_BUDGET
 
     def __post_init__(self) -> None:
         if self.opt_level not in _COST_TABLES:
@@ -113,6 +121,10 @@ class PipelineConfig:
         if not isinstance(self.governor, GovernorPolicy):
             raise ConfigError(
                 f"governor must be a GovernorPolicy, got {type(self.governor).__name__}"
+            )
+        if self.stats_sample_budget < 2:
+            raise ConfigError(
+                f"stats_sample_budget must be >= 2, got {self.stats_sample_budget}"
             )
 
 
@@ -188,6 +200,7 @@ class PipelineResult:
         for spec in self.table_specs:
             capacity = capacity_override or spec.capacity
             policy = spec.governor or GovernorPolicy()
+            sample_budget = spec.sample_budget
             if spec.merged_group is not None:
                 group = merged_built.get(spec.merged_group)
                 if group is None:
@@ -211,6 +224,7 @@ class PipelineResult:
                                 if m.seg_id in spec_by_id
                             },
                             policy=policy,
+                            sample_budget=sample_budget,
                         )
                     else:
                         group = MergedReuseTable(
@@ -218,6 +232,7 @@ class PipelineResult:
                             capacity=group_cap,
                             in_words=members[0].in_words,
                             member_out_words=member_out_words,
+                            sample_budget=sample_budget,
                         )
                     merged_built[spec.merged_group] = group
                 tables[spec.segment_id] = group.view(str(spec.segment_id))
@@ -230,6 +245,7 @@ class PipelineResult:
                     granularity=spec.granularity_cycles,
                     overhead=spec.overhead_cycles,
                     policy=policy,
+                    sample_budget=sample_budget,
                 )
             else:
                 tables[spec.segment_id] = ReuseTable(
@@ -237,6 +253,7 @@ class PipelineResult:
                     capacity=capacity,
                     in_words=spec.in_words,
                     out_words=spec.out_words,
+                    sample_budget=sample_budget,
                 )
         return tables
 
@@ -530,6 +547,7 @@ class ReusePipeline:
                 # carries the measured C, the O upper bound, and the
                 # thresholds the runtime state machine enforces
                 spec.governor = config.governor
+                spec.sample_budget = config.stats_sample_budget
                 specs.append(spec)
                 ledger.record(
                     segment.seg_id,

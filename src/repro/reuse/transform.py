@@ -34,6 +34,7 @@ from ..errors import TransformError
 from ..minic import astnodes as ast
 from ..minic.types import FLOAT, INT
 from ..runtime.governor import GovernorPolicy
+from ..runtime.hashtable import SAMPLE_BUDGET
 from .segments import ProgramAnalysis, Segment
 
 
@@ -63,6 +64,8 @@ class TableSpec:
     overhead_cycles: float = 0.0
     # governor thresholds emitted by the pipeline (None = not configured)
     governor: Optional[GovernorPolicy] = None
+    # hit-ratio ring-buffer capacity of the table's TableStats (>= 2)
+    sample_budget: int = SAMPLE_BUDGET
 
 
 def _always_returns(stmt: ast.Stmt) -> bool:

@@ -82,6 +82,20 @@ class CompiledFunction:
         self._ctr = machine.counters
 
     def bind_body(self, body: StmtClosure) -> None:
+        # Cycle attribution hooks are a compile-time decision: with no
+        # profiler installed the bound closure is exactly the plain body,
+        # so profiling can never perturb an unprofiled run.
+        profiler = self._machine.cycle_profiler
+        if profiler is not None:
+            inner = body
+
+            def body(frame, inner=inner, profiler=profiler, name=self.name):
+                profiler.enter_function(name)
+                try:
+                    return inner(frame)
+                finally:
+                    profiler.exit_function()
+
         self._body = body
         self._ctr = self._machine.counters
 

@@ -34,6 +34,12 @@ metrics, so no measured number changes.
 Fusion is controlled by ``Machine(fuse=...)``; the differential harness
 (``tests/runtime/test_fusion.py``) runs every registered workload both
 ways and asserts identical :class:`~repro.runtime.machine.Metrics`.
+
+The same boundary property makes fused execution transparent to the
+cycle-attribution profiler (:mod:`repro.obs.profiler`): its attribution
+points are function bodies and reuse intrinsics, both unfusable, so a
+fused region's batched charges always fall entirely between two
+snapshots and land in the same node the unfused charges would.
 """
 
 from __future__ import annotations

@@ -57,6 +57,7 @@ from ..errors import ConfigError
 from ..obs import get_tracer
 from .hashtable import (
     _BYPASSED,
+    SAMPLE_BUDGET,
     MergedReuseTable,
     MergedTableView,
     ReuseTable,
@@ -344,8 +345,11 @@ class GovernedReuseTable(ReuseTable):
         granularity: float = 1.0,
         overhead: float = 0.0,
         policy: Optional[GovernorPolicy] = None,
+        sample_budget: int = SAMPLE_BUDGET,
     ) -> None:
-        super().__init__(segment_id, capacity, in_words, out_words)
+        super().__init__(
+            segment_id, capacity, in_words, out_words, sample_budget=sample_budget
+        )
         self.governor = SegmentGovernor(segment_id, granularity, overhead, policy)
         self.base_capacity = self.capacity
         self.max_capacity = pow2_ceil(self.capacity * self.governor.policy.max_growth)
@@ -445,8 +449,12 @@ class GovernedMergedReuseTable(MergedReuseTable):
         member_out_words: dict[str, int],
         member_costs: dict[str, tuple[float, float]],
         policy: Optional[GovernorPolicy] = None,
+        *,
+        sample_budget: int = SAMPLE_BUDGET,
     ) -> None:
-        super().__init__(table_id, capacity, in_words, member_out_words)
+        super().__init__(
+            table_id, capacity, in_words, member_out_words, sample_budget=sample_budget
+        )
         self.policy = policy or GovernorPolicy()
         self.governors: dict[str, SegmentGovernor] = {
             seg: SegmentGovernor(seg, c, o, self.policy)

@@ -19,9 +19,10 @@ All tables keep statistics (:class:`TableStats`) that the experiment
 harness and the observability layer read: probe/hit/miss/collision
 counters with the invariant ``misses == collisions + empty_misses``,
 eviction counts, the occupancy high-water mark, and a sampled hit-ratio
-time series (fixed :data:`SAMPLE_BUDGET`-entry ring buffer whose
-sampling interval doubles when full).  *Costs* are charged by the
-interpreter intrinsics, not here.
+time series (a ring buffer whose sampling interval doubles when full;
+the budget defaults to :data:`SAMPLE_BUDGET` entries and is configurable
+per table through the pipeline's ``stats_sample_budget`` knob).  *Costs*
+are charged by the interpreter intrinsics, not here.
 """
 
 from __future__ import annotations
@@ -65,7 +66,7 @@ def pow2_floor(n: int) -> int:
 _pow2_at_least = pow2_ceil
 
 
-# Fixed budget for the hit-ratio time series: once full, every other
+# Default budget for the hit-ratio time series: once full, every other
 # sample is dropped and the sampling interval doubles, so the buffer
 # always covers the whole execution at uniform (coarsening) resolution.
 SAMPLE_BUDGET = 64
@@ -81,9 +82,17 @@ class TableStats:
     evictions: int = 0  # commit replaced a different key's record
     occupancy_hwm: int = 0  # high-water mark of occupied entries
     # [probe count, hit count] pairs sampled over execution (ring buffer
-    # with a fixed budget); lists, not tuples, so JSON round-trips exactly
+    # with a bounded budget); lists, not tuples, so JSON round-trips exactly
     samples: list = field(default_factory=list)
     sample_interval: int = 1
+    # ring-buffer capacity; the halving step needs at least two entries
+    sample_budget: int = SAMPLE_BUDGET
+
+    def __post_init__(self) -> None:
+        if self.sample_budget < 2:
+            raise ValueError(
+                f"sample_budget must be >= 2, got {self.sample_budget}"
+            )
 
     @property
     def hit_ratio(self) -> float:
@@ -104,7 +113,7 @@ class TableStats:
                 self.empty_misses += 1
         if self.probes % self.sample_interval == 0:
             self.samples.append([self.probes, self.hits])
-            if len(self.samples) >= SAMPLE_BUDGET:
+            if len(self.samples) >= self.sample_budget:
                 del self.samples[::2]
                 self.sample_interval *= 2
 
@@ -125,9 +134,18 @@ class ReuseTable:
         capacity: number of entries; rounded up to a power of two.
         in_words: hash-key width in 32-bit words (for size accounting).
         out_words: output record width in words (for size accounting).
+        sample_budget: hit-ratio ring-buffer capacity (>= 2).
     """
 
-    def __init__(self, segment_id: str, capacity: int, in_words: int, out_words: int) -> None:
+    def __init__(
+        self,
+        segment_id: str,
+        capacity: int,
+        in_words: int,
+        out_words: int,
+        *,
+        sample_budget: int = SAMPLE_BUDGET,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.segment_id = segment_id
@@ -137,7 +155,7 @@ class ReuseTable:
         self.out_words = out_words
         self._keys: list[Optional[tuple]] = [None] * self.capacity
         self._outputs: list[Optional[tuple]] = [None] * self.capacity
-        self.stats = TableStats()
+        self.stats = TableStats(sample_budget=sample_budget)
         self._occupied = 0
         # LIFO of (key, index) for in-flight probes; supports recursive
         # segment execution (a probe may occur before the enclosing
@@ -217,7 +235,7 @@ class ReuseTable:
         self._outputs = [None] * self.capacity
         self._pending.clear()
         self._occupied = 0
-        self.stats = TableStats()
+        self.stats = TableStats(sample_budget=self.stats.sample_budget)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -240,6 +258,8 @@ class MergedReuseTable:
         capacity: int,
         in_words: int,
         member_out_words: dict[str, int],
+        *,
+        sample_budget: int = SAMPLE_BUDGET,
     ) -> None:
         self.table_id = table_id
         self.capacity = _pow2_at_least(max(1, capacity))
@@ -252,7 +272,7 @@ class MergedReuseTable:
         self._bits: list[int] = [0] * self.capacity
         self._outputs: list[list] = [[None] * len(self.members) for _ in range(self.capacity)]
         self.stats_per_member: dict[str, TableStats] = {
-            seg: TableStats() for seg in self.members
+            seg: TableStats(sample_budget=sample_budget) for seg in self.members
         }
         self._occupied = 0
         self._pending: list[tuple[tuple, int, int]] = []  # (key, index, member)

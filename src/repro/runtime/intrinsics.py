@@ -107,7 +107,32 @@ def compile_builtin(name: str, args: list[ast.Expr], fc):
             ctr[HASH_WORD] += len(words)
             return 1 if table.probe(tuple(words)) else 0
 
-        return run_probe
+        cycle_profiler = machine.cycle_profiler
+        if cycle_profiler is None:
+            return run_probe
+
+        # Attribution wrapper (compiled in only when profiling): the probe
+        # opens the segment's attribution frame; its own cost — key
+        # construction, hashing, or the bypassed flag test — is overhead.
+        # A bypassed probe returns 0 like a miss; it is told apart by the
+        # _BYPASSED sentinel the bypass branch pushed (merged static
+        # tables have no bypass protocol, hence the getattr).
+        def run_probe_profiled(
+            fr, seg=seg, run_probe=run_probe, machine=machine, prof=cycle_profiler
+        ):
+            prof.probe_begin(seg)
+            r = run_probe(fr)
+            pending_bypassed = getattr(
+                machine.table_for(seg), "pending_bypassed", None
+            )
+            prof.probe_end(
+                seg,
+                hit=r == 1,
+                bypassed=pending_bypassed is not None and pending_bypassed(),
+            )
+            return r
+
+        return run_probe_profiled
 
     if name in ("__reuse_out_i", "__reuse_out_f"):
         seg = _segment_id(args, name)
@@ -168,7 +193,22 @@ def compile_builtin(name: str, args: list[ast.Expr], fc):
             machine.table_for(seg).commit(tuple(values))
             return 0
 
-        return run_commit
+        cycle_profiler = machine.cycle_profiler
+        if cycle_profiler is None:
+            return run_commit
+
+        # The commit ends the executed body and is itself overhead
+        # (output serialization + table write); it closes the frame the
+        # probe opened.
+        def run_commit_profiled(
+            fr, seg=seg, run_commit=run_commit, prof=cycle_profiler
+        ):
+            prof.commit_begin(seg)
+            r = run_commit(fr)
+            prof.segment_exit(seg)
+            return r
+
+        return run_commit_profiled
 
     if name == "__reuse_end":
         seg = _segment_id(args, name)
@@ -177,7 +217,18 @@ def compile_builtin(name: str, args: list[ast.Expr], fc):
             machine.table_for(seg).finish()
             return 0
 
-        return run_end
+        cycle_profiler = machine.cycle_profiler
+        if cycle_profiler is None:
+            return run_end
+
+        # Hit path: the output restores ran in the overhead phase the
+        # probe left open; __reuse_end closes the frame.
+        def run_end_profiled(fr, seg=seg, run_end=run_end, prof=cycle_profiler):
+            r = run_end(fr)
+            prof.segment_exit(seg)
+            return r
+
+        return run_end_profiled
 
     # -- profiling stubs (zero cost) -------------------------------------------
     if name == "__profile":

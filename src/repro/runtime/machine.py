@@ -10,7 +10,12 @@ A :class:`Machine` bundles everything one execution needs:
   what the original did);
 * installed reuse tables (segment id -> table), the runtime side of the
   computation-reuse transformation;
-* an optional profiler receiving ``__profile`` / ``__freq`` events.
+* an optional profiler receiving ``__profile`` / ``__freq`` events;
+* an optional cycle-attribution profiler
+  (:class:`~repro.obs.profiler.CycleProfiler` on ``cycle_profiler``).
+  It must be installed *before* ``compile_program``: the compiler emits
+  attribution hooks only when one is present, so an unprofiled run
+  executes exactly the closures it always did.
 
 Machines are cheap; experiments create one per (program variant, cost
 table, input file) combination.
@@ -78,6 +83,9 @@ class Machine:
         self.globals: list = []
         self.reuse_tables: dict[int, object] = {}
         self.profiler = None
+        # cycle-attribution profiler (repro.obs.profiler.CycleProfiler);
+        # consulted at compile time by compile_program/compile_builtin
+        self.cycle_profiler = None
         self.capture_output = capture_output
         self.captured_outputs: list = []
         self.debug_log: list[int] = []

@@ -1,0 +1,73 @@
+"""Tests for the text renderers: sparkline guards and perf history.
+
+The sparkline helper backs both the hit-ratio time series and the perf
+trend line; its two guarded edge cases (empty series, zero-range series)
+must render rather than raise.
+"""
+
+from repro.experiments.report import (
+    _SPARK_BLOCKS,
+    _sparkline,
+    render_hit_ratio_series,
+    render_perf_history,
+)
+from repro.runtime.hashtable import TableStats
+
+
+class TestSparkline:
+    def test_empty_series_renders_empty(self):
+        assert _sparkline([]) == ""
+
+    def test_constant_series_renders_flat_mid_scale(self):
+        # all samples equal: the auto-scaled range is zero, which must
+        # not divide — the guard pins the line flat at mid-scale
+        out = _sparkline([7.0, 7.0, 7.0])
+        mid = _SPARK_BLOCKS[(len(_SPARK_BLOCKS) - 1) // 2]
+        assert out == mid * 3
+
+    def test_degenerate_pinned_scale_is_flat(self):
+        assert _sparkline([0.5, 0.5], lo=1.0, hi=1.0) == (
+            _sparkline([0.5, 0.5], lo=0.0, hi=0.0)
+        )
+
+    def test_monotone_series_uses_full_ramp(self):
+        out = _sparkline([0.0, 1.0], lo=0.0, hi=1.0)
+        assert out == _SPARK_BLOCKS[0] + _SPARK_BLOCKS[-1]
+
+    def test_values_outside_pinned_scale_are_clamped(self):
+        out = _sparkline([-1.0, 2.0], lo=0.0, hi=1.0)
+        assert out == _SPARK_BLOCKS[0] + _SPARK_BLOCKS[-1]
+
+
+class TestHitRatioSeries:
+    def test_empty_stats_series(self):
+        out = render_hit_ratio_series({0: TableStats()})
+        assert "segment 0: (no samples)" in out
+
+    def test_sampled_series_renders_one_char_per_sample(self):
+        stats = TableStats(sample_budget=4)
+        for hit in (False, True, True, True):
+            stats.record_probe(hit)
+        out = render_hit_ratio_series({0: stats})
+        series = stats.hit_ratio_series()
+        line = next(l for l in out.splitlines() if "segment 0" in l)
+        assert line.count("|") == 2
+        assert len(line.split("|")[1]) == len(series)
+
+
+class TestPerfHistory:
+    def test_no_rows(self):
+        assert render_perf_history([]) == "Perf history: no recorded runs"
+
+    def test_constant_history_renders_flat_trend(self):
+        rows = [
+            {"workload": "UNEPIC", "opt": "O0", "variant": "static",
+             "git": "abc", "code_version": "4", "cycles": 100,
+             "output_checksum": 1}
+            for _ in range(3)
+        ]
+        out = render_perf_history(rows)
+        mid = _SPARK_BLOCKS[(len(_SPARK_BLOCKS) - 1) // 2]
+        assert f"|{mid * 3}|" in out
+        assert "latest 100" in out
+        assert "UNEPIC@O0@static" in out

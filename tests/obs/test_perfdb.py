@@ -1,0 +1,156 @@
+"""Unit tests for the append-only perf store and the regression gate.
+
+The store is pure storage (no measuring), so these tests drive it with
+hand-built rows; the gate's contract — cycles above the tolerance limit
+or *any* checksum change fails, missing measurements of a baselined key
+fail, unmeasured baseline rows are skipped — is pinned with injected
+regressions.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.perfdb import (
+    PerfDB,
+    baseline_key,
+    check_rows,
+    load_baseline,
+    write_baseline,
+)
+
+
+def _row(workload="UNEPIC", opt="O0", variant="static", cycles=1000,
+         checksum=0xAB, **extra):
+    return {
+        "workload": workload,
+        "opt": opt,
+        "variant": variant,
+        "cycles": cycles,
+        "output_checksum": checksum,
+        **extra,
+    }
+
+
+class TestPerfDB:
+    def test_append_and_rows(self, tmp_path):
+        db = PerfDB(tmp_path / "perf")
+        db.append(_row(cycles=100))
+        db.append(_row(cycles=200))
+        db.append(_row(workload="GNUGO", cycles=300))
+        rows = db.rows("UNEPIC", "O0", "static")
+        assert [r["cycles"] for r in rows] == [100, 200]
+        assert all("ts" in r for r in rows)
+
+    def test_latest_and_history(self, tmp_path):
+        db = PerfDB(tmp_path / "perf")
+        for cycles in (5, 7, 6):
+            db.append(_row(cycles=cycles))
+        assert db.latest("UNEPIC", "O0", "static")["cycles"] == 6
+        assert db.history("UNEPIC", "O0", "static") == [5, 7, 6]
+
+    def test_empty_store(self, tmp_path):
+        db = PerfDB(tmp_path / "missing")
+        assert db.rows() == []
+        assert db.latest("UNEPIC", "O0", "static") is None
+
+    def test_rows_are_jsonl(self, tmp_path):
+        db = PerfDB(tmp_path / "perf")
+        db.append(_row())
+        lines = db.path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["workload"] == "UNEPIC"
+
+
+class TestBaseline:
+    def test_write_then_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_row(cycles=123, checksum=9)], tolerance_pct=1.5)
+        baseline = load_baseline(path)
+        assert baseline["default_tolerance_pct"] == 1.5
+        key = baseline_key("UNEPIC", "O0", "static")
+        assert baseline["rows"][key] == {"cycles": 123, "output_checksum": 9}
+
+    def test_clean_run_passes(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_row()])
+        assert check_rows([_row()], load_baseline(path)) == []
+
+    def test_injected_cycle_regression_fails(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_row(cycles=1000)])
+        # tamper the committed baseline downward: the measured run now
+        # reads as a regression
+        doc = json.loads(path.read_text())
+        key = baseline_key("UNEPIC", "O0", "static")
+        doc["rows"][key]["cycles"] = 900
+        path.write_text(json.dumps(doc))
+        regressions = check_rows([_row(cycles=1000)], load_baseline(path))
+        assert len(regressions) == 1
+        assert regressions[0].kind == "cycles"
+        assert "exceeds" in regressions[0].describe()
+
+    def test_tolerance_allows_bounded_drift(self):
+        baseline = {
+            "default_tolerance_pct": 0.0,
+            "rows": {
+                baseline_key("UNEPIC", "O0", "static"): {
+                    "cycles": 1000,
+                    "output_checksum": 0xAB,
+                    "tolerance_pct": 10.0,
+                }
+            },
+        }
+        assert check_rows([_row(cycles=1099)], baseline) == []
+        bad = check_rows([_row(cycles=1101)], baseline)
+        assert [r.kind for r in bad] == ["cycles"]
+
+    def test_checksum_change_always_fails(self):
+        baseline = {
+            "default_tolerance_pct": 100.0,  # cycles may double...
+            "rows": {
+                baseline_key("UNEPIC", "O0", "static"): {
+                    "cycles": 1000,
+                    "output_checksum": 0xAB,
+                }
+            },
+        }
+        # ...but a checksum change is a correctness bug, never tolerated
+        regressions = check_rows([_row(cycles=500, checksum=0xCD)], baseline)
+        assert [r.kind for r in regressions] == ["checksum"]
+
+    def test_missing_measurement_skipped_on_subset_gate(self):
+        baseline = {
+            "default_tolerance_pct": 0.0,
+            "rows": {
+                baseline_key("UNEPIC", "O0", "static"): {
+                    "cycles": 1000,
+                    "output_checksum": 0xAB,
+                }
+            },
+        }
+        # a subset gate skips unmeasured rows; a full gate fails them
+        assert check_rows([], baseline) == []
+        regressions = check_rows([], baseline, require_all=True)
+        assert [r.kind for r in regressions] == ["missing"]
+        assert "no measurement" in regressions[0].describe()
+
+    def test_faster_run_passes(self):
+        baseline = {
+            "default_tolerance_pct": 0.0,
+            "rows": {
+                baseline_key("UNEPIC", "O0", "static"): {
+                    "cycles": 1000,
+                    "output_checksum": 0xAB,
+                }
+            },
+        }
+        assert check_rows([_row(cycles=900)], baseline) == []
+
+    def test_unknown_measured_rows_are_ignored(self):
+        baseline = {"default_tolerance_pct": 0.0, "rows": {}}
+        assert check_rows([_row()], baseline) == []
+
+    def test_load_missing_baseline_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            load_baseline(tmp_path / "nope.json")

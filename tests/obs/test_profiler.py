@@ -1,0 +1,164 @@
+"""Unit tests for the cycle-attribution profiler.
+
+Small, purpose-built programs pin the tree shape, the body/overhead
+split of reuse segments, the hit/miss accounting, the self-recursion
+fold, and the exporter formats (text tree, collapsed stacks,
+measured-vs-ledger).
+"""
+
+import pytest
+
+from repro import api
+from repro.obs.profiler import ledger_costs
+
+REUSE_SOURCE = """
+int tab[8] = {5, 3, 8, 1, 9, 2, 7, 4};
+
+static int kernel(int v) {
+    int r = 0;
+    int i;
+    for (i = 0; i < 6; i++)
+        r += tab[i] * ((v + i) & 31) + v % (i + 2);
+    return r;
+}
+
+int main(void) {
+    int acc = 0;
+    while (__input_avail())
+        acc += kernel(__input_int());
+    __output_int(acc);
+    return acc;
+}
+"""
+
+RECURSIVE_SOURCE = """
+int depth(int n) {
+    if (n <= 0)
+        return 0;
+    return 1 + depth(n - 1);
+}
+
+int main(void) {
+    __output_int(depth(50));
+    return 0;
+}
+"""
+
+# 4 distinct values cycled many times: high reuse rate, >=1 miss per value
+INPUTS = [1, 2, 3, 4] * 64
+
+
+def _profiled_run(source=REUSE_SOURCE, inputs=INPUTS, reuse=True, **kwargs):
+    program = api.compile(source, reuse=reuse, profile=True, **kwargs)
+    if reuse:
+        program.profile(inputs)
+    return program.run(inputs)
+
+
+class TestTreeShape:
+    def test_root_is_run(self):
+        profile = _profiled_run().profile()
+        assert profile.root.name == "run"
+        assert "main" in {n.name for _, n in profile.root.walk()}
+
+    def test_total_matches_metrics(self):
+        result = _profiled_run()
+        profile = result.profile()
+        assert profile.total_cycles == result.metrics.cycles
+
+    def test_unprofiled_run_has_no_profile(self):
+        program = api.compile(REUSE_SOURCE, reuse=False)
+        result = program.run(INPUTS)
+        with pytest.raises(api.ConfigError):
+            result.profile()
+
+    def test_self_recursion_folds_to_one_node(self):
+        profile = _profiled_run(RECURSIVE_SOURCE, inputs=[], reuse=False).profile()
+        depth_nodes = [
+            (d, n) for d, n in profile.root.walk() if n.name == "depth"
+        ]
+        assert len(depth_nodes) == 1
+        depth, node = depth_nodes[0]
+        assert node.count == 51  # the fold keeps the invocation count
+        assert depth == 2  # run > main > depth, not 50 frames deep
+
+
+class TestSegmentSplit:
+    def test_hit_miss_counts_match_table_stats(self):
+        result = _profiled_run()
+        profile = result.profile()
+        segments = profile.segments()
+        assert segments, "expected at least one reused segment"
+        for seg_id, att in segments.items():
+            stats = result.metrics.table_stats[seg_id]
+            assert att.hits == stats.hits
+            assert att.executions == stats.probes
+            assert att.bypassed == 0
+
+    def test_overhead_and_body_are_split(self):
+        profile = _profiled_run().profile()
+        att = next(iter(profile.segments().values()))
+        # misses executed the body; every execution paid the probe
+        assert att.body_cycles > 0
+        assert att.overhead_cycles > 0
+        assert att.misses > 0 and att.hits > 0
+
+    def test_measured_rates(self):
+        profile = _profiled_run().profile()
+        att = next(iter(profile.segments().values()))
+        assert att.measured_reuse_rate == att.hits / att.executions
+        assert att.measured_overhead == att.overhead_cycles / att.executions
+        assert att.measured_granularity == att.body_cycles / att.executed_bodies
+        assert att.measured_gain == pytest.approx(
+            att.measured_reuse_rate * att.measured_granularity
+            - att.measured_overhead
+        )
+
+
+class TestExports:
+    def test_render_contains_segment_rows(self):
+        profile = _profiled_run().profile()
+        text = profile.render()
+        assert "seg:" in text
+        assert "hit/miss/byp" in text
+
+    def test_collapsed_stack_format(self):
+        profile = _profiled_run().profile()
+        lines = profile.collapsed().splitlines()
+        assert lines, "collapsed output should not be empty"
+        for line in lines:
+            path, _, count = line.rpartition(" ")
+            assert path and count.isdigit()
+        # self-cycles across all frames also conserve the total
+        assert sum(int(l.rpartition(" ")[2]) for l in lines) == (
+            profile.total_cycles
+        )
+        assert any(line.startswith("run;main") for line in lines)
+
+    def test_measured_vs_ledger_columns(self):
+        program = api.compile(REUSE_SOURCE, profile=True)
+        program.profile(INPUTS)
+        result = program.run(INPUTS)
+        table = result.profile().measured_vs_ledger()
+        for column in ("R est", "R meas", "C est", "C meas",
+                       "O est", "O meas", "gain est", "gain meas"):
+            assert column in table
+
+    def test_to_dict_round_trips_counts(self):
+        profile = _profiled_run().profile()
+        doc = profile.to_dict()
+        assert doc["total_cycles"] == profile.total_cycles
+        assert doc["tree"]["name"] == "run"
+
+
+class TestLedgerCosts:
+    def test_costs_cover_selected_segments(self):
+        program = api.compile(REUSE_SOURCE, profile=True)
+        program.profile(INPUTS)
+        costs = ledger_costs(program.result)
+        selected = {s.seg_id for s in program.result.selected}
+        assert set(costs) == selected
+        for info in costs.values():
+            assert info["C"] > 0
+            assert info["O"] > 0
+            assert 0.0 <= info["R"] <= 1.0

@@ -1,0 +1,93 @@
+"""The cycle-attribution profiler must be a pure observer.
+
+Two properties, checked for every registered workload at O0 and O3 with
+both static and governed tables:
+
+* **Conservation** — the attribution tree partitions the run: summing
+  every node's own body and overhead cycles reproduces
+  ``Metrics.cycles`` bit-exactly.  The cost model is a linear integer
+  function of the counter vector, and the profiler snapshots it at every
+  attribution boundary, so the deltas tile the total by construction —
+  this test pins that construction against future cost-model or hook
+  changes.
+* **Zero observer effect** — a profiled run produces bit-identical
+  metrics (cycles, checksum, table stats, governor telemetry) to an
+  unprofiled run.  Hooks are compiled in only when a profiler is
+  installed, so the unprofiled closures are untouched.
+"""
+
+import copy
+
+import pytest
+
+from repro.minic.sema import analyze
+from repro.obs.profiler import CycleProfiler
+from repro.opt.pipeline import optimize
+from repro.reuse.pipeline import PipelineConfig, ReusePipeline
+from repro.runtime.compiler import compile_program
+from repro.runtime.governor import GovernorPolicy
+from repro.runtime.machine import Machine
+from repro.workloads.registry import ALL_WORKLOADS
+
+# Same prefix trick as the fusion/governor differentials: every workload
+# polls __input_avail, so a prefix keeps the full sweep fast.
+_INPUT_PREFIX = 1024
+
+_cache: dict[str, tuple] = {}
+
+
+def _pipeline(workload):
+    if workload.name not in _cache:
+        inputs = workload.default_inputs()[:_INPUT_PREFIX]
+        config = PipelineConfig(
+            min_executions=workload.min_executions,
+            memory_budget_bytes=workload.memory_budget_bytes,
+            governor=workload.governor or GovernorPolicy(),
+        )
+        result = ReusePipeline(workload.source, config).run(inputs)
+        _cache[workload.name] = (result, inputs)
+    return _cache[workload.name]
+
+
+def _measure(result, opt_level, inputs, governed, profiled):
+    program = copy.deepcopy(result.program)
+    analyze(program)
+    optimize(program, opt_level)
+    machine = Machine(opt_level)
+    machine.set_inputs(list(inputs))
+    profiler = None
+    if profiled:
+        profiler = CycleProfiler(machine)
+        machine.cycle_profiler = profiler
+    for seg_id, table in result.build_tables(governed=governed).items():
+        machine.install_table(seg_id, table)
+    compile_program(program, machine).run("main")
+    profile = profiler.finalize() if profiler is not None else None
+    return machine.metrics(), profile
+
+
+def _attributed_total(profile):
+    return sum(
+        node.body_cycles + node.overhead_cycles
+        for _, node in profile.root.walk()
+    )
+
+
+@pytest.mark.parametrize("governed", [False, True], ids=["static", "governed"])
+@pytest.mark.parametrize("opt_level", ["O0", "O3"])
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_attribution_conserves_cycles(workload, opt_level, governed):
+    result, inputs = _pipeline(workload)
+    plain, _ = _measure(result, opt_level, inputs, governed, profiled=False)
+    profiled, profile = _measure(result, opt_level, inputs, governed, profiled=True)
+    # conservation: the tree tiles the run, bit-exactly
+    assert _attributed_total(profile) == profiled.cycles
+    assert profile.total_cycles == profiled.cycles
+    # zero observer effect: the profiled run is the same run
+    assert profiled == plain
+    # the per-segment aggregation conserves the intrinsic counts
+    for seg_id, att in profile.segments().items():
+        assert att.hits + att.misses + att.bypassed == att.executions, seg_id
+        stats = profiled.table_stats.get(seg_id)
+        if stats is not None and not governed:
+            assert att.hits == stats.hits, seg_id

@@ -366,3 +366,64 @@ class TestHitRatioSampling:
             s.record_probe(i % 3 == 0)
         clone = TableStats(**json.loads(json.dumps(dataclasses.asdict(s))))
         assert clone == s
+
+
+class TestSampleBudget:
+    """The ring-buffer budget is configurable per table (satellite of the
+    observability PR): policy plumbs TableSpec.sample_budget through
+    build_tables down to TableStats."""
+
+    def test_default_budget(self):
+        from repro.runtime.hashtable import SAMPLE_BUDGET, TableStats
+
+        assert TableStats().sample_budget == SAMPLE_BUDGET == 64
+
+    def test_budget_below_two_rejected(self):
+        from repro.runtime.hashtable import TableStats
+
+        with pytest.raises(ValueError):
+            TableStats(sample_budget=1)
+        with pytest.raises(ValueError):
+            TableStats(sample_budget=0)
+        assert TableStats(sample_budget=2).sample_budget == 2
+
+    def test_small_budget_decimates_sooner(self):
+        from repro.runtime.hashtable import TableStats
+
+        small, big = TableStats(sample_budget=4), TableStats(sample_budget=64)
+        for i in range(64):
+            small.record_probe(i % 2 == 0)
+            big.record_probe(i % 2 == 0)
+        assert len(small.samples) <= 4
+        assert small.sample_interval > big.sample_interval
+
+    def test_table_constructors_thread_the_budget(self):
+        t = ReuseTable("s", capacity=8, in_words=1, out_words=1, sample_budget=8)
+        assert t.stats.sample_budget == 8
+        t.probe((1,))
+        t.clear()
+        assert t.stats.sample_budget == 8  # clear() keeps the budget
+        m = MergedReuseTable(
+            "m", capacity=8, in_words=1,
+            member_out_words={"a": 1, "b": 1}, sample_budget=16,
+        )
+        assert all(
+            s.sample_budget == 16 for s in m.stats_per_member.values()
+        )
+
+    def test_governed_tables_thread_the_budget(self):
+        from repro.runtime.governor import GovernedReuseTable, GovernorPolicy
+
+        t = GovernedReuseTable(
+            "s", capacity=8, in_words=1, out_words=1,
+            granularity=100.0, overhead=10.0,
+            policy=GovernorPolicy(), sample_budget=32,
+        )
+        assert t.stats.sample_budget == 32
+
+    def test_pipeline_config_validates_and_applies(self):
+        from repro.reuse.pipeline import ConfigError, PipelineConfig
+
+        with pytest.raises(ConfigError):
+            PipelineConfig(stats_sample_budget=1)
+        assert PipelineConfig(stats_sample_budget=128).stats_sample_budget == 128

@@ -216,3 +216,76 @@ class TestReportEndToEnd:
         assert rc == 0
         assert "Table 6" in out
         assert "Harmonic Mean" in out
+
+
+class TestPerfEndToEnd:
+    """``repro perf record|check|report`` against a temp store/baseline.
+
+    One workload (UNEPIC) keeps the measuring cheap; the record fixture
+    runs once per module and the gate is exercised clean and with an
+    injected regression (a tampered baseline row).
+    """
+
+    @pytest.fixture(scope="class")
+    def recorded(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("perf")
+        baseline = root / "baseline.json"
+        db = root / "store"
+        rc = main([
+            "perf", "record", "--workload", "UNEPIC",
+            "--db", str(db), "--update-baseline", "--baseline", str(baseline),
+        ])
+        assert rc == 0
+        return baseline, db
+
+    def test_record_writes_store_and_baseline(self, recorded):
+        import json
+
+        baseline, db = recorded
+        doc = json.loads(baseline.read_text())
+        assert "UNEPIC@O0@static" in doc["rows"]
+        lines = (db / "runs.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        row = json.loads(lines[0])
+        assert row["segments"], "rows carry the per-segment attribution"
+
+    def test_check_clean_exits_zero(self, recorded, capsys):
+        baseline, _ = recorded
+        rc = main(["perf", "check", "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK: 1 row(s)" in out
+
+    def test_check_injected_regression_exits_nonzero(
+        self, recorded, tmp_path, capsys
+    ):
+        import json
+
+        baseline, _ = recorded
+        doc = json.loads(baseline.read_text())
+        doc["rows"]["UNEPIC@O0@static"]["cycles"] -= 1
+        tampered = tmp_path / "tampered.json"
+        tampered.write_text(json.dumps(doc))
+        rc = main(["perf", "check", "--baseline", str(tampered)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAIL" in out and "exceeds baseline" in out
+
+    def test_check_unmatched_subset_exits_two(self, recorded, capsys):
+        baseline, _ = recorded
+        rc = main([
+            "perf", "check", "--baseline", str(baseline),
+            "--workload", "GNUGO",
+        ])
+        capsys.readouterr()
+        assert rc == 2
+
+    def test_report_prints_ledger_tree_and_flamegraph(self, tmp_path, capsys):
+        folded = tmp_path / "unepic.folded"
+        rc = main(["perf", "report", "UNEPIC", "--flamegraph", str(folded)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Measured vs ledger" in out
+        assert "Cycle attribution" in out
+        assert "seg:0" in out
+        assert folded.read_text().startswith("run ")
