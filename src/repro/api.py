@@ -34,12 +34,19 @@ from __future__ import annotations
 
 import copy
 import math
+import time
 from dataclasses import asdict, dataclass, field
 from typing import Optional, Sequence, Union
 
 from .errors import ConfigError
 from .minic import format_program, frontend
 from .obs import DecisionLedger, Tracer, set_tracer
+from .obs.metrics import (
+    ExpositionServer,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
 from .obs.profiler import CycleProfile, CycleProfiler, ledger_costs
 from .opt.pipeline import optimize
 from .reuse.pipeline import PipelineConfig, PipelineResult, ReusePipeline
@@ -91,7 +98,27 @@ def parse_input_literal(token: str) -> Union[int, float]:
 def parse_input_stream(text: str) -> list:
     """Parse a whole input stream: literals separated by commas and/or
     whitespace (the one parser behind ``--inputs`` and ``--inputs-file``)."""
-    return [parse_input_literal(tok) for tok in text.replace(",", " ").split()]
+    values = [parse_input_literal(tok) for tok in text.replace(",", " ").split()]
+    registry = get_registry()
+    if registry is not None:
+        registry.counter(
+            "repro_inputs_parsed", "Input literals parsed from streams."
+        ).inc(len(values))
+    return values
+
+
+def _resolve_metrics(metrics) -> Optional[MetricsRegistry]:
+    """``metrics=`` argument → registry: None/False off, True a fresh
+    registry, an existing :class:`MetricsRegistry` shared as-is."""
+    if metrics is None or metrics is False:
+        return None
+    if metrics is True:
+        return MetricsRegistry()
+    if isinstance(metrics, MetricsRegistry):
+        return metrics
+    raise ConfigError(
+        f"metrics must be a bool or MetricsRegistry, got {type(metrics).__name__}"
+    )
 
 
 # -- results -----------------------------------------------------------------
@@ -187,6 +214,7 @@ class CompiledProgram:
         trace: bool = False,
         profile: bool = False,
         profile_inputs: Optional[Sequence] = None,
+        metrics=None,
         _cache=None,
         _persist_tables: bool = False,
     ) -> None:
@@ -203,6 +231,7 @@ class CompiledProgram:
         self.governed = governed
         self.profiled = profile
         self.tracer: Optional[Tracer] = Tracer(enabled=True) if trace else None
+        self.registry: Optional[MetricsRegistry] = _resolve_metrics(metrics)
         self._profile_inputs = (
             list(profile_inputs) if profile_inputs is not None else None
         )
@@ -220,23 +249,30 @@ class CompiledProgram:
     # -- lifecycle -----------------------------------------------------------
 
     def _traced(self):
-        """Context manager installing this program's tracer (if any)."""
+        """Context manager installing this program's tracer and metrics
+        registry (when attached) as the process-local instruments."""
 
         class _Scope:
-            def __init__(self, tracer):
+            def __init__(self, tracer, registry):
                 self._tracer = tracer
+                self._registry = registry
                 self._previous = None
+                self._previous_registry = None
 
             def __enter__(self):
                 if self._tracer is not None:
                     self._previous = set_tracer(self._tracer)
+                if self._registry is not None:
+                    self._previous_registry = set_registry(self._registry)
 
             def __exit__(self, *exc):
+                if self._registry is not None:
+                    set_registry(self._previous_registry)
                 if self._tracer is not None:
                     set_tracer(self._previous)
                 return False
 
-        return _Scope(self.tracer)
+        return _Scope(self.tracer, self.registry)
 
     def profile(self, inputs: Sequence = ()) -> PipelineResult:
         """Run the reuse pipeline on ``inputs`` (idempotent; a second call
@@ -328,9 +364,13 @@ class CompiledProgram:
                 seg_costs=ledger_costs(self.result) if self.reuse else None,
             )
             machine.cycle_profiler = profiler
+        # likewise a compile-time decision: without a registry the closures
+        # are byte-identical to un-metered ones
+        machine.metrics_registry = self.registry
         with self._traced():
             value = compile_program(program, machine).run(entry)
         metrics = machine.metrics()
+        machine.publish_metrics()
         if self.governed:
             self._record_governor_verdicts(metrics)
         return RunResult(
@@ -376,6 +416,7 @@ def compile(
     trace: bool = False,
     profile: bool = False,
     profile_inputs: Optional[Sequence] = None,
+    metrics=None,
 ) -> CompiledProgram:
     """Prepare mini-C ``source`` for measured execution on the simulated
     StrongARM; the stable entry point of the package.
@@ -397,6 +438,12 @@ def compile(
             ``Metrics.cycles`` — and a profiled run's metrics are
             bit-identical to an unprofiled one's.
         profile_inputs: profile on this stream instead of the first run's.
+        metrics: publish live metrics into a
+            :class:`~repro.obs.metrics.MetricsRegistry` — ``True`` for a
+            fresh registry (on :attr:`CompiledProgram.registry`), or pass
+            a registry shared across programs.  Like ``profile``, the
+            metered closures exist only when a registry is installed, so
+            an un-metered program's metrics stay bit-identical.
     """
     return CompiledProgram(
         source,
@@ -407,6 +454,7 @@ def compile(
         trace=trace,
         profile=profile,
         profile_inputs=profile_inputs,
+        metrics=metrics,
     )
 
 
@@ -435,6 +483,7 @@ class Session:
         governed: bool = False,
         trace: bool = False,
         cache=None,
+        metrics=None,
     ) -> None:
         if opt not in _OPT_LEVELS:
             raise ConfigError(f"unknown opt level {opt!r}; choose from {_OPT_LEVELS}")
@@ -443,6 +492,8 @@ class Session:
         self.governed = governed
         self.trace = trace
         self.cache = self._resolve_cache(cache)
+        self.registry: Optional[MetricsRegistry] = _resolve_metrics(metrics)
+        self._server: Optional[ExpositionServer] = None
         self._programs: dict[tuple[str, bool], CompiledProgram] = {}
 
     @staticmethod
@@ -479,6 +530,7 @@ class Session:
                 governed=self.governed,
                 trace=self.trace,
                 profile_inputs=profile_inputs,
+                metrics=self.registry,
                 _cache=self.cache,
                 _persist_tables=True,
             )
@@ -487,9 +539,41 @@ class Session:
 
     def run(self, source: str, inputs: Sequence = ()) -> RunResult:
         """Compile (memoized) and run in one call."""
-        return self.compile(source).run(inputs)
+        start = time.perf_counter() if self.registry is not None else 0.0
+        result = self.compile(source).run(inputs)
+        if self.registry is not None:
+            elapsed = time.perf_counter() - start
+            self.registry.counter("repro_session_runs", "Session runs completed.").inc()
+            self.registry.counter(
+                "repro_session_inputs", "Input values consumed by session runs."
+            ).inc(len(list(inputs)))
+            self.registry.counter(
+                "repro_session_wall_seconds", "Wall-clock seconds spent in session runs."
+            ).inc(elapsed)
+            self.registry.histogram(
+                "repro_session_run_seconds",
+                "Per-run wall-clock seconds.",
+                buckets=(0.001, 0.01, 0.1, 1.0, 10.0, 100.0),
+            ).observe(elapsed)
+        return result
+
+    def serve_metrics(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> ExpositionServer:
+        """Start (or return) the background OpenMetrics HTTP endpoint
+        serving this session's registry; requires ``metrics=``.  The
+        server is a daemon thread and is shut down by :meth:`close`."""
+        if self.registry is None:
+            raise ConfigError("serve_metrics() on a Session without metrics=")
+        if self._server is None:
+            self._server = ExpositionServer(self.registry, host=host, port=port)
+            self._server.start()
+        return self._server
 
     def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            self._server = None
         self._programs.clear()
 
     def __enter__(self) -> "Session":

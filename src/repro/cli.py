@@ -11,6 +11,8 @@
     python -m repro perf record --workload UNEPIC --update-baseline
     python -m repro perf report GNUGO --flamegraph gnugo.folded
     python -m repro perf check --baseline PERF_BASELINE.json
+    python -m repro perf check --anomaly --report-only
+    python -m repro dash --workload UNEPIC --out repro-dash.html
     python -m repro report --table 6 --workload G721_encode --workload RASTA
     python -m repro report --figure 14 --workload UNEPIC
 
@@ -24,9 +26,13 @@ the online governor's state and transitions, ``--alternate`` runs on a
 workload's alternate/shifted input stream); ``perf`` records
 cycle-attribution profiles into the append-only perf store, renders the
 measured-vs-ledger report, and gates CI against a committed baseline
-(``check`` exits non-zero on any cycle or checksum regression);
-``report`` regenerates any of the paper's tables/figures for a subset
-of workloads.
+(``check`` exits non-zero on any cycle or checksum regression;
+``check --anomaly`` judges against the store's own history instead, so
+no baseline needs committing); ``dash`` renders the whole observability
+surface — live metrics registry, ledger verdicts, attribution trees,
+perf trends, anomaly flags — into one static HTML file; ``report``
+regenerates any of the paper's tables/figures for a subset of
+workloads.
 
 Every command goes through the stable facade (:mod:`repro.api`); this
 module contains no pipeline or machine wiring of its own.
@@ -262,6 +268,8 @@ def cmd_perf_check(args) -> int:
     from .experiments.perf import check_workloads
     from .obs.perfdb import PerfDB
 
+    if args.anomaly:
+        return _perf_check_anomaly(args)
     db = PerfDB(args.db) if args.record else None
     regressions, rows = check_workloads(
         args.baseline, workloads=args.workload or None, db=db
@@ -283,10 +291,75 @@ def cmd_perf_check(args) -> int:
     return 0
 
 
+def _perf_check_anomaly(args) -> int:
+    """The baseline-free gate: judge fresh measurements against the perf
+    store's own history (EWMA/MAD drift + changepoints).  Same exit
+    contract as the baseline gate — 0 clean, 1 regression, 2 nothing to
+    judge — except ``--report-only`` prints the verdict and exits 0."""
+    from .experiments.perf import anomaly_check_workloads
+    from .obs.anomaly import AnomalyPolicy
+    from .obs.perfdb import PerfDB
+
+    db = PerfDB(args.db)
+    policy = AnomalyPolicy(min_history=args.min_history)
+    anomalies, rows = anomaly_check_workloads(
+        db, workloads=args.workload or None, policy=policy, record=args.record
+    )
+    for row in rows:
+        print(
+            f"measured {row['workload']}@{row['opt']}@{row['variant']}: "
+            f"{row['cycles']} cycles, checksum {row['output_checksum']:#010x}"
+        )
+    if not rows:
+        print("perf store has no history for the selected workloads", file=sys.stderr)
+        code = 2
+    else:
+        regressions = [a for a in anomalies if a.regression]
+        for anomaly in anomalies:
+            marker = "FAIL" if anomaly.regression else "note"
+            print(f"  {marker} {anomaly.describe()}")
+        if regressions:
+            print(f"\n{len(regressions)} anomalous regression(s) against history")
+            code = 1
+        else:
+            print(f"\nOK: {len(rows)} row(s) consistent with history")
+            code = 0
+    if args.report_only:
+        print(f"report-only: would exit {code}")
+        return 0
+    return code
+
+
 def _default_perf_workloads() -> list[str]:
     # the two representative workloads the CI gate measures: one loop
     # segment (UNEPIC) and one function segment workload (GNU Go)
     return ["UNEPIC", "GNUGO"]
+
+
+def cmd_dash(args) -> int:
+    """Build the static-HTML dashboard: fresh measurements, aggregated
+    metrics registry, perf-store trends, and history anomaly verdicts in
+    one self-contained file."""
+    import datetime
+
+    from .experiments.dash import write_dashboard
+    from .obs.perfdb import PerfDB
+
+    names = args.workload or _default_perf_workloads()
+    db = PerfDB(args.db)
+    generated = datetime.datetime.now(datetime.timezone.utc).strftime(
+        "%Y-%m-%d %H:%M:%S UTC"
+    )
+    path = write_dashboard(
+        args.out,
+        names,
+        opts=args.opt or ["O0"],
+        variants=args.variant or ["static"],
+        db=db if db.path.exists() else None,
+        generated=generated,
+    )
+    print(f"dashboard written: {path}")
+    return 0
 
 
 def cmd_workloads(args) -> int:
@@ -485,7 +558,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="also append the measured rows to the perf store",
     )
     p_chk.add_argument("--db", default=".repro_perf", help="perf store directory")
+    p_chk.add_argument(
+        "--anomaly", action="store_true",
+        help="judge against the perf store's own history instead of a "
+        "committed baseline (EWMA/MAD drift + changepoint detection)",
+    )
+    p_chk.add_argument(
+        "--report-only", action="store_true",
+        help="with --anomaly: print the verdict but always exit 0",
+    )
+    p_chk.add_argument(
+        "--min-history", type=int, default=4,
+        help="with --anomaly: minimum stored runs before judging a configuration",
+    )
     p_chk.set_defaults(func=cmd_perf_check)
+
+    p_dash = sub.add_parser(
+        "dash", help="build the self-contained HTML observability dashboard"
+    )
+    p_dash.add_argument(
+        "--workload", action="append",
+        help="workload to include (repeatable; default: UNEPIC, GNUGO)",
+    )
+    p_dash.add_argument(
+        "--opt", action="append", choices=("O0", "O3"),
+        help="opt level (repeatable; default: O0)",
+    )
+    p_dash.add_argument(
+        "--variant", action="append", choices=("static", "governed"),
+        help="table variant (repeatable; default: static)",
+    )
+    p_dash.add_argument("--db", default=".repro_perf", help="perf store directory")
+    p_dash.add_argument("--out", default="repro-dash.html", help="output HTML path")
+    p_dash.set_defaults(func=cmd_dash)
 
     p_rep = sub.add_parser("report", help="regenerate a paper table/figure")
     p_rep.add_argument("--table", type=int)

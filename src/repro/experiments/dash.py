@@ -1,0 +1,112 @@
+"""Collector behind ``repro dash``: measure, aggregate, render to HTML.
+
+:mod:`repro.obs.dash` is the pure renderer; this module produces its
+input.  One shared :class:`~repro.obs.metrics.MetricsRegistry` rides
+along through every :func:`~repro.experiments.perf.measure_workload`
+call, so the embedded OpenMetrics exposition aggregates the whole
+dashboard build (per-segment probe counters sum across workloads); the
+perf store supplies the trend history and the anomaly detector judges
+each fresh measurement against it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..obs.anomaly import AnomalyPolicy, detect_row_anomalies
+from ..obs.dash import DashData, WorkloadPanel, render_dashboard
+from ..obs.metrics import MetricsRegistry
+from ..obs.perfdb import PerfDB, baseline_key
+from ..obs.render import render_hit_ratio_series, render_perf_history
+from .perf import measure_workload
+from .report import render_governor, render_reuse_stats
+
+__all__ = ["collect_dashboard", "write_dashboard"]
+
+
+def _panel(
+    name: str,
+    opt: str,
+    variant: str,
+    registry: MetricsRegistry,
+    db: Optional[PerfDB],
+    policy: AnomalyPolicy,
+) -> WorkloadPanel:
+    history = db.rows(name, opt, variant) if db is not None else []
+    row, result = measure_workload(name, opt, variant, metrics=registry)
+    anomalies = detect_row_anomalies(history, row, policy) if history else []
+    profile = result.profile()
+    metrics = result.metrics
+    ledger_text = result.ledger.render() if result.ledger is not None else ""
+    return WorkloadPanel(
+        key=baseline_key(name, opt, variant),
+        cycles=metrics.cycles,
+        seconds=metrics.seconds,
+        energy_joules=metrics.energy_joules,
+        output_checksum=metrics.output_checksum,
+        table_text=render_reuse_stats(metrics.table_stats) if metrics.table_stats else "",
+        hit_ratio_text=(
+            render_hit_ratio_series(metrics.table_stats) if metrics.table_stats else ""
+        ),
+        governor_text=render_governor(metrics.governor) if metrics.governor else "",
+        ledger_text=ledger_text,
+        measured_vs_ledger=profile.measured_vs_ledger(),
+        profile_text=profile.render(max_depth=4),
+        history_text=render_perf_history(history + [row]) if history else "",
+        anomalies=[a.describe() for a in anomalies],
+    )
+
+
+def collect_dashboard(
+    workloads: Sequence[str],
+    opts: Sequence[str] = ("O0",),
+    variants: Sequence[str] = ("static",),
+    db: Optional[PerfDB] = None,
+    policy: Optional[AnomalyPolicy] = None,
+    title: str = "repro dashboard",
+    generated: str = "",
+) -> DashData:
+    """Measure every (workload, opt, variant) combination and assemble
+    the :class:`~repro.obs.dash.DashData` for rendering.
+
+    ``generated`` is caller-supplied timestamp text (kept out of this
+    module so the collector stays deterministic and testable)."""
+    policy = policy or AnomalyPolicy()
+    registry = MetricsRegistry()
+    panels = [
+        _panel(name, opt, variant, registry, db, policy)
+        for name in workloads
+        for opt in opts
+        for variant in variants
+    ]
+    return DashData(
+        title=title,
+        generated=generated,
+        metrics_text=registry.render_openmetrics(),
+        panels=panels,
+    )
+
+
+def write_dashboard(
+    path: str,
+    workloads: Sequence[str],
+    opts: Sequence[str] = ("O0",),
+    variants: Sequence[str] = ("static",),
+    db: Optional[PerfDB] = None,
+    policy: Optional[AnomalyPolicy] = None,
+    title: str = "repro dashboard",
+    generated: str = "",
+) -> str:
+    """Collect and write the dashboard HTML; returns ``path``."""
+    data = collect_dashboard(
+        workloads,
+        opts=opts,
+        variants=variants,
+        db=db,
+        policy=policy,
+        title=title,
+        generated=generated,
+    )
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(render_dashboard(data))
+    return path

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from .. import api
+from ..obs.anomaly import Anomaly, AnomalyPolicy, detect_row_anomalies
 from ..obs.perfdb import PerfDB, Regression, check_rows, git_revision, load_baseline
 from ..obs.profiler import CycleProfile
 from ..workloads import get_workload
@@ -29,13 +30,15 @@ VARIANTS = ("static", "governed")
 
 
 def measure_workload(
-    name: str, opt: str = "O0", variant: str = "static"
+    name: str, opt: str = "O0", variant: str = "static", metrics=None
 ) -> tuple[dict, api.RunResult]:
     """One profiled measured run of a registered workload.
 
     Returns ``(perf row, RunResult)``; the result's
     :meth:`~repro.api.RunResult.profile` holds the full attribution tree
-    for reports, the row its condensed summary for the store.
+    for reports, the row its condensed summary for the store.  Pass a
+    :class:`~repro.obs.metrics.MetricsRegistry` as ``metrics`` to
+    aggregate runtime counters across measurements (the dashboard does).
     """
     if variant not in VARIANTS:
         raise api.ConfigError(
@@ -48,6 +51,7 @@ def measure_workload(
         config=workload_config(workload),
         governed=variant == "governed",
         profile=True,
+        metrics=metrics,
     )
     inputs = workload.default_inputs()
     program.profile(inputs)
@@ -134,6 +138,44 @@ def check_workloads(
             row = db.append(row)
         rows.append(row)
     return check_rows(rows, baseline, require_all=workloads is None), rows
+
+
+def anomaly_check_workloads(
+    db: PerfDB,
+    workloads: Optional[Sequence[str]] = None,
+    policy: Optional[AnomalyPolicy] = None,
+    record: bool = False,
+) -> tuple[list[Anomaly], list[dict]]:
+    """The baseline-free gate behind ``repro perf check --anomaly``.
+
+    Measures every configuration the store has history for (optionally
+    restricted to a workload subset), judges each fresh row against its
+    own history with :func:`~repro.obs.anomaly.detect_row_anomalies`,
+    and — with ``record=True`` — appends the fresh rows so the history
+    keeps growing.  Returns ``(anomalies, measured rows)``; an empty
+    rows list means the store had nothing to judge (exit code 2 in the
+    CLI, mirroring the baseline gate's contract).
+    """
+    policy = policy or AnomalyPolicy()
+    keys = sorted(
+        {
+            (r["workload"], r["opt"], r["variant"])
+            for r in db.rows()
+            if "workload" in r and "opt" in r and "variant" in r
+        }
+    )
+    anomalies: list[Anomaly] = []
+    measured: list[dict] = []
+    for name, opt, variant in keys:
+        if workloads is not None and name not in workloads:
+            continue
+        history = db.rows(name, opt, variant)
+        row, _ = measure_workload(name, opt, variant)
+        anomalies.extend(detect_row_anomalies(history, row, policy))
+        if record:
+            row = db.append(row)
+        measured.append(row)
+    return anomalies, measured
 
 
 def profile_for(name: str, opt: str = "O0", variant: str = "static") -> CycleProfile:

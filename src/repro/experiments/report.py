@@ -1,22 +1,42 @@
-"""Text rendering for tables and figures (aligned monospace output)."""
+"""Text rendering for tables and figures (aligned monospace output).
+
+The series renderers (sparklines, hit-ratio series, perf history) live
+in :mod:`repro.obs.render`, shared with the ``repro dash`` dashboard;
+they are re-exported here under their historical names.
+"""
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
+from ..obs.render import (
+    SPARK_BLOCKS,
+    render_hit_ratio_series,
+    render_perf_history,
+    render_table,
+    sparkline,
+)
 from .figures import Histogram, SweepSeries
 
+# historical names; existing callers and tests import these from here
+_render = render_table
+_sparkline = sparkline
+_SPARK_BLOCKS = SPARK_BLOCKS
 
-def _render(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
-    widths = [len(h) for h in headers]
-    for row in rows:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    def line(cells):
-        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
-    out = [line(headers), line(["-" * w for w in widths])]
-    out.extend(line(row) for row in rows)
-    return "\n".join(out)
+__all__ = [
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "render_table10",
+    "render_speedups",
+    "render_energy",
+    "render_reuse_stats",
+    "render_governor",
+    "render_hit_ratio_series",
+    "render_perf_history",
+    "render_histogram",
+    "render_sweep",
+]
 
 
 def _kb(n_bytes: int) -> str:
@@ -224,74 +244,6 @@ def render_governor(governor: dict) -> str:
     else:
         out += "\nTransitions\n  (none: every table stayed profitable)"
     return out
-
-
-_SPARK_BLOCKS = " .:-=+*#%@"
-
-
-def _sparkline(values: Sequence[float], lo: Optional[float] = None,
-               hi: Optional[float] = None) -> str:
-    """One glyph per value, darker = higher.
-
-    ``lo``/``hi`` pin the scale (ratios want 0..1); left as None they
-    come from the series itself.  Two guarded edge cases: an empty
-    series renders as the empty string, and a zero-range series (all
-    samples equal, or a degenerate pinned scale) renders flat at
-    mid-scale instead of dividing by the zero range.
-    """
-    if not values:
-        return ""
-    lo = min(values) if lo is None else lo
-    hi = max(values) if hi is None else hi
-    span = hi - lo
-    top = len(_SPARK_BLOCKS) - 1
-    if span <= 0:
-        return _SPARK_BLOCKS[top // 2] * len(values)
-    return "".join(
-        _SPARK_BLOCKS[min(top, max(0, int((v - lo) / span * top + 0.5)))]
-        for v in values
-    )
-
-
-def render_hit_ratio_series(table_stats: dict) -> str:
-    """The sampled hit-ratio time series of each table, as sparklines."""
-    lines = ["Hit-ratio over time (sampled; one char per sample)"]
-    for seg_id in sorted(table_stats):
-        series = table_stats[seg_id].hit_ratio_series()
-        if not series:
-            lines.append(f"  segment {seg_id}: (no samples)")
-            continue
-        spark = _sparkline([ratio for _, ratio in series], lo=0.0, hi=1.0)
-        final = series[-1][1]
-        lines.append(f"  segment {seg_id}: |{spark}| final {final * 100:.1f}%")
-    return "\n".join(lines)
-
-
-def render_perf_history(rows: Sequence[dict]) -> str:
-    """The cycle trend of one perf-store configuration, newest last.
-
-    ``rows`` are :class:`~repro.obs.perfdb.PerfDB` rows of a single
-    (workload, opt, variant); the sparkline is min-max normalized over
-    the shown window (a flat line means no change)."""
-    if not rows:
-        return "Perf history: no recorded runs"
-    key = f"{rows[0].get('workload')}@{rows[0].get('opt')}@{rows[0].get('variant')}"
-    cycles = [row.get("cycles", 0) for row in rows]
-    body = [
-        [
-            str(i),
-            row.get("git", "-"),
-            str(row.get("code_version", "-")),
-            str(row.get("cycles", "-")),
-            f"{row.get('output_checksum', 0):#010x}",
-        ]
-        for i, row in enumerate(rows)
-    ]
-    return (
-        f"Perf history for {key} ({len(rows)} runs)\n"
-        + _render(["Run", "Git", "Code", "Cycles", "Checksum"], body)
-        + f"\ntrend |{_sparkline(cycles)}| latest {cycles[-1]}"
-    )
 
 
 def render_histogram(histogram: Histogram, width: int = 50) -> str:

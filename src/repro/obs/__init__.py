@@ -10,6 +10,14 @@ Zero-dependency and off by default.  Three pillars:
   behind each decision.
 * Exporters (:mod:`repro.obs.export`) — JSONL and Chrome
   ``chrome://tracing`` trace-event formats.
+* :class:`MetricsRegistry` (:mod:`repro.obs.metrics`) — live Counter /
+  Gauge / Histogram families with OpenMetrics exposition and an opt-in
+  HTTP endpoint; published by the runtime only when installed.
+* :mod:`repro.obs.anomaly` — baseline-free EWMA/MAD drift and
+  changepoint detection over the perf store's history.
+* :mod:`repro.obs.dash` — the deterministic static-HTML dashboard
+  renderer behind ``repro dash`` (series glyphs shared via
+  :mod:`repro.obs.render`).
 
 Runtime reuse telemetry (eviction counts, occupancy high-water marks,
 hit-ratio time series) lives with the data structures that produce it in
@@ -28,6 +36,22 @@ from .profiler import (
     ledger_costs,
 )
 from .perfdb import PerfDB, Regression, baseline_key, check_rows, load_baseline, write_baseline
+from .metrics import (
+    ExpositionServer,
+    MetricsRegistry,
+    get_registry,
+    parse_openmetrics,
+    render_openmetrics,
+    set_registry,
+)
+from .anomaly import (
+    Anomaly,
+    AnomalyPolicy,
+    detect_row_anomalies,
+    detect_store_anomalies,
+)
+from .render import render_hit_ratio_series, render_perf_history, sparkline
+from .dash import DashData, WorkloadPanel, render_dashboard
 
 __all__ = [
     "DecisionLedger",
@@ -52,4 +76,20 @@ __all__ = [
     "check_rows",
     "load_baseline",
     "write_baseline",
+    "ExpositionServer",
+    "MetricsRegistry",
+    "get_registry",
+    "parse_openmetrics",
+    "render_openmetrics",
+    "set_registry",
+    "Anomaly",
+    "AnomalyPolicy",
+    "detect_row_anomalies",
+    "detect_store_anomalies",
+    "render_hit_ratio_series",
+    "render_perf_history",
+    "sparkline",
+    "DashData",
+    "WorkloadPanel",
+    "render_dashboard",
 ]

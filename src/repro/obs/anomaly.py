@@ -1,0 +1,335 @@
+"""Baseline-free drift and changepoint detection over perf history.
+
+The committed-baseline gate (:mod:`repro.obs.perfdb`) answers "did this
+commit move the numbers against a pinned reference".  This module
+answers the question a fleet asks when no one curated a baseline: *does
+the latest measurement look like the history of this configuration?*
+It consumes the per-(workload, opt, variant) rows of the append-only
+perf store and judges the newest cycles and hit-ratio numbers with
+robust statistics:
+
+* **EWMA** of the history is the expectation (recent runs weigh more,
+  so slow legitimate trends track instead of alarming forever);
+* **MAD** (median absolute deviation) scales the deviation into a
+  robust z-score — one historical outlier cannot inflate the tolerance
+  the way a standard deviation would;
+* when the history is *exactly flat* — the common case for this
+  deterministic simulator — MAD is zero and the z-score degenerates, so
+  a relative-deviation threshold (``flat_tolerance_pct``) takes over;
+* a **changepoint scan** (best mean-shift split of the series) dates
+  the regression: "cycles stepped up at run 12", not just "today looks
+  wrong".
+
+Detection is direction-aware: more cycles or a lower hit ratio is a
+*regression* (``Anomaly.regression`` is True, the CI gate exits 1);
+movement in the good direction is still reported, as an improvement,
+because an unexplained improvement is often a broken measurement.
+
+Storage-only module: no facade or workload imports;
+:mod:`repro.experiments.perf` does the measuring for
+``repro perf check --anomaly``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import ConfigError
+from .perfdb import baseline_key
+
+__all__ = [
+    "AnomalyPolicy",
+    "Anomaly",
+    "ewma",
+    "median",
+    "mad",
+    "robust_zscore",
+    "changepoint",
+    "judge_cycles",
+    "judge_hit_ratio",
+    "detect_row_anomalies",
+    "detect_store_anomalies",
+]
+
+# MAD -> standard-deviation-equivalent scale for normal data
+_MAD_SCALE = 1.4826
+
+
+@dataclass(frozen=True, kw_only=True)
+class AnomalyPolicy:
+    """Thresholds of the history-only gate."""
+
+    # runs of history required before judging (younger keys are skipped)
+    min_history: int = 4
+    # EWMA smoothing: weight of the newest history point
+    ewma_alpha: float = 0.3
+    # robust z-score beyond which a noisy-history deviation is anomalous
+    z_threshold: float = 3.5
+    # relative deviation (%) that must also be exceeded on noisy history
+    cycles_drift_pct: float = 5.0
+    # relative deviation (%) tolerated when the history is exactly flat
+    # (MAD == 0, the deterministic-simulator common case)
+    flat_tolerance_pct: float = 0.5
+    # absolute hit-ratio change that counts as drift
+    hit_ratio_drift: float = 0.05
+    # changepoint scan: minimum samples on each side of a split
+    changepoint_min_len: int = 3
+
+    def __post_init__(self) -> None:
+        if self.min_history < 2:
+            raise ConfigError(f"min_history must be >= 2, got {self.min_history}")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigError(f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}")
+        if self.z_threshold <= 0:
+            raise ConfigError(f"z_threshold must be > 0, got {self.z_threshold}")
+        if self.cycles_drift_pct < 0:
+            raise ConfigError(
+                f"cycles_drift_pct must be >= 0, got {self.cycles_drift_pct}"
+            )
+        if self.flat_tolerance_pct < 0:
+            raise ConfigError(
+                f"flat_tolerance_pct must be >= 0, got {self.flat_tolerance_pct}"
+            )
+        if not 0.0 < self.hit_ratio_drift <= 1.0:
+            raise ConfigError(
+                f"hit_ratio_drift must be in (0, 1], got {self.hit_ratio_drift}"
+            )
+        if self.changepoint_min_len < 2:
+            raise ConfigError(
+                f"changepoint_min_len must be >= 2, got {self.changepoint_min_len}"
+            )
+
+
+@dataclass
+class Anomaly:
+    """One metric of one configuration that departed from its history."""
+
+    key: str            # workload@opt@variant
+    metric: str         # "cycles" or "hit_ratio[<segment>]"
+    value: float        # the judged (latest) measurement
+    expected: float     # EWMA of the history
+    deviation: float    # value - expected (absolute units)
+    deviation_pct: float
+    score: Optional[float]  # robust z; None when the history was flat
+    regression: bool    # True: the bad direction (gate-failing)
+    changepoint_run: Optional[int] = None  # index where the shift started
+
+    def describe(self) -> str:
+        tag = "REGRESSION" if self.regression else "improvement"
+        score = f" z={self.score:.1f}" if self.score is not None else " (flat history)"
+        at = (
+            f", shifted at run {self.changepoint_run}"
+            if self.changepoint_run is not None
+            else ""
+        )
+        return (
+            f"{self.key} {self.metric}: {self.value:g} vs history "
+            f"{self.expected:g} ({self.deviation_pct:+.2f}%{score}) "
+            f"[{tag}{at}]"
+        )
+
+
+# -- robust statistics -------------------------------------------------------
+
+
+def ewma(values: Sequence[float], alpha: float = 0.3) -> float:
+    """Exponentially weighted moving average, oldest first."""
+    if not values:
+        raise ConfigError("ewma of an empty series")
+    acc = float(values[0])
+    for value in values[1:]:
+        acc = alpha * value + (1.0 - alpha) * acc
+    return acc
+
+
+def median(values: Sequence[float]) -> float:
+    if not values:
+        raise ConfigError("median of an empty series")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float]) -> float:
+    """Median absolute deviation from the median."""
+    center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+def robust_zscore(value: float, history: Sequence[float]) -> Optional[float]:
+    """MAD-scaled z-score of ``value`` against ``history``; None when the
+    history has zero spread (judge those with a relative threshold)."""
+    spread = mad(history)
+    if spread == 0:
+        return None
+    return (value - median(history)) / (_MAD_SCALE * spread)
+
+
+def changepoint(
+    values: Sequence[float], min_len: int = 3
+) -> Optional[tuple[int, float, float]]:
+    """Best mean-shift split of a series.
+
+    Returns ``(index, mean_before, mean_after)`` for the split
+    maximizing the absolute mean shift, with at least ``min_len``
+    samples on each side; None when the series is too short.  The
+    caller decides whether the shift is significant."""
+    n = len(values)
+    if n < 2 * min_len:
+        return None
+    best: Optional[tuple[float, int, float, float]] = None
+    prefix = 0.0
+    total = float(sum(values))
+    for i in range(1, n):
+        prefix += values[i - 1]
+        if i < min_len or n - i < min_len:
+            continue
+        mean_before = prefix / i
+        mean_after = (total - prefix) / (n - i)
+        shift = abs(mean_after - mean_before)
+        if best is None or shift > best[0]:
+            best = (shift, i, mean_before, mean_after)
+    if best is None:
+        return None
+    _, index, mean_before, mean_after = best
+    return index, mean_before, mean_after
+
+
+# -- judges ------------------------------------------------------------------
+
+
+def _dated(values: Sequence[float], policy: AnomalyPolicy) -> Optional[int]:
+    """Index where the (history + latest) series shifted, if it did."""
+    found = changepoint(values, policy.changepoint_min_len)
+    return found[0] if found is not None else None
+
+
+def judge_cycles(
+    key: str,
+    history: Sequence[float],
+    latest: float,
+    policy: Optional[AnomalyPolicy] = None,
+) -> Optional[Anomaly]:
+    """Judge a cycle measurement against its history (higher is worse).
+
+    Flat history (MAD == 0): any relative deviation beyond
+    ``flat_tolerance_pct`` is anomalous.  Noisy history: the robust
+    z-score must exceed ``z_threshold`` *and* the relative deviation
+    must exceed ``cycles_drift_pct``.  Too-short history: None."""
+    policy = policy or AnomalyPolicy()
+    if len(history) < policy.min_history:
+        return None
+    expected = ewma(history, policy.ewma_alpha)
+    deviation = latest - expected
+    deviation_pct = deviation / expected * 100.0 if expected else 0.0
+    score = robust_zscore(latest, history)
+    if score is None:
+        anomalous = abs(deviation_pct) > policy.flat_tolerance_pct
+    else:
+        anomalous = (
+            abs(score) > policy.z_threshold
+            and abs(deviation_pct) > policy.cycles_drift_pct
+        )
+    if not anomalous:
+        return None
+    return Anomaly(
+        key=key,
+        metric="cycles",
+        value=latest,
+        expected=expected,
+        deviation=deviation,
+        deviation_pct=deviation_pct,
+        score=score,
+        regression=deviation > 0,
+        changepoint_run=_dated(list(history) + [latest], policy),
+    )
+
+
+def judge_hit_ratio(
+    key: str,
+    segment: str,
+    history: Sequence[float],
+    latest: float,
+    policy: Optional[AnomalyPolicy] = None,
+) -> Optional[Anomaly]:
+    """Judge a per-segment hit ratio (lower is worse; absolute units —
+    a ratio dropping 0.60 -> 0.54 matters the same from any base)."""
+    policy = policy or AnomalyPolicy()
+    if len(history) < policy.min_history:
+        return None
+    expected = ewma(history, policy.ewma_alpha)
+    deviation = latest - expected
+    if abs(deviation) <= policy.hit_ratio_drift:
+        return None
+    return Anomaly(
+        key=key,
+        metric=f"hit_ratio[{segment}]",
+        value=latest,
+        expected=expected,
+        deviation=deviation,
+        deviation_pct=deviation / expected * 100.0 if expected else 0.0,
+        score=robust_zscore(latest, history),
+        regression=deviation < 0,
+        changepoint_run=_dated(list(history) + [latest], policy),
+    )
+
+
+# -- perf-store entry points -------------------------------------------------
+
+
+def detect_row_anomalies(
+    history_rows: Sequence[dict],
+    current: dict,
+    policy: Optional[AnomalyPolicy] = None,
+) -> list[Anomaly]:
+    """Judge one measured row against that configuration's stored rows.
+
+    ``history_rows`` must all belong to the row's (workload, opt,
+    variant); the judged metrics are cycles and every per-segment hit
+    ratio the current row carries."""
+    policy = policy or AnomalyPolicy()
+    key = baseline_key(current["workload"], current["opt"], current["variant"])
+    anomalies: list[Anomaly] = []
+    cycles_history = [r["cycles"] for r in history_rows if "cycles" in r]
+    found = judge_cycles(key, cycles_history, current["cycles"], policy)
+    if found is not None:
+        anomalies.append(found)
+    for segment, ratio in sorted(current.get("hit_ratios", {}).items()):
+        series = [
+            r["hit_ratios"][segment]
+            for r in history_rows
+            if segment in r.get("hit_ratios", {})
+        ]
+        found = judge_hit_ratio(key, segment, series, ratio, policy)
+        if found is not None:
+            anomalies.append(found)
+    return anomalies
+
+
+def detect_store_anomalies(
+    db, workloads: Optional[Sequence[str]] = None,
+    policy: Optional[AnomalyPolicy] = None,
+) -> list[Anomaly]:
+    """Judge the newest stored row of every configuration in a
+    :class:`~repro.obs.perfdb.PerfDB` against its predecessors (no fresh
+    measuring — the dashboard's view of the store)."""
+    policy = policy or AnomalyPolicy()
+    anomalies: list[Anomaly] = []
+    keys = sorted(
+        {
+            (r["workload"], r["opt"], r["variant"])
+            for r in db.rows()
+            if "workload" in r and "opt" in r and "variant" in r
+        }
+    )
+    for workload, opt, variant in keys:
+        if workloads is not None and workload not in workloads:
+            continue
+        rows = db.rows(workload, opt, variant)
+        if len(rows) < 2:
+            continue
+        anomalies.extend(detect_row_anomalies(rows[:-1], rows[-1], policy))
+    return anomalies

@@ -47,16 +47,21 @@ def baseline_key(workload: str, opt: str, variant: str) -> str:
     return f"{workload}@{opt}@{variant}"
 
 
-def git_revision(repo_dir: Optional[str] = None) -> str:
+def git_revision(repo_dir: Optional[str] = None, timeout: float = 10.0) -> str:
     """Short git revision of the working tree, or ``"unknown"`` outside a
-    repository (the store must work in exported tarballs too)."""
+    repository (the store must work in exported tarballs too).
+
+    ``repo_dir`` pins the lookup to a specific working tree (defaults to
+    the process cwd — never an implicit parent search); ``timeout``
+    bounds the subprocess so a hung git (e.g. stale lock on a network
+    filesystem) can't stall measurement."""
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
             cwd=repo_dir or os.getcwd(),
             capture_output=True,
             text=True,
-            timeout=10,
+            timeout=timeout,
         )
     except (OSError, subprocess.SubprocessError):
         return "unknown"

@@ -1,0 +1,107 @@
+"""Shared text renderers for telemetry series (sparklines and trends).
+
+One home for the glyph-based series renderers that both the experiment
+reports (:mod:`repro.experiments.report`) and the ``repro dash``
+dashboard embed: a monospace sparkline, the per-table hit-ratio series,
+and the perf-store cycle trend.  Pure string functions — no I/O, no
+imports from the runtime — so the dashboard renderer stays golden-file
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = [
+    "SPARK_BLOCKS",
+    "sparkline",
+    "render_hit_ratio_series",
+    "render_perf_history",
+    "render_table",
+]
+
+SPARK_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """One glyph per value, darker = higher.
+
+    ``lo``/``hi`` pin the scale (ratios want 0..1); left as None they
+    come from the series itself.  Two guarded edge cases: an empty
+    series renders as the empty string, and a zero-range series (all
+    samples equal, or a degenerate pinned scale) renders flat at
+    mid-scale instead of dividing by the zero range.
+    """
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    top = len(SPARK_BLOCKS) - 1
+    if span <= 0:
+        return SPARK_BLOCKS[top // 2] * len(values)
+    return "".join(
+        SPARK_BLOCKS[min(top, max(0, int((v - lo) / span * top + 0.5)))]
+        for v in values
+    )
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Aligned monospace table (the layout used by every text report)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def render_hit_ratio_series(table_stats: dict) -> str:
+    """The sampled hit-ratio time series of each table, as sparklines.
+
+    ``table_stats`` maps segment id -> an object with a
+    ``hit_ratio_series()`` method (``TableStats`` or a stand-in).
+    """
+    lines = ["Hit-ratio over time (sampled; one char per sample)"]
+    for seg_id in sorted(table_stats):
+        series = table_stats[seg_id].hit_ratio_series()
+        if not series:
+            lines.append(f"  segment {seg_id}: (no samples)")
+            continue
+        spark = sparkline([ratio for _, ratio in series], lo=0.0, hi=1.0)
+        final = series[-1][1]
+        lines.append(f"  segment {seg_id}: |{spark}| final {final * 100:.1f}%")
+    return "\n".join(lines)
+
+
+def render_perf_history(rows: Sequence[dict]) -> str:
+    """The cycle trend of one perf-store configuration, newest last.
+
+    ``rows`` are :class:`~repro.obs.perfdb.PerfDB` rows of a single
+    (workload, opt, variant); the sparkline is min-max normalized over
+    the shown window (a flat line means no change)."""
+    if not rows:
+        return "Perf history: no recorded runs"
+    key = f"{rows[0].get('workload')}@{rows[0].get('opt')}@{rows[0].get('variant')}"
+    cycles = [row.get("cycles", 0) for row in rows]
+    body = [
+        [
+            str(i),
+            row.get("git", "-"),
+            str(row.get("code_version", "-")),
+            str(row.get("cycles", "-")),
+            f"{row.get('output_checksum', 0):#010x}",
+        ]
+        for i, row in enumerate(rows)
+    ]
+    return (
+        f"Perf history for {key} ({len(rows)} runs)\n"
+        + render_table(["Run", "Git", "Code", "Cycles", "Checksum"], body)
+        + f"\ntrend |{sparkline(cycles)}| latest {cycles[-1]}"
+    )

@@ -55,6 +55,7 @@ from typing import Optional
 
 from ..errors import ConfigError
 from ..obs import get_tracer
+from ..obs.metrics import get_registry
 from .hashtable import (
     _BYPASSED,
     SAMPLE_BUDGET,
@@ -219,6 +220,18 @@ class SegmentGovernor:
         self._window_probes = 0
         self._window_hits = 0
         self._window_evictions = 0
+        registry = get_registry()
+        if registry is not None:
+            # the live view of the paper's R·C−O, one point per window
+            label = {"segment": str(self.segment_id)}
+            registry.gauge(
+                "repro_governor_window_gain",
+                "Windowed amortized gain R_w*C - O (cycles/execution).",
+            ).labels(**label).set(gain)
+            registry.gauge(
+                "repro_governor_window_hit_rate",
+                "Hit rate of the last closed governor window.",
+            ).labels(**label).set(hit_rate)
         if self.state is PROBING:
             if gain > 0.0:
                 self._transition(ACTIVE, "recovered", summary)
@@ -259,6 +272,11 @@ class SegmentGovernor:
             segment=str(self.segment_id),
             **{k: v for k, v in entry.items() if k != "probe"},
         )
+        registry = get_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_governor_transitions", "Governor state transitions."
+            ).labels(segment=str(self.segment_id), to=to, reason=reason).inc()
 
     def note_resize(self, old_capacity: int, new_capacity: int) -> None:
         self.resizes += 1

@@ -337,6 +337,10 @@ class MergedReuseTable:
         return self.capacity * self.entry_words * _WORD_BYTES
 
     @property
+    def occupied(self) -> int:
+        return self._occupied
+
+    @property
     def stats(self) -> TableStats:
         """Aggregated statistics over all member segments.
 
@@ -383,6 +387,10 @@ class MergedTableView:
     @property
     def in_words(self) -> int:
         return self.table.in_words
+
+    @property
+    def occupied(self) -> int:
+        return self.table.occupied
 
     @property
     def size_bytes(self) -> int:

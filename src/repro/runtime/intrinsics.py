@@ -108,31 +108,73 @@ def compile_builtin(name: str, args: list[ast.Expr], fc):
             return 1 if table.probe(tuple(words)) else 0
 
         cycle_profiler = machine.cycle_profiler
-        if cycle_profiler is None:
+        if cycle_profiler is not None:
+            # Attribution wrapper (compiled in only when profiling): the
+            # probe opens the segment's attribution frame; its own cost —
+            # key construction, hashing, or the bypassed flag test — is
+            # overhead.  A bypassed probe returns 0 like a miss; it is
+            # told apart by the _BYPASSED sentinel the bypass branch
+            # pushed (merged static tables have no bypass protocol, hence
+            # the getattr).
+            def run_probe_profiled(
+                fr, seg=seg, run_probe=run_probe, machine=machine,
+                prof=cycle_profiler,
+            ):
+                prof.probe_begin(seg)
+                r = run_probe(fr)
+                pending_bypassed = getattr(
+                    machine.table_for(seg), "pending_bypassed", None
+                )
+                prof.probe_end(
+                    seg,
+                    hit=r == 1,
+                    bypassed=pending_bypassed is not None and pending_bypassed(),
+                )
+                return r
+
+            run_probe = run_probe_profiled
+
+        registry = machine.metrics_registry
+        if registry is None:
             return run_probe
 
-        # Attribution wrapper (compiled in only when profiling): the probe
-        # opens the segment's attribution frame; its own cost — key
-        # construction, hashing, or the bypassed flag test — is overhead.
-        # A bypassed probe returns 0 like a miss; it is told apart by the
-        # _BYPASSED sentinel the bypass branch pushed (merged static
-        # tables have no bypass protocol, hence the getattr).
-        def run_probe_profiled(
-            fr, seg=seg, run_probe=run_probe, machine=machine, prof=cycle_profiler
+        # Metered wrapper, same compile-time gating as the profiler: the
+        # labeled counter children are resolved once here, so the hot
+        # path is one table lookup plus one integer add per probe.
+        label = {"segment": str(seg)}
+        probes_c = registry.counter(
+            "repro_reuse_probes", "Reuse-table probes that consulted the table."
+        ).labels(**label)
+        hits_c = registry.counter(
+            "repro_reuse_hits", "Reuse-table probe hits."
+        ).labels(**label)
+        misses_c = registry.counter(
+            "repro_reuse_misses", "Reuse-table probe misses."
+        ).labels(**label)
+        bypassed_c = registry.counter(
+            "repro_reuse_bypassed", "Probes skipped by the governor's bypass."
+        ).labels(**label)
+
+        def run_probe_metered(
+            fr, seg=seg, run_probe=run_probe, machine=machine,
+            probes_c=probes_c, hits_c=hits_c, misses_c=misses_c,
+            bypassed_c=bypassed_c,
         ):
-            prof.probe_begin(seg)
             r = run_probe(fr)
             pending_bypassed = getattr(
                 machine.table_for(seg), "pending_bypassed", None
             )
-            prof.probe_end(
-                seg,
-                hit=r == 1,
-                bypassed=pending_bypassed is not None and pending_bypassed(),
-            )
+            if pending_bypassed is not None and pending_bypassed():
+                bypassed_c.inc()
+            else:
+                probes_c.inc()
+                if r == 1:
+                    hits_c.inc()
+                else:
+                    misses_c.inc()
             return r
 
-        return run_probe_profiled
+        return run_probe_metered
 
     if name in ("__reuse_out_i", "__reuse_out_f"):
         seg = _segment_id(args, name)

@@ -86,6 +86,10 @@ class Machine:
         # cycle-attribution profiler (repro.obs.profiler.CycleProfiler);
         # consulted at compile time by compile_program/compile_builtin
         self.cycle_profiler = None
+        # live metrics registry (repro.obs.metrics.MetricsRegistry); also
+        # consulted at compile time — the metered closures exist only
+        # when a registry is installed before compile_program
+        self.metrics_registry = None
         self.capture_output = capture_output
         self.captured_outputs: list = []
         self.debug_log: list[int] = []
@@ -197,6 +201,114 @@ class Machine:
             if governor is not None:
                 snapshots[seg_id] = governor.snapshot()
         return snapshots
+
+    def publish_metrics(self, registry=None) -> None:
+        """Publish this machine's run aggregates into a metrics registry
+        (default: the installed ``metrics_registry``; no-op without one).
+
+        Machine-level tallies (cycles, per-class ops, outputs) are
+        per-run increments.  Table and governor statistics are *lifetime*
+        totals of the installed tables, so they go through the counters'
+        monotone ``advance_to``: live per-probe increments (from the
+        metered closures) and end-of-run totals reconcile on the same
+        counters without double counting.  One registry should observe
+        one table population; publishing unrelated machines into it
+        would interleave unrelated lifetimes.
+        """
+        registry = registry if registry is not None else self.metrics_registry
+        if registry is None:
+            return
+        registry.counter(
+            "repro_machine_runs", "Measured executions published."
+        ).inc()
+        registry.counter(
+            "repro_machine_cycles", "Simulated cycles across published runs."
+        ).inc(self.cycles)
+        registry.counter(
+            "repro_machine_outputs", "Values emitted via __output_*."
+        ).inc(self.output_count)
+        registry.histogram(
+            "repro_run_cycles", "Per-run simulated cycle distribution."
+        ).observe(self.cycles)
+        ops = registry.counter(
+            "repro_machine_ops", "Operation tally by cost class."
+        )
+        for index, name in enumerate(CLASS_NAMES):
+            count = self.counters[index]
+            if count:
+                ops.labels(cls=name).inc(count)
+        self._publish_table_metrics(registry)
+        self._publish_governor_metrics(registry)
+
+    def _publish_table_metrics(self, registry) -> None:
+        probes = registry.counter(
+            "repro_reuse_probes", "Reuse-table probes that consulted the table."
+        )
+        hits = registry.counter("repro_reuse_hits", "Reuse-table probe hits.")
+        misses = registry.counter("repro_reuse_misses", "Reuse-table probe misses.")
+        collisions = registry.counter(
+            "repro_reuse_collisions", "Probe misses on an occupied slot."
+        )
+        empty = registry.counter(
+            "repro_reuse_empty_misses", "Probe misses on an empty slot."
+        )
+        evictions = registry.counter(
+            "repro_reuse_evictions", "Committed entries that displaced a resident."
+        )
+        occupancy = registry.gauge(
+            "repro_table_occupancy", "Occupied reuse-table slots (merged: shared)."
+        )
+        occupancy_hwm = registry.gauge(
+            "repro_table_occupancy_hwm", "Occupancy high-water mark."
+        )
+        hit_ratio = registry.gauge(
+            "repro_table_hit_ratio", "Lifetime hits/probes of the table."
+        )
+        size_bytes = registry.gauge(
+            "repro_table_size_bytes", "Modeled table size (merged: shared)."
+        )
+        for seg_id in sorted(self.reuse_tables):
+            table = self.reuse_tables[seg_id]
+            stats = getattr(table, "stats", None)
+            if stats is None:
+                continue
+            label = {"segment": str(seg_id)}
+            probes.labels(**label).advance_to(stats.probes)
+            hits.labels(**label).advance_to(stats.hits)
+            misses.labels(**label).advance_to(stats.misses)
+            collisions.labels(**label).advance_to(stats.collisions)
+            empty.labels(**label).advance_to(stats.empty_misses)
+            evictions.labels(**label).advance_to(stats.evictions)
+            occupancy.labels(**label).set(getattr(table, "occupied", 0))
+            occupancy_hwm.labels(**label).set(stats.occupancy_hwm)
+            hit_ratio.labels(**label).set(stats.hit_ratio)
+            size_bytes.labels(**label).set(getattr(table, "size_bytes", 0))
+
+    def _publish_governor_metrics(self, registry) -> None:
+        snapshots = self.governor_telemetry()
+        if not snapshots:
+            return
+        lifetime = {
+            "repro_governor_disables": ("disables", "Governor disable transitions."),
+            "repro_governor_reenables": ("reenables", "Governor re-enable transitions."),
+            "repro_governor_resizes": ("resizes", "Governor-driven table resizes."),
+            "repro_governor_flushes": ("flushes", "Governor-driven table flushes."),
+            "repro_governor_bypassed": (
+                "bypassed_executions", "Executions bypassed while disabled.",
+            ),
+        }
+        active = registry.gauge(
+            "repro_governor_active",
+            "Governor state: 1 active, 0.5 probing, 0 disabled.",
+        )
+        state_value = {"active": 1.0, "probing": 0.5, "disabled": 0.0}
+        for seg_id, snap in snapshots.items():
+            label = {"segment": str(seg_id)}
+            for metric, (field_name, help_text) in lifetime.items():
+                registry.counter(metric, help_text).labels(**label).advance_to(
+                    snap[field_name]
+                )
+            active.labels(**label).set(state_value.get(snap["state"], 0.0))
 
     def metrics(self) -> Metrics:
         counts = {name: self.counters[i] for i, name in enumerate(CLASS_NAMES)}

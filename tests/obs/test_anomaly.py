@@ -1,0 +1,204 @@
+"""Tests for the baseline-free anomaly detector.
+
+The acceptance property: an injected 10% cycle regression is flagged
+from history alone (no committed baseline anywhere), while stationary
+history stays green — including the deterministic-simulator case where
+the history is exactly flat and classic z-scores degenerate.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.anomaly import (
+    AnomalyPolicy,
+    changepoint,
+    detect_row_anomalies,
+    detect_store_anomalies,
+    ewma,
+    judge_cycles,
+    judge_hit_ratio,
+    mad,
+    median,
+    robust_zscore,
+)
+from repro.obs.perfdb import PerfDB
+
+
+def _row(cycles, hit_ratios=None, workload="UNEPIC", opt="O0", variant="static"):
+    return {
+        "workload": workload,
+        "opt": opt,
+        "variant": variant,
+        "cycles": cycles,
+        "output_checksum": 0x12345678,
+        "hit_ratios": hit_ratios or {},
+    }
+
+
+# -- robust statistics -------------------------------------------------------
+
+
+class TestStatistics:
+    def test_ewma_weights_recent(self):
+        assert ewma([100.0], 0.3) == 100.0
+        assert ewma([0.0, 100.0], 0.5) == 50.0
+        # recent points dominate as alpha -> 1
+        assert ewma([0.0, 0.0, 100.0], 0.9) > ewma([0.0, 0.0, 100.0], 0.1)
+
+    def test_ewma_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            ewma([])
+
+    def test_median(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_mad_and_robust_z(self):
+        series = [10.0, 10.0, 10.0, 12.0, 8.0]
+        assert mad(series) == 0.0  # median of deviations [0,0,0,2,2]
+        assert robust_zscore(11.0, series) is None
+        noisy = [8.0, 9.0, 10.0, 11.0, 12.0]
+        z = robust_zscore(16.0, noisy)
+        assert z is not None and z > 3.0
+
+    def test_robust_z_outlier_resistant(self):
+        # one historical spike must not inflate the tolerance
+        history = [100.0, 101.0, 99.0, 100.0, 1000.0, 100.0, 101.0]
+        z = robust_zscore(120.0, history)
+        assert z is not None and z > 3.5
+
+    def test_changepoint_finds_the_step(self):
+        series = [100.0] * 6 + [110.0] * 6
+        found = changepoint(series, min_len=3)
+        assert found is not None
+        index, before, after = found
+        assert index == 6
+        assert before == 100.0
+        assert after == 110.0
+
+    def test_changepoint_short_series(self):
+        assert changepoint([1.0, 2.0, 3.0], min_len=3) is None
+
+
+# -- policy validation -------------------------------------------------------
+
+
+class TestPolicy:
+    def test_defaults_valid(self):
+        AnomalyPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_history": 1},
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+            {"z_threshold": 0.0},
+            {"cycles_drift_pct": -1.0},
+            {"flat_tolerance_pct": -0.1},
+            {"hit_ratio_drift": 0.0},
+            {"changepoint_min_len": 1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            AnomalyPolicy(**kwargs)
+
+
+# -- judges ------------------------------------------------------------------
+
+
+class TestJudgeCycles:
+    def test_flat_history_flags_ten_percent_regression(self):
+        # the deterministic simulator: history is exactly flat, MAD == 0
+        history = [1000.0] * 6
+        found = judge_cycles("k", history, 1100.0)
+        assert found is not None
+        assert found.regression is True
+        assert found.score is None  # flat history, judged by relative drift
+        assert found.deviation_pct == pytest.approx(10.0)
+        assert "REGRESSION" in found.describe()
+
+    def test_flat_history_stationary_stays_green(self):
+        assert judge_cycles("k", [1000.0] * 6, 1000.0) is None
+
+    def test_flat_history_improvement_still_reported(self):
+        found = judge_cycles("k", [1000.0] * 6, 900.0)
+        assert found is not None
+        assert found.regression is False
+        assert "improvement" in found.describe()
+
+    def test_noisy_history_needs_both_thresholds(self):
+        noisy = [1000.0, 1010.0, 990.0, 1005.0, 995.0]
+        # large z but tiny relative drift: not anomalous
+        assert judge_cycles("k", noisy, 1040.0) is None
+        # far out on both axes: anomalous
+        found = judge_cycles("k", noisy, 1200.0)
+        assert found is not None and found.regression
+
+    def test_short_history_skipped(self):
+        assert judge_cycles("k", [1000.0] * 3, 2000.0) is None
+
+    def test_changepoint_dated(self):
+        history = [1000.0] * 5 + [1100.0] * 3
+        found = judge_cycles("k", history, 1100.0)
+        assert found is not None
+        assert found.changepoint_run == 5
+        assert "shifted at run 5" in found.describe()
+
+
+class TestJudgeHitRatio:
+    def test_drop_is_regression(self):
+        found = judge_hit_ratio("k", "3", [0.60] * 5, 0.50)
+        assert found is not None
+        assert found.regression is True
+        assert found.metric == "hit_ratio[3]"
+
+    def test_within_drift_green(self):
+        assert judge_hit_ratio("k", "3", [0.60] * 5, 0.58) is None
+
+    def test_rise_is_improvement(self):
+        found = judge_hit_ratio("k", "3", [0.60] * 5, 0.70)
+        assert found is not None and found.regression is False
+
+
+# -- store entry points ------------------------------------------------------
+
+
+class TestDetectRowAnomalies:
+    def test_injected_regression_flagged_from_history_alone(self):
+        history = [_row(1000, {"1": 0.6}) for _ in range(5)]
+        current = _row(1100, {"1": 0.6})  # +10% cycles
+        anomalies = detect_row_anomalies(history, current)
+        assert [a.metric for a in anomalies] == ["cycles"]
+        assert anomalies[0].regression
+
+    def test_stationary_history_green(self):
+        history = [_row(1000, {"1": 0.6}) for _ in range(5)]
+        assert detect_row_anomalies(history, _row(1000, {"1": 0.6})) == []
+
+    def test_hit_ratio_judged_per_segment(self):
+        history = [_row(1000, {"1": 0.6, "2": 0.8}) for _ in range(5)]
+        anomalies = detect_row_anomalies(history, _row(1000, {"1": 0.4, "2": 0.8}))
+        assert [a.metric for a in anomalies] == ["hit_ratio[1]"]
+
+
+class TestDetectStoreAnomalies:
+    def test_newest_row_judged_against_predecessors(self, tmp_path):
+        db = PerfDB(str(tmp_path))
+        for _ in range(5):
+            db.append(_row(1000))
+        db.append(_row(1100))
+        anomalies = detect_store_anomalies(db)
+        assert len(anomalies) == 1
+        assert anomalies[0].key == "UNEPIC@O0@static"
+
+    def test_workload_filter(self, tmp_path):
+        db = PerfDB(str(tmp_path))
+        for _ in range(5):
+            db.append(_row(1000))
+        db.append(_row(1100))
+        assert detect_store_anomalies(db, workloads=["GNUGO"]) == []
+
+    def test_empty_store(self, tmp_path):
+        assert detect_store_anomalies(PerfDB(str(tmp_path))) == []

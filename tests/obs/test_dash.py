@@ -1,0 +1,107 @@
+"""Golden-file test for the dashboard renderer.
+
+``render_dashboard`` is a pure function, so its output is pinned
+byte-for-byte.  To regenerate after an intentional renderer change::
+
+    PYTHONPATH=src python tests/obs/test_dash.py
+
+then review the diff of ``tests/obs/golden/dash.html``.
+"""
+
+from pathlib import Path
+
+from repro.obs.dash import DashData, WorkloadPanel, render_dashboard
+
+GOLDEN = Path(__file__).parent / "golden" / "dash.html"
+
+
+def _sample_data() -> DashData:
+    """A fixed DashData exercising every rendered element: anomalies in
+    both directions, empty and populated text blocks, characters that
+    need HTML escaping."""
+    clean = WorkloadPanel(
+        key="UNEPIC@O0@static",
+        cycles=5757080,
+        seconds=0.027947,
+        energy_joules=0.011458,
+        output_checksum=0xC4C08DA2,
+        table_text="Seg  Hits  Misses\n---  ----  ------\n3    5606  3394",
+        hit_ratio_text="Hit-ratio over time\n  segment 3: |...===+++| final 62.3%",
+        measured_vs_ledger="Seg  Est C  Meas C\n---  -----  ------\n3    120    118",
+        profile_text="main 5757080cy\n  quan 3210000cy <reuse>",
+        ledger_text='seg 3 quan: selected gain=42 "R*C - O > 0"',
+        history_text="Perf history for UNEPIC@O0@static (3 runs)\ntrend |===| latest 5757080",
+    )
+    regressed = WorkloadPanel(
+        key="GNUGO@O3@governed",
+        cycles=9000000,
+        seconds=0.043689,
+        energy_joules=0.017913,
+        output_checksum=0x00000042,
+        governor_text="segment 7: disabled after window 4 (gain < 0)",
+        anomalies=[
+            "GNUGO@O3@governed cycles: 9e+06 vs history 8.1e+06 "
+            "(+11.11% (flat history)) [REGRESSION, shifted at run 5]",
+            "GNUGO@O3@governed hit_ratio[7]: 0.31 vs history 0.62 "
+            "(-50.00% z=-4.2) [REGRESSION]",
+        ],
+    )
+    improved = WorkloadPanel(
+        key="ADPCM_decode@O0@static",
+        cycles=400000,
+        seconds=0.001942,
+        energy_joules=0.000796,
+        output_checksum=0x7F00FF01,
+        anomalies=[
+            "ADPCM_decode@O0@static cycles: 4e+05 vs history 4.4e+05 "
+            "(-9.09% (flat history)) [improvement]",
+        ],
+    )
+    return DashData(
+        title='repro dashboard <escape & check "quotes">',
+        generated="2026-01-01 00:00:00 UTC",
+        metrics_text=(
+            "# TYPE repro_reuse_hits counter\n"
+            'repro_reuse_hits_total{segment="3"} 5606\n'
+            "# EOF\n"
+        ),
+        panels=[clean, regressed, improved],
+    )
+
+
+def test_dashboard_matches_golden():
+    rendered = render_dashboard(_sample_data())
+    assert GOLDEN.exists(), "golden file missing; run this file as a script"
+    assert rendered == GOLDEN.read_text(encoding="utf-8")
+
+
+def test_render_is_deterministic():
+    assert render_dashboard(_sample_data()) == render_dashboard(_sample_data())
+
+
+def test_escaping_and_structure():
+    html = render_dashboard(_sample_data())
+    assert "&lt;escape &amp; check &quot;quotes&quot;&gt;" in html
+    assert "<script" not in html.lower()
+    # every panel is linked from the summary table and anchored
+    for key in ("UNEPIC@O0@static", "GNUGO@O3@governed", "ADPCM_decode@O0@static"):
+        assert f'href="#{key}"' in html
+        assert f'id="{key}"' in html
+    assert "2 regression(s)" in html
+    assert "No history anomalies." in html
+    assert html.count("<pre>") == html.count("</pre>")
+
+
+def test_empty_blocks_are_omitted():
+    html = render_dashboard(_sample_data())
+    # the regressed panel has no table/profile text: its section renders
+    # the governor block only
+    section = html.split('id="GNUGO@O3@governed"')[1].split("<h2")[0]
+    assert "Governor" in section
+    assert "Cycle attribution" not in section
+
+
+if __name__ == "__main__":
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_text(render_dashboard(_sample_data()), encoding="utf-8")
+    print(f"regenerated {GOLDEN}")

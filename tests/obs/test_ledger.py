@@ -185,3 +185,24 @@ class TestPipelineLedger:
 
         clone = pickle.loads(pickle.dumps(result))
         assert set(clone.ledger.records) == set(result.ledger.records)
+
+
+class TestWhyUnknown:
+    def test_unknown_segment_id_names_the_known_functions(self):
+        ledger = DecisionLedger()
+        ledger.open(FakeSegment(1, func_name="quan"))
+        ledger.open(FakeSegment(2, func_name="gproc"))
+        out = ledger.why(999)
+        assert "no candidate segment matches 999" in out
+        assert "quan" in out and "gproc" in out
+
+    def test_unknown_function_name(self):
+        ledger = DecisionLedger()
+        ledger.open(FakeSegment(1, func_name="quan"))
+        out = ledger.why("nonexistent")
+        assert "no candidate segment matches 'nonexistent'" in out
+        assert "quan" in out
+
+    def test_unknown_query_on_empty_ledger(self):
+        out = DecisionLedger().why("anything")
+        assert "no candidate segment matches 'anything'" in out

@@ -1,0 +1,114 @@
+"""The metrics registry must be a pure observer.
+
+Two properties, checked for every registered workload at O0 and O3 with
+both static and governed tables:
+
+* **Zero observer effect** — a metered run (registry installed before
+  ``compile_program``) produces bit-identical :class:`Metrics` to an
+  un-metered run.  Like the profiler's hooks, the metered closures are
+  a compile-time decision: no registry, no wrapper.
+* **Exact reconciliation** — the registry's counters agree bit-exactly
+  with the machine's own accounting: per-segment hit/miss counters with
+  ``TableStats``, the cycle counter with ``Metrics.cycles``.  The live
+  per-probe increments and the end-of-run ``advance_to`` from lifetime
+  table totals must land on the same numbers, or one of the two paths
+  is lying.
+"""
+
+import copy
+
+import pytest
+
+from repro.minic.sema import analyze
+from repro.obs.metrics import MetricsRegistry
+from repro.opt.pipeline import optimize
+from repro.reuse.pipeline import PipelineConfig, ReusePipeline
+from repro.runtime.compiler import compile_program
+from repro.runtime.governor import GovernorPolicy
+from repro.runtime.machine import Machine
+from repro.workloads.registry import ALL_WORKLOADS
+
+# Same prefix trick as the other differentials: every workload polls
+# __input_avail, so a prefix keeps the full sweep fast.
+_INPUT_PREFIX = 1024
+
+_cache: dict[str, tuple] = {}
+
+
+def _pipeline(workload):
+    if workload.name not in _cache:
+        inputs = workload.default_inputs()[:_INPUT_PREFIX]
+        config = PipelineConfig(
+            min_executions=workload.min_executions,
+            memory_budget_bytes=workload.memory_budget_bytes,
+            governor=workload.governor or GovernorPolicy(),
+        )
+        result = ReusePipeline(workload.source, config).run(inputs)
+        _cache[workload.name] = (result, inputs)
+    return _cache[workload.name]
+
+
+def _measure(result, opt_level, inputs, governed, metered):
+    program = copy.deepcopy(result.program)
+    analyze(program)
+    optimize(program, opt_level)
+    machine = Machine(opt_level)
+    machine.set_inputs(list(inputs))
+    registry = None
+    if metered:
+        registry = MetricsRegistry()
+        machine.metrics_registry = registry
+    for seg_id, table in result.build_tables(governed=governed).items():
+        machine.install_table(seg_id, table)
+    compile_program(program, machine).run("main")
+    metrics = machine.metrics()
+    machine.publish_metrics()
+    return metrics, registry
+
+
+def _family_totals(snapshot, name):
+    family = snapshot["families"].get(name)
+    if family is None:
+        return {}
+    return {
+        sample["labels"].get("segment"): sample["value"]
+        for sample in family["samples"]
+    }
+
+
+@pytest.mark.parametrize("governed", [False, True], ids=["static", "governed"])
+@pytest.mark.parametrize("opt_level", ["O0", "O3"])
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_no_observer_effect(workload, opt_level, governed):
+    result, inputs = _pipeline(workload)
+    plain, _ = _measure(result, opt_level, inputs, governed, metered=False)
+    metered, _ = _measure(result, opt_level, inputs, governed, metered=True)
+    # Metrics equality covers counters, cycles, seconds, joules, checksum,
+    # per-segment TableStats (incl. sampled series), governor telemetry.
+    assert plain == metered
+
+
+@pytest.mark.parametrize("governed", [False, True], ids=["static", "governed"])
+@pytest.mark.parametrize("opt_level", ["O0", "O3"])
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_counters_reconcile_exactly(workload, opt_level, governed):
+    result, inputs = _pipeline(workload)
+    metrics, registry = _measure(result, opt_level, inputs, governed, metered=True)
+    snap = registry.snapshot()
+
+    hits = _family_totals(snap, "repro_reuse_hits")
+    misses = _family_totals(snap, "repro_reuse_misses")
+    for seg_id, stats in metrics.table_stats.items():
+        label = str(seg_id)
+        assert hits.get(label, 0) == stats.hits, f"segment {seg_id} hits"
+        assert misses.get(label, 0) == stats.misses, f"segment {seg_id} misses"
+
+    cycles = snap["families"]["repro_machine_cycles"]["samples"][0]["value"]
+    assert cycles == metrics.cycles
+
+    if governed:
+        bypassed = sum(_family_totals(snap, "repro_reuse_bypassed").values())
+        total_bypassed = sum(
+            s["bypassed_executions"] for s in metrics.governor.values()
+        )
+        assert bypassed == total_bypassed

@@ -15,6 +15,7 @@ from repro.obs.perfdb import (
     PerfDB,
     baseline_key,
     check_rows,
+    git_revision,
     load_baseline,
     write_baseline,
 )
@@ -154,3 +155,43 @@ class TestBaseline:
     def test_load_missing_baseline_raises(self, tmp_path):
         with pytest.raises(OSError):
             load_baseline(tmp_path / "nope.json")
+
+
+class TestGitRevision:
+    def test_outside_a_repository_falls_back_to_unknown(self, tmp_path):
+        # nonzero git exit (rev-parse in a bare tmp dir), not an exception
+        assert git_revision(repo_dir=str(tmp_path)) == "unknown"
+
+    def test_subprocess_failure_falls_back_to_unknown(self, monkeypatch):
+        import subprocess
+
+        def boom(*args, **kwargs):
+            raise OSError("git binary missing")
+
+        monkeypatch.setattr(subprocess, "run", boom)
+        assert git_revision() == "unknown"
+
+    def test_timeout_falls_back_to_unknown(self, monkeypatch):
+        import subprocess
+
+        def hang(cmd, **kwargs):
+            raise subprocess.TimeoutExpired(cmd, kwargs.get("timeout"))
+
+        monkeypatch.setattr(subprocess, "run", hang)
+        assert git_revision(timeout=0.01) == "unknown"
+
+    def test_repo_dir_pins_the_lookup(self, monkeypatch, tmp_path):
+        import subprocess
+
+        seen = {}
+        real_run = subprocess.run
+
+        def spy(cmd, **kwargs):
+            seen["cwd"] = kwargs.get("cwd")
+            seen["timeout"] = kwargs.get("timeout")
+            return real_run(cmd, **kwargs)
+
+        monkeypatch.setattr(subprocess, "run", spy)
+        git_revision(repo_dir=str(tmp_path), timeout=5.0)
+        assert seen["cwd"] == str(tmp_path)
+        assert seen["timeout"] == 5.0

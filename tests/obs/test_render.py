@@ -1,0 +1,87 @@
+"""Tests for the shared series renderers (obs.render) and the
+back-compat aliases the experiment reports keep exporting."""
+
+from repro.obs.render import (
+    SPARK_BLOCKS,
+    render_hit_ratio_series,
+    render_perf_history,
+    render_table,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_ramp_uses_full_range(self):
+        out = sparkline([0.0, 0.5, 1.0])
+        assert out[0] == SPARK_BLOCKS[0]
+        assert out[-1] == SPARK_BLOCKS[-1]
+        assert len(out) == 3
+
+    def test_zero_range_renders_flat_mid_scale(self):
+        out = sparkline([5.0, 5.0, 5.0])
+        assert out == SPARK_BLOCKS[(len(SPARK_BLOCKS) - 1) // 2] * 3
+
+    def test_pinned_scale(self):
+        # a 0.5 ratio on a pinned 0..1 scale sits mid-range regardless
+        # of the series' own min/max
+        out = sparkline([0.5, 0.5], lo=0.0, hi=1.0)
+        top = len(SPARK_BLOCKS) - 1
+        assert out == SPARK_BLOCKS[int(0.5 * top + 0.5)] * 2
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["A", "Long"], [["xx", "1"], ["y", "22"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A ")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+        assert "--" in lines[1]
+
+
+class _FakeStats:
+    def __init__(self, series):
+        self._series = series
+
+    def hit_ratio_series(self):
+        return self._series
+
+
+class TestSeriesRenderers:
+    def test_hit_ratio_series(self):
+        stats = {1: _FakeStats([(10, 0.5), (20, 1.0)]), 2: _FakeStats([])}
+        out = render_hit_ratio_series(stats)
+        assert "segment 1" in out and "final 100.0%" in out
+        assert "segment 2: (no samples)" in out
+
+    def test_perf_history_empty(self):
+        assert "no recorded runs" in render_perf_history([])
+
+    def test_perf_history_table(self):
+        rows = [
+            {"workload": "W", "opt": "O0", "variant": "static",
+             "cycles": 100, "git": "abc", "code_version": 3,
+             "output_checksum": 0xFF},
+            {"workload": "W", "opt": "O0", "variant": "static",
+             "cycles": 110, "git": "def", "code_version": 3,
+             "output_checksum": 0xFF},
+        ]
+        out = render_perf_history(rows)
+        assert "W@O0@static (2 runs)" in out
+        assert "latest 110" in out
+
+
+class TestReportBackCompat:
+    # experiments.report re-exports the moved renderers; downstream code
+    # (and older tests) import them from there
+    def test_aliases_are_the_shared_functions(self):
+        from repro.experiments import report
+
+        assert report._sparkline is sparkline
+        assert report._render is render_table
+        assert report._SPARK_BLOCKS is SPARK_BLOCKS
+        assert report.render_hit_ratio_series is render_hit_ratio_series
+        assert report.render_perf_history is render_perf_history

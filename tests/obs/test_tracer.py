@@ -179,6 +179,16 @@ class TestProcessLocal:
         finally:
             set_tracer(previous)
 
+    @pytest.mark.parametrize("value", ["0", "", "false", "off", "no", " 0 ", "FALSE"])
+    def test_falsy_env_values_leave_tracing_disabled(self, monkeypatch, value):
+        # "REPRO_TRACE=0" must mean off, not "set, therefore on"
+        monkeypatch.setenv("REPRO_TRACE", value)
+        previous = set_tracer(None)
+        try:
+            assert get_tracer().enabled is False
+        finally:
+            set_tracer(previous)
+
     def test_clear_resets_ids(self):
         tracer = make_tracer()
         with tracer.span("a"):

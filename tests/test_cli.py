@@ -289,3 +289,88 @@ class TestPerfEndToEnd:
         assert "Cycle attribution" in out
         assert "seg:0" in out
         assert folded.read_text().startswith("run ")
+
+
+class TestAnomalyGateEndToEnd:
+    """``repro perf check --anomaly`` with no committed baseline anywhere:
+    the gate judges a fresh measurement purely against the perf store's
+    own history.  Stationary history must stay green; a story where the
+    history sits 10% below what the code measures today must flag a
+    regression."""
+
+    @pytest.fixture(scope="class")
+    def recorded_row(self, tmp_path_factory):
+        import json
+
+        root = tmp_path_factory.mktemp("anomaly")
+        db = root / "store"
+        rc = main(["perf", "record", "--workload", "UNEPIC", "--db", str(db)])
+        assert rc == 0
+        line = (db / "runs.jsonl").read_text().splitlines()[0]
+        return json.loads(line)
+
+    def _store_with_history(self, tmp_path, row, cycles):
+        import json
+
+        db = tmp_path / "store"
+        db.mkdir()
+        history = dict(row, cycles=cycles)
+        (db / "runs.jsonl").write_text(
+            "".join(json.dumps(history) + "\n" for _ in range(5))
+        )
+        return db
+
+    def test_stationary_history_exits_zero(self, recorded_row, tmp_path, capsys):
+        db = self._store_with_history(tmp_path, recorded_row, recorded_row["cycles"])
+        rc = main(["perf", "check", "--anomaly", "--db", str(db)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "consistent with history" in out
+
+    def test_injected_regression_exits_one(self, recorded_row, tmp_path, capsys):
+        # history 10% below today's deterministic measurement: the fresh
+        # run reads as a +11% cycle regression, from history alone
+        lowered = int(recorded_row["cycles"] * 0.9)
+        db = self._store_with_history(tmp_path, recorded_row, lowered)
+        rc = main(["perf", "check", "--anomaly", "--db", str(db)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAIL" in out and "REGRESSION" in out
+
+    def test_report_only_always_exits_zero(self, recorded_row, tmp_path, capsys):
+        lowered = int(recorded_row["cycles"] * 0.9)
+        db = self._store_with_history(tmp_path, recorded_row, lowered)
+        rc = main(["perf", "check", "--anomaly", "--report-only", "--db", str(db)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "would exit 1" in out
+
+    def test_empty_store_exits_two(self, tmp_path, capsys):
+        rc = main(["perf", "check", "--anomaly", "--db", str(tmp_path / "empty")])
+        capsys.readouterr()
+        assert rc == 2
+
+    def test_record_appends_fresh_rows(self, recorded_row, tmp_path, capsys):
+        db = self._store_with_history(tmp_path, recorded_row, recorded_row["cycles"])
+        rc = main(["perf", "check", "--anomaly", "--record", "--db", str(db)])
+        capsys.readouterr()
+        assert rc == 0
+        lines = (db / "runs.jsonl").read_text().splitlines()
+        assert len(lines) == 6
+
+
+class TestDashCommand:
+    def test_dash_writes_self_contained_html(self, tmp_path, capsys):
+        out_path = tmp_path / "dash.html"
+        rc = main([
+            "dash", "--workload", "UNEPIC",
+            "--db", str(tmp_path / "nostore"), "--out", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "dashboard written" in out
+        html = out_path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "UNEPIC@O0@static" in html
+        assert "repro_machine_cycles" in html  # embedded OpenMetrics
+        assert "Cycle attribution" in html
