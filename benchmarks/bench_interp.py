@@ -1,19 +1,24 @@
-"""Interpreter throughput benchmark: g721 + gnugo, fused vs unfused.
+"""Interpreter throughput benchmark: closures (fused/unfused) vs the VM.
 
 Measures raw interpreter speed (dynamic mini-C operations per second and
-wall-clock seconds) over the G.721 encode/decode and GNU Go workloads at
-O0 and O3, with block-fused cost accounting on and off *in the same
-run*, and writes ``BENCH_interp.json`` at the repo root so the perf
-trajectory is tracked from PR to PR:
+wall-clock seconds) over seven workloads at O0 and O3, in three
+configurations *in the same run* — the closure backend with block-fused
+cost accounting off and on, and the register-bytecode VM backend
+(``Machine(backend="vm")``) — and writes ``BENCH_interp.json`` at the
+repo root so the perf trajectory is tracked from PR to PR:
 
     {"ops_per_sec": <fused>, "suite_seconds": <fused>, "fused": true,
      "unfused_ops_per_sec": ..., "unfused_suite_seconds": ...,
-     "speedup": ..., "per_workload": {...},
+     "vm_ops_per_sec": ..., "vm_suite_seconds": ...,
+     "speedup": ..., "vm_speedup_vs_fused": ...,
+     "per_workload": {...},
      "tracer": {"disabled_ns_per_span": ..., "enabled_ns_per_span": ...}}
 
-The ``tracer`` section is the observability overhead floor: what one
-``tracer.span(...)`` costs with tracing off (the price every untraced
-run pays per instrumentation point) and with tracing on.
+All three configurations execute the identical dynamic op stream (the
+run asserts it), so the throughput ratios are pure execution-engine
+comparisons.  The ``tracer`` section is the observability overhead
+floor: what one ``tracer.span(...)`` costs with tracing off (the price
+every untraced run pays per instrumentation point) and with tracing on.
 
 Run directly (``python benchmarks/bench_interp.py``) or via pytest
 (``pytest benchmarks/bench_interp.py``).
@@ -36,16 +41,31 @@ from repro.workloads.registry import get_workload
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 RESULT_PATH = REPO_ROOT / "BENCH_interp.json"
 
-BENCH_WORKLOADS = ("G721_encode", "G721_decode", "GNUGO")
+BENCH_WORKLOADS = (
+    "G721_encode",
+    "G721_decode",
+    "MPEG2_encode",
+    "MPEG2_decode",
+    "RASTA",
+    "UNEPIC",
+    "GNUGO",
+)
 OPT_LEVELS = ("O0", "O3")
+# (column label, Machine kwargs); ops must agree across all three.  The
+# backends are pinned so the comparison survives a REPRO_BACKEND=vm run.
+CONFIGS = (
+    ("unfused", {"fuse": False, "backend": "closures"}),
+    ("fused", {"fuse": True, "backend": "closures"}),
+    ("vm", {"fuse": True, "backend": "vm"}),
+)
 TRACER_SPANS = 50_000
 
 
-def _measure_one(workload, opt_level: str, fused: bool) -> tuple[int, float]:
+def _measure_one(workload, opt_level: str, **machine_kwargs) -> tuple[int, float]:
     """One measured execution; returns (dynamic ops, wall seconds)."""
     program = analyze(parse_program(workload.source))
     optimize(program, opt_level)
-    machine = Machine(opt_level, fuse=fused)
+    machine = Machine(opt_level, **machine_kwargs)
     machine.set_inputs(workload.default_inputs())
     compiled = compile_program(program, machine)
     start = time.perf_counter()
@@ -86,28 +106,35 @@ def run_tracer_benchmark() -> dict:
 
 def run_benchmark() -> dict:
     per_workload: dict[str, dict] = {}
-    totals = {True: [0, 0.0], False: [0, 0.0]}  # fused -> [ops, seconds]
+    totals = {label: [0, 0.0] for label, _ in CONFIGS}  # label -> [ops, seconds]
     for name in BENCH_WORKLOADS:
         workload = get_workload(name)
         entry: dict[str, float] = {}
         for opt_level in OPT_LEVELS:
-            for fused in (False, True):
-                ops, seconds = _measure_one(workload, opt_level, fused)
-                totals[fused][0] += ops
-                totals[fused][1] += seconds
-                label = "fused" if fused else "unfused"
+            ops_seen: dict[str, int] = {}
+            for label, kwargs in CONFIGS:
+                ops, seconds = _measure_one(workload, opt_level, **kwargs)
+                totals[label][0] += ops
+                totals[label][1] += seconds
                 entry[f"{opt_level}_{label}_ops_per_sec"] = round(ops / seconds)
+                ops_seen[label] = ops
+            assert len(set(ops_seen.values())) == 1, (
+                f"dynamic op count diverged for {name}@{opt_level}: {ops_seen}"
+            )
         per_workload[name] = entry
-    fused_ops, fused_seconds = totals[True]
-    unfused_ops, unfused_seconds = totals[False]
-    assert fused_ops == unfused_ops, "fusion changed the dynamic op count"
+    unfused_ops, unfused_seconds = totals["unfused"]
+    fused_ops, fused_seconds = totals["fused"]
+    vm_ops, vm_seconds = totals["vm"]
     return {
         "fused": True,
         "ops_per_sec": round(fused_ops / fused_seconds),
         "suite_seconds": round(fused_seconds, 3),
         "unfused_ops_per_sec": round(unfused_ops / unfused_seconds),
         "unfused_suite_seconds": round(unfused_seconds, 3),
+        "vm_ops_per_sec": round(vm_ops / vm_seconds),
+        "vm_suite_seconds": round(vm_seconds, 3),
         "speedup": round(unfused_seconds / fused_seconds, 2),
+        "vm_speedup_vs_fused": round(fused_seconds / vm_seconds, 2),
         "workloads": list(BENCH_WORKLOADS),
         "opt_levels": list(OPT_LEVELS),
         "per_workload": per_workload,
@@ -123,6 +150,7 @@ def test_bench_interp():
     result = run_benchmark()
     write_result(result)
     assert result["ops_per_sec"] >= 2 * result["unfused_ops_per_sec"], result
+    assert result["vm_ops_per_sec"] >= 2 * result["ops_per_sec"], result
 
 
 def test_bench_tracer_overhead():

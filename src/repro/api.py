@@ -21,8 +21,7 @@ Everything here is a thin veneer over :class:`~repro.reuse.pipeline.ReusePipelin
 :class:`~repro.runtime.machine.Machine`, and the observability layer; the
 facade adds lifecycle (lazy profiling, per-opt program memoization, table
 warming, disk caching) and one stable result type.  The legacy entry
-points (``repro.runtime.run_source``, ``build_tables(adaptive=True)``)
-remain as deprecated shims.
+point ``repro.runtime.run_source`` remains as a deprecated shim.
 
 Input-literal parsing for the CLI also lives here
 (:func:`parse_input_literal` / :func:`parse_input_stream`): one parser for
@@ -215,6 +214,7 @@ class CompiledProgram:
         profile: bool = False,
         profile_inputs: Optional[Sequence] = None,
         metrics=None,
+        backend: Optional[str] = None,
         _cache=None,
         _persist_tables: bool = False,
     ) -> None:
@@ -224,8 +224,13 @@ class CompiledProgram:
             raise ConfigError(
                 f"config must be a PipelineConfig, got {type(config).__name__}"
             )
+        if backend is not None and backend not in Machine.BACKENDS:
+            raise ConfigError(
+                f"unknown backend {backend!r}; expected one of {Machine.BACKENDS}"
+            )
         self.source = source
         self.opt = opt
+        self.backend = backend
         self.reuse = reuse
         self.config = config or PipelineConfig()
         self.governed = governed
@@ -345,7 +350,7 @@ class CompiledProgram:
                 self._profile_inputs if self._profile_inputs is not None else inputs
             )
         entry = entry or (self.config.entry if self.reuse else "main")
-        machine = Machine(self.opt)
+        machine = Machine(self.opt, backend=self.backend)
         machine.set_inputs(inputs)
         tables = {}
         if self.reuse:
@@ -417,6 +422,7 @@ def compile(
     profile: bool = False,
     profile_inputs: Optional[Sequence] = None,
     metrics=None,
+    backend: Optional[str] = None,
 ) -> CompiledProgram:
     """Prepare mini-C ``source`` for measured execution on the simulated
     StrongARM; the stable entry point of the package.
@@ -444,6 +450,11 @@ def compile(
             a registry shared across programs.  Like ``profile``, the
             metered closures exist only when a registry is installed, so
             an un-metered program's metrics stay bit-identical.
+        backend: execution backend for measured runs — ``"closures"``
+            (the closure-tree oracle) or ``"vm"`` (the register-bytecode
+            VM, same simulated cycles/outputs/metrics, substantially
+            faster wall-clock).  ``None`` defers to ``REPRO_BACKEND``
+            and then the closure default.
     """
     return CompiledProgram(
         source,
@@ -455,6 +466,7 @@ def compile(
         profile=profile,
         profile_inputs=profile_inputs,
         metrics=metrics,
+        backend=backend,
     )
 
 
@@ -484,10 +496,16 @@ class Session:
         trace: bool = False,
         cache=None,
         metrics=None,
+        backend: Optional[str] = None,
     ) -> None:
         if opt not in _OPT_LEVELS:
             raise ConfigError(f"unknown opt level {opt!r}; choose from {_OPT_LEVELS}")
+        if backend is not None and backend not in Machine.BACKENDS:
+            raise ConfigError(
+                f"unknown backend {backend!r}; expected one of {Machine.BACKENDS}"
+            )
         self.opt = opt
+        self.backend = backend
         self.config = config
         self.governed = governed
         self.trace = trace
@@ -531,6 +549,7 @@ class Session:
                 trace=self.trace,
                 profile_inputs=profile_inputs,
                 metrics=self.registry,
+                backend=self.backend,
                 _cache=self.cache,
                 _persist_tables=True,
             )

@@ -65,9 +65,9 @@ def _read_source(path: str) -> str:
 def cmd_run(args) -> int:
     source = _read_source(args.file)
     inputs = _parse_inputs(args)
-    result = api.compile(source, opt=args.opt, reuse=False).run(
-        inputs, entry=args.entry
-    )
+    result = api.compile(
+        source, opt=args.opt, reuse=False, backend=args.backend
+    ).run(inputs, entry=args.entry)
     metrics = result.metrics
     print(f"result: {result.value}")
     print(f"cycles: {metrics.cycles}")
@@ -437,6 +437,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run a mini-C file on the simulated machine")
     p_run.add_argument("file")
     p_run.add_argument("--opt", choices=("O0", "O3"), default="O0")
+    p_run.add_argument(
+        "--backend",
+        choices=("closures", "vm"),
+        default=None,
+        help="execution backend (default: REPRO_BACKEND or closures)",
+    )
     p_run.add_argument("--entry", default="main")
     p_run.add_argument("--inputs", help="comma-separated input stream")
     p_run.add_argument("--inputs-file", help="whitespace-separated input stream file")

@@ -26,7 +26,10 @@ from ..workloads import get_workload
 from .adaptive import workload_config
 from .cache import CODE_VERSION
 
-VARIANTS = ("static", "governed")
+# "static"/"governed" run the closure backend; "vm" is static tables on
+# the register-bytecode backend — same cycles and checksum by the VM
+# differential, so the gate catches either backend drifting.
+VARIANTS = ("static", "governed", "vm")
 
 
 def measure_workload(
@@ -52,6 +55,7 @@ def measure_workload(
         governed=variant == "governed",
         profile=True,
         metrics=metrics,
+        backend="vm" if variant == "vm" else None,
     )
     inputs = workload.default_inputs()
     program.profile(inputs)

@@ -27,7 +27,6 @@ object carries everything the experiment harness and the examples need.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -164,7 +163,6 @@ class PipelineResult:
     def build_tables(
         self,
         capacity_override: Optional[int] = None,
-        adaptive: bool = False,
         governed: bool = False,
     ) -> dict[int, object]:
         """Instantiate the runtime reuse tables described by the specs.
@@ -176,18 +174,7 @@ class PipelineResult:
         (:mod:`repro.runtime.governor`): each table (and each merged-table
         member) carries its segment's static ``C``/``O`` constants and the
         governor thresholds emitted into its spec.
-
-        ``adaptive=True`` is the deprecated predecessor of ``governed``
-        and now builds governed tables.
         """
-        if adaptive:
-            warnings.warn(
-                "repro.reuse.pipeline: build_tables(adaptive=True) is deprecated; "
-                "use build_tables(governed=True)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            governed = True
         tables: dict[int, object] = {}
         merged_built: dict[str, MergedReuseTable] = {}
         group_capacity: dict[str, int] = {}

@@ -181,7 +181,17 @@ def compile_program(program: ast.Program, machine: Machine) -> CompiledProgram:
     with compile-time-known operation classes are compiled to fused
     Python functions that charge their tally vector in one batch (see
     :mod:`repro.runtime.fuse`); accounting is bit-identical either way.
+
+    ``machine.backend`` selects the execution strategy: ``"closures"``
+    builds the closure tree defined in this module, ``"vm"`` compiles to
+    the register bytecode (:mod:`repro.runtime.vm`).  Both expose the
+    same program interface and produce bit-identical cycles, outputs,
+    metrics, and ledger verdicts.
     """
+    if getattr(machine, "backend", "closures") == "vm":
+        from .vm import compile_vm_program
+
+        return compile_vm_program(program, machine)
     _ensure_recursion_limit()
     compiled = CompiledProgram(machine)
     # Phase 1: create shells so calls can reference any function.

@@ -24,10 +24,11 @@ table, input file) combination.
 from __future__ import annotations
 
 import copy
+import os
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..errors import InterpError
+from ..errors import ConfigError, InterpError
 from .costs import CLASS_NAMES, N_CLASSES, CostTable, add_tally, cost_table
 from .values import float_bits
 
@@ -68,14 +69,29 @@ class Metrics:
 class Machine:
     """Execution context for compiled mini-C programs."""
 
+    #: execution backends ``compile_program`` can target
+    BACKENDS = ("closures", "vm")
+
     def __init__(
         self,
         opt_level: str = "O0",
         capture_output: bool = False,
         fuse: bool = True,
+        backend: str | None = None,
     ) -> None:
         self.cost: CostTable = cost_table(opt_level)
         self.counters: list[int] = [0] * N_CLASSES
+        # Execution backend: the closure tree (the differential oracle)
+        # or the register-bytecode VM.  ``None`` defers to the
+        # REPRO_BACKEND environment variable so an unmodified test suite
+        # can be pointed at either backend wholesale.
+        if backend is None:
+            backend = os.environ.get("REPRO_BACKEND", "closures") or "closures"
+        if backend not in self.BACKENDS:
+            raise ConfigError(
+                f"unknown backend {backend!r}; expected one of {self.BACKENDS}"
+            )
+        self.backend = backend
         # Block-fused cost accounting (repro.runtime.fuse).  Fused and
         # unfused execution produce bit-identical metrics; the flag exists
         # for the differential harness and for debugging.

@@ -1,0 +1,23 @@
+"""Register-bytecode execution backend (``Machine(backend="vm")``).
+
+The package splits along the classic compiler/VM seam:
+
+* :mod:`vm_opcodes` — the instruction set and a disassembler;
+* :mod:`vm_compiler` — mini-C AST → flat bytecode with the block-fused
+  ``CHARGE`` accounting and observer ops baked into the stream;
+* :mod:`vm` — the execution engines (translation and dispatch) plus the
+  shared reuse/observer kernels and program-level linking.
+"""
+
+from .vm import VMProgram, compile_vm_program, link_program
+from .vm_compiler import VMFunction, compile_function
+from . import vm_opcodes
+
+__all__ = [
+    "VMFunction",
+    "VMProgram",
+    "compile_function",
+    "compile_vm_program",
+    "link_program",
+    "vm_opcodes",
+]

@@ -1,0 +1,1386 @@
+"""Execution engines for the register bytecode.
+
+Two engines run the same :class:`~repro.runtime.vm.vm_compiler.VMFunction`
+artifacts:
+
+* **dispatch** — a classic ``while True`` opcode loop over the
+  instruction tuples.  Simple, obviously faithful to the opcode
+  semantics, and the fallback for anything the translator declines.
+* **translate** (the default) — each function's bytecode is translated
+  back into one Python function (``compile``/``exec``), with registers
+  as Python locals, native ``while``/``if`` control flow rebuilt from
+  the compiler's structural jump discipline, single-use temporaries
+  re-fused into nested expressions, and direct calls patched in at link
+  time.  This is the whole-function generalization of the region fusion
+  in :mod:`repro.runtime.fuse` and is where the backend's speedup comes
+  from.
+
+``REPRO_VM_ENGINE=dispatch|translate`` selects the engine (default
+``translate``); a function the translator cannot reconstruct silently
+falls back to dispatch, so the two engines can be mixed per function.
+
+Both engines execute the *reuse and observer ops* through one set of
+shared kernels (``k_probe``/``k_commit``/...), each an exact transplant
+of the corresponding closure intrinsic in
+:mod:`repro.runtime.intrinsics` — same bypass protocol, same charge
+order, same hash-word accounting — which is what makes the backends
+bit-identical on cycles, metrics, and ledger verdicts.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import re
+from collections import Counter
+
+from ...errors import InterpError
+from ..costs import ALU, HASH_FIXED, HASH_WORD, RET
+from ..intrinsics import (
+    _KIND_AGGREGATE,
+    _append_words,
+    _checked_sqrt,
+    _count_words,
+    _resolve_aggregate,
+)
+from ..values import (
+    c_div,
+    c_mod,
+    c_shl,
+    c_shr,
+    copy_into,
+    deep_copy_value,
+    wrap32,
+    zero_value,
+)
+from . import vm_opcodes as op
+from .vm_compiler import VMFunction, compile_function
+
+_MATH_IMPLS = (math.cos, math.sin, _checked_sqrt, math.floor)
+
+
+def _float_div(a: float, b: float) -> float:
+    if b == 0:
+        raise InterpError("float division by zero")
+    return a / b
+
+
+# ---------------------------------------------------------------------------
+# Shared reuse/observer kernels (one implementation for both engines)
+# ---------------------------------------------------------------------------
+#
+# ``vals`` are the already-fetched source values (the descriptors only name
+# side-effect-free variable accesses, so fetch order cannot matter); the
+# kernels do all the charging, in the closure intrinsics' exact order —
+# including charging the key loads only on the non-bypassed path.
+
+
+def k_probe(machine, ctr, seg, vals, meta):
+    table = machine.table_for(seg)
+    # adaptive deactivation: a bypassed probe costs one flag test
+    if getattr(table, "bypassed", False):
+        ctr[ALU] += 1
+        table.push_bypass()
+        return 0
+    words: list[int] = []
+    for value, (kind, cls) in zip(vals, meta):
+        if cls >= 0:  # cls -1: operand evaluated (and charged) eagerly
+            ctr[cls] += 1
+        _append_words(words, value, kind)
+    ctr[HASH_FIXED] += 1
+    ctr[HASH_WORD] += len(words)
+    return 1 if table.probe(tuple(words)) else 0
+
+
+def k_commit(machine, ctr, seg, vals, meta):
+    table = machine.table_for(seg)
+    if getattr(table, "pending_bypassed", None) and table.pending_bypassed():
+        ctr[ALU] += 1
+        table.commit(())
+        return 0
+    values = []
+    n_words = 0
+    for value, (kind, cls) in zip(vals, meta):
+        if cls >= 0:
+            ctr[cls] += 1
+        if kind == _KIND_AGGREGATE:
+            value = _resolve_aggregate(value)
+            n_words += _count_words(value)
+        else:
+            n_words += 1
+        values.append(value)
+    ctr[HASH_WORD] += n_words
+    machine.table_for(seg).commit(tuple(values))
+    return 0
+
+
+def k_out_arr(machine, ctr, seg, pos, dest, cls):
+    stored = machine.table_for(seg).output(pos)
+    ctr[HASH_WORD] += _count_words(stored)
+    if cls >= 0:
+        ctr[cls] += 1  # the destination operand's own access charge
+    if type(dest) is tuple:
+        backing, offset = dest
+        for i, item in enumerate(stored):
+            backing[offset + i] = item
+    else:
+        copy_into(dest, list(stored) if isinstance(stored, tuple) else stored)
+    return 0
+
+
+def k_profile(machine, seg, vals, kinds):
+    # Zero-cost stub: the closure snapshots and restores the counters
+    # around argument evaluation; here the fetches never charge at all.
+    profiler = machine.profiler
+    if profiler is None:
+        return 0
+    words: list[int] = []
+    for value, kind in zip(vals, kinds):
+        _append_words(words, value, kind)
+    profiler.record(seg, tuple(words))
+    return 0
+
+
+def k_freq(machine, seg):
+    profiler = machine.profiler
+    if profiler is not None:
+        profiler.count_entry(seg)
+    return 0
+
+
+def k_seg_enter(machine, seg):
+    profiler = machine.profiler
+    if profiler is not None:
+        profiler.segment_enter(seg)
+    return 0
+
+
+def k_seg_exit(machine, seg):
+    profiler = machine.profiler
+    if profiler is not None:
+        profiler.segment_exit(seg)
+    return 0
+
+
+def k_probe_end(machine, prof, seg, r):
+    pending_bypassed = getattr(machine.table_for(seg), "pending_bypassed", None)
+    prof.probe_end(
+        seg, hit=r == 1, bypassed=pending_bypassed is not None and pending_bypassed()
+    )
+
+
+def k_meter_probe(machine, seg, r, counters):
+    probes_c, hits_c, misses_c, bypassed_c = counters
+    pending_bypassed = getattr(machine.table_for(seg), "pending_bypassed", None)
+    if pending_bypassed is not None and pending_bypassed():
+        bypassed_c.inc()
+    else:
+        probes_c.inc()
+        if r == 1:
+            hits_c.inc()
+        else:
+            misses_c.inc()
+
+
+def _icall(target):
+    if not isinstance(target, VMFunction):
+        raise InterpError("indirect call target is not a function")
+    return target.call
+
+
+def _fetch(machine, regs, srcs):
+    vals = []
+    for mode, slot in srcs:
+        if mode == 0:  # SRC_REG
+            vals.append(regs[slot])
+        elif mode == 1:  # SRC_BOX
+            vals.append(regs[slot][0])
+        elif mode == 2:  # SRC_GLOBAL
+            vals.append(machine.globals[slot])
+        else:  # SRC_CONST: the slot IS the literal value
+            vals.append(slot)
+    return vals
+
+
+# ---------------------------------------------------------------------------
+# Dispatch engine
+# ---------------------------------------------------------------------------
+
+
+def install_dispatch(vmfn: VMFunction, prog: "VMProgram") -> None:
+    """Install a dispatch-loop ``call`` on ``vmfn``."""
+    machine = vmfn.machine
+    ctr = machine.counters
+    code = vmfn.code
+    consts = vmfn.consts
+    nregs = vmfn.nregs
+    param_specs = vmfn.param_specs
+    fns = prog.by_index
+    prof = vmfn.cycle_profiler
+    name = vmfn.name
+
+    def call(*args):
+        R = [0] * nregs
+        for (slot, boxed), value in zip(param_specs, args):
+            R[slot] = [value] if boxed else value
+        g = machine.globals
+        pc = 0
+        while True:
+            ins = code[pc]
+            o = ins[0]
+            if o == op.CHARGE:
+                for cls, n in ins[1]:
+                    ctr[cls] += n
+            elif o == op.MOV:
+                R[ins[1]] = R[ins[2]]
+            elif o == op.LOADI:
+                R[ins[1]] = ins[2]
+            elif o == op.ADD:
+                R[ins[1]] = wrap32(R[ins[2]] + R[ins[3]])
+            elif o == op.SUB:
+                R[ins[1]] = wrap32(R[ins[2]] - R[ins[3]])
+            elif o == op.MUL:
+                R[ins[1]] = wrap32(R[ins[2]] * R[ins[3]])
+            elif o == op.DIV:
+                R[ins[1]] = c_div(R[ins[2]], R[ins[3]])
+            elif o == op.MOD:
+                R[ins[1]] = c_mod(R[ins[2]], R[ins[3]])
+            elif o == op.SHL:
+                R[ins[1]] = c_shl(R[ins[2]], R[ins[3]])
+            elif o == op.SHR:
+                R[ins[1]] = c_shr(R[ins[2]], R[ins[3]])
+            elif o == op.AND:
+                R[ins[1]] = R[ins[2]] & R[ins[3]]
+            elif o == op.OR:
+                R[ins[1]] = R[ins[2]] | R[ins[3]]
+            elif o == op.XOR:
+                R[ins[1]] = R[ins[2]] ^ R[ins[3]]
+            elif o == op.NEG:
+                R[ins[1]] = wrap32(-R[ins[2]])
+            elif o == op.BNOT:
+                R[ins[1]] = ~R[ins[2]]
+            elif o == op.NOT:
+                R[ins[1]] = 0 if R[ins[2]] else 1
+            elif o == op.BOOL:
+                R[ins[1]] = 1 if R[ins[2]] else 0
+            elif o == op.FADD:
+                R[ins[1]] = R[ins[2]] + R[ins[3]]
+            elif o == op.FSUB:
+                R[ins[1]] = R[ins[2]] - R[ins[3]]
+            elif o == op.FMUL:
+                R[ins[1]] = R[ins[2]] * R[ins[3]]
+            elif o == op.FDIV:
+                R[ins[1]] = _float_div(R[ins[2]], R[ins[3]])
+            elif o == op.FNEG:
+                R[ins[1]] = -R[ins[2]]
+            elif o == op.EQ:
+                R[ins[1]] = 1 if R[ins[2]] == R[ins[3]] else 0
+            elif o == op.NE:
+                R[ins[1]] = 1 if R[ins[2]] != R[ins[3]] else 0
+            elif o == op.LT:
+                R[ins[1]] = 1 if R[ins[2]] < R[ins[3]] else 0
+            elif o == op.LE:
+                R[ins[1]] = 1 if R[ins[2]] <= R[ins[3]] else 0
+            elif o == op.GT:
+                R[ins[1]] = 1 if R[ins[2]] > R[ins[3]] else 0
+            elif o == op.GE:
+                R[ins[1]] = 1 if R[ins[2]] >= R[ins[3]] else 0
+            elif o == op.JUMP:
+                pc = ins[1]
+                continue
+            elif o == op.JF:
+                if not R[ins[1]]:
+                    pc = ins[2]
+                    continue
+            elif o == op.JT:
+                if R[ins[1]]:
+                    pc = ins[2]
+                    continue
+            elif o == op.RETV:
+                ctr[RET] += 1
+                return R[ins[1]]
+            elif o == op.RET0:
+                ctr[RET] += 1
+                return 0
+            elif o == op.LOADG:
+                R[ins[1]] = g[ins[2]]
+            elif o == op.STOREG:
+                g[ins[1]] = R[ins[2]]
+            elif o == op.GETBOX:
+                R[ins[1]] = R[ins[2]][0]
+            elif o == op.SETBOX:
+                R[ins[1]][0] = R[ins[2]]
+            elif o == op.NEWBOX:
+                R[ins[1]] = [R[ins[2]]]
+            elif o == op.NEWBOXI:
+                R[ins[1]] = [ins[2]]
+            elif o == op.ALLOC_Z:
+                R[ins[1]] = zero_value(consts[ins[2]])
+            elif o == op.ALLOC_T:
+                R[ins[1]] = deep_copy_value(consts[ins[2]])
+            elif o == op.PADD:
+                p = R[ins[2]]
+                i = R[ins[3]]
+                R[ins[1]] = (p[0], p[1] + i) if type(p) is tuple else (p, i)
+            elif o == op.PSUB:
+                p = R[ins[2]]
+                i = -R[ins[3]]
+                R[ins[1]] = (p[0], p[1] + i) if type(p) is tuple else (p, i)
+            elif o == op.PDIFF:
+                a = R[ins[2]]
+                b = R[ins[3]]
+                ao = a[1] if type(a) is tuple else 0
+                bo = b[1] if type(b) is tuple else 0
+                R[ins[1]] = ao - bo
+            elif o == op.IDX:
+                b = R[ins[2]]
+                i = R[ins[3]]
+                R[ins[1]] = b[0][b[1] + i] if type(b) is tuple else b[i]
+            elif o == op.IDXW:
+                b = R[ins[1]]
+                i = R[ins[2]]
+                if type(b) is tuple:
+                    b[0][b[1] + i] = R[ins[3]]
+                else:
+                    b[i] = R[ins[3]]
+            elif o == op.ADDR:
+                b = R[ins[2]]
+                i = R[ins[3]]
+                R[ins[1]] = (b[0], b[1] + i) if type(b) is tuple else (b, i)
+            elif o == op.DEREF:
+                p = R[ins[2]]
+                R[ins[1]] = p[0][p[1]] if type(p) is tuple else p[0]
+            elif o == op.DEREFW:
+                p = R[ins[1]]
+                if type(p) is tuple:
+                    p[0][p[1]] = R[ins[2]]
+                else:
+                    p[0] = R[ins[2]]
+            elif o == op.CALL:
+                R[ins[1]] = fns[ins[2]].call(*[R[a] for a in ins[3]])
+            elif o == op.CALLI:
+                R[ins[1]] = _icall(R[ins[2]])(*[R[a] for a in ins[3]])
+            elif o == op.LOADFN:
+                R[ins[1]] = fns[ins[2]]
+            elif o == op.INPUT_I:
+                R[ins[1]] = wrap32(int(machine.next_input()))
+            elif o == op.INPUT_F:
+                R[ins[1]] = float(machine.next_input())
+            elif o == op.INPUT_AV:
+                R[ins[1]] = machine.input_available()
+            elif o == op.OUTPUT:
+                machine.emit(R[ins[1]])
+            elif o == op.PRINT:
+                machine.debug_log.append(R[ins[1]])
+            elif o == op.ASSERT:
+                if not R[ins[1]]:
+                    raise InterpError("__assert failed")
+            elif o == op.CAST_I:
+                R[ins[1]] = wrap32(int(R[ins[2]]))
+            elif o == op.CAST_F:
+                R[ins[1]] = float(R[ins[2]])
+            elif o == op.ABS:
+                R[ins[1]] = wrap32(abs(R[ins[2]]))
+            elif o == op.FABS:
+                R[ins[1]] = abs(float(R[ins[2]]))
+            elif o == op.MIN:
+                R[ins[1]] = min(R[ins[2]], R[ins[3]])
+            elif o == op.MAX:
+                R[ins[1]] = max(R[ins[2]], R[ins[3]])
+            elif o == op.MATH:
+                R[ins[1]] = float(_MATH_IMPLS[ins[3]](float(R[ins[2]])))
+            elif o == op.PROBE:
+                R[ins[1]] = k_probe(
+                    machine, ctr, ins[2], _fetch(machine, R, ins[4]), ins[3]
+                )
+            elif o == op.ROUT:
+                R[ins[1]] = machine.table_for(ins[2]).output(ins[3])
+            elif o == op.ROUT_ARR:
+                mode, slot = ins[3]
+                dest = (
+                    R[slot]
+                    if mode == 0
+                    else (R[slot][0] if mode == 1 else machine.globals[slot])
+                )
+                k_out_arr(machine, ctr, ins[1], ins[2], dest, ins[4])
+            elif o == op.COMMIT:
+                k_commit(machine, ctr, ins[1], _fetch(machine, R, ins[3]), ins[2])
+            elif o == op.REND:
+                machine.table_for(ins[1]).finish()
+            elif o == op.PROFILE:
+                if machine.profiler is not None:
+                    k_profile(machine, ins[1], _fetch(machine, R, ins[3]), ins[2])
+            elif o == op.FREQ:
+                k_freq(machine, ins[1])
+            elif o == op.SEGE:
+                k_seg_enter(machine, ins[1])
+            elif o == op.SEGX:
+                k_seg_exit(machine, ins[1])
+            elif o == op.PROF_ENTER:
+                prof.enter_function(name)
+            elif o == op.PROF_EXIT:
+                prof.exit_function()
+            elif o == op.PROF_PB:
+                prof.probe_begin(ins[1])
+            elif o == op.PROF_PE:
+                k_probe_end(machine, prof, ins[1], R[ins[2]])
+            elif o == op.PROF_CB:
+                prof.commit_begin(ins[1])
+            elif o == op.PROF_SX:
+                prof.segment_exit(ins[1])
+            elif o == op.METER_FUNC:
+                consts[ins[1]].inc()
+            elif o == op.METER_PROBE:
+                k_meter_probe(machine, ins[1], R[ins[2]], consts[ins[3]])
+            else:  # pragma: no cover - complete opcode coverage above
+                raise InterpError(f"unknown opcode {o}")
+            pc += 1
+
+    vmfn.call = call
+    vmfn.engine = "dispatch"
+
+
+# ---------------------------------------------------------------------------
+# Translation engine
+# ---------------------------------------------------------------------------
+
+
+class Untranslatable(Exception):
+    """The function's control flow defeats structural reconstruction."""
+
+
+def _w32(atom: str) -> str:
+    """Inline signed 32-bit wrap (same template as repro.runtime.fuse)."""
+    return f"((({atom}) & 4294967295) ^ 2147483648) - 2147483648"
+
+
+# Register-operand signatures, used by the translator's use census.
+_W1R23 = frozenset(
+    (
+        op.ADD, op.SUB, op.MUL, op.DIV, op.MOD, op.SHL, op.SHR, op.AND,
+        op.OR, op.XOR, op.FADD, op.FSUB, op.FMUL, op.FDIV, op.EQ, op.NE,
+        op.LT, op.LE, op.GT, op.GE, op.PADD, op.PSUB, op.PDIFF, op.IDX,
+        op.ADDR, op.MIN, op.MAX,
+    )
+)
+_W1R2 = frozenset(
+    (
+        op.MOV, op.GETBOX, op.NEWBOX, op.NEG, op.BNOT, op.NOT, op.BOOL,
+        op.FNEG, op.DEREF, op.CAST_I, op.CAST_F, op.ABS, op.FABS, op.MATH,
+    )
+)
+_W1 = frozenset(
+    (
+        op.LOADI, op.LOADG, op.NEWBOXI, op.ALLOC_Z, op.ALLOC_T, op.LOADFN,
+        op.INPUT_I, op.INPUT_F, op.INPUT_AV, op.PROBE, op.ROUT,
+    )
+)
+_R1 = frozenset((op.RETV, op.OUTPUT, op.PRINT, op.ASSERT, op.JF, op.JT))
+
+# Ops that observe the counters (directly or through an observer that
+# reads ``machine.cycles``), leave the function, or touch I/O.  A loop
+# containing none of these can defer its CHARGE sites to loop exit:
+# nothing inside can tell the difference on a completing run.
+_AGG_EXCLUDED = frozenset(
+    (
+        op.CALL, op.CALLI, op.RETV, op.RET0,
+        op.PROBE, op.ROUT, op.ROUT_ARR, op.COMMIT, op.REND,
+        op.PROFILE, op.FREQ, op.SEGE, op.SEGX,
+        op.PROF_ENTER, op.PROF_EXIT, op.PROF_PB, op.PROF_PE,
+        op.PROF_CB, op.PROF_SX, op.METER_FUNC, op.METER_PROBE,
+        op.INPUT_I, op.INPUT_F, op.INPUT_AV, op.OUTPUT, op.PRINT,
+    )
+)
+
+_CMP_TEMPLATES = {
+    op.EQ: "==", op.NE: "!=", op.LT: "<", op.LE: "<=", op.GT: ">", op.GE: ">=",
+}
+
+
+def _reg_uses(code) -> tuple[Counter, Counter]:
+    """Static read/write counts per register over one function."""
+    reads: Counter = Counter()
+    writes: Counter = Counter()
+    for ins in code:
+        o = ins[0]
+        if o in _W1R23:
+            writes[ins[1]] += 1
+            reads[ins[2]] += 1
+            reads[ins[3]] += 1
+        elif o in _W1R2:
+            writes[ins[1]] += 1
+            reads[ins[2]] += 1
+        elif o in _W1:
+            writes[ins[1]] += 1
+        elif o in _R1:
+            reads[ins[1]] += 1
+        elif o == op.CALL:
+            writes[ins[1]] += 1
+            for a in ins[3]:
+                reads[a] += 1
+        elif o == op.CALLI:
+            writes[ins[1]] += 1
+            reads[ins[2]] += 1
+            for a in ins[3]:
+                reads[a] += 1
+        elif o == op.STOREG:
+            reads[ins[2]] += 1
+        elif o == op.SETBOX or o == op.DEREFW:
+            reads[ins[1]] += 1
+            reads[ins[2]] += 1
+        elif o == op.IDXW:
+            reads[ins[1]] += 1
+            reads[ins[2]] += 1
+            reads[ins[3]] += 1
+        elif o == op.PROF_PE or o == op.METER_PROBE:
+            reads[ins[2]] += 1
+        # Probe-family source descriptors read registers outside the
+        # pending machinery (the translator's ``_vals`` names them
+        # directly), so count register operands twice: that pins any
+        # eagerly-evaluated temp as a materialized assignment instead of
+        # an inlinable pending.
+        if o == op.PROBE:
+            srcs = ins[4]
+        elif o == op.COMMIT or o == op.PROFILE:
+            srcs = ins[3]
+        elif o == op.ROUT_ARR:
+            srcs = (ins[3],)
+        else:
+            continue
+        for mode, slot in srcs:
+            if mode == op.SRC_REG or mode == op.SRC_BOX:
+                reads[slot] += 2
+    return reads, writes
+
+
+class _Pending:
+    """A single-use value computation not yet committed to a statement.
+
+    ``cond`` carries a boolean form (``(a < b)`` rather than
+    ``1 if (a < b) else 0``) for use in branch contexts; ``volatile``
+    marks side-effecting computations (calls, probes, input reads) that
+    may not float across a ``CHARGE``.
+    """
+
+    __slots__ = ("reg", "expr", "cond", "volatile")
+
+    def __init__(self, reg, expr, cond=None, volatile=False):
+        self.reg = reg
+        self.expr = expr
+        self.cond = cond
+        self.volatile = volatile
+
+
+# Max width of an inlined operand for templates that repeat it textually
+# (pointer/index ops); bounds the size blowup of nested pointer chains.
+_REPEATED_CAP = 72
+
+# Max width of any pending expression; wider values are materialized.
+_PENDING_CAP = 3000
+
+# Loop-invariant operand hoisting: an operand expression built purely
+# from registers the enclosing loop never writes (and from constants and
+# earlier hoists) computes the same value on every iteration, so it is
+# assigned once to a ``_hN`` local in the loop preamble.  Only total
+# pure expressions qualify — after stripping register/hoist references,
+# numeric literals, and the ternary keywords, any remaining identifier
+# (a call, a memory read through ``[``, a ``c_div`` fallback) rejects
+# the expression, so hoisting can never raise where the loop would not.
+_HOIST_MIN = 10
+_HOIST_MAX_PER_LOOP = 64
+_INV_TOKENS = re.compile(
+    r"\br\d+\b|\b_h\d+\b|\b\d+(?:\.\d+)?(?:e[+-]?\d+)?\b|\bif\b|\belse\b|\bnot\b"
+)
+_REG_REF = re.compile(r"\br(\d+)\b")
+_NONPURE = re.compile(r"[A-Za-z_\[]")
+
+
+def _loop_writes(code, head: int, back: int) -> set[int]:
+    """Registers written by any instruction in ``code[head..back]``."""
+    written: set[int] = set()
+    for pc in range(head, back + 1):
+        ins = code[pc]
+        o = ins[0]
+        if o in _W1R23 or o in _W1R2 or o in _W1 or o == op.CALL or o == op.CALLI:
+            written.add(ins[1])
+    return written
+
+
+class _HoistScope:
+    __slots__ = ("written", "by_expr", "assigns")
+
+    def __init__(self, written: set[int]) -> None:
+        self.written = written
+        self.by_expr: dict[str, str] = {}
+        self.assigns: list[str] = []
+
+
+class _LoopScope:
+    __slots__ = ("tail", "exit", "back", "flag", "in_wrapper")
+
+    def __init__(self, tail: int, exit_: int, back: int) -> None:
+        self.tail = tail
+        self.exit = exit_
+        self.back = back
+        self.flag = None
+        self.in_wrapper = False
+
+
+class _Translator:
+    """Rebuilds one function's bytecode as Python source.
+
+    Relies on the compiler's jump discipline: all jumps are forward
+    except loop back edges, every loop is described in ``vmfn.loops``,
+    every if/else and short-circuit join is the ``JUMP`` immediately
+    before the false-branch target, and ``break``/``continue`` are
+    forward jumps to the recorded loop exit/tail.  Any jump that doesn't
+    fit raises :class:`Untranslatable` and the function falls back to
+    the dispatch engine.
+
+    Expression re-fusion: a temp register written once and read once
+    stays *pending* — its defining expression is inlined into the
+    consumer when the pending tail matches the consumer's operands in
+    evaluation order (a stack discipline, so runtime evaluation order is
+    exactly the bytecode's).  Every emitted statement first flushes the
+    pending list, so no pending computation ever floats across a store,
+    call, or observer op; only pure pendings may float across a
+    ``CHARGE`` (observable solely on erroring runs — the same divergence
+    class :mod:`repro.runtime.fuse` documents and accepts).
+    """
+
+    def __init__(self, vmfn: VMFunction) -> None:
+        self.vmfn = vmfn
+        self.code = vmfn.code
+        self.loops = vmfn.loops
+        self.lines: list[str] = []
+        self.indent = 1
+        self.uses_globals = False
+        self.used_calls: set[int] = set()
+        self.used_fnobjs: set[int] = set()
+        self._scopes: list[_LoopScope] = []
+        self._n = 0  # wrapper/flag name counter
+        reads, writes = _reg_uses(vmfn.code)
+        base = vmfn.frame_size
+        self.inlinable = {
+            r for r, n in reads.items() if n == 1 and writes[r] == 1 and r >= base
+        }
+        # Dead temps (postfix ++/-- in statement position leaves one):
+        # their defining copies need not be emitted at all.
+        self.unread = {r for r in writes if r >= base and reads[r] == 0}
+        self.pending: list[_Pending] = []
+        # Inside an aggregated loop this holds the loop's CHARGE sites as
+        # (counter_name, ((cls, n), ...)); None means charge directly.
+        self._agg: list[tuple[str, tuple]] | None = None
+        self._hoists: list[_HoistScope] = []
+        self._hn = 0  # hoisted-value name counter
+
+    def w(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    # -- pending-expression machinery ----------------------------------------
+
+    def flush(self) -> None:
+        for e in self.pending:
+            self.w(f"r{e.reg} = {e.expr}")
+        self.pending.clear()
+
+    def consume(self, regs, caps=None):
+        """Resolve operand registers to ``[expr, cond, volatile]`` triples.
+
+        Matches operands right-to-left against the pending tail (so
+        inlining preserves evaluation order).  If some operand refers to
+        a pending def that can't be inlined this way, everything is
+        flushed first so a plain register read is always valid.
+        """
+        out = [[f"r{r}", None, False] for r in regs]
+        i = len(self.pending) - 1
+        k = len(regs) - 1
+        while k >= 0 and i >= 0:
+            e = self.pending[i]
+            if e.reg != regs[k]:
+                break
+            # A capped slot is repeated textually by its template: never
+            # inline a side-effecting expression there (it would run more
+            # than once), and bound pure ones to keep the blowup linear.
+            if caps is not None and caps[k] and (
+                e.volatile or len(e.expr) > _REPEATED_CAP
+            ):
+                if e.volatile or any(p.volatile for p in self.pending[:i]):
+                    break
+                # Pure and too wide to repeat: materialize it here, ahead
+                # of its elders (value-safe — a purely-pure pending chain
+                # reads only state no pending can write), and keep
+                # matching older entries into the other operand slots.
+                self.w(f"r{e.reg} = {e.expr}")
+                del self.pending[i]
+                i -= 1
+                k -= 1
+                continue
+            out[k] = [e.expr, e.cond, e.volatile]
+            i -= 1
+            k -= 1
+        unmatched = {regs[j] for j in range(k + 1)}
+        if any(e.reg in unmatched for e in self.pending[: i + 1]):
+            self.flush()
+            return [[f"r{r}", None, False] for r in regs]
+        del self.pending[i + 1 :]
+        return out
+
+    def value(self, dest: int, expr: str, cond=None, volatile=False) -> None:
+        """Record a value computation: pend it if single-use, else emit.
+
+        Oversized expressions are materialized instead of pended (after
+        flushing their elders, so execution order is unchanged) to keep
+        the generated source within the parser's nesting comfort zone.
+        """
+        if dest in self.inlinable and len(expr) < _PENDING_CAP:
+            self.pending.append(_Pending(dest, f"({expr})", cond, volatile))
+        else:
+            self.flush()
+            self.w(f"r{dest} = {expr}")
+
+    def stmt(self, line: str) -> None:
+        self.flush()
+        self.w(line)
+
+    # -- source construction -------------------------------------------------
+
+    def build(self) -> str:
+        params = [f"_p{i}" for i in range(len(self.vmfn.param_specs))]
+        self.emit_range(0, len(self.code))
+        header = []
+        for (slot, boxed), p in zip(self.vmfn.param_specs, params):
+            header.append(f"    r{slot} = [{p}]" if boxed else f"    r{slot} = {p}")
+        if self.uses_globals:
+            header.append("    _g = _m.globals")
+        name = f"_vm_{self.vmfn.name}"
+        src = "\n".join(
+            [f"def {name}({', '.join(params)}):"]
+            + header
+            + (self.lines or ["    pass"])
+        )
+        return src
+
+    # -- range / structure emission ------------------------------------------
+
+    def emit_range(self, lo: int, hi: int, skip_loop_at: int = -1) -> None:
+        code = self.code
+        pc = lo
+        while pc < hi:
+            if pc in self.loops and pc != skip_loop_at:
+                pc = self.emit_loop(pc)
+                continue
+            ins = code[pc]
+            o = ins[0]
+            if o == op.JUMP:
+                self.jump_to(ins[1], pc, hi)
+                pc += 1
+            elif o == op.JF or o == op.JT:
+                pc = self.branch(pc, ins[1], ins[2], o == op.JF, hi)
+            else:
+                self.emit_ins(ins)
+                pc += 1
+        self.flush()
+
+    def jump_to(self, t: int, pc: int, hi: int) -> None:
+        self.flush()
+        if t == hi:
+            return  # join: fall through to the end of this range
+        scope = self._scopes[-1] if self._scopes else None
+        if scope is not None and t == scope.tail:
+            # continue-equivalent: reach the loop's tail (step/cond) region
+            if scope.in_wrapper:
+                self.w("break")  # ends the one-pass wrapper
+            elif scope.tail == scope.back:
+                self.w("continue")  # while loop: tail IS the back edge
+            else:
+                raise Untranslatable(f"continue outside wrapper at pc {pc}")
+            return
+        if scope is not None and t == scope.exit:
+            if scope.in_wrapper:
+                self.w(f"{scope.flag} = 1")
+                self.w("break")
+            else:
+                self.w("break")
+            return
+        raise Untranslatable(f"unclassifiable jump {pc} -> {t}")
+
+    def branch(self, pc: int, r: int, t: int, is_jf: bool, hi: int) -> int:
+        code = self.code
+        ((cexpr, ccond, _),) = self.consume([r])
+        truth = ccond or cexpr
+        self.flush()
+        scope = self._scopes[-1] if self._scopes else None
+        if scope is not None and t == scope.exit:
+            # A loop condition's exit test (emitted outside the wrapper).
+            if scope.in_wrapper:
+                raise Untranslatable(f"exit test inside wrapper at pc {pc}")
+            self.w(f"if {'not ' if is_jf else ''}{truth}: break")
+            return pc + 1
+        if t <= pc or t > hi:
+            raise Untranslatable(f"branch {pc} -> {t} escapes range")
+        join = None
+        if t - 1 > pc and code[t - 1][0] == op.JUMP:
+            j = code[t - 1][1]
+            if t <= j <= hi and (scope is None or j != scope.exit):
+                join = j
+        if join is not None:
+            # Two-armed: the JUMP before the target is the join.
+            if is_jf:
+                then_range, else_range = (pc + 1, t - 1), (t, join)
+            else:
+                then_range, else_range = (t, join), (pc + 1, t - 1)
+            self.w(f"if {truth}:")
+            self._suite(*then_range)
+            self.w("else:")
+            self._suite(*else_range)
+            return join
+        self.w(f"if {truth}:" if is_jf else f"if not {truth}:")
+        self._suite(pc + 1, t)
+        return t
+
+    def _suite(self, lo: int, hi: int, skip_loop_at: int = -1) -> None:
+        self.indent += 1
+        before = len(self.lines)
+        self.emit_range(lo, hi, skip_loop_at=skip_loop_at)
+        if len(self.lines) == before:
+            self.w("pass")
+        self.indent -= 1
+
+    def _aggregatable(self, head: int, back: int) -> bool:
+        for pc in range(head, back + 1):
+            if self.code[pc][0] in _AGG_EXCLUDED:
+                return False
+        return True
+
+    def emit_loop(self, head: int) -> int:
+        self.flush()
+        tail, back, body, wrapped, has_break = self.loops[head]
+        exit_ = back + 1
+        # Charge aggregation: in a loop free of counter observers, each
+        # CHARGE site becomes one ``_sN += 1`` and its classes are summed
+        # up once at loop exit — exact for every completing run, whatever
+        # path the iterations take, and ~#classes cheaper per block.
+        outer_agg = self._agg
+        self._agg = [] if self._aggregatable(head, back) else None
+        self._hoists.append(_HoistScope(_loop_writes(self.code, head, back)))
+        insert_at = len(self.lines)
+        self.w("while True:")
+        self.indent += 1
+        before = len(self.lines)
+        scope = _LoopScope(tail, exit_, back)
+        self._scopes.append(scope)
+        # Condition region (while/for): charge + cond + exit test.
+        self.emit_range(head, body, skip_loop_at=head)
+        if wrapped:
+            # A bound continue must fall through to the step/cond region:
+            # run the body in a one-pass wrapper (continue => wrapper
+            # break), with a flag to escape both on a mini-C break.
+            self._n += 1
+            if has_break:
+                scope.flag = f"_bf{self._n}"
+                self.w(f"{scope.flag} = 0")
+            self.w(f"for _w{self._n} in _ONE:")
+            scope.in_wrapper = True
+            # skip_loop_at: a do-while body starts AT the loop header
+            # (there is no condition region), so the body range must not
+            # re-enter this same loop.
+            self._suite(body, tail, skip_loop_at=head)
+            scope.in_wrapper = False
+            if scope.flag is not None:
+                self.w(f"if {scope.flag}: break")
+        else:
+            self.emit_range(body, tail, skip_loop_at=head)
+        # Tail region: the for step or the do-while condition.
+        self.emit_range(tail, back)
+        back_ins = self.code[back]
+        if back_ins[0] == op.JT:
+            ((cexpr, ccond, _),) = self.consume([back_ins[1]])
+            self.flush()
+            self.w(f"if not {ccond or cexpr}: break")
+        elif back_ins[0] != op.JUMP:  # pragma: no cover - compiler discipline
+            raise Untranslatable(f"unexpected back edge at pc {back}")
+        self._scopes.pop()
+        if len(self.lines) == before:
+            self.w("pass")  # for(;;); — an empty infinite loop
+        self.indent -= 1
+        agg, self._agg = self._agg, outer_agg
+        pad = "    " * self.indent
+        hoist = self._hoists.pop()
+        for i, assign in enumerate(hoist.assigns):
+            self.lines.insert(insert_at + i, f"{pad}{assign}")
+        insert_at += len(hoist.assigns)
+        if agg:
+            for i, (var, _) in enumerate(agg):
+                self.lines.insert(insert_at + i, f"{pad}{var} = 0")
+            totals: dict[int, list[str]] = {}
+            for var, pairs in agg:
+                for cls, k in pairs:
+                    totals.setdefault(cls, []).append(
+                        var if k == 1 else f"{k} * {var}"
+                    )
+            for cls in sorted(totals):
+                self.w(f"_c[{cls}] += " + " + ".join(totals[cls]))
+        return exit_
+
+    # -- instruction emission -------------------------------------------------
+
+    def _src(self, mode: int, slot: int) -> str:
+        if mode == op.SRC_REG:
+            return f"r{slot}"
+        if mode == op.SRC_BOX:
+            return f"r{slot}[0]"
+        if mode == op.SRC_CONST:
+            return repr(slot)
+        self.uses_globals = True
+        return f"_g[{slot}]"
+
+    def _vals(self, srcs) -> str:
+        if not srcs:
+            return "()"
+        return "(" + ", ".join(self._src(m, s) for m, s in srcs) + ",)"
+
+    def maybe_hoist(self, expr: str, volatile: bool) -> str:
+        """Replace a loop-invariant pure operand with a preamble local."""
+        if volatile or not self._hoists or len(expr) < _HOIST_MIN:
+            return expr
+        scope = self._hoists[-1]
+        var = scope.by_expr.get(expr)
+        if var is not None:
+            return var
+        if len(scope.assigns) >= _HOIST_MAX_PER_LOOP:
+            return expr
+        if _NONPURE.search(_INV_TOKENS.sub("", expr)):
+            return expr
+        if any(int(m) in scope.written for m in _REG_REF.findall(expr)):
+            return expr
+        self._hn += 1
+        var = f"_h{self._hn}"
+        scope.assigns.append(f"{var} = {expr}")
+        scope.by_expr[expr] = var
+        return var
+
+    def _ab(self, ins):
+        """Two register operands; the joint volatility taints the result."""
+        (a, _, av), (b, _, bv) = self.consume([ins[2], ins[3]])
+        return self.maybe_hoist(a, av), self.maybe_hoist(b, bv), av or bv
+
+    def _one(self, ins):
+        ((s, _, v),) = self.consume([ins[2]])
+        return self.maybe_hoist(s, v), v
+
+    def emit_ins(self, ins) -> None:
+        o = ins[0]
+        if o == op.CHARGE:
+            # Pure pendings may float across counter increments (the
+            # accepted erroring-run divergence); side-effecting ones
+            # (calls charge inside the callee) must not.
+            if any(e.volatile for e in self.pending):
+                self.flush()
+            if self._agg is not None:
+                self._n += 1
+                var = f"_s{self._n}"
+                self._agg.append((var, ins[1]))
+                self.w(f"{var} += 1")
+            else:
+                for cls, n in ins[1]:
+                    self.w(f"_c[{cls}] += {n}")
+        elif o == op.MOV:
+            if ins[1] in self.unread:
+                return  # dead copy; the source stays pending/assigned
+            ((s, c, v),) = self.consume([ins[2]])
+            self.value(ins[1], s, cond=c, volatile=v)
+        elif o == op.LOADI:
+            if ins[1] in self.unread:
+                return
+            self.value(ins[1], repr(ins[2]))
+        elif o == op.ADD:
+            a, b, v = self._ab(ins)
+            self.value(ins[1], _w32(f"{a} + {b}"), volatile=v)
+        elif o == op.SUB:
+            a, b, v = self._ab(ins)
+            self.value(ins[1], _w32(f"{a} - {b}"), volatile=v)
+        elif o == op.MUL:
+            a, b, v = self._ab(ins)
+            self.value(ins[1], _w32(f"{a} * {b}"), volatile=v)
+        elif o == op.DIV:
+            # int(a / b) is exact C truncation for |operands| < 2**53 (the
+            # quotient would need a*b >= 2**53 to round across an integer);
+            # the zero check falls back to c_div for the InterpError.  The
+            # dividend repeats only across exclusive branches (one runtime
+            # evaluation), so just the guarded divisor is capped — but the
+            # guard evaluates the divisor first, so a side-effecting
+            # dividend takes the plain call form to keep evaluation order.
+            (a, _, av), (b, _, _) = self.consume([ins[2], ins[3]], caps=(False, True))
+            if av:
+                self.value(ins[1], f"c_div({a}, {b})", volatile=True)
+            else:
+                self.value(ins[1], f"int({a} / {b}) if {b} else c_div({a}, {b})")
+        elif o == op.MOD:
+            # fmod is exact on integer-valued doubles and the remainder
+            # sign follows the dividend — C99 semantics, like c_mod.
+            (a, _, av), (b, _, _) = self.consume([ins[2], ins[3]], caps=(False, True))
+            if av:
+                self.value(ins[1], f"c_mod({a}, {b})", volatile=True)
+            else:
+                self.value(ins[1], f"int(_fmod({a}, {b})) if {b} else c_mod({a}, {b})")
+        elif o == op.SHL:
+            a, b, v = self._ab(ins)
+            self.value(ins[1], _w32(f"{a} << ({b} & 31)"), volatile=v)
+        elif o == op.SHR:
+            a, b, v = self._ab(ins)
+            self.value(ins[1], f"{a} >> ({b} & 31)", volatile=v)
+        elif o == op.AND:
+            a, b, v = self._ab(ins)
+            self.value(ins[1], f"{a} & {b}", volatile=v)
+        elif o == op.OR:
+            a, b, v = self._ab(ins)
+            self.value(ins[1], f"{a} | {b}", volatile=v)
+        elif o == op.XOR:
+            a, b, v = self._ab(ins)
+            self.value(ins[1], f"{a} ^ {b}", volatile=v)
+        elif o == op.NEG:
+            s, v = self._one(ins)
+            self.value(ins[1], _w32(f"-{s}"), volatile=v)
+        elif o == op.BNOT:
+            s, v = self._one(ins)
+            self.value(ins[1], f"~{s}", volatile=v)
+        elif o == op.NOT:
+            ((s, c, v),) = self.consume([ins[2]])
+            cond = f"(not {c or s})"
+            self.value(ins[1], f"1 if {cond} else 0", cond=cond, volatile=v)
+        elif o == op.BOOL:
+            ((s, c, v),) = self.consume([ins[2]])
+            cond = c or f"({s})"
+            self.value(ins[1], f"1 if {cond} else 0", cond=cond, volatile=v)
+        elif o == op.FADD:
+            a, b, v = self._ab(ins)
+            self.value(ins[1], f"{a} + {b}", volatile=v)
+        elif o == op.FSUB:
+            a, b, v = self._ab(ins)
+            self.value(ins[1], f"{a} - {b}", volatile=v)
+        elif o == op.FMUL:
+            a, b, v = self._ab(ins)
+            self.value(ins[1], f"{a} * {b}", volatile=v)
+        elif o == op.FDIV:
+            a, b, v = self._ab(ins)
+            self.value(ins[1], f"_fdiv({a}, {b})", volatile=v)
+        elif o == op.FNEG:
+            s, v = self._one(ins)
+            self.value(ins[1], f"-{s}", volatile=v)
+        elif o in _CMP_TEMPLATES:
+            a, b, v = self._ab(ins)
+            cond = f"({a} {_CMP_TEMPLATES[o]} {b})"
+            self.value(ins[1], f"1 if {cond} else 0", cond=cond, volatile=v)
+        elif o == op.RETV:
+            ((s, _, _),) = self.consume([ins[1]])
+            self.flush()
+            self.w(f"_c[{RET}] += 1")
+            self.w(f"return {s}")
+        elif o == op.RET0:
+            self.flush()
+            self.w(f"_c[{RET}] += 1")
+            self.w("return 0")
+        elif o == op.LOADG:
+            self.uses_globals = True
+            self.value(ins[1], f"_g[{ins[2]}]")
+        elif o == op.STOREG:
+            self.uses_globals = True
+            ((s, _, _),) = self.consume([ins[2]])
+            self.stmt(f"_g[{ins[1]}] = {s}")
+        elif o == op.GETBOX:
+            s, v = self._one(ins)
+            self.value(ins[1], f"{s}[0]", volatile=v)
+        elif o == op.SETBOX:
+            (b, _, _), (s, _, _) = self.consume([ins[1], ins[2]])
+            self.stmt(f"{b}[0] = {s}")
+        elif o == op.NEWBOX:
+            s, v = self._one(ins)
+            self.value(ins[1], f"[{s}]", volatile=v)
+        elif o == op.NEWBOXI:
+            self.value(ins[1], f"[{ins[2]!r}]")
+        elif o == op.ALLOC_Z:
+            self.value(ins[1], f"zero_value(_K[{ins[2]}])")
+        elif o == op.ALLOC_T:
+            self.value(ins[1], f"deep_copy_value(_K[{ins[2]}])")
+        elif o == op.PADD:
+            (a, _, _), (b, _, _) = self.consume([ins[2], ins[3]], caps=(True, True))
+            self.value(
+                ins[1],
+                f"({a}[0], {a}[1] + {b}) if type({a}) is tuple else ({a}, {b})",
+            )
+        elif o == op.PSUB:
+            (a, _, _), (b, _, _) = self.consume([ins[2], ins[3]], caps=(True, True))
+            self.value(
+                ins[1],
+                f"({a}[0], {a}[1] - {b}) if type({a}) is tuple else ({a}, -{b})",
+            )
+        elif o == op.PDIFF:
+            (a, _, _), (b, _, _) = self.consume([ins[2], ins[3]], caps=(True, True))
+            self.value(
+                ins[1],
+                f"({a}[1] if type({a}) is tuple else 0)"
+                f" - ({b}[1] if type({b}) is tuple else 0)",
+            )
+        elif o == op.IDX:
+            (b, _, _), (i, _, _) = self.consume([ins[2], ins[3]], caps=(True, True))
+            self.value(
+                ins[1],
+                f"{b}[0][{b}[1] + {i}] if type({b}) is tuple else {b}[{i}]",
+            )
+        elif o == op.IDXW:
+            (b, _, _), (i, _, _), (s, _, _) = self.consume(
+                [ins[1], ins[2], ins[3]], caps=(True, True, True)
+            )
+            self.flush()
+            self.w(f"if type({b}) is tuple:")
+            self.w(f"    {b}[0][{b}[1] + {i}] = {s}")
+            self.w("else:")
+            self.w(f"    {b}[{i}] = {s}")
+        elif o == op.ADDR:
+            (b, _, _), (i, _, _) = self.consume([ins[2], ins[3]], caps=(True, True))
+            self.value(
+                ins[1],
+                f"({b}[0], {b}[1] + {i}) if type({b}) is tuple else ({b}, {i})",
+            )
+        elif o == op.DEREF:
+            ((p, _, _),) = self.consume([ins[2]], caps=(True,))
+            self.value(ins[1], f"{p}[0][{p}[1]] if type({p}) is tuple else {p}[0]")
+        elif o == op.DEREFW:
+            (p, _, _), (s, _, _) = self.consume([ins[1], ins[2]], caps=(True, True))
+            self.flush()
+            self.w(f"if type({p}) is tuple:")
+            self.w(f"    {p}[0][{p}[1]] = {s}")
+            self.w("else:")
+            self.w(f"    {p}[0] = {s}")
+        elif o == op.CALL:
+            self.used_calls.add(ins[2])
+            args = [x[0] for x in self.consume(list(ins[3]))]
+            self.value(ins[1], f"_F{ins[2]}({', '.join(args)})", volatile=True)
+        elif o == op.CALLI:
+            parts = [x[0] for x in self.consume([ins[2], *ins[3]])]
+            self.value(
+                ins[1],
+                f"_icall({parts[0]})({', '.join(parts[1:])})",
+                volatile=True,
+            )
+        elif o == op.LOADFN:
+            self.used_fnobjs.add(ins[2])
+            self.value(ins[1], f"_FOBJ{ins[2]}")
+        elif o == op.INPUT_I:
+            self.value(ins[1], _w32("int(_next_input())"), volatile=True)
+        elif o == op.INPUT_F:
+            self.value(ins[1], "float(_next_input())", volatile=True)
+        elif o == op.INPUT_AV:
+            self.value(ins[1], "_input_avail()", volatile=True)
+        elif o == op.OUTPUT:
+            ((s, _, _),) = self.consume([ins[1]])
+            self.stmt(f"_emit_out({s})")
+        elif o == op.PRINT:
+            ((s, _, _),) = self.consume([ins[1]])
+            self.stmt(f"_m.debug_log.append({s})")
+        elif o == op.ASSERT:
+            ((s, c, _),) = self.consume([ins[1]])
+            self.stmt(f"if not {c or s}: raise _IErr('__assert failed')")
+        elif o == op.CAST_I:
+            s, v = self._one(ins)
+            self.value(ins[1], _w32(f"int({s})"), volatile=v)
+        elif o == op.CAST_F:
+            s, v = self._one(ins)
+            self.value(ins[1], f"float({s})", volatile=v)
+        elif o == op.ABS:
+            s, v = self._one(ins)
+            self.value(ins[1], _w32(f"abs({s})"), volatile=v)
+        elif o == op.FABS:
+            s, v = self._one(ins)
+            self.value(ins[1], f"abs(float({s}))", volatile=v)
+        elif o == op.MIN:
+            a, b, v = self._ab(ins)
+            self.value(ins[1], f"min({a}, {b})", volatile=v)
+        elif o == op.MAX:
+            a, b, v = self._ab(ins)
+            self.value(ins[1], f"max({a}, {b})", volatile=v)
+        elif o == op.MATH:
+            s, v = self._one(ins)
+            self.value(ins[1], f"float(_MATH[{ins[3]}](float({s})))", volatile=v)
+        elif o == op.PROBE:
+            self.value(
+                ins[1],
+                f"_k_probe(_m, _c, {ins[2]}, {self._vals(ins[4])}, {ins[3]!r})",
+                volatile=True,
+            )
+        elif o == op.ROUT:
+            self.value(
+                ins[1], f"_m.table_for({ins[2]}).output({ins[3]})", volatile=True
+            )
+        elif o == op.ROUT_ARR:
+            dest = self._src(*ins[3])
+            self.stmt(f"_k_out_arr(_m, _c, {ins[1]}, {ins[2]}, {dest}, {ins[4]})")
+        elif o == op.COMMIT:
+            self.stmt(
+                f"_k_commit(_m, _c, {ins[1]}, {self._vals(ins[3])}, {ins[2]!r})"
+            )
+        elif o == op.REND:
+            self.stmt(f"_m.table_for({ins[1]}).finish()")
+        elif o == op.PROFILE:
+            self.flush()
+            self.w("if _m.profiler is not None:")
+            self.w(f"    _k_profile(_m, {ins[1]}, {self._vals(ins[3])}, {ins[2]!r})")
+        elif o == op.FREQ:
+            self.stmt(f"_k_freq(_m, {ins[1]})")
+        elif o == op.SEGE:
+            self.stmt(f"_k_seg_enter(_m, {ins[1]})")
+        elif o == op.SEGX:
+            self.stmt(f"_k_seg_exit(_m, {ins[1]})")
+        elif o == op.PROF_ENTER:
+            self.stmt(f"_prof.enter_function({ins[1]!r})")
+        elif o == op.PROF_EXIT:
+            self.stmt("_prof.exit_function()")
+        elif o == op.PROF_PB:
+            self.stmt(f"_prof.probe_begin({ins[1]})")
+        elif o == op.PROF_PE:
+            self.stmt(f"_k_probe_end(_m, _prof, {ins[1]}, r{ins[2]})")
+        elif o == op.PROF_CB:
+            self.stmt(f"_prof.commit_begin({ins[1]})")
+        elif o == op.PROF_SX:
+            self.stmt(f"_prof.segment_exit({ins[1]})")
+        elif o == op.METER_FUNC:
+            self.stmt(f"_K[{ins[1]}].inc()")
+        elif o == op.METER_PROBE:
+            self.stmt(f"_k_meter_probe(_m, {ins[1]}, r{ins[2]}, _K[{ins[3]}])")
+        else:  # pragma: no cover - complete opcode coverage above
+            raise Untranslatable(f"no template for opcode {o}")
+
+
+def install_translated(vmfn: VMFunction) -> tuple[dict, set[int], set[int]]:
+    """Translate ``vmfn`` to a Python function and install it as ``call``.
+
+    Returns the exec namespace and the function indices used for direct
+    calls / function values, to be patched by :func:`link_program` once
+    every function has its engine installed.  Raises
+    :class:`Untranslatable` (leaving ``vmfn`` unmodified) when the
+    bytecode defeats structural reconstruction.
+    """
+    xl = _Translator(vmfn)
+    src = xl.build()
+    machine = vmfn.machine
+    namespace = {
+        "_m": machine,
+        "_c": machine.counters,
+        "_K": vmfn.consts,
+        "_prof": vmfn.cycle_profiler,
+        "_ONE": (0,),
+        "_IErr": InterpError,
+        "_icall": _icall,
+        "_fdiv": _float_div,
+        "_fmod": math.fmod,
+        "_MATH": _MATH_IMPLS,
+        "c_div": c_div,
+        "c_mod": c_mod,
+        "zero_value": zero_value,
+        "deep_copy_value": deep_copy_value,
+        "_next_input": machine.next_input,
+        "_input_avail": machine.input_available,
+        "_emit_out": machine.emit,
+        "_k_probe": k_probe,
+        "_k_commit": k_commit,
+        "_k_out_arr": k_out_arr,
+        "_k_profile": k_profile,
+        "_k_freq": k_freq,
+        "_k_seg_enter": k_seg_enter,
+        "_k_seg_exit": k_seg_exit,
+        "_k_probe_end": k_probe_end,
+        "_k_meter_probe": k_meter_probe,
+    }
+    name = f"_vm_{vmfn.name}"
+    exec(compile(src, f"<vm:{vmfn.name}>", "exec"), namespace)
+    fn = namespace[name]
+    fn.vm_source = src  # for debugging / tests
+    vmfn.call = fn
+    vmfn.engine = "translate"
+    return namespace, xl.used_calls, xl.used_fnobjs
+
+
+# ---------------------------------------------------------------------------
+# Program assembly
+# ---------------------------------------------------------------------------
+
+
+class VMProgram:
+    """A whole program compiled to bytecode against a machine.
+
+    Interface-compatible with
+    :class:`repro.runtime.compiler.CompiledProgram` (``functions``,
+    ``reset_globals``, ``run``), so every caller of ``compile_program``
+    works with either backend.
+    """
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.functions: dict[str, VMFunction] = {}
+        self.by_index: list[VMFunction] = []
+        self._global_templates: list = []
+
+    def reset_globals(self) -> None:
+        self.machine.globals = [deep_copy_value(v) for v in self._global_templates]
+
+    def run(self, entry: str = "main", args: tuple = ()):
+        """Invoke ``entry`` with fresh globals and I/O, return its value.
+
+        Counters are *not* reset so several runs can accumulate, exactly
+        like the closure backend's ``CompiledProgram.run``.
+        """
+        self.reset_globals()
+        self.machine.reset_io()
+        fn = self.functions.get(entry)
+        if fn is None:
+            raise InterpError(f"no function named {entry!r}")
+        return fn.invoke(tuple(args))
+
+
+def compile_vm_program(program, machine) -> VMProgram:
+    """Compile a resolved mini-C program to bytecode against ``machine``.
+
+    Mirrors ``compile_program``'s phases: function shells (so calls and
+    function values resolve by index), global templates, then bodies —
+    with the same Typer and the same observer-registration order, so a
+    metrics registry sees identical families either way.
+    """
+    from ...minic.sema import Typer
+    from ..compiler import _ensure_recursion_limit, _global_template
+
+    _ensure_recursion_limit()
+    prog = VMProgram(machine)
+    fn_index = {fn.name: i for i, fn in enumerate(program.functions)}
+    templates = [_global_template(g.decl) for g in program.globals]
+    prog._global_templates = templates
+    prog.reset_globals()
+    typer = Typer(program)
+    for i, fn in enumerate(program.functions):
+        vmfn = compile_function(fn, typer, machine, fn_index, i)
+        prog.functions[fn.name] = vmfn
+        prog.by_index.append(vmfn)
+    link_program(prog)
+    return prog
+
+
+def link_program(prog: VMProgram) -> None:
+    """Install an execution engine on every function and patch direct
+    call references between the generated functions."""
+    engine = os.environ.get("REPRO_VM_ENGINE", "translate")
+    translated: list[tuple[dict, set[int], set[int]]] = []
+    for vmfn in prog.by_index:
+        if engine != "dispatch":
+            try:
+                translated.append(install_translated(vmfn))
+                continue
+            except Untranslatable:
+                pass
+        install_dispatch(vmfn, prog)
+    # Direct calls bind the callee's entry point without per-call lookups;
+    # this must wait until every function has its engine installed.
+    for namespace, used_calls, used_fnobjs in translated:
+        for fi in used_calls:
+            namespace[f"_F{fi}"] = prog.by_index[fi].call
+        for fi in used_fnobjs:
+            namespace[f"_FOBJ{fi}"] = prog.by_index[fi]

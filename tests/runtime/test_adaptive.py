@@ -1,91 +1,19 @@
-"""Tests for adaptive reuse tables (runtime deactivation extension)."""
+"""Runtime deactivation of unprofitable probing (governor path).
+
+The ``AdaptiveReuseTable`` prototype and its ``build_tables(adaptive=True)``
+shim are retired; the online reuse governor
+(:mod:`repro.runtime.governor`) is the one runtime-deactivation
+mechanism.  These tests pin the behavior the prototype introduced — an
+adversarial input stream must not keep paying probe overhead, and a
+profitable stream must be left alone — on the governed tables, plus the
+removal itself.
+"""
 
 import pytest
 
 from repro.minic import frontend
 from repro.reuse import PipelineConfig, ReusePipeline
 from repro.runtime import Machine, compile_program
-from repro.runtime.adaptive import AdaptiveReuseTable
-
-
-class TestAdaptiveTable:
-    def _table(self, **kw):
-        defaults = dict(
-            capacity=64, in_words=1, out_words=1, break_even=0.5, window=10,
-            retry_every=20,
-        )
-        defaults.update(kw)
-        return AdaptiveReuseTable("s", **defaults)
-
-    def test_stays_active_on_good_locality(self):
-        t = self._table()
-        for i in range(100):
-            key = (i % 3,)
-            if not t.bypassed:
-                if t.probe(key):
-                    t.finish()
-                else:
-                    t.commit((1,))
-        assert t.active
-        assert t.deactivations == 0
-
-    def test_deactivates_on_bad_locality(self):
-        t = self._table()
-        for i in range(30):
-            if t.bypassed:
-                t.push_bypass()
-                t.commit(())
-                continue
-            key = (i,)  # all distinct: zero hits
-            if t.probe(key):
-                t.finish()
-            else:
-                t.commit((1,))
-        assert t.deactivations >= 1
-        assert t.bypassed_probes > 0
-
-    def test_reactivation_resamples(self):
-        t = self._table(window=5, retry_every=8)
-        # poison phase: deactivate
-        for i in range(10):
-            if not t.bypassed:
-                t.probe((1000 + i,))
-                t.commit((1,))
-            else:
-                t.push_bypass()
-                t.commit(())
-        assert not t.active
-        # keep bypassing until retry triggers, then feed it locality
-        hits = 0
-        for i in range(200):
-            if t.bypassed:
-                t.push_bypass()
-                t.commit(())
-                continue
-            if t.probe((7,)):
-                hits += 1
-                t.finish()
-            else:
-                t.commit((9,))
-        assert t.active  # recovered
-        assert hits > 0
-
-    def test_break_even_validation(self):
-        with pytest.raises(ValueError):
-            self._table(break_even=1.5)
-
-    def test_commit_after_bypass_is_noop(self):
-        t = self._table(window=2, retry_every=100)
-        t.probe((1,))
-        t.commit((10,))
-        t.probe((2,))
-        t.commit((20,))  # window closes, ratio 0 -> deactivate
-        assert not t.active
-        assert t.bypassed  # consumes one bypass
-        t.push_bypass()
-        t.commit(())  # must not raise or store anything
-        assert t.occupied <= 2
-
 
 PROGRAM = """
 int tab[8] = {5, 3, 8, 1, 9, 2, 7, 4};
@@ -143,16 +71,16 @@ class TestEndToEnd:
         assert table.governor.bypassed_executions > 0
         assert any(t["reason"] == "unprofitable" for t in table.governor.transitions)
 
-    def test_adaptive_kwarg_is_deprecated_shim(self):
+
+class TestRetiredShim:
+    def test_adaptive_kwarg_is_gone(self):
         profile_inputs = [3, 9, 3, 17, 9, 3] * 40
         result = ReusePipeline(PROGRAM, PipelineConfig(min_executions=16)).run(
             profile_inputs
         )
-        with pytest.warns(DeprecationWarning, match=r"repro\."):
-            tables = result.build_tables(adaptive=True)
-        from repro.runtime.governor import GovernedReuseTable
+        with pytest.raises(TypeError):
+            result.build_tables(adaptive=True)
 
-        assert tables and all(
-            isinstance(t, GovernedReuseTable) or hasattr(t, "governor")
-            for t in tables.values()
-        )
+    def test_adaptive_module_is_gone(self):
+        with pytest.raises(ImportError):
+            import repro.runtime.adaptive  # noqa: F401

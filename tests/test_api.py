@@ -207,10 +207,11 @@ class TestShims:
             value, metrics = run_source(PROGRAM, inputs=[1, 2, 3])
         assert metrics.cycles > 0
 
-    def test_build_tables_adaptive_kwarg_warns(self):
+    def test_build_tables_adaptive_kwarg_retired(self):
         result = ReusePipeline(PROGRAM, PipelineConfig(min_executions=16)).run(
             list(INPUTS)
         )
-        with pytest.warns(DeprecationWarning, match=r"repro\."):
-            tables = result.build_tables(adaptive=True)
-        assert all(hasattr(t, "governor") for t in tables.values())
+        with pytest.raises(TypeError):
+            result.build_tables(adaptive=True)
+        tables = result.build_tables(governed=True)
+        assert tables and all(hasattr(t, "governor") for t in tables.values())
