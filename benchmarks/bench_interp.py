@@ -12,7 +12,10 @@ repo root so the perf trajectory is tracked from PR to PR:
      "vm_ops_per_sec": ..., "vm_suite_seconds": ...,
      "speedup": ..., "vm_speedup_vs_fused": ...,
      "per_workload": {...},
-     "tracer": {"disabled_ns_per_span": ..., "enabled_ns_per_span": ...}}
+     "tracer": {"disabled_ns_per_span": ..., "enabled_ns_per_span": ...},
+     "source_map": {"compile_seconds_off": ..., "compile_seconds_on": ...,
+                    "compile_overhead_pct": ..., "run_seconds_off": ...,
+                    "run_seconds_on": ..., "run_overhead_pct": ...}}
 
 All three configurations execute the identical dynamic op stream (the
 run asserts it), so the throughput ratios are pure execution-engine
@@ -59,6 +62,8 @@ CONFIGS = (
     ("vm", {"fuse": True, "backend": "vm"}),
 )
 TRACER_SPANS = 50_000
+SRCMAP_WORKLOADS = ("UNEPIC", "G721_encode")
+SRCMAP_REPEATS = 3
 
 
 def _measure_one(workload, opt_level: str, **machine_kwargs) -> tuple[int, float]:
@@ -104,6 +109,56 @@ def run_tracer_benchmark() -> dict:
     }
 
 
+def run_srcmap_benchmark() -> dict:
+    """Compile and run cost of :class:`SourceMap` recording, off vs on.
+
+    The source map is the pure side table behind ``repro annotate`` and
+    ``repro disasm``: the VM compiler records ``(pc, line)`` and reuse
+    sites while emitting, and the emitted bytecode is proven identical
+    either way — so the *run* columns should be indistinguishable and
+    only compilation pays a (small) recording tax.  Best-of-N wall
+    clock, summed over the measured workloads at O0.
+    """
+    from repro.runtime.srcmap import SourceMap
+
+    compile_s = {"off": 0.0, "on": 0.0}
+    run_s = {"off": 0.0, "on": 0.0}
+    for name in SRCMAP_WORKLOADS:
+        workload = get_workload(name)
+        for mode in ("off", "on"):
+            best_compile = best_run = float("inf")
+            for _ in range(SRCMAP_REPEATS):
+                program = analyze(parse_program(workload.source))
+                optimize(program, "O0")
+                machine = Machine("O0", backend="vm")
+                if mode == "on":
+                    machine.source_map = SourceMap()
+                machine.set_inputs(workload.default_inputs())
+                t0 = time.perf_counter()
+                compiled = compile_program(program, machine)
+                t1 = time.perf_counter()
+                compiled.run("main")
+                t2 = time.perf_counter()
+                best_compile = min(best_compile, t1 - t0)
+                best_run = min(best_run, t2 - t1)
+            compile_s[mode] += best_compile
+            run_s[mode] += best_run
+
+    def _pct(off: float, on: float) -> float:
+        return round((on - off) / off * 100, 1) if off else 0.0
+
+    return {
+        "workloads": list(SRCMAP_WORKLOADS),
+        "repeats": SRCMAP_REPEATS,
+        "compile_seconds_off": round(compile_s["off"], 4),
+        "compile_seconds_on": round(compile_s["on"], 4),
+        "compile_overhead_pct": _pct(compile_s["off"], compile_s["on"]),
+        "run_seconds_off": round(run_s["off"], 4),
+        "run_seconds_on": round(run_s["on"], 4),
+        "run_overhead_pct": _pct(run_s["off"], run_s["on"]),
+    }
+
+
 def run_benchmark() -> dict:
     per_workload: dict[str, dict] = {}
     totals = {label: [0, 0.0] for label, _ in CONFIGS}  # label -> [ops, seconds]
@@ -139,6 +194,7 @@ def run_benchmark() -> dict:
         "opt_levels": list(OPT_LEVELS),
         "per_workload": per_workload,
         "tracer": run_tracer_benchmark(),
+        "source_map": run_srcmap_benchmark(),
     }
 
 
@@ -151,6 +207,14 @@ def test_bench_interp():
     write_result(result)
     assert result["ops_per_sec"] >= 2 * result["unfused_ops_per_sec"], result
     assert result["vm_ops_per_sec"] >= 2 * result["ops_per_sec"], result
+
+
+def test_bench_srcmap_overhead():
+    result = run_srcmap_benchmark()
+    # recording is compile-time only; both columns must be populated and
+    # the recording tax stays within the same order of magnitude
+    assert result["compile_seconds_on"] > 0 and result["run_seconds_on"] > 0
+    assert result["compile_overhead_pct"] < 100, result
 
 
 def test_bench_tracer_overhead():

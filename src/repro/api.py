@@ -52,6 +52,7 @@ from .reuse.pipeline import PipelineConfig, PipelineResult, ReusePipeline
 from .runtime.compiler import compile_program
 from .runtime.governor import GovernorPolicy
 from .runtime.machine import Machine, Metrics
+from .runtime.srcmap import SourceMap
 
 __all__ = [
     "CompiledProgram",
@@ -141,6 +142,7 @@ class RunResult:
     ledger: Optional[DecisionLedger] = None
     trace: Optional[Tracer] = None
     cycle_profile: Optional[CycleProfile] = None
+    source_map: Optional[SourceMap] = None
 
     @property
     def cycles(self) -> int:
@@ -211,7 +213,7 @@ class CompiledProgram:
         config: Optional[PipelineConfig] = None,
         governed: bool = False,
         trace: bool = False,
-        profile: bool = False,
+        profile=False,
         profile_inputs: Optional[Sequence] = None,
         metrics=None,
         backend: Optional[str] = None,
@@ -220,6 +222,10 @@ class CompiledProgram:
     ) -> None:
         if opt not in _OPT_LEVELS:
             raise ConfigError(f"unknown opt level {opt!r}; choose from {_OPT_LEVELS}")
+        if profile not in (True, False, "lines"):
+            raise ConfigError(
+                f"profile must be a bool or 'lines', got {profile!r}"
+            )
         if config is not None and not isinstance(config, PipelineConfig):
             raise ConfigError(
                 f"config must be a PipelineConfig, got {type(config).__name__}"
@@ -234,7 +240,8 @@ class CompiledProgram:
         self.reuse = reuse
         self.config = config or PipelineConfig()
         self.governed = governed
-        self.profiled = profile
+        self.profiled = bool(profile)
+        self.profile_lines = profile == "lines"
         self.tracer: Optional[Tracer] = Tracer(enabled=True) if trace else None
         self.registry: Optional[MetricsRegistry] = _resolve_metrics(metrics)
         self._profile_inputs = (
@@ -361,14 +368,21 @@ class CompiledProgram:
         else:
             program = self._programs[self.opt]
         profiler = None
+        source_map = None
         if self.profiled:
             # install before compile_program: the attribution hooks are a
             # compile-time decision (zero overhead when absent)
             profiler = CycleProfiler(
                 machine,
                 seg_costs=ledger_costs(self.result) if self.reuse else None,
+                lines=self.profile_lines,
             )
             machine.cycle_profiler = profiler
+        if self.profile_lines:
+            # line mode also records the SourceMap so per-line cycles can
+            # be joined with probe/commit sites and per-pc bytecode lines
+            source_map = SourceMap()
+            machine.source_map = source_map
         # likewise a compile-time decision: without a registry the closures
         # are byte-identical to un-metered ones
         machine.metrics_registry = self.registry
@@ -385,7 +399,25 @@ class CompiledProgram:
             ledger=self.ledger,
             trace=self.tracer,
             cycle_profile=profiler.finalize() if profiler is not None else None,
+            source_map=source_map,
         )
+
+    def disassemble(self):
+        """Compile for the VM backend — without running — and return
+        ``(vm_program, source_map)``: the per-function bytecode plus the
+        pc → source-line table behind ``repro disasm``.  For ``reuse=True``
+        programs, :meth:`profile` (or a first :meth:`run`) must have
+        produced the transformed program already."""
+        if self.reuse and self.result is None:
+            raise ConfigError("disassemble() before profile()/run()")
+        machine = Machine(self.opt, backend="vm")
+        machine.source_map = SourceMap()
+        if self.reuse:
+            program = self._program_for(self.opt)
+        else:
+            program = self._programs[self.opt]
+        vm_program = compile_program(program, machine)
+        return vm_program, machine.source_map
 
     def _record_governor_verdicts(self, metrics: Metrics) -> None:
         """Append the online governor's runtime verdicts to the decision
@@ -419,7 +451,7 @@ def compile(
     config: Optional[PipelineConfig] = None,
     governed: bool = False,
     trace: bool = False,
-    profile: bool = False,
+    profile=False,
     profile_inputs: Optional[Sequence] = None,
     metrics=None,
     backend: Optional[str] = None,
@@ -442,7 +474,12 @@ def compile(
             returned via :meth:`RunResult.profile`.  Attribution is
             exact — per-node cycles sum bit-identically to
             ``Metrics.cycles`` — and a profiled run's metrics are
-            bit-identical to an unprofiled one's.
+            bit-identical to an unprofiled one's.  Pass ``"lines"`` for
+            line-level attribution: the profile additionally buckets
+            cycles by source line (``CycleProfile.lines``) and the run
+            records a :class:`~repro.runtime.srcmap.SourceMap`
+            (:attr:`RunResult.source_map`) joining lines to probe and
+            commit sites — the data behind ``repro annotate``.
         profile_inputs: profile on this stream instead of the first run's.
         metrics: publish live metrics into a
             :class:`~repro.obs.metrics.MetricsRegistry` — ``True`` for a

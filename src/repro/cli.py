@@ -7,6 +7,8 @@
     python -m repro trace program.c --why quan
     python -m repro stats G721_encode --opt O3
     python -m repro stats GNUGO_drift --governed --alternate
+    python -m repro annotate UNEPIC --opt O0 --backend both --html unepic.html
+    python -m repro disasm GNUGO --opt O3
     python -m repro workloads
     python -m repro perf record --workload UNEPIC --update-baseline
     python -m repro perf report GNUGO --flamegraph gnugo.folded
@@ -23,7 +25,12 @@ pipeline with tracing on and exports a Chrome trace, a JSONL span log,
 and the segment decision ledger; ``stats`` prints the runtime
 reuse-table telemetry of a transformed execution (``--governed`` adds
 the online governor's state and transitions, ``--alternate`` runs on a
-workload's alternate/shifted input stream); ``perf`` records
+workload's alternate/shifted input stream, ``--repeat`` runs the
+session several times and reports p50/p90/p99 run latency);
+``annotate`` prints the line-level cycle & reuse annotation — the
+simulator's ``perf annotate`` — and optionally writes the heat-shaded
+HTML page; ``disasm`` dumps the VM bytecode interleaved with the
+source lines it compiled from; ``perf`` records
 cycle-attribution profiles into the append-only perf store, renders the
 measured-vs-ledger report, and gates CI against a committed baseline
 (``check`` exits non-zero on any cycle or checksum regression;
@@ -60,6 +67,53 @@ def _parse_inputs(args) -> list:
 def _read_source(path: str) -> str:
     with open(path) as f:
         return f.read()
+
+
+def _resolve_workload(name: str):
+    """``get_workload`` with CLI-grade errors: an unknown name becomes a
+    :class:`~repro.errors.ConfigError` (exit code 2) that lists the
+    registered workloads instead of a raw traceback."""
+    from .workloads import ALL_WORKLOADS, get_workload
+
+    try:
+        return get_workload(name)
+    except KeyError:
+        names = ", ".join(w.name for w in ALL_WORKLOADS)
+        raise api.ConfigError(
+            f"unknown workload {name!r}; registered workloads: {names}"
+        ) from None
+
+
+def _resolve_target(args):
+    """Shared file-or-workload resolution for the single-target commands
+    (``stats``, ``trace``, ``annotate``, ``disasm``).
+
+    A target path that exists on disk is a mini-C file; anything else
+    must name a registered workload.  Returns ``(source, profile
+    inputs, run inputs or None, pipeline config, title)``."""
+    import os
+
+    run_inputs = None
+    if os.path.exists(args.target):
+        if getattr(args, "alternate", False):
+            raise api.ConfigError("--alternate requires a registered workload")
+        source = _read_source(args.target)
+        inputs = _parse_inputs(args)
+        config = api.PipelineConfig(
+            min_executions=getattr(args, "min_executions", 32)
+        )
+        title = args.target
+    else:
+        from .experiments.adaptive import workload_config
+
+        workload = _resolve_workload(args.target)
+        source = workload.source
+        inputs = _parse_inputs(args) or workload.default_inputs()
+        if getattr(args, "alternate", False):
+            run_inputs = workload.alternate_inputs()
+        config = workload_config(workload)
+        title = workload.name
+    return source, inputs, run_inputs, config, title
 
 
 def cmd_run(args) -> int:
@@ -123,16 +177,14 @@ def cmd_trace(args) -> int:
 
     from .obs import write_chrome_trace, write_jsonl
 
-    source = _read_source(args.file)
-    inputs = _parse_inputs(args)
-    config = api.PipelineConfig(min_executions=args.min_executions)
+    source, inputs, _run_inputs, config, title = _resolve_target(args)
     program = api.compile(source, config=config, trace=True)
     result = program.profile(inputs)
     tracer = program.tracer
 
     out_dir = Path(args.out_dir or ".")
     out_dir.mkdir(parents=True, exist_ok=True)
-    base = out_dir / Path(args.file).stem
+    base = out_dir / Path(title).stem
     chrome_path = f"{base}.trace.json"
     jsonl_path = f"{base}.trace.jsonl"
     ledger_path = f"{base}.ledger.json"
@@ -166,42 +218,30 @@ def cmd_stats(args) -> int:
     governor's state machine; ``--alternate`` runs a registered workload
     on its alternate (typically distribution-shifted) input stream while
     still profiling on the default stream — the combination demonstrates
-    the governor reacting to a shift the profile never saw.
+    the governor reacting to a shift the profile never saw.  Runs go
+    through a metered :class:`~repro.api.Session` (tables stay warm
+    across ``--repeat`` runs) and the report closes with the session's
+    p50/p90/p99 run-latency quantiles.
     """
-    import os
-
     from .experiments.report import (
         render_governor,
         render_hit_ratio_series,
         render_reuse_stats,
     )
+    from .obs.render import render_session_latency
 
-    run_inputs = None
-    if os.path.exists(args.target):
-        if args.alternate:
-            print("--alternate requires a registered workload", file=sys.stderr)
-            return 2
-        source = _read_source(args.target)
-        inputs = _parse_inputs(args)
-        config = api.PipelineConfig(min_executions=args.min_executions)
-    else:
-        from .experiments.adaptive import workload_config
-        from .workloads import get_workload
-
-        workload = get_workload(args.target)
-        source = workload.source
-        inputs = _parse_inputs(args) or workload.default_inputs()
-        if args.alternate:
-            run_inputs = workload.alternate_inputs()
-        config = workload_config(workload)
-    program = api.compile(
-        source, opt=args.opt, config=config, governed=args.governed
+    source, inputs, run_inputs, config, _title = _resolve_target(args)
+    session = api.Session(
+        opt=args.opt, config=config, governed=args.governed, metrics=True
     )
+    program = session.compile(source)
     program.profile(inputs)
     if not program.result.selected:
         print("nothing was transformed; no reuse tables to report")
         return 1
-    result = program.run(run_inputs if run_inputs is not None else inputs)
+    result = None
+    for _ in range(max(1, args.repeat)):
+        result = session.run(source, run_inputs if run_inputs is not None else inputs)
     metrics = result.metrics
     print(render_reuse_stats(metrics.table_stats, metrics.merged_members))
     print()
@@ -209,6 +249,66 @@ def cmd_stats(args) -> int:
     if args.governed:
         print()
         print(render_governor(metrics.governor))
+    print()
+    print(render_session_latency(session.registry.snapshot()))
+    return 0
+
+
+def cmd_annotate(args) -> int:
+    """Line-level cycle & reuse annotation — the simulator's
+    ``perf annotate``.
+
+    Compiles the target in line-attribution mode (``profile="lines"``),
+    runs it, and joins per-line body/overhead cycles with the source
+    map's reuse-site locations and the ledger's estimates.  ``--backend
+    both`` annotates on the closure tree and the bytecode VM (the two
+    must agree line-for-line); ``--html`` also writes the heat-shaded
+    single-file HTML page."""
+    from .obs.annotate import build_annotation, render_html, render_text
+
+    source, inputs, _run_inputs, config, title = _resolve_target(args)
+    backends = ("closures", "vm") if args.backend == "both" else (args.backend,)
+    annotations = []
+    for backend in backends:
+        program = api.compile(
+            source, opt=args.opt, config=config, profile="lines", backend=backend
+        )
+        program.profile(inputs)
+        result = program.run(inputs)
+        annotations.append(
+            build_annotation(
+                source,
+                result.profile(),
+                result.source_map,
+                title=f"{title}@{args.opt}",
+            )
+        )
+    for i, annotation in enumerate(annotations):
+        if i:
+            print()
+        print(render_text(annotation))
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as f:
+            f.write(render_html(annotations))
+        print(f"\nannotated HTML: {args.html}")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    """Dump the VM bytecode of a workload (or file) interleaved with the
+    source lines it compiled from, including per-line breakdowns of
+    fused CHARGE groups.  By default the reuse-transformed program is
+    shown (probes and all); ``--no-reuse`` disassembles the original."""
+    from .obs.annotate import render_disasm
+
+    source, inputs, _run_inputs, config, _title = _resolve_target(args)
+    program = api.compile(
+        source, opt=args.opt, config=config, reuse=not args.no_reuse
+    )
+    if not args.no_reuse:
+        program.profile(inputs)
+    vm_program, source_map = program.disassemble()
+    print(render_disasm(source, vm_program, source_map))
     return 0
 
 
@@ -372,10 +472,10 @@ def cmd_workloads(args) -> int:
 
 
 def _selected_workloads(args):
-    from .workloads import ALL_WORKLOADS, get_workload
+    from .workloads import ALL_WORKLOADS
 
     if args.workload:
-        return [get_workload(name) for name in args.workload]
+        return [_resolve_workload(name) for name in args.workload]
     return ALL_WORKLOADS
 
 
@@ -460,7 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace = sub.add_parser(
         "trace", help="trace the reuse pipeline and dump the decision ledger"
     )
-    p_trace.add_argument("file")
+    p_trace.add_argument("target", help="mini-C file path or workload name")
     p_trace.add_argument("--inputs", help="comma-separated profiling input stream")
     p_trace.add_argument("--inputs-file")
     p_trace.add_argument("--min-executions", type=int, default=32)
@@ -493,7 +593,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a registered workload on its alternate (shifted) inputs "
         "while profiling on the default stream",
     )
+    p_stats.add_argument(
+        "--repeat", type=int, default=1,
+        help="session runs to execute (tables stay warm between runs)",
+    )
     p_stats.set_defaults(func=cmd_stats)
+
+    p_ann = sub.add_parser(
+        "annotate",
+        help="line-level cycle & reuse annotation (the perf-annotate view)",
+    )
+    p_ann.add_argument("target", help="mini-C file path or workload name")
+    p_ann.add_argument("--opt", choices=("O0", "O3"), default="O0")
+    p_ann.add_argument(
+        "--backend",
+        choices=("closures", "vm", "both"),
+        default="closures",
+        help="backend(s) to annotate; 'both' adds an HTML selector",
+    )
+    p_ann.add_argument(
+        "--html", help="also write the heat-shaded HTML page to this path"
+    )
+    p_ann.add_argument("--inputs", help="comma-separated input stream")
+    p_ann.add_argument("--inputs-file")
+    p_ann.add_argument("--min-executions", type=int, default=32)
+    p_ann.set_defaults(func=cmd_annotate)
+
+    p_dis = sub.add_parser(
+        "disasm", help="VM bytecode interleaved with the source lines"
+    )
+    p_dis.add_argument("target", help="mini-C file path or workload name")
+    p_dis.add_argument("--opt", choices=("O0", "O3"), default="O0")
+    p_dis.add_argument(
+        "--no-reuse", action="store_true",
+        help="disassemble the untransformed program (no probes)",
+    )
+    p_dis.add_argument("--inputs", help="comma-separated profiling input stream")
+    p_dis.add_argument("--inputs-file")
+    p_dis.add_argument("--min-executions", type=int, default=32)
+    p_dis.set_defaults(func=cmd_disasm)
 
     p_wl = sub.add_parser("workloads", help="list the benchmark workloads")
     p_wl.set_defaults(func=cmd_workloads)

@@ -11,17 +11,60 @@ each fresh measurement against it.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
+from .. import api
 from ..obs.anomaly import AnomalyPolicy, detect_row_anomalies
+from ..obs.annotate import build_annotation, render_fragment
 from ..obs.dash import DashData, WorkloadPanel, render_dashboard
 from ..obs.metrics import MetricsRegistry
 from ..obs.perfdb import PerfDB, baseline_key
-from ..obs.render import render_hit_ratio_series, render_perf_history
+from ..obs.render import (
+    render_hit_ratio_series,
+    render_perf_history,
+    render_session_latency,
+)
+from ..workloads import get_workload
+from .adaptive import workload_config
 from .perf import measure_workload
 from .report import render_governor, render_reuse_stats
 
 __all__ = ["collect_dashboard", "write_dashboard"]
+
+# histogram layout mirrors api.Session so both feeds aggregate into one family
+_RUN_SECONDS_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
+
+
+def _annotate_fragment(name: str, opt: str) -> str:
+    """Both backends' annotated-source HTML for one workload@opt.
+
+    Line mode is a separate pair of runs (marks disable fusion in the
+    closure backend, so the measured panel keeps its own run untouched);
+    the fragment gets a per-panel uid so several panels' backend
+    selectors coexist on one page."""
+    workload = get_workload(name)
+    annotations = []
+    for backend in ("closures", "vm"):
+        program = api.compile(
+            workload.source,
+            opt=opt,
+            config=workload_config(workload),
+            profile="lines",
+            backend=backend,
+        )
+        inputs = workload.default_inputs()
+        program.profile(inputs)
+        result = program.run(inputs)
+        annotations.append(
+            build_annotation(
+                workload.source,
+                result.profile(),
+                result.source_map,
+                title=f"{name}@{opt}",
+            )
+        )
+    return render_fragment(annotations, uid=f"{name}-{opt}")
 
 
 def _panel(
@@ -33,7 +76,13 @@ def _panel(
     policy: AnomalyPolicy,
 ) -> WorkloadPanel:
     history = db.rows(name, opt, variant) if db is not None else []
+    started = time.perf_counter()
     row, result = measure_workload(name, opt, variant, metrics=registry)
+    registry.histogram(
+        "repro_session_run_seconds",
+        "Per-run wall-clock seconds.",
+        buckets=_RUN_SECONDS_BUCKETS,
+    ).observe(time.perf_counter() - started)
     anomalies = detect_row_anomalies(history, row, policy) if history else []
     profile = result.profile()
     metrics = result.metrics
@@ -53,6 +102,7 @@ def _panel(
         measured_vs_ledger=profile.measured_vs_ledger(),
         profile_text=profile.render(max_depth=4),
         history_text=render_perf_history(history + [row]) if history else "",
+        annotate_html=_annotate_fragment(name, opt) if variant == "static" else "",
         anomalies=[a.describe() for a in anomalies],
     )
 
@@ -83,6 +133,7 @@ def collect_dashboard(
         title=title,
         generated=generated,
         metrics_text=registry.render_openmetrics(),
+        session_text=render_session_latency(registry.snapshot()),
         panels=panels,
     )
 

@@ -1,0 +1,488 @@
+"""Annotated-source reports: line-level cycles, reuse verdicts, bytecode.
+
+The cycle profiler's line mode (``CycleProfiler(..., lines=True)``) buckets
+every simulated cycle by source line, and the
+:class:`~repro.runtime.srcmap.SourceMap` records where each reuse site
+(probe / commit / end) and each emitted VM instruction came from.  This
+module joins those three observation streams with the source text into
+one report — the ``perf annotate`` view of the paper's transformation:
+
+* :func:`build_annotation` — the pure join: source lines × per-line
+  body/overhead cycles × reuse-site verdicts (measured hit ratios and
+  R/C/O next to the ledger's estimates);
+* :func:`render_text` — the aligned terminal table behind
+  ``repro annotate <workload>``;
+* :func:`render_html` — a deterministic single-file HTML page
+  (heat-shaded lines, per-line R/C/O and hit-ratio columns,
+  segment-boundary markers, a backend selector when both backends'
+  annotations are supplied) that the dashboard embeds as a panel;
+* :func:`render_disasm` — VM bytecode interleaved with the source lines
+  it compiled from, behind ``repro disasm <workload>``.
+
+Everything here is a pure function of its inputs — no clocks, no
+environment — so both renderers are golden-file tested byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..runtime.costs import CLASS_NAMES
+from ..runtime.vm import vm_opcodes as op
+
+__all__ = [
+    "ANNOTATE_CSS",
+    "Annotation",
+    "LineRow",
+    "SiteRow",
+    "build_annotation",
+    "render_text",
+    "render_html",
+    "render_fragment",
+    "render_disasm",
+]
+
+
+# -- the join ----------------------------------------------------------------
+
+
+@dataclass
+class SiteRow:
+    """One reuse segment joined across source map, profile, and ledger."""
+
+    seg_id: int
+    function: str = ""
+    probe_line: int = 0
+    commit_line: int = 0
+    end_line: int = 0
+    executions: int = 0
+    hits: int = 0
+    misses: int = 0
+    bypassed: int = 0
+    meas_r: float = 0.0
+    meas_c: float = 0.0
+    meas_o: float = 0.0
+    est_r: Optional[float] = None
+    est_c: Optional[float] = None
+    est_o: Optional[float] = None
+
+    @property
+    def hit_ratio(self) -> float:
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
+
+
+@dataclass
+class LineRow:
+    """One source line with its attribution and site markers."""
+
+    line: int
+    text: str
+    body: int = 0
+    overhead: int = 0
+    # markers: ("probe"|"commit"|"end", seg_id) in marker order
+    markers: list = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.body + self.overhead
+
+
+@dataclass
+class Annotation:
+    """A fully joined annotated-source report for one measured run."""
+
+    title: str
+    backend: str
+    cycles: int          # Metrics.cycles of the run
+    attributed: int      # sum of the line buckets (== cycles by conservation)
+    prelude: tuple       # (body, overhead) cycles before the first line mark
+    rows: list           # LineRow per source line, in order
+    sites: list          # SiteRow per segment, by seg_id
+
+    @property
+    def max_line_cycles(self) -> int:
+        return max((row.total for row in self.rows), default=0)
+
+
+def build_annotation(
+    source: str,
+    profile,
+    source_map,
+    *,
+    title: str = "program",
+) -> Annotation:
+    """Join source text, a line-tracking :class:`CycleProfile`, and the
+    run's :class:`SourceMap` into an :class:`Annotation`.
+
+    ``profile.lines`` must be present (run with ``profile="lines"``).
+    The returned annotation's ``attributed`` total reconciles bit-exactly
+    with the run's ``Metrics.cycles`` — the line-level conservation
+    property the differential tests pin.
+    """
+    lines = profile.lines or {}
+    site_map = source_map.sites() if source_map is not None else {}
+    seg_atts = profile.segments()
+    sites = []
+    for seg_id in sorted(set(site_map) | set(seg_atts)):
+        fn_name, site = site_map.get(seg_id, ("", {}))
+        att = seg_atts.get(seg_id)
+        est = profile.seg_costs.get(seg_id, {})
+        row = SiteRow(
+            seg_id=seg_id,
+            function=fn_name,
+            probe_line=site.get("probe_line", 0),
+            commit_line=site.get("commit_line", 0),
+            end_line=site.get("end_line", 0),
+            est_r=est.get("R"),
+            est_c=est.get("C"),
+            est_o=est.get("O"),
+        )
+        if att is not None:
+            row.executions = att.executions
+            row.hits = att.hits
+            row.misses = att.misses
+            row.bypassed = att.bypassed
+            row.meas_r = att.measured_reuse_rate
+            row.meas_c = att.measured_granularity
+            row.meas_o = att.measured_overhead
+        sites.append(row)
+
+    markers: dict[int, list] = {}
+    for site in sites:
+        for kind in ("probe", "commit", "end"):
+            line = getattr(site, f"{kind}_line")
+            if line > 0:
+                markers.setdefault(line, []).append((kind, site.seg_id))
+
+    rows = []
+    for number, text in enumerate(source.splitlines(), start=1):
+        bucket = lines.get(number, (0, 0))
+        rows.append(
+            LineRow(
+                line=number,
+                text=text,
+                body=bucket[0],
+                overhead=bucket[1],
+                markers=markers.get(number, []),
+            )
+        )
+    return Annotation(
+        title=title,
+        backend=source_map.backend if source_map is not None else "?",
+        cycles=profile.total_cycles,
+        attributed=profile.line_total(),
+        prelude=tuple(lines.get(0, (0, 0))),
+        rows=rows,
+        sites=sites,
+    )
+
+
+# -- text renderer -----------------------------------------------------------
+
+_HEAT_WIDTH = 6
+
+
+def _heat_bar(total: int, max_total: int) -> str:
+    if max_total <= 0 or total <= 0:
+        return ""
+    filled = max(1, round(_HEAT_WIDTH * total / max_total))
+    return "#" * filled
+
+
+def _marker_text(markers) -> str:
+    return " ".join(f"{kind}:s{seg}" for kind, seg in markers)
+
+
+def _opt(value, fmt: str) -> str:
+    return fmt.format(value) if value is not None else "-"
+
+
+def render_text(ann: Annotation) -> str:
+    """The annotated source as an aligned terminal table."""
+    out = [
+        f"annotate: {ann.title} (backend: {ann.backend})",
+        (
+            f"cycles {ann.cycles}  attributed {ann.attributed}  "
+            f"prelude {ann.prelude[0] + ann.prelude[1]}"
+        ),
+        "",
+        f"{'line':>5} {'body':>12} {'overhead':>10} {'%tot':>6} "
+        f"{'heat':<{_HEAT_WIDTH}} source",
+    ]
+    max_total = ann.max_line_cycles
+    for row in ann.rows:
+        pct = 100.0 * row.total / ann.cycles if ann.cycles else 0.0
+        marker = _marker_text(row.markers)
+        suffix = f"   [{marker}]" if marker else ""
+        out.append(
+            f"{row.line:>5} {row.body:>12} {row.overhead:>10} {pct:>6.2f} "
+            f"{_heat_bar(row.total, max_total):<{_HEAT_WIDTH}} "
+            f"| {row.text}{suffix}"
+        )
+    if ann.sites:
+        out.append("")
+        out.append("reuse sites (meas = this run, est = ledger):")
+        for site in ann.sites:
+            where = (
+                f"probe@{site.probe_line} commit@{site.commit_line} "
+                f"end@{site.end_line}"
+            )
+            out.append(
+                f"  seg {site.seg_id} ({site.function}): {where}  "
+                f"exec {site.executions} hits {site.hits} "
+                f"misses {site.misses} bypassed {site.bypassed}  "
+                f"hit-ratio {site.hit_ratio:.3f}  "
+                f"R {site.meas_r:.3f}/{_opt(site.est_r, '{:.3f}')}  "
+                f"C {site.meas_c:.0f}/{_opt(site.est_c, '{:.0f}')}  "
+                f"O {site.meas_o:.1f}/{_opt(site.est_o, '{:.1f}')}"
+            )
+    return "\n".join(out) + "\n"
+
+
+# -- HTML renderer -----------------------------------------------------------
+
+# page chrome for the standalone page; ANNOTATE_CSS (everything from
+# ``.selector`` down) is also appended to the dashboard's stylesheet so
+# embedded fragments render identically there
+ANNOTATE_CSS = """
+.selector button { margin-right: 0.5rem; padding: 0.3rem 0.9rem;
+  border: 1px solid #bbb; background: #fff; border-radius: 4px; cursor: pointer; }
+.selector button.active { background: #2b6cb0; color: #fff; border-color: #2b6cb0; }
+table.annotate { border-collapse: collapse; font-family: ui-monospace, monospace;
+  font-size: 0.8rem; width: 100%; }
+table.annotate th { text-align: right; padding: 0.15rem 0.5rem; color: #555;
+  border-bottom: 1px solid #ccc; }
+table.annotate th.src { text-align: left; }
+table.annotate td { padding: 0.1rem 0.5rem; text-align: right;
+  white-space: pre; vertical-align: baseline; }
+table.annotate td.src { text-align: left; width: 100%; }
+tr.site-probe td { border-top: 2px solid #2b6cb0; }
+tr.site-end td { border-bottom: 2px solid #2b6cb0; }
+.marker { color: #2b6cb0; font-weight: 600; margin-left: 0.6rem; }
+table.sites { border-collapse: collapse; font-size: 0.8rem; margin-top: 1rem; }
+table.sites th, table.sites td { border: 1px solid #ddd;
+  padding: 0.2rem 0.55rem; text-align: right; }
+table.sites th:first-child, table.sites td:first-child { text-align: left; }
+"""
+
+_PAGE_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 1.5rem;
+       background: #fafafa; color: #222; }
+h1 { font-size: 1.2rem; }
+.meta { color: #666; font-size: 0.85rem; margin-bottom: 1rem; }
+""" + ANNOTATE_CSS
+
+_SELECTOR_JS = """
+if (!window.reproShow) {
+  window.reproShow = function (uid, backend) {
+    document.querySelectorAll(
+      '[data-panel="' + uid + '"][data-backend]'
+    ).forEach(function (el) {
+      el.style.display = el.dataset.backend === backend ? '' : 'none';
+    });
+    document.querySelectorAll(
+      '.selector[data-panel="' + uid + '"] button'
+    ).forEach(function (el) {
+      el.classList.toggle('active', el.dataset.target === backend);
+    });
+  };
+}
+"""
+
+
+def _heat_style(total: int, max_total: int) -> str:
+    if max_total <= 0 or total <= 0:
+        return ""
+    # white → warm red ramp; intensity is this line's share of the hottest
+    frac = total / max_total
+    alpha = round(0.08 + 0.72 * frac, 3)
+    return f"background: rgba(214, 69, 48, {alpha});"
+
+
+def _render_backend_section(ann: Annotation, visible: bool, uid: str) -> list[str]:
+    max_total = ann.max_line_cycles
+    site_by_probe_line = {
+        s.probe_line: s for s in ann.sites if s.probe_line > 0
+    }
+    end_lines = {s.end_line for s in ann.sites if s.end_line > 0}
+    display = "" if visible else ' style="display:none"'
+    out = [
+        f'<section data-panel="{_html.escape(uid)}" '
+        f'data-backend="{_html.escape(ann.backend)}"{display}>'
+    ]
+    out.append(
+        f'<p class="meta">backend {_html.escape(ann.backend)} — '
+        f"cycles {ann.cycles}, attributed {ann.attributed}, "
+        f"prelude {ann.prelude[0] + ann.prelude[1]}</p>"
+    )
+    out.append('<table class="annotate">')
+    out.append(
+        "<tr><th>line</th><th>body</th><th>overhead</th><th>%tot</th>"
+        "<th>hit-ratio</th><th>R</th><th>C</th><th>O</th>"
+        '<th class="src">source</th></tr>'
+    )
+    for row in ann.rows:
+        pct = 100.0 * row.total / ann.cycles if ann.cycles else 0.0
+        classes = []
+        if any(kind == "probe" for kind, _ in row.markers):
+            classes.append("site-probe")
+        if row.line in end_lines:
+            classes.append("site-end")
+        cls = f' class="{" ".join(classes)}"' if classes else ""
+        site = site_by_probe_line.get(row.line)
+        if site is not None:
+            ratio = f"{site.hit_ratio:.3f}"
+            r = f"{site.meas_r:.3f}"
+            c = f"{site.meas_c:.0f}"
+            o = f"{site.meas_o:.1f}"
+        else:
+            ratio = r = c = o = ""
+        marker = _marker_text(row.markers)
+        marker_html = (
+            f'<span class="marker">{_html.escape(marker)}</span>' if marker else ""
+        )
+        style = _heat_style(row.total, max_total)
+        style_attr = f' style="{style}"' if style else ""
+        out.append(
+            f"<tr{cls}><td>{row.line}</td><td>{row.body}</td>"
+            f"<td>{row.overhead}</td><td>{pct:.2f}</td>"
+            f"<td>{ratio}</td><td>{r}</td><td>{c}</td><td>{o}</td>"
+            f'<td class="src"{style_attr}>'
+            f"{_html.escape(row.text) or '&nbsp;'}{marker_html}</td></tr>"
+        )
+    out.append("</table>")
+    if ann.sites:
+        out.append('<table class="sites">')
+        out.append(
+            "<tr><th>segment</th><th>probe@</th><th>commit@</th><th>end@</th>"
+            "<th>exec</th><th>hits</th><th>misses</th><th>bypassed</th>"
+            "<th>hit-ratio</th><th>R meas/est</th><th>C meas/est</th>"
+            "<th>O meas/est</th></tr>"
+        )
+        for s in ann.sites:
+            out.append(
+                f"<tr><td>seg {s.seg_id} ({_html.escape(s.function)})</td>"
+                f"<td>{s.probe_line}</td><td>{s.commit_line}</td>"
+                f"<td>{s.end_line}</td><td>{s.executions}</td>"
+                f"<td>{s.hits}</td><td>{s.misses}</td><td>{s.bypassed}</td>"
+                f"<td>{s.hit_ratio:.3f}</td>"
+                f"<td>{s.meas_r:.3f} / {_opt(s.est_r, '{:.3f}')}</td>"
+                f"<td>{s.meas_c:.0f} / {_opt(s.est_c, '{:.0f}')}</td>"
+                f"<td>{s.meas_o:.1f} / {_opt(s.est_o, '{:.1f}')}</td></tr>"
+            )
+        out.append("</table>")
+    out.append("</section>")
+    return out
+
+
+def render_fragment(annotations, uid: str = "annotate") -> str:
+    """The annotated-source view as an embeddable HTML fragment.
+
+    The backend selector and its sections are scoped by ``uid``, so
+    several fragments (one per dashboard panel) coexist on one page
+    without their selectors interfering.  The fragment carries its own
+    (idempotent) toggle script but no page chrome or CSS.
+    """
+    if isinstance(annotations, Annotation):
+        annotations = [annotations]
+    if not annotations:
+        raise ValueError("render_fragment needs at least one Annotation")
+    out = []
+    if len(annotations) > 1:
+        out.append(f'<div class="selector" data-panel="{_html.escape(uid)}">')
+        for i, ann in enumerate(annotations):
+            active = ' class="active"' if i == 0 else ""
+            out.append(
+                f"<button{active} data-target=\"{_html.escape(ann.backend)}\" "
+                f"onclick=\"reproShow('{_html.escape(uid)}', "
+                f"'{_html.escape(ann.backend)}')\">"
+                f"{_html.escape(ann.backend)}</button>"
+            )
+        out.append("</div>")
+        out.append(f"<script>{_SELECTOR_JS}</script>")
+    for i, ann in enumerate(annotations):
+        out.extend(_render_backend_section(ann, visible=i == 0, uid=uid))
+    return "\n".join(out)
+
+
+def render_html(annotations, title: Optional[str] = None) -> str:
+    """A deterministic single-file HTML annotated-source page.
+
+    ``annotations`` is a list of :class:`Annotation` (one per backend;
+    a lone annotation may be passed bare).  With several backends the
+    page gets a selector that toggles between their sections client-side
+    — no network, no external assets, stable byte-for-byte output for
+    golden tests.
+    """
+    if isinstance(annotations, Annotation):
+        annotations = [annotations]
+    if not annotations:
+        raise ValueError("render_html needs at least one Annotation")
+    page_title = title or annotations[0].title
+    out = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>annotate: {_html.escape(page_title)}</title>",
+        f"<style>{_PAGE_CSS}</style>",
+        "</head><body>",
+        f"<h1>annotate: {_html.escape(page_title)}</h1>",
+        render_fragment(annotations),
+        "</body></html>",
+    ]
+    return "\n".join(out) + "\n"
+
+
+# -- bytecode / source interleave --------------------------------------------
+
+
+def _charge_note(entries) -> str:
+    parts = []
+    for line, cls, n in entries:
+        name = CLASS_NAMES[cls] if 0 <= cls < len(CLASS_NAMES) else str(cls)
+        suffix = f"x{n}" if n != 1 else ""
+        parts.append(f"{name}{suffix}@{line}")
+    return " ".join(parts)
+
+
+def render_disasm(source: str, vm_program, source_map) -> str:
+    """VM bytecode interleaved with the source lines it compiled from.
+
+    For every function: each run of instructions sharing a source line is
+    preceded by that line's text, and fused ``CHARGE`` groups carry the
+    per-line charge-class breakdown the source map recorded — so the
+    block-fusion discipline stays auditable down to single lines.
+    """
+    src_lines = source.splitlines()
+    out = []
+    for name in sorted(vm_program.functions):
+        fn = vm_program.functions[name]
+        fsm = source_map.functions.get(name) if source_map is not None else None
+        pc_line = dict(fsm.pc_lines) if fsm is not None else {}
+        charge_lines = fsm.charge_lines if fsm is not None else {}
+        out.append(f"function {name}  ({len(fn.code)} instructions)")
+        last_line = -1
+        for pc, ins in enumerate(fn.code):
+            line = pc_line.get(pc, 0)
+            if line != last_line:
+                if 1 <= line <= len(src_lines):
+                    out.append(f"  ; line {line:>4}: {src_lines[line - 1].strip()}")
+                else:
+                    out.append("  ; (synthesized)")
+                last_line = line
+            marks = []
+            if pc in fn.loops:
+                marks.append("loop")
+            if ins[0] == op.CHARGE and pc in charge_lines:
+                note = _charge_note(charge_lines[pc])
+                if note:
+                    marks.append(note)
+            operands = ", ".join(repr(x) for x in ins[1:])
+            tag = f"  ; {' '.join(marks)}" if marks else ""
+            out.append(
+                f"  {pc:4d}  {op.OP_NAMES.get(ins[0], '?'):<12s} {operands}{tag}"
+            )
+        out.append("")
+    return "\n".join(out)

@@ -21,6 +21,8 @@ from __future__ import annotations
 import html
 from dataclasses import dataclass, field
 
+from .annotate import ANNOTATE_CSS
+
 __all__ = ["DashData", "WorkloadPanel", "render_dashboard", "write_dashboard"]
 
 
@@ -43,6 +45,7 @@ class WorkloadPanel:
     measured_vs_ledger: str = ""  # profiler est-vs-measured table
     profile_text: str = ""        # cycle attribution tree
     history_text: str = ""        # perf-store trend (sparkline)
+    annotate_html: str = ""       # annotated-source fragment (pre-rendered HTML)
     anomalies: list[str] = field(default_factory=list)  # described anomalies
 
 
@@ -53,6 +56,7 @@ class DashData:
     title: str
     generated: str                # caller-supplied timestamp text ("" to omit)
     metrics_text: str             # OpenMetrics exposition of the registry
+    session_text: str = ""        # session run-latency quantiles (p50/p90/p99)
     panels: list[WorkloadPanel] = field(default_factory=list)
 
 
@@ -73,7 +77,9 @@ pre { background: #fff; border: 1px solid #ddd; padding: .6rem; overflow-x: auto
 .ok { color: #1b5e20; }
 .meta { color: #666; font-size: .8rem; }
 details > summary { cursor: pointer; font-weight: 600; margin-top: 1.5rem; }
-"""
+details.annotate > summary { margin-top: .6rem; font-weight: 600; }
+details.annotate { background: #fff; border: 1px solid #ddd; padding: .6rem; }
+""" + ANNOTATE_CSS
 
 
 def _e(text) -> str:
@@ -152,7 +158,15 @@ def render_dashboard(data: DashData) -> str:
         parts.extend(_pre_block("Measured vs ledger", panel.measured_vs_ledger))
         parts.extend(_pre_block("Cycle attribution", panel.profile_text))
         parts.extend(_pre_block("Decision ledger", panel.ledger_text))
+        if panel.annotate_html:
+            # pre-rendered trusted fragment from obs.annotate — embedded
+            # raw (escaping it would destroy the markup)
+            parts.append('<details class="annotate">')
+            parts.append("<summary>Annotated source (line-level cycles &amp; reuse)</summary>")
+            parts.append(panel.annotate_html)
+            parts.append("</details>")
 
+    parts.extend(_pre_block("Session run latency", data.session_text))
     if data.metrics_text:
         parts.append("<details>")
         parts.append("<summary>Metrics registry (OpenMetrics)</summary>")

@@ -56,6 +56,7 @@ __all__ = [
     "OPENMETRICS_CONTENT_TYPE",
     "render_openmetrics",
     "parse_openmetrics",
+    "histogram_quantiles",
     "get_registry",
     "set_registry",
 ]
@@ -409,6 +410,43 @@ class MetricsRegistry:
 
 def _label_key(labels: dict) -> tuple:
     return tuple(sorted(labels.items()))
+
+
+def histogram_quantiles(sample: dict, quantiles: Sequence[float]) -> dict:
+    """Estimate quantiles from one snapshot histogram sample.
+
+    ``sample`` is the dict shape :meth:`MetricsRegistry.snapshot` emits
+    for a histogram child (cumulative ``buckets`` as ``[bound, count]``
+    pairs plus total ``count``).  Within the bucket holding the target
+    rank the value is linearly interpolated between the bucket's bounds
+    (the first bucket's lower edge is 0), the convention of Prometheus's
+    ``histogram_quantile``; ranks that land in the implicit ``+Inf``
+    bucket clamp to the highest finite bound.  Returns ``{q: value}``;
+    an empty histogram yields 0.0 for every quantile.
+    """
+    buckets = [(float(b), int(c)) for b, c in sample.get("buckets", ())]
+    count = sample.get("count", 0)
+    out: dict = {}
+    for q in quantiles:
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
+        if count == 0 or not buckets:
+            out[q] = 0.0
+            continue
+        rank = q * count
+        prev_bound, prev_cum = 0.0, 0
+        for bound, cum in buckets:
+            if cum >= rank:
+                if cum == prev_cum:
+                    out[q] = bound
+                else:
+                    frac = (rank - prev_cum) / (cum - prev_cum)
+                    out[q] = prev_bound + (bound - prev_bound) * frac
+                break
+            prev_bound, prev_cum = bound, cum
+        else:
+            out[q] = buckets[-1][0]
+    return out
 
 
 # -- OpenMetrics text format -------------------------------------------------

@@ -35,6 +35,18 @@ machine *before* :func:`~repro.runtime.compiler.compile_program` runs
 (``machine.cycle_profiler``); with no profiler the generated closures
 are byte-identical to the unprofiled ones, so enabling profiling can
 never perturb a run it is not watching.
+
+Line attribution (``CycleProfiler(..., lines=True)``) extends the same
+scheme one level down: each stack frame carries a *current source line*,
+updated by the ``at_line`` hook the backends call at statement starts
+and loop-iteration heads, and every tick's delta is added to a per-line
+``[body, overhead]`` bucket keyed by the frame's current line.  Because
+each delta still lands in exactly one bucket, the per-line totals sum
+bit-exactly to ``Metrics.cycles`` too (line 0 collects cycles charged
+before the first mark of a function).  Both backends place their marks
+at identical counter states — statement starts and per-iteration loop
+heads/tails, all of which are flush points in the VM — so the closure
+and VM backends agree on per-line totals line for line.
 """
 
 from __future__ import annotations
@@ -196,11 +208,21 @@ class CycleProfile:
     root: ProfileNode
     # segment id -> compile-time estimates; see :func:`ledger_costs`
     seg_costs: dict = field(default_factory=dict)
+    # source line -> [body_cycles, overhead_cycles]; None when the run
+    # did not track lines (see ``CycleProfiler(..., lines=True)``)
+    lines: Optional[dict] = None
 
     @property
     def total_cycles(self) -> int:
         """Sum of every node's self cycles — the conservation total."""
         return self.root.total_cycles
+
+    def line_total(self) -> int:
+        """Sum of every line bucket — equals ``total_cycles`` when line
+        tracking was on (the line-level conservation property)."""
+        if not self.lines:
+            return 0
+        return sum(body + overhead for body, overhead in self.lines.values())
 
     def segments(self) -> dict[int, SegmentAttribution]:
         """Aggregate every segment node (inclusive body) by segment id."""
@@ -318,6 +340,11 @@ class CycleProfile:
         """JSON-serializable summary: the tree plus per-segment rows."""
         return {
             "total_cycles": self.total_cycles,
+            "lines": (
+                {str(line): list(bucket) for line, bucket in sorted(self.lines.items())}
+                if self.lines
+                else None
+            ),
             "tree": self.root.to_dict(),
             "segments": {
                 str(seg_id): {
@@ -365,13 +392,18 @@ class CycleProfiler:
     exactly one node either way.
     """
 
-    def __init__(self, machine, seg_costs: Optional[dict] = None) -> None:
+    def __init__(
+        self, machine, seg_costs: Optional[dict] = None, lines: bool = False
+    ) -> None:
         self._counters = machine.counters
         self._weights = machine.cost.cycles
         self.seg_costs = dict(seg_costs or {})
+        self.track_lines = lines
+        self._lines: Optional[dict] = {} if lines else None
         self.root = ProfileNode("run", "run")
         self.root.count = 1
-        self._stack: list[list] = [[self.root, _BODY]]
+        # frame: [node, body/overhead mode, current source line]
+        self._stack: list[list] = [[self.root, _BODY, 0]]
         self._last = self._now()
         self._profile: Optional[CycleProfile] = None
 
@@ -381,11 +413,26 @@ class CycleProfiler:
     def _tick(self) -> None:
         now = self._now()
         frame = self._stack[-1]
+        delta = now - self._last
         if frame[1]:
-            frame[0].overhead_cycles += now - self._last
+            frame[0].overhead_cycles += delta
         else:
-            frame[0].body_cycles += now - self._last
+            frame[0].body_cycles += delta
+        if self._lines is not None and delta:
+            bucket = self._lines.get(frame[2])
+            if bucket is None:
+                bucket = self._lines[frame[2]] = [0, 0]
+            bucket[frame[1]] += delta
         self._last = now
+
+    # -- line boundaries -----------------------------------------------------
+
+    def at_line(self, line: int) -> None:
+        """Mark the current frame as executing ``line`` from here on.
+        The delta since the previous boundary still belongs to the
+        previous line — ticked before the switch."""
+        self._tick()
+        self._stack[-1][2] = line
 
     # -- function boundaries -------------------------------------------------
 
@@ -397,7 +444,7 @@ class CycleProfiler:
         else:
             node = top.child("function", name)
         node.count += 1
-        self._stack.append([node, _BODY])
+        self._stack.append([node, _BODY, 0])
 
     def exit_function(self) -> None:
         self._tick()
@@ -408,9 +455,12 @@ class CycleProfiler:
 
     def probe_begin(self, seg_id: int) -> None:
         self._tick()
-        node = self._stack[-1][0].child("segment", seg_id)
+        parent = self._stack[-1]
+        node = parent[0].child("segment", seg_id)
         node.count += 1
-        self._stack.append([node, _OVERHEAD])
+        # Inherit the caller's current line: probe/commit overhead and
+        # the region body attribute to the segment's source location.
+        self._stack.append([node, _OVERHEAD, parent[2]])
 
     def probe_end(self, seg_id: int, hit: bool, bypassed: bool = False) -> None:
         self._tick()  # the probe itself is overhead
@@ -440,7 +490,9 @@ class CycleProfiler:
         if self._profile is None:
             self._tick()
             del self._stack[1:]
-            self._profile = CycleProfile(root=self.root, seg_costs=self.seg_costs)
+            self._profile = CycleProfile(
+                root=self.root, seg_costs=self.seg_costs, lines=self._lines
+            )
         return self._profile
 
 

@@ -17,6 +17,7 @@ __all__ = [
     "sparkline",
     "render_hit_ratio_series",
     "render_perf_history",
+    "render_session_latency",
     "render_table",
 ]
 
@@ -77,6 +78,37 @@ def render_hit_ratio_series(table_stats: dict) -> str:
         spark = sparkline([ratio for _, ratio in series], lo=0.0, hi=1.0)
         final = series[-1][1]
         lines.append(f"  segment {seg_id}: |{spark}| final {final * 100:.1f}%")
+    return "\n".join(lines)
+
+
+def _fmt_seconds(value: float) -> str:
+    return f"{value * 1000:.2f}ms" if value < 1.0 else f"{value:.2f}s"
+
+
+def render_session_latency(snapshot: dict) -> str:
+    """p50/p90/p99 run latency from the ``repro_session_run_seconds``
+    histogram in a registry snapshot (empty string when absent).
+
+    Quantiles come from :func:`repro.obs.metrics.histogram_quantiles` —
+    bucket-interpolated, so they are estimates bounded by the histogram's
+    bucket layout, exactly like a PromQL ``histogram_quantile``.
+    """
+    from .metrics import histogram_quantiles
+
+    family = snapshot.get("families", {}).get("repro_session_run_seconds")
+    samples = family.get("samples", ()) if family else ()
+    if not samples:
+        return ""
+    lines = ["Session run latency (wall-clock, bucket-interpolated)"]
+    for sample in samples:
+        qs = histogram_quantiles(sample, (0.5, 0.9, 0.99))
+        label = ",".join(f"{k}={v}" for k, v in sorted(sample["labels"].items()))
+        where = f"{label}: " if label else ""
+        lines.append(
+            f"  {where}runs {sample['count']}  "
+            f"p50 {_fmt_seconds(qs[0.5])}  p90 {_fmt_seconds(qs[0.9])}  "
+            f"p99 {_fmt_seconds(qs[0.99])}  total {_fmt_seconds(sample['sum'])}"
+        )
     return "\n".join(lines)
 
 

@@ -91,12 +91,37 @@ def _name(symbol: ast.Symbol) -> ast.Name:
     return ast.Name(name=symbol.name, symbol=symbol)
 
 
-def _call(name: str, args: list[ast.Expr]) -> ast.Call:
-    return ast.Call(func=ast.Name(name=name), args=args)
+def _call(name: str, args: list[ast.Expr], line: int = 0) -> ast.Call:
+    return ast.Call(func=ast.Name(name=name), args=args, line=line)
 
 
-def _call_stmt(name: str, args: list[ast.Expr]) -> ast.ExprStmt:
-    return ast.ExprStmt(expr=_call(name, args))
+def _call_stmt(name: str, args: list[ast.Expr], line: int = 0) -> ast.ExprStmt:
+    return ast.ExprStmt(expr=_call(name, args, line), line=line)
+
+
+def _first_line(block: ast.Block) -> int:
+    for stmt in block.stmts:
+        if stmt.line > 0:
+            return stmt.line
+    return 0
+
+
+def _span_end(stmt: ast.Stmt) -> int:
+    """Largest source line anywhere inside ``stmt``."""
+    end = stmt.line
+    children: list[ast.Stmt] = []
+    if isinstance(stmt, ast.Block):
+        children = list(stmt.stmts)
+    else:
+        for attr in ("body", "then", "els", "init"):
+            child = getattr(stmt, attr, None)
+            if isinstance(child, ast.Stmt):
+                children.append(child)
+    for child in children:
+        child_end = _span_end(child)
+        if child_end > end:
+            end = child_end
+    return end
 
 
 class ReuseTransformer:
@@ -151,21 +176,25 @@ class ReuseTransformer:
     def _input_exprs(self, segment: Segment) -> list[ast.Expr]:
         return [self._access(segment, s.symbol) for s in segment.inputs]
 
-    def _output_restore_stmts(self, segment: Segment) -> list[ast.Stmt]:
+    def _output_restore_stmts(self, segment: Segment, line: int = 0) -> list[ast.Stmt]:
         stmts: list[ast.Stmt] = []
         for position, shape in enumerate(segment.outputs):
             target = self._access(segment, shape.symbol)
             if shape.is_array:
                 stmts.append(
                     _call_stmt(
-                        "__reuse_out_arr", [_seg(segment), ast.IntLit(value=position), target]
+                        "__reuse_out_arr",
+                        [_seg(segment), ast.IntLit(value=position), target],
+                        line=line,
                     )
                 )
             else:
                 reader = "__reuse_out_f" if shape.is_float else "__reuse_out_i"
                 read = _call(reader, [_seg(segment), ast.IntLit(value=position)])
                 stmts.append(
-                    ast.ExprStmt(expr=ast.Assign(op="=", target=target, value=read))
+                    ast.ExprStmt(
+                        expr=ast.Assign(op="=", target=target, value=read), line=line
+                    )
                 )
         return stmts
 
@@ -181,19 +210,28 @@ class ReuseTransformer:
 
     def _transform_region(self, segment: Segment) -> None:
         block = segment.region_root
-        probe = _call("__reuse_probe", [_seg(segment)] + self._input_exprs(segment))
+        # Synthesized statements carry the original region's source lines
+        # (probe/restores at the region head, commit/end at its last line)
+        # so line-level attribution and the SourceMap point into the
+        # untransformed source.  Lines never affect execution or caching.
+        start = _first_line(block)
+        end = _span_end(block) or start
+        probe = _call(
+            "__reuse_probe", [_seg(segment)] + self._input_exprs(segment), line=start
+        )
         miss = ast.Block(
             stmts=list(block.stmts)
-            + [_call_stmt("__reuse_commit", self._commit_args(segment, None))]
+            + [_call_stmt("__reuse_commit", self._commit_args(segment, None), line=end)]
         )
         hit = ast.Block(
-            stmts=self._output_restore_stmts(segment)
-            + [_call_stmt("__reuse_end", [_seg(segment)])]
+            stmts=self._output_restore_stmts(segment, line=start)
+            + [_call_stmt("__reuse_end", [_seg(segment)], line=end)]
         )
         guard = ast.If(
             cond=ast.Binary(op="==", lhs=probe, rhs=ast.IntLit(value=0)),
             then=miss,
             els=hit,
+            line=start,
         )
         block.stmts = [guard]
 
@@ -202,10 +240,14 @@ class ReuseTransformer:
     def _transform_function(self, segment: Segment) -> None:
         fn = self.program.function(segment.func_name)
         block = segment.region_root
-        probe = _call("__reuse_probe", [_seg(segment)] + self._input_exprs(segment))
+        start = _first_line(block)
+        end = _span_end(block) or start
+        probe = _call(
+            "__reuse_probe", [_seg(segment)] + self._input_exprs(segment), line=start
+        )
 
         # hit path
-        hit_stmts = self._output_restore_stmts(segment)
+        hit_stmts = self._output_restore_stmts(segment, line=start)
         if segment.has_retval:
             rv_symbol = self._fresh_local(fn, float_type=segment.retval_is_float)
             reader = "__reuse_out_f" if segment.retval_is_float else "__reuse_out_i"
@@ -219,14 +261,15 @@ class ReuseTransformer:
                             init=read,
                             symbol=rv_symbol,
                         )
-                    ]
+                    ],
+                    line=start,
                 )
             )
-            hit_stmts.append(_call_stmt("__reuse_end", [_seg(segment)]))
-            hit_stmts.append(ast.Return(value=_name(rv_symbol)))
+            hit_stmts.append(_call_stmt("__reuse_end", [_seg(segment)], line=end))
+            hit_stmts.append(ast.Return(value=_name(rv_symbol), line=end))
         else:
-            hit_stmts.append(_call_stmt("__reuse_end", [_seg(segment)]))
-            hit_stmts.append(ast.Return(value=None))
+            hit_stmts.append(_call_stmt("__reuse_end", [_seg(segment)], line=end))
+            hit_stmts.append(ast.Return(value=None, line=end))
 
         # miss path: rewrite returns to commit first
         self._rewrite_returns(block, segment, fn)
@@ -242,16 +285,21 @@ class ReuseTransformer:
                             init=ast.IntLit(value=0),
                             symbol=rv_symbol,
                         )
-                    ]
+                    ],
+                    line=end,
                 ),
-                _call_stmt("__reuse_commit", self._commit_args(segment, _name(rv_symbol))),
-                ast.Return(value=_name(rv_symbol)),
+                _call_stmt(
+                    "__reuse_commit",
+                    self._commit_args(segment, _name(rv_symbol)),
+                    line=end,
+                ),
+                ast.Return(value=_name(rv_symbol), line=end),
             ]
         else:
             tail = [
-                _call_stmt("__reuse_commit", self._commit_args(segment, None)),
+                _call_stmt("__reuse_commit", self._commit_args(segment, None), line=end),
             ]
-        guard = ast.If(cond=probe, then=ast.Block(stmts=hit_stmts), els=None)
+        guard = ast.If(cond=probe, then=ast.Block(stmts=hit_stmts), els=None, line=start)
         # only append the tail when the body may actually fall through;
         # a body ending in a (possibly nested) return makes it unreachable
         if block.stmts and _always_returns(block.stmts[-1]):
@@ -282,12 +330,16 @@ class ReuseTransformer:
         block.stmts = rewrite(block.stmts)
 
     def _commit_return(self, stmt: ast.Return, segment: Segment, fn: ast.Function) -> ast.Stmt:
+        line = stmt.line
         if stmt.value is None:
             return ast.Block(
                 stmts=[
-                    _call_stmt("__reuse_commit", self._commit_args(segment, None)),
-                    ast.Return(value=None),
-                ]
+                    _call_stmt(
+                        "__reuse_commit", self._commit_args(segment, None), line=line
+                    ),
+                    ast.Return(value=None, line=line),
+                ],
+                line=line,
             )
         rv_symbol = self._fresh_local(fn, float_type=segment.retval_is_float)
         return ast.Block(
@@ -300,11 +352,17 @@ class ReuseTransformer:
                             init=stmt.value,
                             symbol=rv_symbol,
                         )
-                    ]
+                    ],
+                    line=line,
                 ),
-                _call_stmt("__reuse_commit", self._commit_args(segment, _name(rv_symbol))),
-                ast.Return(value=_name(rv_symbol)),
-            ]
+                _call_stmt(
+                    "__reuse_commit",
+                    self._commit_args(segment, _name(rv_symbol)),
+                    line=line,
+                ),
+                ast.Return(value=_name(rv_symbol), line=line),
+            ],
+            line=line,
         )
 
     def _fresh_local(self, fn: ast.Function, float_type: bool) -> ast.Symbol:

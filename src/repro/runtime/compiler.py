@@ -193,6 +193,8 @@ def compile_program(program: ast.Program, machine: Machine) -> CompiledProgram:
 
         return compile_vm_program(program, machine)
     _ensure_recursion_limit()
+    if machine.source_map is not None:
+        machine.source_map.backend = "closures"
     compiled = CompiledProgram(machine)
     # Phase 1: create shells so calls can reference any function.
     for fn in program.functions:
@@ -290,17 +292,59 @@ class _FunctionCompiler:
         self.typer = typer
         self.machine = machine
         self.ctr = machine.counters
-        self.fuse = machine.fuse
+        # Line-attribution mode: the profiler tracks lines, so every
+        # statement closure gets an ``at_line`` mark.  Statement fusion
+        # would batch charges across statement boundaries — fused and
+        # unfused metrics are bit-identical, so disabling fusion here
+        # changes nothing the cost model can see, only the granularity
+        # marks become observable at.
+        self.lined = machine.cycle_profiler is not None and getattr(
+            machine.cycle_profiler, "track_lines", False
+        )
+        self.fuse = machine.fuse and not self.lined
+        source_map = machine.source_map
+        self.srcmap = None if source_map is None else source_map.function(fn.name)
+        self.cur_line = 0
 
     # -- statements ----------------------------------------------------------
 
     def compile_body(self) -> StmtClosure:
         return self.compile_stmt(self.fn.body)
 
+    def record_site(self, seg: int, key: str) -> None:
+        """Note a reuse site's source line in the debug side table."""
+        if self.srcmap is not None:
+            self.srcmap.sites.setdefault(seg, {})[key] = self.cur_line
+
+    def _note_stmt(self, stmt: ast.Stmt) -> bool:
+        """Track the current source line; record the statement unit in
+        the debug side table.  Returns whether the statement is a
+        line-markable unit (has a line, is not a block)."""
+        if stmt.line <= 0 or isinstance(stmt, ast.Block):
+            return False
+        self.cur_line = stmt.line
+        if self.srcmap is not None:
+            self.srcmap.stmt_lines.append((stmt.line, type(stmt).__name__))
+        return True
+
     def compile_stmt(self, stmt: ast.Stmt) -> StmtClosure:
+        line = stmt.line
+        tracked = self._note_stmt(stmt)
         if self.fuse and fuse.fusable_stmt(stmt, self):
             return fuse.fuse_region([stmt], self)
-        return self._compile_stmt_unfused(stmt)
+        run = self._compile_stmt_unfused(stmt)
+        if self.lined and tracked:
+            # Statement-start mark, mirroring the VM's PROF_LINE op: the
+            # delta since the previous boundary belongs to the previous
+            # line; everything after belongs to this one.
+            prof = self.machine.cycle_profiler
+
+            def run_line(fr, run=run, prof=prof, line=line):
+                prof.at_line(line)
+                return run(fr)
+
+            return run_line
+        return run
 
     def _compile_stmt_unfused(self, stmt: ast.Stmt) -> StmtClosure:
         if isinstance(stmt, ast.Block):
@@ -355,6 +399,7 @@ class _FunctionCompiler:
             stmts: list[StmtClosure] = []
             run: list[ast.Stmt] = []
             for s in block.stmts:
+                self._note_stmt(s)
                 if fuse.fusable_stmt(s, self):
                     run.append(s)
                 else:
@@ -468,6 +513,29 @@ class _FunctionCompiler:
         ctr = self.ctr
         cond = self.compile_expr(stmt.cond)
         body = self.compile_stmt(stmt.body)
+        if self.lined and stmt.line > 0:
+            # Per-iteration mark before the BRANCH charge — the same
+            # placement as the VM's PROF_LINE at the loop head, so both
+            # backends tick at identical counter states.
+            prof = self.machine.cycle_profiler
+            line = stmt.line
+
+            def run_while_lined(
+                fr, cond=cond, body=body, ctr=ctr, prof=prof, line=line
+            ):
+                while True:
+                    prof.at_line(line)
+                    ctr[BRANCH] += 1
+                    if not cond(fr):
+                        return None
+                    r = body(fr)
+                    if r is not None:
+                        if r is BREAK:
+                            return None
+                        if r is not CONTINUE:
+                            return r
+
+            return run_while_lined
 
         def run_while(fr, cond=cond, body=body, ctr=ctr):
             while True:
@@ -487,6 +555,28 @@ class _FunctionCompiler:
         ctr = self.ctr
         cond = self.compile_expr(stmt.cond)
         body = self.compile_stmt(stmt.body)
+        if self.lined and stmt.line > 0:
+            # Mark at the tail before the BRANCH charge — matches the VM's
+            # PROF_LINE at the do-while back-edge test.
+            prof = self.machine.cycle_profiler
+            line = stmt.line
+
+            def run_do_lined(
+                fr, cond=cond, body=body, ctr=ctr, prof=prof, line=line
+            ):
+                while True:
+                    r = body(fr)
+                    if r is not None:
+                        if r is BREAK:
+                            return None
+                        if r is not CONTINUE:
+                            return r
+                    prof.at_line(line)
+                    ctr[BRANCH] += 1
+                    if not cond(fr):
+                        return None
+
+            return run_do_lined
 
         def run_do(fr, cond=cond, body=body, ctr=ctr):
             while True:
@@ -508,6 +598,42 @@ class _FunctionCompiler:
         cond = self.compile_expr(stmt.cond) if stmt.cond is not None else None
         step = self.compile_expr(stmt.step) if stmt.step is not None else None
         body = self.compile_stmt(stmt.body)
+        if self.lined and stmt.line > 0:
+            # Head mark each iteration (even condition-less) and a tail
+            # mark before the step — both match the VM's PROF_LINE
+            # placement at the for head/tail labels.
+            prof = self.machine.cycle_profiler
+            line = stmt.line
+
+            def run_for_lined(
+                fr,
+                init=init,
+                cond=cond,
+                step=step,
+                body=body,
+                ctr=ctr,
+                prof=prof,
+                line=line,
+            ):
+                if init is not None:
+                    init(fr)
+                while True:
+                    prof.at_line(line)
+                    if cond is not None:
+                        ctr[BRANCH] += 1
+                        if not cond(fr):
+                            return None
+                    r = body(fr)
+                    if r is not None:
+                        if r is BREAK:
+                            return None
+                        if r is not CONTINUE:
+                            return r
+                    if step is not None:
+                        prof.at_line(line)
+                        step(fr)
+
+            return run_for_lined
 
         def run_for(fr, init=init, cond=cond, step=step, body=body, ctr=ctr):
             if init is not None:

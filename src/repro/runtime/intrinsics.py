@@ -89,6 +89,7 @@ def compile_builtin(name: str, args: list[ast.Expr], fc):
     # -- computation-reuse runtime ------------------------------------------
     if name == "__reuse_probe":
         seg = _segment_id(args, name)
+        fc.record_site(seg, "probe_line")
         builders = [
             (fc.compile_expr(a), _value_kind(fc, a)) for a in args[1:]
         ]
@@ -211,6 +212,7 @@ def compile_builtin(name: str, args: list[ast.Expr], fc):
 
     if name == "__reuse_commit":
         seg = _segment_id(args, name)
+        fc.record_site(seg, "commit_line")
         outs = [
             (fc.compile_expr(a), _value_kind(fc, a)) for a in args[1:]
         ]
@@ -254,6 +256,7 @@ def compile_builtin(name: str, args: list[ast.Expr], fc):
 
     if name == "__reuse_end":
         seg = _segment_id(args, name)
+        fc.record_site(seg, "end_line")
 
         def run_end(fr, seg=seg, machine=machine):
             machine.table_for(seg).finish()

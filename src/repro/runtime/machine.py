@@ -106,6 +106,11 @@ class Machine:
         # consulted at compile time — the metered closures exist only
         # when a registry is installed before compile_program
         self.metrics_registry = None
+        # debug info (repro.runtime.srcmap.SourceMap): when installed
+        # before compile_program, both backends record per-line / per-pc
+        # provenance into it.  Pure side table — never alters the
+        # compiled artifact (pinned by the no-observer differential).
+        self.source_map = None
         self.capture_output = capture_output
         self.captured_outputs: list = []
         self.debug_log: list[int] = []

@@ -428,6 +428,8 @@ def install_dispatch(vmfn: VMFunction, prog: "VMProgram") -> None:
                 prof.commit_begin(ins[1])
             elif o == op.PROF_SX:
                 prof.segment_exit(ins[1])
+            elif o == op.PROF_LINE:
+                prof.at_line(ins[1])
             elif o == op.METER_FUNC:
                 consts[ins[1]].inc()
             elif o == op.METER_PROBE:
@@ -487,7 +489,7 @@ _AGG_EXCLUDED = frozenset(
         op.PROBE, op.ROUT, op.ROUT_ARR, op.COMMIT, op.REND,
         op.PROFILE, op.FREQ, op.SEGE, op.SEGX,
         op.PROF_ENTER, op.PROF_EXIT, op.PROF_PB, op.PROF_PE,
-        op.PROF_CB, op.PROF_SX, op.METER_FUNC, op.METER_PROBE,
+        op.PROF_CB, op.PROF_SX, op.PROF_LINE, op.METER_FUNC, op.METER_PROBE,
         op.INPUT_I, op.INPUT_F, op.INPUT_AV, op.OUTPUT, op.PRINT,
     )
 )
@@ -1244,6 +1246,8 @@ class _Translator:
             self.stmt(f"_prof.commit_begin({ins[1]})")
         elif o == op.PROF_SX:
             self.stmt(f"_prof.segment_exit({ins[1]})")
+        elif o == op.PROF_LINE:
+            self.stmt(f"_prof.at_line({ins[1]})")
         elif o == op.METER_FUNC:
             self.stmt(f"_K[{ins[1]}].inc()")
         elif o == op.METER_PROBE:
@@ -1351,6 +1355,8 @@ def compile_vm_program(program, machine) -> VMProgram:
 
     _ensure_recursion_limit()
     prog = VMProgram(machine)
+    if machine.source_map is not None:
+        machine.source_map.backend = "vm"
     fn_index = {fn.name: i for i, fn in enumerate(program.functions)}
     templates = [_global_template(g.decl) for g in program.globals]
     prog._global_templates = templates

@@ -141,11 +141,22 @@ class _FnCompiler:
         self._loop_meta: list[tuple] = []
         self.profiled = machine.cycle_profiler is not None
         self.metered = machine.metrics_registry is not None
+        # Line-attribution marks (PROF_LINE) exist only when the profiler
+        # tracks lines; the SourceMap side table never changes emission.
+        self.lined = self.profiled and getattr(
+            machine.cycle_profiler, "track_lines", False
+        )
+        source_map = machine.source_map
+        self.srcmap = None if source_map is None else source_map.function(fn.name)
+        self.cur_line = 0
+        self.pending_lines: dict[tuple[int, int], int] = {}
 
     # -- emission infrastructure -------------------------------------------
 
     def emit(self, *ins) -> int:
         self.code.append(ins)
+        if self.srcmap is not None:
+            self.srcmap.pc_lines.append((len(self.code) - 1, self.cur_line))
         return len(self.code) - 1
 
     def newtmp(self) -> int:
@@ -168,6 +179,9 @@ class _FnCompiler:
 
     def charge(self, cls: int, n: int = 1) -> None:
         self.pending[cls] = self.pending.get(cls, 0) + n
+        if self.srcmap is not None:
+            key = (self.cur_line, cls)
+            self.pending_lines[key] = self.pending_lines.get(key, 0) + n
 
     def flush(self) -> None:
         if self.pending:
@@ -175,8 +189,30 @@ class _FnCompiler:
                 (cls, self.pending[cls]) for cls in sorted(self.pending) if self.pending[cls]
             )
             if pairs:
-                self.emit(op.CHARGE, pairs)
+                pc = self.emit(op.CHARGE, pairs)
+                if self.srcmap is not None:
+                    self.srcmap.charge_lines[pc] = tuple(
+                        (line, cls, n)
+                        for (line, cls), n in sorted(self.pending_lines.items())
+                        if n
+                    )
             self.pending.clear()
+            self.pending_lines.clear()
+
+    def record_site(self, seg: int, key: str) -> None:
+        """Note a reuse site's source line in the debug side table."""
+        if self.srcmap is not None:
+            self.srcmap.sites.setdefault(seg, {})[key] = self.cur_line
+
+    def _iter_mark(self, s: ast.Stmt) -> None:
+        """Per-iteration line mark at a loop head/tail.  The caller just
+        bound a label (pending flushed), so the mark sits at a flush
+        point — the same counter state the closure backend's line-mode
+        loop variants tick at."""
+        if s.line > 0:
+            self.cur_line = s.line
+            if self.lined:
+                self.emit(op.PROF_LINE, s.line)
 
     # -- top level ----------------------------------------------------------
 
@@ -217,6 +253,15 @@ class _FnCompiler:
     # -- statements ----------------------------------------------------------
 
     def stmt(self, s: ast.Stmt) -> None:
+        if not isinstance(s, ast.Block) and s.line > 0:
+            # Statement-start line mark: flush first (the pending charges
+            # belong to the previous statement's line), then mark.  The
+            # closure backend wraps each statement closure identically.
+            if self.lined:
+                self.flush()
+            self.cur_line = s.line
+            if self.lined:
+                self.emit(op.PROF_LINE, s.line)
         if isinstance(s, ast.Block):
             for sub in s.stmts:
                 self.stmt(sub)
@@ -322,6 +367,7 @@ class _FnCompiler:
         tail = self.newlabel()
         exit_ = self.newlabel()
         self.bind(head)
+        self._iter_mark(s)
         self.charge(BRANCH)
         rc = self.expr(s.cond)
         self.flush()
@@ -349,6 +395,7 @@ class _FnCompiler:
         self.stmt(s.body)
         self._loops.pop()
         self.bind(tail)
+        self._iter_mark(s)
         self.charge(BRANCH)
         rc = self.expr(s.cond)
         self.flush()
@@ -366,6 +413,7 @@ class _FnCompiler:
         exit_ = self.newlabel()
         wrapped = _binds_continue(s.body)
         self.bind(head)
+        self._iter_mark(s)
         if s.cond is not None:
             self.charge(BRANCH)
             rc = self.expr(s.cond)
@@ -377,6 +425,7 @@ class _FnCompiler:
         self._loops.pop()
         self.bind(tail)
         if s.step is not None:
+            self._iter_mark(s)
             self.expr(s.step)
             self.flush()
         back_pc = self.emit(op.JUMP, head)
@@ -755,6 +804,7 @@ class _FnCompiler:
     def _builtin(self, name: str, args: list) -> int:
         if name == "__reuse_probe":
             seg = _segment_id(args, name)
+            self.record_site(seg, "probe_line")
             descs = [self._descriptor(a, name) for a in args[1:]]
             meta = tuple((kind, cls) for _, _, kind, cls in descs)
             srcs = tuple((mode, slot) for mode, slot, _, _ in descs)
@@ -801,6 +851,7 @@ class _FnCompiler:
 
         if name == "__reuse_commit":
             seg = _segment_id(args, name)
+            self.record_site(seg, "commit_line")
             descs = [self._descriptor(a, name) for a in args[1:]]
             meta = tuple((kind, cls) for _, _, kind, cls in descs)
             srcs = tuple((mode, slot) for mode, slot, _, _ in descs)
@@ -814,6 +865,7 @@ class _FnCompiler:
 
         if name == "__reuse_end":
             seg = _segment_id(args, name)
+            self.record_site(seg, "end_line")
             self.flush()
             self.emit(op.REND, seg)
             if self.profiled:

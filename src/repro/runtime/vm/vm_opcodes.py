@@ -132,6 +132,7 @@ PROF_PB = _next_op()     # (seg,)          probe_begin
 PROF_PE = _next_op()     # (seg, r)        probe_end(hit=R[r]==1, bypassed=...)
 PROF_CB = _next_op()     # (seg,)          commit_begin
 PROF_SX = _next_op()     # (seg,)          segment_exit
+PROF_LINE = _next_op()   # (line,)         at_line — line-attribution mark
 METER_FUNC = _next_op()  # (k,)            consts[k].inc()  (call counter)
 METER_PROBE = _next_op() # (seg, r, k)     consts[k]: (bypassed, probes, hits, misses)
 

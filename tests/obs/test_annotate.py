@@ -1,0 +1,181 @@
+"""Golden-file tests for the annotated-source renderers.
+
+``render_text`` and ``render_html`` are pure functions of an
+:class:`~repro.obs.annotate.Annotation`, so their output is pinned
+byte-for-byte against a fixed synthetic annotation (two backends, heat
+extremes, markers, characters needing HTML escaping, absent ledger
+estimates).  To regenerate after an intentional renderer change::
+
+    PYTHONPATH=src python tests/obs/test_annotate.py
+
+then review the diffs of ``tests/obs/golden/annotate.txt`` and
+``tests/obs/golden/annotate.html``.
+"""
+
+from pathlib import Path
+
+from repro.obs.annotate import (
+    Annotation,
+    LineRow,
+    SiteRow,
+    build_annotation,
+    render_fragment,
+    render_html,
+    render_text,
+)
+
+GOLDEN_TEXT = Path(__file__).parent / "golden" / "annotate.txt"
+GOLDEN_HTML = Path(__file__).parent / "golden" / "annotate.html"
+
+_SOURCE_LINES = [
+    "static int quan(int v) <&escape>",
+    "{",
+    "    int r = v * v;",
+    "    return r;",
+    "}",
+    "int main(void) { return quan(3); }",
+]
+
+
+def _annotation(backend: str) -> Annotation:
+    site = SiteRow(
+        seg_id=0,
+        function="quan",
+        probe_line=1,
+        commit_line=4,
+        end_line=4,
+        executions=9000,
+        hits=5606,
+        misses=3394,
+        bypassed=0,
+        meas_r=0.623,
+        meas_c=1439.0,
+        meas_o=26.0,
+        est_r=0.623,
+        est_c=1428.0,
+        est_o=28.0,
+    )
+    # a second site with no ledger estimates exercises the "-" columns
+    bare = SiteRow(seg_id=1, function="main", probe_line=6, executions=1)
+    rows = [
+        LineRow(1, _SOURCE_LINES[0], body=53623, overhead=213636,
+                markers=[("probe", 0)]),
+        LineRow(2, _SOURCE_LINES[1]),
+        LineRow(3, _SOURCE_LINES[2], body=2511560),
+        LineRow(4, _SOURCE_LINES[3], body=53622, overhead=20364,
+                markers=[("commit", 0), ("end", 0)]),
+        LineRow(5, _SOURCE_LINES[4]),
+        LineRow(6, _SOURCE_LINES[5], body=117000, markers=[("probe", 1)]),
+    ]
+    total = sum(r.total for r in rows) + 6
+    return Annotation(
+        title="SAMPLE@O0 <&>",
+        backend=backend,
+        cycles=total,
+        attributed=total,
+        prelude=(6, 0),
+        rows=rows,
+        sites=[site, bare],
+    )
+
+
+def _sample() -> list:
+    return [_annotation("closures"), _annotation("vm")]
+
+
+def test_text_matches_golden():
+    rendered = render_text(_sample()[0])
+    assert GOLDEN_TEXT.exists(), "golden file missing; run this file as a script"
+    assert rendered == GOLDEN_TEXT.read_text(encoding="utf-8")
+
+
+def test_html_matches_golden():
+    rendered = render_html(_sample())
+    assert GOLDEN_HTML.exists(), "golden file missing; run this file as a script"
+    assert rendered == GOLDEN_HTML.read_text(encoding="utf-8")
+
+
+def test_renderers_are_deterministic():
+    assert render_text(_sample()[0]) == render_text(_sample()[0])
+    assert render_html(_sample()) == render_html(_sample())
+
+
+def test_html_escapes_source_text():
+    html = render_html(_sample())
+    assert "&lt;&amp;escape&gt;" in html
+    assert "<&escape>" not in html
+    assert "annotate: SAMPLE@O0 &lt;&amp;&gt;" in html
+
+
+def test_selector_only_with_multiple_backends():
+    lone = render_html(_sample()[0])          # bare Annotation accepted
+    assert "reproShow" not in lone
+    both = render_html(_sample())
+    assert both.count('class="selector"') == 1
+    assert 'data-backend="closures"' in both and 'data-backend="vm"' in both
+    # exactly one section starts visible
+    assert both.count('style="display:none"') == 1
+
+
+def test_fragment_is_uid_scoped_and_chrome_free():
+    fragment = render_fragment(_sample(), uid="UNEPIC-O0")
+    assert "<style" not in fragment and "<body" not in fragment
+    assert fragment.count('data-panel="UNEPIC-O0"') >= 3  # selector + sections
+    assert "reproShow('UNEPIC-O0'" in fragment
+
+
+def test_text_marks_sites_and_heat():
+    text = render_text(_sample()[0])
+    assert "[probe:s0]" in text
+    assert "[commit:s0 end:s0]" in text
+    assert "hit-ratio 0.623" in text
+    assert "C 1439/1428" in text
+    # site without estimates renders "-" for every ledger column
+    assert "R 0.000/-" in text
+    # hottest line gets the full-width heat bar
+    hottest = next(line for line in text.splitlines() if " int r = v * v;" in line)
+    assert "######" in hottest
+
+
+class _FakeProfile:
+    """The minimal CycleProfile surface ``build_annotation`` touches."""
+
+    def __init__(self):
+        self.lines = {0: [6, 0], 1: [100, 40], 3: [200, 0]}
+        self.seg_costs = {0: {"R": 0.5, "C": 120.0, "O": 8.0}}
+        self.total_cycles = 346
+
+    def line_total(self):
+        return 346
+
+    def segments(self):
+        return {}
+
+
+class _FakeSourceMap:
+    backend = "closures"
+
+    def sites(self):
+        return {0: ("quan", {"probe_line": 1, "commit_line": 3, "end_line": 3})}
+
+
+def test_build_annotation_joins_fakes():
+    source = "int quan;\nint x;\nint y;\n"
+    ann = build_annotation(source, _FakeProfile(), _FakeSourceMap(), title="t")
+    assert ann.cycles == ann.attributed == 346
+    assert ann.prelude == (6, 0)
+    assert [r.total for r in ann.rows] == [140, 0, 200]
+    assert ann.rows[0].markers == [("probe", 0)]
+    assert ann.rows[2].markers == [("commit", 0), ("end", 0)]
+    site = ann.sites[0]
+    # ledger estimates survive even when the run never executed the site
+    assert (site.est_r, site.est_c, site.est_o) == (0.5, 120.0, 8.0)
+    assert site.executions == 0 and site.hit_ratio == 0.0
+
+
+if __name__ == "__main__":
+    GOLDEN_TEXT.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_TEXT.write_text(render_text(_sample()[0]), encoding="utf-8")
+    GOLDEN_HTML.write_text(render_html(_sample()), encoding="utf-8")
+    print(f"regenerated {GOLDEN_TEXT}")
+    print(f"regenerated {GOLDEN_HTML}")

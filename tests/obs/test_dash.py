@@ -31,6 +31,14 @@ def _sample_data() -> DashData:
         profile_text="main 5757080cy\n  quan 3210000cy <reuse>",
         ledger_text='seg 3 quan: selected gain=42 "R*C - O > 0"',
         history_text="Perf history for UNEPIC@O0@static (3 runs)\ntrend |===| latest 5757080",
+        annotate_html=(
+            '<section data-panel="UNEPIC-O0" data-backend="closures">\n'
+            '<table class="annotate"><tr><th>line</th><th class="src">source</th>'
+            "</tr><tr><td>4</td>"
+            '<td class="src">let q = quan(x);'
+            '<span class="marker">probe:s3</span></td></tr></table>\n'
+            "</section>"
+        ),
     )
     regressed = WorkloadPanel(
         key="GNUGO@O3@governed",
@@ -65,6 +73,10 @@ def _sample_data() -> DashData:
             'repro_reuse_hits_total{segment="3"} 5606\n'
             "# EOF\n"
         ),
+        session_text=(
+            "Session run latency (wall-clock, bucket-interpolated)\n"
+            "  runs 3  p50 27.95ms  p90 43.69ms  p99 43.69ms  total 73.58ms"
+        ),
         panels=[clean, regressed, improved],
     )
 
@@ -90,6 +102,10 @@ def test_escaping_and_structure():
     assert "2 regression(s)" in html
     assert "No history anomalies." in html
     assert html.count("<pre>") == html.count("</pre>")
+    # the annotate fragment is embedded raw (markers survive unescaped),
+    # and the session-latency quantile block is rendered
+    assert '<span class="marker">probe:s3</span>' in html
+    assert "Session run latency" in html
 
 
 def test_empty_blocks_are_omitted():

@@ -202,6 +202,95 @@ class TestStats:
         assert "nothing was transformed" in capsys.readouterr().out
 
 
+class TestUnknownWorkloadHardening:
+    """Every workload-taking command exits 2 (not a traceback) on an
+    unknown name, and the error lists the registered workloads so the
+    user can correct the spelling."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["annotate", "NOSUCH"],
+            ["disasm", "NOSUCH"],
+            ["stats", "NOSUCH"],
+            ["trace", "NOSUCH"],
+            ["report", "--table", "3", "--workload", "NOSUCH"],
+        ],
+        ids=["annotate", "disasm", "stats", "trace", "report"],
+    )
+    def test_unknown_workload_exits_two_and_lists_names(self, argv, capsys):
+        rc = main(argv)
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown workload 'NOSUCH'" in err
+        # valid names are suggested in the message
+        assert "UNEPIC" in err and "GNUGO" in err and "G721_encode" in err
+
+
+class TestAnnotate:
+    def test_annotate_workload_reconciles(self, capsys):
+        rc = main(["annotate", "UNEPIC"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "backend: closures" in out
+        # header shows cycles and attributed totals; they must agree
+        header = out.splitlines()[1]
+        cycles = int(header.split("cycles")[1].split()[0])
+        attributed = int(header.split("attributed")[1].split()[0])
+        assert cycles == attributed > 0
+        assert "probe:s0" in out and "end:s0" in out
+        assert "reuse sites" in out
+
+    def test_annotate_both_backends_writes_html(self, tmp_path, capsys):
+        html_path = tmp_path / "ann.html"
+        rc = main(["annotate", "UNEPIC", "--backend", "both",
+                   "--html", str(html_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "backend: closures" in out and "backend: vm" in out
+        html = html_path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert 'data-backend="closures"' in html
+        assert 'data-backend="vm"' in html
+        assert "reproShow" in html
+
+    def test_annotate_file_target(self, program_file, capsys):
+        inputs = ",".join(["7", "9", "7", "9"] * 30)
+        rc = main(["annotate", program_file, "--inputs", inputs,
+                   "--min-executions", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "kernel" in out
+
+
+class TestDisasm:
+    def test_disasm_workload_interleaves_source(self, capsys):
+        rc = main(["disasm", "UNEPIC"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "function collapse_pyr" in out
+        assert "; line" in out          # source interleave comments
+        assert "PROBE" in out           # reuse ops present by default
+        assert "CHARGE" in out
+
+    def test_disasm_no_reuse_has_no_probes(self, capsys):
+        rc = main(["disasm", "UNEPIC", "--no-reuse"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PROBE" not in out
+        assert "; line" in out
+
+
+class TestStatsLatency:
+    def test_stats_repeat_reports_quantiles(self, capsys):
+        rc = main(["stats", "UNEPIC", "--repeat", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Session run latency" in out
+        assert "runs 3" in out
+        assert "p50" in out and "p90" in out and "p99" in out
+
+
 class TestReportEndToEnd:
     def test_table4_counts(self, capsys):
         rc = main(["report", "--table", "4", "--workload", "RASTA"])
@@ -374,3 +463,7 @@ class TestDashCommand:
         assert "UNEPIC@O0@static" in html
         assert "repro_machine_cycles" in html  # embedded OpenMetrics
         assert "Cycle attribution" in html
+        # the annotated-source panel and the session-latency block ride along
+        assert "Annotated source" in html
+        assert 'data-backend="closures"' in html and 'data-backend="vm"' in html
+        assert "Session run latency" in html
