@@ -64,8 +64,7 @@ def _measure_one(name: str, opt_level: str, metered: bool) -> tuple[int, float]:
     workload = get_workload(name)
     program = api.compile(
         workload.source,
-        opt=opt_level,
-        config=workload_config(workload),
+        api.CompileOptions(opt=opt_level, config=workload_config(workload)),
         metrics=metered,
     )
     inputs = workload.default_inputs()

@@ -40,9 +40,9 @@ def _measure_one(name: str, opt_level: str, profiled: bool) -> tuple[int, float]
     workload = get_workload(name)
     program = api.compile(
         workload.source,
-        opt=opt_level,
-        config=workload_config(workload),
-        profile=profiled,
+        api.CompileOptions(
+            opt=opt_level, config=workload_config(workload), profile=profiled
+        ),
     )
     inputs = workload.default_inputs()
     program.profile(inputs)

@@ -60,7 +60,9 @@ def main():
         inputs = stream_with_reuse_rate(rate)
         program = repro.compile(
             source,
-            config=repro.PipelineConfig(min_executions=16, enable_cost_filter=False),
+            repro.CompileOptions(
+                config=repro.PipelineConfig(min_executions=16, enable_cost_filter=False)
+            ),
         )
         result = program.profile(inputs)
         segment = max(result.selected, key=lambda s: s.gain, default=None)
@@ -68,7 +70,7 @@ def main():
             print(f"{rate:9.2f}  (nothing profitable)")
             continue
 
-        original = repro.compile(source, reuse=False).run(inputs)
+        original = repro.compile(source, repro.CompileOptions(reuse=False)).run(inputs)
         transformed = program.run(inputs)
         assert original.output_checksum == transformed.output_checksum
 

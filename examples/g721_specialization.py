@@ -26,7 +26,9 @@ def main():
     config = repro.PipelineConfig(min_executions=workload.min_executions)
 
     programs = {
-        level: repro.compile(workload.source, opt=level, config=config)
+        level: repro.compile(
+            workload.source, repro.CompileOptions(opt=level, config=config)
+        )
         for level in ("O0", "O3")
     }
     result = programs["O0"].profile(inputs)
@@ -58,7 +60,9 @@ def main():
 
     print("\n=== measurement ===")
     for level in ("O0", "O3"):
-        original = repro.compile(workload.source, opt=level, reuse=False).run(inputs)
+        original = repro.compile(
+            workload.source, repro.CompileOptions(opt=level, reuse=False)
+        ).run(inputs)
         transformed = programs[level].run(inputs)
 
         assert original.output_checksum == transformed.output_checksum

@@ -16,10 +16,10 @@ from repro.workloads import get_workload
 
 def measure(workload, config):
     inputs = workload.default_inputs()
-    program = repro.compile(workload.source, config=config)
+    program = repro.compile(workload.source, repro.CompileOptions(config=config))
     result = program.profile(inputs)
 
-    baseline = repro.compile(workload.source, reuse=False).run(inputs)
+    baseline = repro.compile(workload.source, repro.CompileOptions(reuse=False)).run(inputs)
     transformed = program.run(inputs)
     assert baseline.output_checksum == transformed.output_checksum
     return transformed.speedup_vs(baseline), result

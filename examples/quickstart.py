@@ -37,7 +37,10 @@ def main():
     # 1. compile through the facade: the paper's pipeline (analyses,
     #    profiling, cost-benefit selection, source-to-source transform)
     #    runs on the first call that needs it
-    program = repro.compile(SOURCE, config=repro.PipelineConfig(min_executions=32))
+    program = repro.compile(
+        SOURCE,
+        repro.CompileOptions(config=repro.PipelineConfig(min_executions=32)),
+    )
     result = program.profile(INPUTS)
 
     print("=== pipeline summary ===")
@@ -58,7 +61,7 @@ def main():
     print(program.transformed_source())
 
     # 3. measure original vs transformed on the simulated StrongARM
-    original = repro.compile(SOURCE, reuse=False).run(INPUTS)
+    original = repro.compile(SOURCE, repro.CompileOptions(reuse=False)).run(INPUTS)
     transformed = program.run(INPUTS)
 
     assert original.output_checksum == transformed.output_checksum

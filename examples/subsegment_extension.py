@@ -36,7 +36,7 @@ int main(void) {
 
 
 def measure(program, inputs):
-    original = repro.compile(SOURCE, reuse=False).run(inputs)
+    original = repro.compile(SOURCE, repro.CompileOptions(reuse=False)).run(inputs)
     transformed = program.run(inputs)
     assert original.output_checksum == transformed.output_checksum
     return transformed.speedup_vs(original)
@@ -45,14 +45,19 @@ def measure(program, inputs):
 def main():
     inputs = unepic_coeffs(n=5000)
 
-    base = repro.compile(SOURCE, config=repro.PipelineConfig(min_executions=16))
+    base = repro.compile(
+        SOURCE,
+        repro.CompileOptions(config=repro.PipelineConfig(min_executions=16)),
+    )
     print("published scheme:")
     print(f"  transformed segments: {len(base.profile(inputs).selected)}")
     print(f"  speedup: {measure(base, inputs):.2f}\n")
 
     ext = repro.compile(
         SOURCE,
-        config=repro.PipelineConfig(min_executions=16, enable_subsegments=True),
+        repro.CompileOptions(
+            config=repro.PipelineConfig(min_executions=16, enable_subsegments=True)
+        ),
     )
     print("with sub-segment candidates (enable_subsegments=True):")
     for segment in ext.profile(inputs).selected:

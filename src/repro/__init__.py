@@ -27,7 +27,8 @@ Quickstart — the stable facade (:mod:`repro.api`)::
     result = program.run(inputs)
     print(result.cycles, result.output_checksum)
 
-    baseline = repro.compile(source, reuse=False).run(inputs)
+    options = repro.CompileOptions(reuse=False)
+    baseline = repro.compile(source, options).run(inputs)
     print(result.speedup_vs(baseline))
 
 The lower layers (``ReusePipeline``, ``Machine``, ``compile_program``)
@@ -37,7 +38,9 @@ points.
 """
 
 from .api import (
+    CompileOptions,
     CompiledProgram,
+    RunOptions,
     RunResult,
     Session,
     compile,
@@ -64,6 +67,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "compile",
+    "CompileOptions",
+    "RunOptions",
     "CompiledProgram",
     "RunResult",
     "Session",

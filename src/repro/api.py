@@ -10,12 +10,17 @@ This module is the one supported way in::
     result = program.run(inputs)              # RunResult: value + metrics
     print(result.cycles, result.speedup_vs(baseline))
 
-    plain = repro.compile(source, reuse=False)  # no reuse transformation
+    plain = repro.compile(source, repro.CompileOptions(reuse=False))
     plain.run(inputs)
 
-    with repro.Session(governed=True) as session:   # warmed tables + disk cache
+    options = repro.CompileOptions(governed=True)
+    with repro.Session(options) as session:   # warmed tables + disk cache
         for stream in streams:
             session.run(source, stream)
+
+    All compile-time knobs travel in one frozen :class:`CompileOptions`
+    value (per-run knobs in :class:`RunOptions`); the old loose keywords
+    keep working behind a :class:`DeprecationWarning` shim.
 
 Everything here is a thin veneer over :class:`~repro.reuse.pipeline.ReusePipeline`,
 :class:`~repro.runtime.machine.Machine`, and the observability layer; the
@@ -32,9 +37,13 @@ numbers, and scientific notation.
 from __future__ import annotations
 
 import copy
+import hashlib
+import json
 import math
+import threading
 import time
-from dataclasses import asdict, dataclass, field
+import warnings
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional, Sequence, Union
 
 from .errors import ConfigError
@@ -55,6 +64,8 @@ from .runtime.machine import Machine, Metrics
 from .runtime.srcmap import SourceMap
 
 __all__ = [
+    "CompileOptions",
+    "RunOptions",
     "CompiledProgram",
     "RunResult",
     "Session",
@@ -66,6 +77,139 @@ __all__ = [
 ]
 
 _OPT_LEVELS = ("O0", "O3")
+
+
+# -- options -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Every compile-time knob of the facade in one frozen value.
+
+    Replaces the keyword sprawl of the original ``repro.compile(...)`` /
+    ``Session(...)`` signatures: construct once, pass everywhere, share
+    freely (the value is immutable).  Validation happens at construction
+    so a bad option fails at the call site, not deep inside a profiling
+    run.  Use :meth:`replace` for a tweaked copy and
+    :meth:`content_key` for a content-addressed cache key (what the
+    serving layer keys its per-tenant program caches on).
+    """
+
+    opt: str = "O0"
+    reuse: bool = True
+    config: Optional[PipelineConfig] = None
+    governed: bool = False
+    trace: bool = False
+    profile: Union[bool, str] = False
+    profile_inputs: Optional[tuple] = None
+    backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.opt not in _OPT_LEVELS:
+            raise ConfigError(f"unknown opt level {self.opt!r}; choose from {_OPT_LEVELS}")
+        if self.profile not in (True, False, "lines"):
+            raise ConfigError(f"profile must be a bool or 'lines', got {self.profile!r}")
+        if self.config is not None and not isinstance(self.config, PipelineConfig):
+            raise ConfigError(
+                f"config must be a PipelineConfig, got {type(self.config).__name__}"
+            )
+        if self.backend is not None and self.backend not in Machine.BACKENDS:
+            raise ConfigError(
+                f"unknown backend {self.backend!r}; expected one of {Machine.BACKENDS}"
+            )
+        if self.profile_inputs is not None:
+            # tolerate any sequence at the call site; store immutably
+            object.__setattr__(self, "profile_inputs", tuple(self.profile_inputs))
+
+    def replace(self, **changes) -> "CompileOptions":
+        """A copy with ``changes`` applied (and re-validated)."""
+        return replace(self, **changes)
+
+    def content_key(self, source: str) -> str:
+        """Content hash identifying the compiled artifact: the source
+        text plus every option that can change what the pipeline builds
+        (opt level, reuse on/off, governed tables, backend, the full
+        :class:`PipelineConfig`, and any pinned profiling inputs).
+        Pure observers (``trace``, ``profile``) are excluded — they are
+        proven not to change outputs or simulated cycles."""
+        config = self.config if self.config is not None else PipelineConfig()
+        payload = {
+            "source": source,
+            "opt": self.opt,
+            "reuse": self.reuse,
+            "governed": self.governed,
+            "backend": self.backend,
+            "config": asdict(config),
+            "profile_inputs": list(self.profile_inputs)
+            if self.profile_inputs is not None
+            else None,
+        }
+        blob = json.dumps(payload, sort_keys=True, default=repr).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Per-run knobs of :meth:`CompiledProgram.run` (frozen, shareable).
+
+    ``entry`` overrides the entry function (default: the pipeline
+    config's entry for reuse programs, ``main`` otherwise).
+    """
+
+    entry: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.entry is not None and (
+            not self.entry or not isinstance(self.entry, str)
+        ):
+            raise ConfigError(
+                f"entry must be a non-empty function name, got {self.entry!r}"
+            )
+
+
+_COMPILE_LEGACY_KEYS = (
+    "opt",
+    "reuse",
+    "config",
+    "governed",
+    "trace",
+    "profile",
+    "profile_inputs",
+    "backend",
+)
+
+
+def _options_from_legacy(
+    where: str, options: Optional[CompileOptions], legacy: dict, allowed=_COMPILE_LEGACY_KEYS
+) -> CompileOptions:
+    """Resolve the ``options=`` value against deprecated loose keywords.
+
+    The old keyword surface keeps working — ``repro.compile(src,
+    opt="O3")`` builds the equivalent :class:`CompileOptions` — but
+    warns; mixing both spellings is an error, not a merge."""
+    if legacy:
+        unknown = sorted(set(legacy) - set(allowed))
+        if unknown:
+            raise ConfigError(f"{where}() got unexpected keyword(s): {', '.join(unknown)}")
+        if options is not None:
+            raise ConfigError(
+                f"{where}() takes options= or legacy keywords, not both"
+            )
+        named = ", ".join(f"{key}=..." for key in sorted(legacy))
+        warnings.warn(
+            f"repro.{where}({named}) keyword arguments are deprecated; "
+            f"pass options=repro.CompileOptions(...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return CompileOptions(**legacy)
+    if options is None:
+        return CompileOptions()
+    if not isinstance(options, CompileOptions):
+        raise ConfigError(
+            f"options must be a CompileOptions, got {type(options).__name__}"
+        )
+    return options
 
 
 # -- input literals ----------------------------------------------------------
@@ -201,62 +345,54 @@ class CompiledProgram:
     program executes unmodified (optimized when ``opt="O3"``).
 
     Construct through :func:`repro.compile` or
-    :meth:`Session.compile`; the constructor is considered internal.
+    :meth:`Session.compile`; the constructor is considered internal and
+    takes the consolidated :class:`CompileOptions` value.
     """
 
     def __init__(
         self,
         source: str,
+        options: Optional[CompileOptions] = None,
         *,
-        opt: str = "O0",
-        reuse: bool = True,
-        config: Optional[PipelineConfig] = None,
-        governed: bool = False,
-        trace: bool = False,
-        profile=False,
-        profile_inputs: Optional[Sequence] = None,
         metrics=None,
-        backend: Optional[str] = None,
         _cache=None,
         _persist_tables: bool = False,
     ) -> None:
-        if opt not in _OPT_LEVELS:
-            raise ConfigError(f"unknown opt level {opt!r}; choose from {_OPT_LEVELS}")
-        if profile not in (True, False, "lines"):
+        options = options if options is not None else CompileOptions()
+        if not isinstance(options, CompileOptions):
             raise ConfigError(
-                f"profile must be a bool or 'lines', got {profile!r}"
-            )
-        if config is not None and not isinstance(config, PipelineConfig):
-            raise ConfigError(
-                f"config must be a PipelineConfig, got {type(config).__name__}"
-            )
-        if backend is not None and backend not in Machine.BACKENDS:
-            raise ConfigError(
-                f"unknown backend {backend!r}; expected one of {Machine.BACKENDS}"
+                f"options must be a CompileOptions, got {type(options).__name__}"
             )
         self.source = source
-        self.opt = opt
-        self.backend = backend
-        self.reuse = reuse
-        self.config = config or PipelineConfig()
-        self.governed = governed
-        self.profiled = bool(profile)
-        self.profile_lines = profile == "lines"
-        self.tracer: Optional[Tracer] = Tracer(enabled=True) if trace else None
+        self.options = options
+        self.opt = options.opt
+        self.backend = options.backend
+        self.reuse = options.reuse
+        self.config = options.config or PipelineConfig()
+        self.governed = options.governed
+        self.profiled = bool(options.profile)
+        self.profile_lines = options.profile == "lines"
+        self.tracer: Optional[Tracer] = Tracer(enabled=True) if options.trace else None
         self.registry: Optional[MetricsRegistry] = _resolve_metrics(metrics)
         self._profile_inputs = (
-            list(profile_inputs) if profile_inputs is not None else None
+            list(options.profile_inputs)
+            if options.profile_inputs is not None
+            else None
         )
         self._cache = _cache
         self._persist_tables = _persist_tables
         self._tables: Optional[dict] = None
         self.result: Optional[PipelineResult] = None
         self._programs: dict[str, object] = {}  # opt level -> executable AST
-        if not reuse:
+        # one lock makes lazy profiling and table building safe under
+        # concurrent run() calls (the serving layer shares one compiled
+        # program — and its warmed tables — across worker threads)
+        self._lock = threading.Lock()
+        if not self.reuse:
             program = frontend(source)
-            if opt == "O3":
+            if self.opt == "O3":
                 optimize(program, "O3")
-            self._programs[opt] = program
+            self._programs[self.opt] = program
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -294,22 +430,25 @@ class CompiledProgram:
             raise ConfigError("profile() on a reuse=False program")
         if self.result is not None:
             return self.result
-        inputs = list(inputs)
-        key = None
-        if self._cache is not None:
-            from .experiments.cache import cache_key
+        with self._lock:
+            if self.result is not None:
+                return self.result
+            inputs = list(inputs)
+            key = None
+            if self._cache is not None:
+                from .experiments.cache import cache_key
 
-            key = cache_key("pipeline", self.source, asdict(self.config), inputs)
-            cached = self._cache.load_pipeline(key)
-            if cached is not None:
-                self.result = cached
-                return cached
-        with self._traced():
-            result = ReusePipeline(self.source, self.config).run(inputs)
-        if self._cache is not None and key is not None:
-            self._cache.store_pipeline(key, result)
-        self.result = result
-        return result
+                key = cache_key("pipeline", self.source, asdict(self.config), inputs)
+                cached = self._cache.load_pipeline(key)
+                if cached is not None:
+                    self.result = cached
+                    return cached
+            with self._traced():
+                result = ReusePipeline(self.source, self.config).run(inputs)
+            if self._cache is not None and key is not None:
+                self._cache.store_pipeline(key, result)
+            self.result = result
+            return result
 
     @property
     def ledger(self) -> Optional[DecisionLedger]:
@@ -325,32 +464,65 @@ class CompiledProgram:
     def _program_for(self, opt: str):
         program = self._programs.get(opt)
         if program is None:
-            # optimize a private copy so the pipeline's program stays O0
-            from .minic.sema import analyze
+            with self._lock:
+                program = self._programs.get(opt)
+                if program is None:
+                    # optimize a private copy so the pipeline's program
+                    # stays O0
+                    from .minic.sema import analyze
 
-            program = copy.deepcopy(self.result.program)
-            analyze(program)
-            optimize(program, opt)
-            self._programs[opt] = program
+                    program = copy.deepcopy(self.result.program)
+                    analyze(program)
+                    optimize(program, opt)
+                    self._programs[opt] = program
         return program
 
     def _tables_for_run(self) -> dict:
         if self._persist_tables:
             if self._tables is None:
-                self._tables = self.result.build_tables(governed=self.governed)
+                with self._lock:
+                    if self._tables is None:
+                        self._tables = self.result.build_tables(
+                            governed=self.governed
+                        )
             return self._tables
         return self.result.build_tables(governed=self.governed)
 
     # -- execution -----------------------------------------------------------
 
-    def run(self, inputs: Sequence = (), *, entry: Optional[str] = None) -> RunResult:
+    def run(
+        self,
+        inputs: Sequence = (),
+        options: Optional[RunOptions] = None,
+        *,
+        entry: Optional[str] = None,
+    ) -> RunResult:
         """One measured execution; returns a :class:`RunResult`.
 
         For ``reuse=True`` programs the first call profiles on these
         inputs unless profiling already happened.  Session-bound programs
         keep their (warmed) tables across calls; standalone programs
-        build fresh tables per run.
+        build fresh tables per run.  Per-run knobs travel in a
+        :class:`RunOptions` value; the loose ``entry=`` keyword remains
+        as a deprecated shim.
         """
+        if entry is not None:
+            if options is not None:
+                raise ConfigError("run() takes options= or entry=, not both")
+            warnings.warn(
+                "repro.CompiledProgram.run(entry=...) is deprecated; "
+                "pass options=repro.RunOptions(entry=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            options = RunOptions(entry=entry)
+        elif options is None:
+            options = RunOptions()
+        elif not isinstance(options, RunOptions):
+            raise ConfigError(
+                f"options must be a RunOptions, got {type(options).__name__}"
+            )
+        entry = options.entry
         inputs = list(inputs)
         if self.reuse and self.result is None:
             self.profile(
@@ -445,65 +617,40 @@ class CompiledProgram:
 
 def compile(
     source: str,
+    options: Optional[CompileOptions] = None,
     *,
-    opt: str = "O0",
-    reuse: bool = True,
-    config: Optional[PipelineConfig] = None,
-    governed: bool = False,
-    trace: bool = False,
-    profile=False,
-    profile_inputs: Optional[Sequence] = None,
     metrics=None,
-    backend: Optional[str] = None,
+    **legacy,
 ) -> CompiledProgram:
     """Prepare mini-C ``source`` for measured execution on the simulated
     StrongARM; the stable entry point of the package.
 
     Args:
-        opt: cost table and optimizer level, "O0" or "O3".
-        reuse: apply the paper's computation-reuse pipeline (profiling
-            happens lazily on the first :meth:`CompiledProgram.run`).
-        config: pipeline knobs (:class:`~repro.reuse.pipeline.PipelineConfig`);
-            validated at construction.
-        governed: install tables managed by the online reuse governor
-            (:mod:`repro.runtime.governor`) instead of static tables.
-        trace: record pipeline and run spans into
-            :attr:`CompiledProgram.tracer` for export.
-        profile: attach a cycle-attribution profiler
-            (:mod:`repro.obs.profiler`) to every run; the profile is
-            returned via :meth:`RunResult.profile`.  Attribution is
-            exact — per-node cycles sum bit-identically to
-            ``Metrics.cycles`` — and a profiled run's metrics are
-            bit-identical to an unprofiled one's.  Pass ``"lines"`` for
-            line-level attribution: the profile additionally buckets
-            cycles by source line (``CycleProfile.lines``) and the run
-            records a :class:`~repro.runtime.srcmap.SourceMap`
-            (:attr:`RunResult.source_map`) joining lines to probe and
-            commit sites — the data behind ``repro annotate``.
-        profile_inputs: profile on this stream instead of the first run's.
+        options: the consolidated compile-time knobs
+            (:class:`CompileOptions`) — opt level, reuse on/off,
+            :class:`~repro.reuse.pipeline.PipelineConfig`, governed
+            tables, tracing, cycle profiling, pinned profiling inputs,
+            and the execution backend.  ``None`` means the defaults
+            (``O0``, reuse on, static tables, closures-or-``REPRO_BACKEND``).
         metrics: publish live metrics into a
             :class:`~repro.obs.metrics.MetricsRegistry` — ``True`` for a
             fresh registry (on :attr:`CompiledProgram.registry`), or pass
-            a registry shared across programs.  Like ``profile``, the
-            metered closures exist only when a registry is installed, so
-            an un-metered program's metrics stay bit-identical.
-        backend: execution backend for measured runs — ``"closures"``
-            (the closure-tree oracle) or ``"vm"`` (the register-bytecode
-            VM, same simulated cycles/outputs/metrics, substantially
-            faster wall-clock).  ``None`` defers to ``REPRO_BACKEND``
-            and then the closure default.
+            a registry shared across programs.  The metered closures
+            exist only when a registry is installed, so an un-metered
+            program's metrics stay bit-identical.  Kept out of
+            :class:`CompileOptions` because a registry is live shared
+            state, not a compile-time constant.
+        **legacy: the pre-:class:`CompileOptions` loose keywords
+            (``opt=``, ``reuse=``, ``config=``, ``governed=``,
+            ``trace=``, ``profile=``, ``profile_inputs=``,
+            ``backend=``).  They still work but emit a
+            :class:`DeprecationWarning`; mixing them with ``options=``
+            is a :class:`~repro.errors.ConfigError`.
     """
     return CompiledProgram(
         source,
-        opt=opt,
-        reuse=reuse,
-        config=config,
-        governed=governed,
-        trace=trace,
-        profile=profile,
-        profile_inputs=profile_inputs,
+        _options_from_legacy("compile", options, legacy),
         metrics=metrics,
-        backend=backend,
     )
 
 
@@ -521,35 +668,42 @@ class Session:
     persist to disk under ``.repro_cache/`` exactly like the experiment
     harness's.
 
-    Usable as a context manager; ``close()`` drops table references.
+    Lifecycle: usable as a context manager.  :meth:`close` is
+    idempotent — it stops the metrics endpoint (if one was started) and
+    drops every memoized program and its tables; a closed session
+    rejects further compiles and runs, so pools can recycle sessions
+    without leaking the exposition thread.  :meth:`evict` releases one
+    program; :meth:`run_program` runs a session-compiled program while
+    keeping the session's latency/throughput metrics flowing — the
+    entry points the multi-tenant service (:mod:`repro.service`) pools
+    sessions through.
     """
 
     def __init__(
         self,
+        options: Optional[CompileOptions] = None,
         *,
-        opt: str = "O0",
-        config: Optional[PipelineConfig] = None,
-        governed: bool = False,
-        trace: bool = False,
         cache=None,
         metrics=None,
-        backend: Optional[str] = None,
+        **legacy,
     ) -> None:
-        if opt not in _OPT_LEVELS:
-            raise ConfigError(f"unknown opt level {opt!r}; choose from {_OPT_LEVELS}")
-        if backend is not None and backend not in Machine.BACKENDS:
-            raise ConfigError(
-                f"unknown backend {backend!r}; expected one of {Machine.BACKENDS}"
-            )
-        self.opt = opt
-        self.backend = backend
-        self.config = config
-        self.governed = governed
-        self.trace = trace
+        self.options = _options_from_legacy(
+            "Session",
+            options,
+            legacy,
+            allowed=("opt", "config", "governed", "trace", "backend"),
+        )
+        self.opt = self.options.opt
+        self.backend = self.options.backend
+        self.config = self.options.config
+        self.governed = self.options.governed
+        self.trace = self.options.trace
         self.cache = self._resolve_cache(cache)
         self.registry: Optional[MetricsRegistry] = _resolve_metrics(metrics)
         self._server: Optional[ExpositionServer] = None
-        self._programs: dict[tuple[str, bool], CompiledProgram] = {}
+        self._programs: dict[tuple, CompiledProgram] = {}
+        self._lock = threading.Lock()
+        self._closed = False
 
     @staticmethod
     def _resolve_cache(cache):
@@ -563,40 +717,100 @@ class Session:
             return ExperimentCache()
         return ExperimentCache(cache)
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self, what: str) -> None:
+        if self._closed:
+            raise ConfigError(f"{what} on a closed Session")
+
+    def _memo_key(self, source: str, options: CompileOptions) -> tuple:
+        # content_key covers everything semantic; trace/profile are pure
+        # observers excluded from it, but two programs differing only in
+        # observers must not share one memo slot
+        return (options.content_key(source), options.trace, options.profile)
+
+    def _compile_options(self, legacy: dict) -> CompileOptions:
+        """The session's base options with per-compile legacy overrides
+        (``reuse``/``config``/``profile_inputs``) applied."""
+        base = self.options
+        if legacy.get("config") is None:
+            legacy.pop("config", None)
+        return base.replace(**legacy) if legacy else base
+
     def compile(
         self,
         source: str,
-        *,
-        reuse: bool = True,
-        config: Optional[PipelineConfig] = None,
-        profile_inputs: Optional[Sequence] = None,
+        options: Optional[CompileOptions] = None,
+        **legacy,
     ) -> CompiledProgram:
         """Like :func:`repro.compile`, but the program shares this
         session's settings, disk cache, and keeps warmed tables.
-        Compiling the same source twice returns the same program."""
-        memo = (source, reuse)
+        Compiling the same source (and options) twice returns the same
+        program.  ``options`` overrides the session's defaults for this
+        program; the old loose keywords (``reuse=``, ``config=``,
+        ``profile_inputs=``) remain as a deprecated shim."""
+        self._check_open("compile()")
+        if legacy:
+            unknown = sorted(set(legacy) - {"reuse", "config", "profile_inputs"})
+            if unknown:
+                raise ConfigError(
+                    f"Session.compile() got unexpected keyword(s): {', '.join(unknown)}"
+                )
+            if options is not None:
+                raise ConfigError(
+                    "Session.compile() takes options= or legacy keywords, not both"
+                )
+            named = ", ".join(f"{key}=..." for key in sorted(legacy))
+            warnings.warn(
+                f"repro.Session.compile({named}) keyword arguments are deprecated; "
+                f"pass options=repro.CompileOptions(...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            options = self._compile_options(legacy)
+        elif options is None:
+            options = self.options
+        elif not isinstance(options, CompileOptions):
+            raise ConfigError(
+                f"options must be a CompileOptions, got {type(options).__name__}"
+            )
+        memo = self._memo_key(source, options)
         program = self._programs.get(memo)
         if program is None:
-            program = CompiledProgram(
-                source,
-                opt=self.opt,
-                reuse=reuse,
-                config=config or self.config,
-                governed=self.governed,
-                trace=self.trace,
-                profile_inputs=profile_inputs,
-                metrics=self.registry,
-                backend=self.backend,
-                _cache=self.cache,
-                _persist_tables=True,
-            )
-            self._programs[memo] = program
+            with self._lock:
+                program = self._programs.get(memo)
+                if program is None:
+                    program = CompiledProgram(
+                        source,
+                        options,
+                        metrics=self.registry,
+                        _cache=self.cache,
+                        _persist_tables=True,
+                    )
+                    self._programs[memo] = program
         return program
 
-    def run(self, source: str, inputs: Sequence = ()) -> RunResult:
-        """Compile (memoized) and run in one call."""
+    def evict(self, source: str, options: Optional[CompileOptions] = None) -> bool:
+        """Drop the memoized program for ``source`` (and its warmed
+        tables); returns whether one was held.  The service's program
+        caches call this when recycling tenant capacity."""
+        options = options if options is not None else self.options
+        with self._lock:
+            return self._programs.pop(self._memo_key(source, options), None) is not None
+
+    def run_program(
+        self,
+        program: CompiledProgram,
+        inputs: Sequence = (),
+        options: Optional[RunOptions] = None,
+    ) -> RunResult:
+        """Run a session-compiled program, publishing the session's run
+        counters and latency histogram (when the session is metered)."""
+        self._check_open("run_program()")
         start = time.perf_counter() if self.registry is not None else 0.0
-        result = self.compile(source).run(inputs)
+        result = program.run(inputs, options)
         if self.registry is not None:
             elapsed = time.perf_counter() - start
             self.registry.counter("repro_session_runs", "Session runs completed.").inc()
@@ -613,12 +827,20 @@ class Session:
             ).observe(elapsed)
         return result
 
+    def run(self, source: str, inputs: Sequence = ()) -> RunResult:
+        """Compile (memoized) and run in one call."""
+        self._check_open("run()")
+        return self.run_program(self.compile(source), inputs)
+
     def serve_metrics(
         self, host: str = "127.0.0.1", port: int = 0
     ) -> ExpositionServer:
         """Start (or return) the background OpenMetrics HTTP endpoint
         serving this session's registry; requires ``metrics=``.  The
-        server is a daemon thread and is shut down by :meth:`close`."""
+        server binds an ephemeral port for ``port=0`` (read the real one
+        from ``.port``), runs as a daemon thread, and is stopped —
+        idempotently — by :meth:`close`."""
+        self._check_open("serve_metrics()")
         if self.registry is None:
             raise ConfigError("serve_metrics() on a Session without metrics=")
         if self._server is None:
@@ -627,10 +849,17 @@ class Session:
         return self._server
 
     def close(self) -> None:
+        """Stop the metrics endpoint and drop every memoized program.
+        Idempotent: closing twice (or closing a session that never
+        served metrics) is a no-op."""
+        if self._closed:
+            return
+        self._closed = True
         if self._server is not None:
             self._server.close()
             self._server = None
-        self._programs.clear()
+        with self._lock:
+            self._programs.clear()
 
     def __enter__(self) -> "Session":
         return self

@@ -17,6 +17,8 @@
     python -m repro dash --workload UNEPIC --out repro-dash.html
     python -m repro report --table 6 --workload G721_encode --workload RASTA
     python -m repro report --figure 14 --workload UNEPIC
+    python -m repro serve --port 8080
+    python -m repro loadgen --smoke --out BENCH_service.json
 
 ``run`` executes a mini-C file on the simulated StrongARM and prints the
 metrics; ``transform`` runs the full reuse pipeline and prints the
@@ -39,7 +41,11 @@ no baseline needs committing); ``dash`` renders the whole observability
 surface — live metrics registry, ledger verdicts, attribution trees,
 perf trends, anomaly flags — into one static HTML file; ``report``
 regenerates any of the paper's tables/figures for a subset of
-workloads.
+workloads; ``serve`` starts the multi-tenant compile-and-run HTTP
+service (:mod:`repro.service`) and ``loadgen`` load-tests it —
+concurrent client sessions over the registered workloads with every
+served output verified against a direct facade run, writing the
+latency/throughput report to ``BENCH_service.json``.
 
 Every command goes through the stable facade (:mod:`repro.api`); this
 module contains no pipeline or machine wiring of its own.
@@ -119,9 +125,8 @@ def _resolve_target(args):
 def cmd_run(args) -> int:
     source = _read_source(args.file)
     inputs = _parse_inputs(args)
-    result = api.compile(
-        source, opt=args.opt, reuse=False, backend=args.backend
-    ).run(inputs, entry=args.entry)
+    options = api.CompileOptions(opt=args.opt, reuse=False, backend=args.backend)
+    result = api.compile(source, options).run(inputs, api.RunOptions(entry=args.entry))
     metrics = result.metrics
     print(f"result: {result.value}")
     print(f"cycles: {metrics.cycles}")
@@ -135,7 +140,7 @@ def cmd_transform(args) -> int:
     source = _read_source(args.file)
     inputs = _parse_inputs(args)
     config = api.PipelineConfig(min_executions=args.min_executions)
-    program = api.compile(source, config=config)
+    program = api.compile(source, api.CompileOptions(config=config))
     result = program.profile(inputs)
 
     counts = result.counts
@@ -155,8 +160,11 @@ def cmd_transform(args) -> int:
     print(program.transformed_source())
 
     if not args.no_measure and result.selected:
-        original = api.compile(source, reuse=False).run(inputs, entry=args.entry)
-        transformed = program.run(inputs, entry=args.entry)
+        run_options = api.RunOptions(entry=args.entry)
+        original = api.compile(
+            source, api.CompileOptions(reuse=False)
+        ).run(inputs, run_options)
+        transformed = program.run(inputs, run_options)
         match = original.output_checksum == transformed.output_checksum
         print(f"// original:    {original.seconds:.6f} s")
         print(f"// transformed: {transformed.seconds:.6f} s")
@@ -178,7 +186,7 @@ def cmd_trace(args) -> int:
     from .obs import write_chrome_trace, write_jsonl
 
     source, inputs, _run_inputs, config, title = _resolve_target(args)
-    program = api.compile(source, config=config, trace=True)
+    program = api.compile(source, api.CompileOptions(config=config, trace=True))
     result = program.profile(inputs)
     tracer = program.tracer
 
@@ -232,7 +240,8 @@ def cmd_stats(args) -> int:
 
     source, inputs, run_inputs, config, _title = _resolve_target(args)
     session = api.Session(
-        opt=args.opt, config=config, governed=args.governed, metrics=True
+        api.CompileOptions(opt=args.opt, config=config, governed=args.governed),
+        metrics=True,
     )
     program = session.compile(source)
     program.profile(inputs)
@@ -271,7 +280,10 @@ def cmd_annotate(args) -> int:
     annotations = []
     for backend in backends:
         program = api.compile(
-            source, opt=args.opt, config=config, profile="lines", backend=backend
+            source,
+            api.CompileOptions(
+                opt=args.opt, config=config, profile="lines", backend=backend
+            ),
         )
         program.profile(inputs)
         result = program.run(inputs)
@@ -303,7 +315,8 @@ def cmd_disasm(args) -> int:
 
     source, inputs, _run_inputs, config, _title = _resolve_target(args)
     program = api.compile(
-        source, opt=args.opt, config=config, reuse=not args.no_reuse
+        source,
+        api.CompileOptions(opt=args.opt, config=config, reuse=not args.no_reuse),
     )
     if not args.no_reuse:
         program.profile(inputs)
@@ -441,6 +454,8 @@ def cmd_dash(args) -> int:
     metrics registry, perf-store trends, and history anomaly verdicts in
     one self-contained file."""
     import datetime
+    import json
+    import os
 
     from .experiments.dash import write_dashboard
     from .obs.perfdb import PerfDB
@@ -450,6 +465,10 @@ def cmd_dash(args) -> int:
     generated = datetime.datetime.now(datetime.timezone.utc).strftime(
         "%Y-%m-%d %H:%M:%S UTC"
     )
+    service_bench = None
+    if args.service_bench and os.path.exists(args.service_bench):
+        with open(args.service_bench, encoding="utf-8") as f:
+            service_bench = json.load(f)
     path = write_dashboard(
         args.out,
         names,
@@ -457,8 +476,93 @@ def cmd_dash(args) -> int:
         variants=args.variant or ["static"],
         db=db if db.path.exists() else None,
         generated=generated,
+        service_bench=service_bench,
     )
     print(f"dashboard written: {path}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the multi-tenant compile-and-run service until interrupted."""
+    import time
+
+    from .service import ServiceConfig, ServiceThread
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        request_timeout=args.request_timeout,
+        drain_grace=args.drain_grace,
+    )
+    server = ServiceThread(config).start()
+    try:
+        print(f"repro service listening on {server.url}")
+        print("endpoints: POST /v1/compile, POST /v1/run; "
+              "GET /v1/stats, /metrics, /healthz")
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("\ndraining...", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """Load-test the service and write the latency/verification report.
+
+    Exits non-zero when any request failed (after retries) or any served
+    output diverged from the direct facade run — the CI contract."""
+    import json
+
+    from .service import LoadgenConfig, run_loadgen, smoke_config
+
+    if args.smoke:
+        config = smoke_config(out=args.out)
+    else:
+        config = LoadgenConfig(
+            sessions=args.sessions,
+            runs_per_session=args.runs_per_session,
+            tenants=args.tenants,
+            workloads=tuple(args.workload) if args.workload else None,
+            input_prefix=args.input_prefix,
+            chunk=args.chunk,
+            max_pending=args.max_pending,
+            request_timeout=args.request_timeout,
+            out=args.out,
+        )
+    report = run_loadgen(config, host=args.host, port=args.port)
+    totals, latency = report["totals"], report["latency"]["run"]
+    print(
+        f"sessions: {totals['sessions']}  requests: {totals['requests']}  "
+        f"runs: {totals['runs']}  errors: {totals['errors']}"
+    )
+    if latency.get("count"):
+        print(
+            f"run latency: p50 {latency['p50_ms']:.1f} ms, "
+            f"p90 {latency['p90_ms']:.1f} ms, p99 {latency['p99_ms']:.1f} ms"
+        )
+    print(
+        f"throughput: {totals['throughput_rps']:.1f} req/s over "
+        f"{totals['wall_seconds']:.1f} s  "
+        f"(429 retries: {totals['retries_backpressure']}, "
+        f"evictions: {totals['retries_evicted']})"
+    )
+    verification = report["verification"]
+    print(
+        f"verification: {verification['checked']} outputs checked, "
+        f"{verification['mismatches']} mismatches"
+    )
+    if config.out:
+        print(f"report written: {config.out}")
+    if not report["ok"]:
+        for err in report["errors"][:10]:
+            print(f"  FAIL {err}", file=sys.stderr)
+        print(json.dumps(report["verification"]), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -734,7 +838,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_dash.add_argument("--db", default=".repro_perf", help="perf store directory")
     p_dash.add_argument("--out", default="repro-dash.html", help="output HTML path")
+    p_dash.add_argument(
+        "--service-bench", default="BENCH_service.json",
+        help="loadgen report to embed as the service panel (skipped if absent)",
+    )
     p_dash.set_defaults(func=cmd_dash)
+
+    p_srv = sub.add_parser(
+        "serve", help="start the multi-tenant compile-and-run HTTP service"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: bind an ephemeral port and print it)",
+    )
+    p_srv.add_argument(
+        "--workers", type=int, default=0,
+        help="worker threads executing runs (default: cpu count + 2)",
+    )
+    p_srv.add_argument(
+        "--max-pending", type=int, default=64,
+        help="in-flight bound before requests get 429 + Retry-After",
+    )
+    p_srv.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="seconds before an admitted request gets 504",
+    )
+    p_srv.add_argument(
+        "--drain-grace", type=float, default=10.0,
+        help="seconds to wait for in-flight requests on shutdown",
+    )
+    p_srv.set_defaults(func=cmd_serve)
+
+    p_lg = sub.add_parser(
+        "loadgen", help="load-test the service; verify served outputs bit-for-bit"
+    )
+    p_lg.add_argument(
+        "--smoke", action="store_true",
+        help="the bounded CI shape (32 sessions, 4 workloads, both backends)",
+    )
+    p_lg.add_argument(
+        "--sessions", type=int, default=1000,
+        help="concurrent client sessions to drive",
+    )
+    p_lg.add_argument("--runs-per-session", type=int, default=4)
+    p_lg.add_argument("--tenants", type=int, default=2)
+    p_lg.add_argument(
+        "--workload", action="append",
+        help="workload to include (repeatable; default: all registered)",
+    )
+    p_lg.add_argument("--input-prefix", type=int, default=256)
+    p_lg.add_argument("--chunk", type=int, default=64)
+    p_lg.add_argument("--max-pending", type=int, default=256)
+    p_lg.add_argument("--request-timeout", type=float, default=60.0)
+    p_lg.add_argument(
+        "--host", default=None,
+        help="target an already-running service instead of booting one",
+    )
+    p_lg.add_argument("--port", type=int, default=None)
+    p_lg.add_argument(
+        "--out", default=None, help="write the JSON report (BENCH_service.json)"
+    )
+    p_lg.set_defaults(func=cmd_loadgen)
 
     p_rep = sub.add_parser("report", help="regenerate a paper table/figure")
     p_rep.add_argument("--table", type=int)

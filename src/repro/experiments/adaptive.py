@@ -46,7 +46,8 @@ def ablate_workload(workload: Workload, opt: str = "O0") -> dict:
     governor_verdicts: dict[str, dict] = {}
     for governed in (False, True):
         program = api.compile(
-            workload.source, opt=opt, config=config, governed=governed
+            workload.source,
+            api.CompileOptions(opt=opt, config=config, governed=governed),
         )
         program.profile(default_inputs)
         runs[governed] = program.run(alternate_inputs)

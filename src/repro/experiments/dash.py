@@ -23,6 +23,7 @@ from ..obs.perfdb import PerfDB, baseline_key
 from ..obs.render import (
     render_hit_ratio_series,
     render_perf_history,
+    render_service_bench,
     render_session_latency,
 )
 from ..workloads import get_workload
@@ -48,10 +49,12 @@ def _annotate_fragment(name: str, opt: str) -> str:
     for backend in ("closures", "vm"):
         program = api.compile(
             workload.source,
-            opt=opt,
-            config=workload_config(workload),
-            profile="lines",
-            backend=backend,
+            api.CompileOptions(
+                opt=opt,
+                config=workload_config(workload),
+                profile="lines",
+                backend=backend,
+            ),
         )
         inputs = workload.default_inputs()
         program.profile(inputs)
@@ -115,12 +118,15 @@ def collect_dashboard(
     policy: Optional[AnomalyPolicy] = None,
     title: str = "repro dashboard",
     generated: str = "",
+    service_bench: Optional[dict] = None,
 ) -> DashData:
     """Measure every (workload, opt, variant) combination and assemble
     the :class:`~repro.obs.dash.DashData` for rendering.
 
     ``generated`` is caller-supplied timestamp text (kept out of this
-    module so the collector stays deterministic and testable)."""
+    module so the collector stays deterministic and testable);
+    ``service_bench`` is an optional parsed ``BENCH_service.json``
+    report to embed as the service load-test block."""
     policy = policy or AnomalyPolicy()
     registry = MetricsRegistry()
     panels = [
@@ -134,6 +140,7 @@ def collect_dashboard(
         generated=generated,
         metrics_text=registry.render_openmetrics(),
         session_text=render_session_latency(registry.snapshot()),
+        service_text=render_service_bench(service_bench) if service_bench else "",
         panels=panels,
     )
 
@@ -147,6 +154,7 @@ def write_dashboard(
     policy: Optional[AnomalyPolicy] = None,
     title: str = "repro dashboard",
     generated: str = "",
+    service_bench: Optional[dict] = None,
 ) -> str:
     """Collect and write the dashboard HTML; returns ``path``."""
     data = collect_dashboard(
@@ -157,6 +165,7 @@ def write_dashboard(
         policy=policy,
         title=title,
         generated=generated,
+        service_bench=service_bench,
     )
     with open(path, "w", encoding="utf-8") as f:
         f.write(render_dashboard(data))

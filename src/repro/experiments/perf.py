@@ -50,12 +50,14 @@ def measure_workload(
     workload = get_workload(name)
     program = api.compile(
         workload.source,
-        opt=opt,
-        config=workload_config(workload),
-        governed=variant == "governed",
-        profile=True,
+        api.CompileOptions(
+            opt=opt,
+            config=workload_config(workload),
+            governed=variant == "governed",
+            profile=True,
+            backend="vm" if variant == "vm" else None,
+        ),
         metrics=metrics,
-        backend="vm" if variant == "vm" else None,
     )
     inputs = workload.default_inputs()
     program.profile(inputs)

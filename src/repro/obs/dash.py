@@ -57,6 +57,7 @@ class DashData:
     generated: str                # caller-supplied timestamp text ("" to omit)
     metrics_text: str             # OpenMetrics exposition of the registry
     session_text: str = ""        # session run-latency quantiles (p50/p90/p99)
+    service_text: str = ""        # loadgen report block (BENCH_service.json)
     panels: list[WorkloadPanel] = field(default_factory=list)
 
 
@@ -167,6 +168,7 @@ def render_dashboard(data: DashData) -> str:
             parts.append("</details>")
 
     parts.extend(_pre_block("Session run latency", data.session_text))
+    parts.extend(_pre_block("Service load test", data.service_text))
     if data.metrics_text:
         parts.append("<details>")
         parts.append("<summary>Metrics registry (OpenMetrics)</summary>")

@@ -702,6 +702,7 @@ class ExpositionServer:
         self.host = self._httpd.server_address[0]
         self.port = self._httpd.server_address[1]
         self._thread: Optional[threading.Thread] = None
+        self._closed = False
 
     @property
     def url(self) -> str:
@@ -718,6 +719,11 @@ class ExpositionServer:
         return self
 
     def close(self) -> None:
+        """Stop the serving thread and release the socket.  Idempotent:
+        session pools may close an already-closed server when recycling."""
+        if self._closed:
+            return
+        self._closed = True
         if self._thread is not None:
             self._httpd.shutdown()
             self._thread.join(timeout=5)

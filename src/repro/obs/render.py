@@ -17,6 +17,7 @@ __all__ = [
     "sparkline",
     "render_hit_ratio_series",
     "render_perf_history",
+    "render_service_bench",
     "render_session_latency",
     "render_table",
 ]
@@ -109,6 +110,59 @@ def render_session_latency(snapshot: dict) -> str:
             f"p50 {_fmt_seconds(qs[0.5])}  p90 {_fmt_seconds(qs[0.9])}  "
             f"p99 {_fmt_seconds(qs[0.99])}  total {_fmt_seconds(sample['sum'])}"
         )
+    return "\n".join(lines)
+
+
+def render_service_bench(report: dict) -> str:
+    """The load-generator report (``BENCH_service.json`` shape) as one
+    monospace block: totals, exact run-latency percentiles, per-workload
+    p50s, and the verification verdict.  Empty string for a report with
+    no requests (so the dashboard block hides itself)."""
+    totals = report.get("totals", {})
+    if not totals.get("requests"):
+        return ""
+    lines = [
+        "Service load test (repro loadgen)",
+        f"  sessions {totals.get('sessions', 0)}  "
+        f"requests {totals.get('requests', 0)}  "
+        f"runs {totals.get('runs', 0)}  "
+        f"errors {totals.get('errors', 0)}",
+        f"  throughput {totals.get('throughput_rps', 0.0):.1f} req/s  "
+        f"wall {totals.get('wall_seconds', 0.0):.2f}s  "
+        f"429-retries {totals.get('retries_backpressure', 0)}  "
+        f"evictions {totals.get('retries_evicted', 0)}",
+    ]
+    for kind in ("compile", "run"):
+        latency = report.get("latency", {}).get(kind, {})
+        if latency.get("count"):
+            lines.append(
+                f"  {kind}: p50 {latency['p50_ms']:.1f}ms  "
+                f"p90 {latency['p90_ms']:.1f}ms  "
+                f"p99 {latency['p99_ms']:.1f}ms  "
+                f"(n={latency['count']})"
+            )
+    per_workload = report.get("per_workload", {})
+    if per_workload:
+        body = [
+            [
+                name,
+                str(stats.get("count", 0)),
+                f"{stats.get('p50_ms', 0.0):.1f}",
+                f"{stats.get('p90_ms', 0.0):.1f}",
+                f"{stats.get('p99_ms', 0.0):.1f}",
+            ]
+            for name, stats in sorted(per_workload.items())
+        ]
+        table = render_table(
+            ["workload", "runs", "p50 ms", "p90 ms", "p99 ms"], body
+        )
+        lines.extend("  " + row for row in table.splitlines())
+    verification = report.get("verification", {})
+    lines.append(
+        f"  verified {verification.get('checked', 0)} outputs, "
+        f"{verification.get('mismatches', 0)} mismatches "
+        f"vs direct facade runs"
+    )
     return "\n".join(lines)
 
 

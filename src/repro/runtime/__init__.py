@@ -35,7 +35,8 @@ def run_source(source: str, entry: str = "main", opt_level: str = "O0", inputs=(
     .. deprecated::
         Use the stable facade instead::
 
-            result = repro.compile(source, opt=opt_level, reuse=False).run(inputs)
+            options = repro.CompileOptions(opt=opt_level, reuse=False)
+            result = repro.compile(source, options).run(inputs)
 
         Note one semantic difference: ``run_source`` never runs the -O3
         optimizer (``opt_level`` only selects the cost table), while the

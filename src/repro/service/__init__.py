@@ -1,0 +1,52 @@
+"""Reuse-as-a-service: the multi-tenant compile-and-run server.
+
+The serving layer of the facade: one process holds per-tenant caches of
+compiled programs (content-addressed over source + options), pools of
+:class:`repro.Session` objects whose warmed reuse tables are shared
+across requests, and the same OpenMetrics registry the rest of the
+observability stack scrapes.
+
+Quickstart::
+
+    from repro.service import ServiceConfig, ServiceThread
+
+    with ServiceThread(ServiceConfig(port=0)) as server:
+        print(server.url)          # POST /v1/compile, /v1/run; GET /v1/stats
+        ...
+
+    # or load-test it:
+    from repro.service import run_loadgen, smoke_config
+    report = run_loadgen(smoke_config())
+
+CLI: ``repro serve`` / ``repro loadgen``.
+"""
+
+from .client import ServiceClient, ServiceReply
+from .config import (
+    ServiceConfig,
+    TenantPolicy,
+    compile_options_from_wire,
+    governor_from_wire,
+    pipeline_config_from_wire,
+)
+from .loadgen import LoadgenConfig, run_loadgen, smoke_config
+from .server import ReuseService, ServiceThread
+from .state import ProgramEntry, ServiceState, TenantState
+
+__all__ = [
+    "ReuseService",
+    "ServiceThread",
+    "ServiceClient",
+    "ServiceReply",
+    "ServiceConfig",
+    "TenantPolicy",
+    "ServiceState",
+    "TenantState",
+    "ProgramEntry",
+    "LoadgenConfig",
+    "run_loadgen",
+    "smoke_config",
+    "compile_options_from_wire",
+    "governor_from_wire",
+    "pipeline_config_from_wire",
+]

@@ -1,0 +1,142 @@
+"""Tiny asyncio client for the reuse service (loadgen and tests).
+
+One :class:`ServiceClient` is one persistent keep-alive connection
+speaking the same JSON-over-HTTP/1.1 envelope the server serves.  It is
+not a general HTTP client: ``Content-Length`` responses only, no
+redirects, no TLS — exactly the envelope
+:mod:`repro.service.http` produces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from ..errors import ConfigError
+
+__all__ = ["ServiceClient", "ServiceReply"]
+
+
+class ServiceReply:
+    """Status + parsed JSON body (+ headers) of one exchange."""
+
+    __slots__ = ("status", "headers", "payload")
+
+    def __init__(self, status: int, headers: dict, payload) -> None:
+        self.status = status
+        self.headers = headers
+        self.payload = payload
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def retry_after(self) -> float:
+        try:
+            return float(self.headers.get("retry-after", "0"))
+        except ValueError:
+            return 0.0
+
+
+class ServiceClient:
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "ServiceClient":
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> bool:
+        await self.close()
+        return False
+
+    async def request(self, method: str, path: str, payload=None) -> ServiceReply:
+        if self._writer is None:
+            await self.connect()
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        ).encode("latin-1")
+        self._writer.write(head + body)
+        await self._writer.drain()
+        return await self._read_reply()
+
+    async def _read_reply(self) -> ServiceReply:
+        status_line = await self._reader.readuntil(b"\r\n")
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise ConfigError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readuntil(b"\r\n")
+            if line == b"\r\n":
+                break
+            name, _, value = line[:-2].decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await self._reader.readexactly(length) if length else b""
+        payload = None
+        if raw and headers.get("content-type", "").startswith("application/json"):
+            payload = json.loads(raw.decode("utf-8"))
+        elif raw:
+            payload = raw.decode("utf-8", errors="replace")
+        if headers.get("connection", "keep-alive").lower() == "close":
+            await self.close()
+        return ServiceReply(status, headers, payload)
+
+    # -- convenience wrappers ------------------------------------------------
+
+    async def compile(self, tenant: str, source: str, options=None) -> ServiceReply:
+        payload = {"tenant": tenant, "source": source}
+        if options is not None:
+            payload["options"] = options
+        return await self.request("POST", "/v1/compile", payload)
+
+    async def run(self, tenant: str, *, program=None, source=None, options=None,
+                  inputs=(), entry=None) -> ServiceReply:
+        payload = {"tenant": tenant, "inputs": list(inputs)}
+        if program is not None:
+            payload["program"] = program
+        if source is not None:
+            payload["source"] = source
+        if options is not None:
+            payload["options"] = options
+        if entry is not None:
+            payload["entry"] = entry
+        return await self.request("POST", "/v1/run", payload)
+
+    async def stats(self, tenant: Optional[str] = None) -> ServiceReply:
+        path = "/v1/stats" + (f"?tenant={tenant}" if tenant else "")
+        return await self.request("GET", path)
+
+    async def healthz(self) -> ServiceReply:
+        return await self.request("GET", "/healthz")
+
+    async def metrics(self) -> ServiceReply:
+        return await self.request("GET", "/metrics")

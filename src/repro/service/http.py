@@ -1,0 +1,161 @@
+"""Minimal asyncio HTTP/1.1 framing for the reuse service.
+
+The service speaks just enough HTTP for JSON request/response with
+keep-alive — hand-rolled on :mod:`asyncio` streams because the stdlib
+has no async HTTP server and the container policy forbids new
+dependencies.  Scope is deliberate: ``Content-Length`` bodies only (no
+chunked encoding), a bounded request line / header block / body, and
+case-insensitive header access.  Anything outside that envelope gets a
+clean 4xx instead of undefined behavior.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+__all__ = ["Request", "Response", "read_request", "write_response", "json_response"]
+
+_MAX_LINE = 8192
+_MAX_HEADERS = 64
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ProtocolError(Exception):
+    """Malformed request framing; carries the HTTP status to answer with."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    query: dict
+    headers: dict
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self):
+        if not self.body:
+            return None
+        return json.loads(self.body.decode("utf-8"))
+
+
+@dataclass
+class Response:
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict = field(default_factory=dict)
+
+
+def json_response(payload, status: int = 200, headers: Optional[dict] = None) -> Response:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return Response(status=status, body=body, headers=dict(headers or {}))
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""  # clean EOF between requests
+        raise ProtocolError(400, "truncated request") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(400, "request line too long") from None
+    if len(line) > _MAX_LINE:
+        raise ProtocolError(400, "request line too long")
+    return line[:-2]
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> Optional[Request]:
+    """Parse one request off the stream; None on clean EOF.
+
+    Raises :class:`ProtocolError` on malformed framing — the connection
+    handler answers with the carried status and closes.
+    """
+    start = await _read_line(reader)
+    if not start:
+        return None
+    parts = start.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(400, "malformed request line")
+    method, target, _version = parts
+    split = urlsplit(target)
+    query = {
+        key: values[-1] for key, values in parse_qs(split.query).items()
+    }
+    headers: dict[str, str] = {}
+    for _ in range(_MAX_HEADERS + 1):
+        line = await _read_line(reader)
+        if not line:
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(400, "malformed header")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise ProtocolError(400, "too many headers")
+    if "transfer-encoding" in headers:
+        raise ProtocolError(400, "chunked request bodies are not supported")
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ProtocolError(400, f"bad Content-Length {length_text!r}") from None
+    if length < 0:
+        raise ProtocolError(400, f"bad Content-Length {length_text!r}")
+    if length > max_body_bytes:
+        raise ProtocolError(413, f"body exceeds {max_body_bytes} bytes")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(400, "truncated body") from None
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: Response, keep_alive: bool
+) -> None:
+    reason = _REASONS.get(response.status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {response.status} {reason}",
+        f"Content-Type: {response.content_type}",
+        f"Content-Length: {len(response.body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in response.headers.items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    writer.write(head + response.body)
+    await writer.drain()

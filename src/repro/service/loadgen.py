@@ -1,0 +1,354 @@
+"""Load generator for the reuse service — `repro loadgen`.
+
+Boots an in-process :class:`~repro.service.server.ServiceThread` (or
+targets an already-running server), then drives N concurrent client
+sessions over the registered workloads.  Each session owns one
+keep-alive connection and plays a tenant: compile its workload once,
+then stream input chunks through ``POST /v1/run`` against the returned
+program id.  Sessions spread across tenants, governed/static tables,
+and both execution backends, so one loadgen run exercises the tenant
+program caches, the shared warmed tables, and the governor.
+
+Every served output is checked against a **direct** facade run of the
+same chunk with ``reuse=False`` — the paper's transparency claim, end
+to end through the service: reuse tables (however warm, however shared)
+must never change a value or an output checksum.  Backpressure (429)
+is honored via ``Retry-After`` and retried; evictions (404) recompile;
+anything else after retries is an error.
+
+The report — exact p50/p90/p99 latency, throughput, retry and
+verification counts, and the server's own ``/v1/stats`` — is returned
+as a dict and optionally written to ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from math import ceil
+from typing import Optional
+
+from .. import api
+from ..errors import ConfigError
+from ..runtime.governor import GovernorPolicy
+from ..workloads import ALL_WORKLOADS
+from .client import ServiceClient
+from .config import ServiceConfig, TenantPolicy
+from .server import ServiceThread
+
+__all__ = ["LoadgenConfig", "smoke_config", "run_loadgen"]
+
+_BACKENDS = ("closures", "vm")
+
+# input-consumption granule per workload family: a chunk boundary must
+# never cut inside one __input_avail() read group (MPEG2 reads an 8x8
+# block per check, GNU Go one 4-tuple move)
+_GRANULES = (("MPEG2", 64), ("GNUGO", 4))
+
+
+def _granule(name: str) -> int:
+    for prefix, granule in _GRANULES:
+        if name.startswith(prefix):
+            return granule
+    return 1
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Shape of one load-generation run."""
+
+    sessions: int = 1000
+    runs_per_session: int = 4
+    tenants: int = 2
+    workloads: Optional[tuple] = None  # workload names; None = all 14
+    input_prefix: int = 256
+    chunk: int = 64
+    max_pending: int = 256
+    workers: int = 0
+    request_timeout: float = 60.0
+    alternate_backends: bool = True
+    governed_share: bool = True
+    max_retries: int = 100
+    out: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise ConfigError(f"sessions must be >= 1, got {self.sessions}")
+        if self.runs_per_session < 1:
+            raise ConfigError(
+                f"runs_per_session must be >= 1, got {self.runs_per_session}"
+            )
+        if self.tenants < 1:
+            raise ConfigError(f"tenants must be >= 1, got {self.tenants}")
+        if self.chunk < 1 or self.input_prefix < self.chunk:
+            raise ConfigError("need input_prefix >= chunk >= 1")
+
+
+def smoke_config(out: Optional[str] = None) -> LoadgenConfig:
+    """The bounded CI shape: small fleet, four workloads, both backends."""
+    return LoadgenConfig(
+        sessions=32,
+        runs_per_session=2,
+        tenants=2,
+        workloads=("G721_encode", "MPEG2_decode", "RASTA", "GNUGO_drift"),
+        input_prefix=128,
+        chunk=32,
+        max_pending=64,
+        out=out,
+    )
+
+
+def _percentiles_ms(samples: list, quantiles=(0.5, 0.9, 0.99)) -> dict:
+    if not samples:
+        return {"count": 0}
+    ordered = sorted(samples)
+    n = len(ordered)
+    out = {"count": n, "mean_ms": 1000.0 * sum(ordered) / n, "max_ms": 1000.0 * ordered[-1]}
+    for q in quantiles:
+        out[f"p{int(q * 100)}_ms"] = 1000.0 * ordered[min(n - 1, ceil(q * n) - 1)]
+    return out
+
+
+class _Tally:
+    """Mutable counters shared by all session coroutines (single loop)."""
+
+    def __init__(self) -> None:
+        self.latency: dict[str, list] = {"compile": [], "run": []}
+        self.per_workload: dict[str, list] = {}
+        self.compiles = 0
+        self.runs = 0
+        self.cache_hits = 0
+        self.retries_backpressure = 0
+        self.retries_evicted = 0
+        self.checked = 0
+        self.mismatches = 0
+        self.errors: list = []
+
+    def error(self, what: str) -> None:
+        if len(self.errors) < 50:  # keep the report bounded
+            self.errors.append(what)
+        else:
+            self.errors[-1] = f"... and more (last: {what})"
+
+
+def _session_plan(index: int, config: LoadgenConfig, workloads: list) -> dict:
+    workload = workloads[index % len(workloads)]
+    governed = config.governed_share and (index // len(workloads)) % 2 == 1
+    options: dict = {"governed": governed}
+    if config.alternate_backends:
+        options["backend"] = _BACKENDS[index % 2]
+    return {
+        "tenant": f"tenant-{index % config.tenants}",
+        "workload": workload,
+        "options": options,
+    }
+
+
+async def _exchange(client, tally, config, kind, send, *, surface_404=False):
+    """One logical request with backpressure retries; returns
+    ``(reply, elapsed)`` on success, ``(reply, None)`` for a surfaced
+    404 (caller recompiles), ``(None, None)`` after errors."""
+    for _ in range(config.max_retries + 1):
+        start = time.perf_counter()
+        try:
+            reply = await send()
+        except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+            await client.close()
+            tally.error(f"{kind}: connection error {exc}")
+            return None, None
+        elapsed = time.perf_counter() - start
+        if reply.status == 429:
+            tally.retries_backpressure += 1
+            await asyncio.sleep(max(reply.retry_after(), 0.01))
+            continue
+        if reply.status == 404 and surface_404:
+            tally.retries_evicted += 1
+            return reply, None  # caller recompiles and retries by program id
+        if not reply.ok:
+            detail = reply.payload.get("error") if isinstance(reply.payload, dict) else reply.payload
+            tally.error(f"{kind}: HTTP {reply.status}: {detail}")
+            return None, None
+        tally.latency[kind].append(elapsed)
+        return reply, elapsed
+    tally.error(f"{kind}: gave up after {config.max_retries} retries")
+    return None, None
+
+
+async def _run_session(index, config, host, port, workloads, chunks, expected, tally):
+    plan = _session_plan(index, config, workloads)
+    workload = plan["workload"]
+    client = ServiceClient(host, port)
+    try:
+        reply, _ = await _exchange(
+            client, tally, config, "compile",
+            lambda: client.compile(plan["tenant"], workload.source, plan["options"]),
+        )
+        if reply is None:
+            return
+        tally.compiles += 1
+        if reply.payload.get("cached"):
+            tally.cache_hits += 1
+        program = reply.payload["program"]
+        workload_chunks = chunks[workload.name]
+        for r in range(config.runs_per_session):
+            chunk_index = r % len(workload_chunks)
+            inputs = workload_chunks[chunk_index]
+            reply, elapsed = await _exchange(
+                client, tally, config, "run",
+                lambda: client.run(plan["tenant"], program=program, inputs=inputs),
+                surface_404=True,
+            )
+            if reply is not None and reply.status == 404:
+                # evicted under cache pressure: recompile, then retry once
+                again, _ = await _exchange(
+                    client, tally, config, "compile",
+                    lambda: client.compile(
+                        plan["tenant"], workload.source, plan["options"]
+                    ),
+                )
+                if again is None:
+                    continue
+                program = again.payload["program"]
+                reply, elapsed = await _exchange(
+                    client, tally, config, "run",
+                    lambda: client.run(plan["tenant"], program=program, inputs=inputs),
+                )
+            if reply is None:
+                continue
+            tally.runs += 1
+            tally.per_workload.setdefault(workload.name, []).append(elapsed)
+            want_value, want_checksum = expected[(workload.name, chunk_index)]
+            got = reply.payload
+            tally.checked += 1
+            if got["value"] != want_value or got["output_checksum"] != want_checksum:
+                tally.mismatches += 1
+                tally.error(
+                    f"MISMATCH {workload.name} chunk {chunk_index}: "
+                    f"value {got['value']!r} != {want_value!r} or checksum "
+                    f"{got['output_checksum']} != {want_checksum}"
+                )
+    finally:
+        await client.close()
+
+
+def _reference_outputs(workloads: list, chunks: dict) -> dict:
+    """Direct (service-free) facade runs of every chunk with reuse off —
+    the oracle every served output must match bit-for-bit."""
+    expected = {}
+    for workload in workloads:
+        program = api.compile(workload.source, api.CompileOptions(reuse=False))
+        for chunk_index, inputs in enumerate(chunks[workload.name]):
+            result = program.run(inputs)
+            expected[(workload.name, chunk_index)] = (
+                result.value,
+                result.output_checksum,
+            )
+    return expected
+
+
+async def _drive(config, host, port, workloads, chunks, expected, tally):
+    tasks = [
+        asyncio.create_task(
+            _run_session(i, config, host, port, workloads, chunks, expected, tally)
+        )
+        for i in range(config.sessions)
+    ]
+    await asyncio.gather(*tasks)
+
+
+def run_loadgen(
+    config: Optional[LoadgenConfig] = None,
+    *,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+) -> dict:
+    """Run the load shape against an in-process service (default) or an
+    external one (``host``/``port``); returns the report dict."""
+    config = config if config is not None else LoadgenConfig()
+    by_name = {w.name: w for w in ALL_WORKLOADS}
+    names = config.workloads if config.workloads is not None else tuple(by_name)
+    unknown = sorted(set(names) - set(by_name))
+    if unknown:
+        raise ConfigError(f"unknown workload(s): {', '.join(unknown)}")
+    workloads = [by_name[name] for name in names]
+    chunks = {}
+    for workload in workloads:
+        granule = _granule(workload.name)
+        chunk = max(granule, config.chunk - config.chunk % granule)
+        prefix = max(chunk, config.input_prefix - config.input_prefix % granule)
+        inputs = workload.default_inputs()[:prefix]
+        chunks[workload.name] = [
+            inputs[i : i + chunk] for i in range(0, len(inputs), chunk)
+        ]
+    expected = _reference_outputs(workloads, chunks)
+
+    tenants = {}
+    if config.tenants > 1:
+        # one tenant runs a tighter governor than the default policy —
+        # the per-tenant governance knob under real traffic
+        tenants["tenant-1"] = TenantPolicy(
+            governor=GovernorPolicy(window=128, reprobe_after=1024)
+        )
+    service_config = ServiceConfig(
+        max_pending=config.max_pending,
+        workers=config.workers,
+        request_timeout=config.request_timeout,
+        tenants=tenants,
+    )
+
+    tally = _Tally()
+    own_server: Optional[ServiceThread] = None
+    if host is None or port is None:
+        own_server = ServiceThread(service_config).start()
+        host, port = own_server.service.config.host, own_server.port
+    try:
+        started = time.perf_counter()
+        asyncio.run(_drive(config, host, port, workloads, chunks, expected, tally))
+        wall = time.perf_counter() - started
+        stats_payload = asyncio.run(_fetch_stats(host, port))
+    finally:
+        if own_server is not None:
+            own_server.close()
+
+    requests = len(tally.latency["compile"]) + len(tally.latency["run"])
+    report = {
+        "schema": "repro/bench-service/v1",
+        "config": asdict(config),
+        "totals": {
+            "sessions": config.sessions,
+            "requests": requests,
+            "compiles": tally.compiles,
+            "compile_cache_hits": tally.cache_hits,
+            "runs": tally.runs,
+            "errors": len(tally.errors),
+            "retries_backpressure": tally.retries_backpressure,
+            "retries_evicted": tally.retries_evicted,
+            "wall_seconds": wall,
+            "throughput_rps": requests / wall if wall > 0 else 0.0,
+        },
+        "latency": {
+            kind: _percentiles_ms(samples)
+            for kind, samples in tally.latency.items()
+        },
+        "per_workload": {
+            name: _percentiles_ms(samples)
+            for name, samples in sorted(tally.per_workload.items())
+        },
+        "verification": {"checked": tally.checked, "mismatches": tally.mismatches},
+        "service_stats": stats_payload,
+        "errors": tally.errors,
+        "ok": not tally.errors and tally.mismatches == 0 and tally.runs > 0,
+    }
+    if config.out:
+        with open(config.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+async def _fetch_stats(host: str, port: int):
+    async with ServiceClient(host, port) as client:
+        reply = await client.stats()
+        return reply.payload if reply.ok else None

@@ -1,0 +1,212 @@
+"""Shared state of the reuse service: tenants, program caches, sessions.
+
+One :class:`TenantState` per tenant name, created on first use.  Each
+holds an LRU-ordered cache of :class:`ProgramEntry` values keyed by
+:meth:`repro.CompileOptions.content_key` — the content hash of the
+source text plus every semantic compile option — so two requests with
+the same program land on the same entry regardless of which connection
+they arrived on.
+
+Every entry owns one :class:`repro.Session` (created with
+``_persist_tables`` semantics via :meth:`Session.compile`), which means
+**reuse tables are shared across requests**: entries committed while
+serving one request serve hits to the next.  That sharing is safe
+because :class:`~repro.api.CompiledProgram` serializes its lazy
+profile/table construction behind a lock, and it is *semantically
+invisible* because reuse tables never change outputs — the property the
+differential tests pin.
+
+Capacity is enforced per tenant (``TenantPolicy.max_programs``): the
+least-recently-used entry is evicted and its session closed, releasing
+the warmed tables.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..api import CompileOptions, CompiledProgram, Session
+from ..errors import ConfigError
+from ..minic import frontend
+from ..obs.metrics import MetricsRegistry
+from .config import ServiceConfig, TenantPolicy
+
+__all__ = ["ProgramEntry", "TenantState", "ServiceState"]
+
+
+@dataclass
+class ProgramEntry:
+    """One cached compiled program and the session that owns its tables."""
+
+    key: str
+    source: str
+    options: CompileOptions
+    session: Session
+    program: CompiledProgram
+    runs: int = 0
+    # serialized by TenantState.lock; runs increment under it too
+
+    def close(self) -> None:
+        self.session.close()
+
+
+class TenantState:
+    """One tenant's program cache, session pool, and counters."""
+
+    def __init__(
+        self, name: str, policy: TenantPolicy, registry: Optional[MetricsRegistry]
+    ) -> None:
+        self.name = name
+        self.policy = policy
+        self.registry = registry
+        self.lock = threading.Lock()
+        self.programs: "OrderedDict[str, ProgramEntry]" = OrderedDict()
+        self.compiles = 0
+        self.cache_hits = 0
+        self.evictions = 0
+        self.runs = 0
+
+    # -- program cache -------------------------------------------------------
+
+    def get_or_compile(
+        self, source: str, options: CompileOptions
+    ) -> tuple[ProgramEntry, bool]:
+        """The cached entry for (source, options), compiling on miss;
+        returns ``(entry, was_cached)`` and refreshes LRU order."""
+        key = options.content_key(source)
+        with self.lock:
+            entry = self.programs.get(key)
+            if entry is not None:
+                self.programs.move_to_end(key)
+                self.cache_hits += 1
+                return entry, True
+            # reuse programs lex/parse lazily (at first run); validate
+            # eagerly so /v1/compile answers 400 for bad source, not a
+            # deferred failure on some later /v1/run
+            frontend(source)
+            session = Session(options, metrics=self.registry)
+            entry = ProgramEntry(
+                key=key,
+                source=source,
+                options=options,
+                session=session,
+                program=session.compile(source),
+            )
+            self.programs[key] = entry
+            self.compiles += 1
+            evicted = []
+            while len(self.programs) > self.policy.max_programs:
+                _, stale = self.programs.popitem(last=False)
+                evicted.append(stale)
+                self.evictions += 1
+            self._publish_gauges()
+        for stale in evicted:
+            stale.close()
+        return entry, False
+
+    def lookup(self, key: str) -> Optional[ProgramEntry]:
+        """The entry for a previously returned program id (or None)."""
+        with self.lock:
+            entry = self.programs.get(key)
+            if entry is not None:
+                self.programs.move_to_end(key)
+            return entry
+
+    def record_run(self, entry: ProgramEntry) -> None:
+        with self.lock:
+            self.runs += 1
+            entry.runs += 1
+
+    def close(self) -> None:
+        with self.lock:
+            entries = list(self.programs.values())
+            self.programs.clear()
+            self._publish_gauges()
+        for entry in entries:
+            entry.close()
+
+    def _publish_gauges(self) -> None:
+        if self.registry is not None:
+            self.registry.gauge(
+                "repro_service_programs", "Cached compiled programs per tenant."
+            ).labels(tenant=self.name).set(len(self.programs))
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self.lock:
+            programs = []
+            hits = misses = 0
+            for entry in self.programs.values():
+                table_probes = table_hits = 0
+                result = entry.program.result
+                if result is not None and entry.program._tables:
+                    for table in entry.program._tables.values():
+                        table_probes += table.stats.probes
+                        table_hits += table.stats.hits
+                hits += table_hits
+                misses += table_probes - table_hits
+                programs.append(
+                    {
+                        "program": entry.key,
+                        "opt": entry.options.opt,
+                        "governed": entry.options.governed,
+                        "backend": entry.options.backend,
+                        "runs": entry.runs,
+                        "table_probes": table_probes,
+                        "table_hits": table_hits,
+                    }
+                )
+            return {
+                "tenant": self.name,
+                "programs": programs,
+                "compiles": self.compiles,
+                "cache_hits": self.cache_hits,
+                "evictions": self.evictions,
+                "runs": self.runs,
+                "table_probes": hits + misses,
+                "table_hits": hits,
+            }
+
+
+class ServiceState:
+    """All tenants plus the shared registry; thread-safe."""
+
+    def __init__(
+        self, config: ServiceConfig, registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.config = config
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._tenants: dict[str, TenantState] = {}
+        self._lock = threading.Lock()
+
+    def tenant(self, name: str) -> TenantState:
+        if not name or not isinstance(name, str):
+            raise ConfigError(f"tenant must be a non-empty string, got {name!r}")
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            with self._lock:
+                tenant = self._tenants.get(name)
+                if tenant is None:
+                    tenant = TenantState(
+                        name, self.config.policy_for(name), self.registry
+                    )
+                    self._tenants[name] = tenant
+        return tenant
+
+    def tenants(self) -> list[TenantState]:
+        with self._lock:
+            return list(self._tenants.values())
+
+    def stats(self) -> dict:
+        return {"tenants": [tenant.stats() for tenant in self.tenants()]}
+
+    def close(self) -> None:
+        with self._lock:
+            tenants = list(self._tenants.values())
+            self._tenants.clear()
+        for tenant in tenants:
+            tenant.close()

@@ -38,10 +38,12 @@ def _line_run(name: str, opt: str, backend: str, engine=None, monkeypatch=None):
         workload = get_workload(name)
         program = api.compile(
             workload.source,
-            opt=opt,
-            config=workload_config(workload),
-            profile="lines",
-            backend=backend,
+            api.CompileOptions(
+                opt=opt,
+                config=workload_config(workload),
+                profile="lines",
+                backend=backend,
+            ),
         )
         inputs = workload.default_inputs()
         program.profile(inputs)
@@ -121,9 +123,11 @@ def test_line_mode_has_no_observer_effect(backend):
     for profile in (False, True, "lines"):
         program = api.compile(
             workload.source,
-            config=workload_config(workload),
-            profile=profile,
-            backend=backend,
+            api.CompileOptions(
+                config=workload_config(workload),
+                profile=profile,
+                backend=backend,
+            ),
         )
         program.profile(inputs)
         result = program.run(inputs)
@@ -137,4 +141,6 @@ def test_line_mode_has_no_observer_effect(backend):
 
 def test_rejects_unknown_profile_mode():
     with pytest.raises(api.ConfigError):
-        api.compile("int main(void) { return 0; }", profile="bogus")
+        api.compile(
+            "int main(void) { return 0; }", api.CompileOptions(profile="bogus")
+        )

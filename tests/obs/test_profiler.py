@@ -49,7 +49,9 @@ INPUTS = [1, 2, 3, 4] * 64
 
 
 def _profiled_run(source=REUSE_SOURCE, inputs=INPUTS, reuse=True, **kwargs):
-    program = api.compile(source, reuse=reuse, profile=True, **kwargs)
+    program = api.compile(
+        source, api.CompileOptions(reuse=reuse, profile=True, **kwargs)
+    )
     if reuse:
         program.profile(inputs)
     return program.run(inputs)
@@ -67,7 +69,7 @@ class TestTreeShape:
         assert profile.total_cycles == result.metrics.cycles
 
     def test_unprofiled_run_has_no_profile(self):
-        program = api.compile(REUSE_SOURCE, reuse=False)
+        program = api.compile(REUSE_SOURCE, api.CompileOptions(reuse=False))
         result = program.run(INPUTS)
         with pytest.raises(api.ConfigError):
             result.profile()
@@ -136,7 +138,7 @@ class TestExports:
         assert any(line.startswith("run;main") for line in lines)
 
     def test_measured_vs_ledger_columns(self):
-        program = api.compile(REUSE_SOURCE, profile=True)
+        program = api.compile(REUSE_SOURCE, api.CompileOptions(profile=True))
         program.profile(INPUTS)
         result = program.run(INPUTS)
         table = result.profile().measured_vs_ledger()
@@ -153,7 +155,7 @@ class TestExports:
 
 class TestLedgerCosts:
     def test_costs_cover_selected_segments(self):
-        program = api.compile(REUSE_SOURCE, profile=True)
+        program = api.compile(REUSE_SOURCE, api.CompileOptions(profile=True))
         program.profile(INPUTS)
         costs = ledger_costs(program.result)
         selected = {s.seg_id for s in program.result.selected}

@@ -75,15 +75,15 @@ class TestInputParser:
 class TestValidation:
     def test_unknown_opt_level(self):
         with pytest.raises(ConfigError, match="opt"):
-            repro.compile(PROGRAM, opt="O2")
+            repro.CompileOptions(opt="O2")
 
     def test_config_type_checked(self):
         with pytest.raises(ConfigError, match="PipelineConfig"):
-            repro.compile(PROGRAM, config={"min_executions": 8})
+            repro.CompileOptions(config={"min_executions": 8})
 
     def test_session_validates_opt(self):
         with pytest.raises(ConfigError):
-            api.Session(opt="fast")
+            api.Session(repro.CompileOptions(opt="fast"))
 
     def test_governor_policy_exported_and_validated(self):
         with pytest.raises(ConfigError):
@@ -113,7 +113,7 @@ class TestValidation:
 
 class TestFacadeVsLegacy:
     def test_plain_run_matches_legacy_run_source(self):
-        program = repro.compile(PROGRAM, reuse=False)
+        program = repro.compile(PROGRAM, repro.CompileOptions(reuse=False))
         facade = program.run(INPUTS)
         with pytest.warns(DeprecationWarning, match=r"repro\."):
             value, metrics = run_source(PROGRAM, inputs=INPUTS)
@@ -122,7 +122,7 @@ class TestFacadeVsLegacy:
 
     def test_reuse_run_matches_legacy_pipeline_wiring(self):
         config = PipelineConfig(min_executions=16)
-        program = repro.compile(PROGRAM, config=config)
+        program = repro.compile(PROGRAM, repro.CompileOptions(config=config))
         facade = program.run(INPUTS)
 
         result = ReusePipeline(PROGRAM, config).run(list(INPUTS))
@@ -135,7 +135,7 @@ class TestFacadeVsLegacy:
         assert facade.metrics == machine.metrics()
 
     def test_transformed_output_matches_plain(self):
-        plain = repro.compile(PROGRAM, reuse=False).run(INPUTS)
+        plain = repro.compile(PROGRAM, repro.CompileOptions(reuse=False)).run(INPUTS)
         reused = repro.compile(PROGRAM).run(INPUTS)
         assert reused.output_checksum == plain.output_checksum
         assert reused.cycles < plain.cycles  # high-locality stream profits
@@ -144,13 +144,17 @@ class TestFacadeVsLegacy:
 
 class TestCompiledProgram:
     def test_profile_is_idempotent(self):
-        program = repro.compile(PROGRAM, config=PipelineConfig(min_executions=16))
+        program = repro.compile(
+            PROGRAM, repro.CompileOptions(config=PipelineConfig(min_executions=16))
+        )
         first = program.profile(INPUTS)
         second = program.profile([1, 2, 3])  # ignored: already profiled
         assert first is second
 
     def test_transformed_source_roundtrip(self):
-        program = repro.compile(PROGRAM, config=PipelineConfig(min_executions=16))
+        program = repro.compile(
+            PROGRAM, repro.CompileOptions(config=PipelineConfig(min_executions=16))
+        )
         with pytest.raises(ConfigError):
             program.transformed_source()  # not profiled yet
         program.profile(INPUTS)
@@ -160,7 +164,8 @@ class TestCompiledProgram:
 
     def test_governed_run_reports_telemetry(self):
         program = repro.compile(
-            PROGRAM, config=PipelineConfig(min_executions=16), governed=True
+            PROGRAM,
+            repro.CompileOptions(config=PipelineConfig(min_executions=16), governed=True),
         )
         result = program.run(INPUTS)
         assert result.governor
@@ -169,7 +174,7 @@ class TestCompiledProgram:
         assert result.governor_transitions() == {}
 
     def test_run_result_properties(self):
-        result = repro.compile(PROGRAM, reuse=False).run(INPUTS)
+        result = repro.compile(PROGRAM, repro.CompileOptions(reuse=False)).run(INPUTS)
         assert result.cycles == result.metrics.cycles > 0
         assert result.seconds == pytest.approx(result.metrics.seconds)
         assert result.energy_joules > 0
@@ -184,7 +189,8 @@ class TestSession:
         assert a is b
 
     def test_tables_stay_warm_across_runs(self):
-        with api.Session(config=PipelineConfig(min_executions=16)) as session:
+        options = repro.CompileOptions(config=PipelineConfig(min_executions=16))
+        with api.Session(options) as session:
             program = session.compile(PROGRAM)
             program.profile(INPUTS)
             first = program.run(INPUTS)
@@ -195,7 +201,9 @@ class TestSession:
         assert second.output_checksum == first.output_checksum
 
     def test_one_shot_runs_are_cold(self):
-        program = repro.compile(PROGRAM, config=PipelineConfig(min_executions=16))
+        program = repro.compile(
+            PROGRAM, repro.CompileOptions(config=PipelineConfig(min_executions=16))
+        )
         program.profile(INPUTS)
         hits = lambda r: sum(s.hits for s in r.table_stats.values())
         assert hits(program.run(INPUTS)) == hits(program.run(INPUTS))
@@ -215,3 +223,161 @@ class TestShims:
             result.build_tables(adaptive=True)
         tables = result.build_tables(governed=True)
         assert tables and all(hasattr(t, "governor") for t in tables.values())
+
+
+class TestCompileOptions:
+    def test_frozen_and_replace(self):
+        options = repro.CompileOptions(opt="O3", governed=True)
+        with pytest.raises(Exception):  # FrozenInstanceError
+            options.opt = "O0"
+        tweaked = options.replace(opt="O0")
+        assert tweaked.opt == "O0" and tweaked.governed is True
+        assert options.opt == "O3"
+
+    def test_replace_revalidates(self):
+        with pytest.raises(ConfigError):
+            repro.CompileOptions().replace(backend="gpu")
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"opt": "O2"},
+            {"profile": "statements"},
+            {"backend": "gpu"},
+            {"config": {"min_executions": 8}},
+        ],
+    )
+    def test_rejects_bad_options(self, kw):
+        with pytest.raises(ConfigError):
+            repro.CompileOptions(**kw)
+
+    def test_profile_inputs_coerced_to_tuple(self):
+        options = repro.CompileOptions(profile_inputs=[1, 2, 3])
+        assert options.profile_inputs == (1, 2, 3)
+
+    def test_content_key_tracks_semantics_not_observers(self):
+        base = repro.CompileOptions()
+        assert base.content_key(PROGRAM) == repro.CompileOptions().content_key(PROGRAM)
+        # observers (trace/profile) don't change what is compiled
+        assert (
+            base.replace(trace=True, profile="lines").content_key(PROGRAM)
+            == base.content_key(PROGRAM)
+        )
+        # semantic knobs do
+        assert base.replace(opt="O3").content_key(PROGRAM) != base.content_key(PROGRAM)
+        assert (
+            base.replace(config=PipelineConfig(min_executions=8)).content_key(PROGRAM)
+            != base.content_key(PROGRAM)
+        )
+        assert base.content_key(PROGRAM) != base.content_key(PROGRAM + " ")
+
+    def test_run_options_validates_entry(self):
+        with pytest.raises(ConfigError):
+            repro.RunOptions(entry="")
+        assert repro.RunOptions(entry="main").entry == "main"
+
+    def test_exported_from_package_root(self):
+        assert repro.CompileOptions is api.CompileOptions
+        assert repro.RunOptions is api.RunOptions
+
+
+class TestLegacyKeywordShims:
+    def test_compile_legacy_kwargs_warn_and_work(self):
+        with pytest.warns(DeprecationWarning, match=r"repro\.compile\(reuse=\.\.\.\)"):
+            program = repro.compile(PROGRAM, reuse=False)
+        assert program.options == repro.CompileOptions(reuse=False)
+        assert program.run(INPUTS).value is not None
+
+    def test_compile_rejects_options_plus_legacy(self):
+        with pytest.raises(ConfigError, match="not both"):
+            repro.compile(PROGRAM, repro.CompileOptions(), reuse=False)
+
+    def test_compile_rejects_unknown_keyword(self):
+        with pytest.raises(ConfigError, match="unexpected"):
+            repro.compile(PROGRAM, optimize="O3")
+
+    def test_run_entry_kwarg_warns_and_works(self):
+        program = repro.compile(PROGRAM, repro.CompileOptions(reuse=False))
+        with pytest.warns(DeprecationWarning, match=r"repro\.CompiledProgram\.run"):
+            legacy = program.run(INPUTS, entry="main")
+        fresh = program.run(INPUTS, repro.RunOptions(entry="main"))
+        assert legacy.output_checksum == fresh.output_checksum
+
+    def test_session_legacy_kwargs_warn_and_work(self):
+        with pytest.warns(DeprecationWarning, match=r"repro\.Session\(opt=\.\.\.\)"):
+            session = api.Session(opt="O3")
+        assert session.options.opt == "O3"
+        session.close()
+
+    def test_session_compile_legacy_kwargs_warn(self):
+        with api.Session() as session:
+            with pytest.warns(DeprecationWarning, match=r"Session\.compile"):
+                program = session.compile(PROGRAM, reuse=False)
+            assert program.reuse is False
+
+    def test_session_rejects_compile_only_keywords(self):
+        with pytest.raises(ConfigError, match="unexpected"):
+            api.Session(profile=True)
+
+
+class TestSessionLifecycle:
+    def test_close_is_idempotent(self):
+        session = api.Session(metrics=True)
+        session.serve_metrics()
+        session.close()
+        session.close()
+        assert session.closed
+
+    def test_closed_session_rejects_work(self):
+        session = api.Session()
+        session.close()
+        with pytest.raises(ConfigError, match="closed Session"):
+            session.compile(PROGRAM)
+        with pytest.raises(ConfigError, match="closed Session"):
+            session.run(PROGRAM, INPUTS)
+        with pytest.raises(ConfigError, match="closed Session"):
+            session.serve_metrics()
+
+    def test_serve_metrics_binds_ephemeral_port_and_survives_double_close(self):
+        import urllib.request
+
+        session = api.Session(metrics=True)
+        server = session.serve_metrics(port=0)
+        assert server.port != 0
+        assert session.serve_metrics() is server  # idempotent start
+        body = urllib.request.urlopen(server.url, timeout=5).read().decode()
+        assert body.endswith("# EOF\n")
+        session.close()
+        server.close()  # second close of the underlying server is a no-op
+
+    def test_two_sessions_never_collide_on_ports(self):
+        a, b = api.Session(metrics=True), api.Session(metrics=True)
+        try:
+            assert a.serve_metrics().port != b.serve_metrics().port
+        finally:
+            a.close()
+            b.close()
+
+    def test_evict_drops_memoized_program(self):
+        with api.Session() as session:
+            first = session.compile(PROGRAM)
+            assert session.evict(PROGRAM) is True
+            assert session.evict(PROGRAM) is False
+            assert session.compile(PROGRAM) is not first
+
+    def test_memo_distinguishes_options(self):
+        with api.Session() as session:
+            default = session.compile(PROGRAM)
+            governed = session.compile(
+                PROGRAM, session.options.replace(governed=True)
+            )
+            assert default is not governed
+            assert session.compile(PROGRAM) is default
+
+    def test_run_program_publishes_session_metrics(self):
+        with api.Session(metrics=True) as session:
+            program = session.compile(PROGRAM)
+            session.run_program(program, INPUTS)
+            snapshot = session.registry.snapshot()
+        runs = snapshot["families"]["repro_session_runs"]["samples"][0]["value"]
+        assert runs == 1

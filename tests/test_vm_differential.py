@@ -139,12 +139,14 @@ def test_governor_ledger_verdicts_identical():
     def verdicts(backend):
         program = repro.compile(
             workload.source,
-            governed=True,
-            backend=backend,
-            config=PipelineConfig(
-                min_executions=workload.min_executions,
-                memory_budget_bytes=workload.memory_budget_bytes,
-                governor=workload.governor or GovernorPolicy(),
+            repro.CompileOptions(
+                governed=True,
+                backend=backend,
+                config=PipelineConfig(
+                    min_executions=workload.min_executions,
+                    memory_budget_bytes=workload.memory_budget_bytes,
+                    governor=workload.governor or GovernorPolicy(),
+                ),
             ),
         )
         run = program.run(inputs)
