@@ -13,6 +13,7 @@ repo root so the perf trajectory is tracked from PR to PR:
      "speedup": ..., "vm_speedup_vs_fused": ...,
      "per_workload": {...},
      "tracer": {"disabled_ns_per_span": ..., "enabled_ns_per_span": ...},
+     "event_log": {"disabled_ns_per_site": ..., "enabled_ns_per_emit": ...},
      "source_map": {"compile_seconds_off": ..., "compile_seconds_on": ...,
                     "compile_overhead_pct": ..., "run_seconds_off": ...,
                     "run_seconds_on": ..., "run_overhead_pct": ...}}
@@ -62,6 +63,7 @@ CONFIGS = (
     ("vm", {"fuse": True, "backend": "vm"}),
 )
 TRACER_SPANS = 50_000
+LOG_EMITS = 50_000
 SRCMAP_WORKLOADS = ("UNEPIC", "G721_encode")
 SRCMAP_REPEATS = 3
 
@@ -106,6 +108,45 @@ def run_tracer_benchmark() -> dict:
         "spans_measured": TRACER_SPANS,
         "disabled_ns_per_span": round(disabled_ns, 1),
         "enabled_ns_per_span": round(enabled_ns, 1),
+    }
+
+
+def run_event_log_benchmark() -> dict:
+    """Cost of one structured-log site, logging off vs on.
+
+    Emitters guard with ``log = get_event_log(); if log is not None``,
+    so the disabled column is the per-site price every un-observed run
+    pays (one function call returning None and one ``is not None``).
+    The enabled column is a real :meth:`EventLog.emit` — ring append,
+    token-bucket admission, condition notify — with the rate limiter
+    configured off so suppression doesn't flatter the number.
+    """
+    from repro.obs.log import EventLog, get_event_log
+
+    def _guard_ns(n: int) -> float:
+        start = time.perf_counter()
+        for _ in range(n):
+            log = get_event_log()
+            if log is not None:  # pragma: no cover - off in this bench
+                log.emit("bench")
+        return (time.perf_counter() - start) / n * 1e9
+
+    def _emit_ns(log: EventLog, n: int) -> float:
+        start = time.perf_counter()
+        for i in range(n):
+            log.emit("bench", level="debug", value=i)
+        return (time.perf_counter() - start) / n * 1e9
+
+    assert get_event_log() is None, "benchmark expects logging off by default"
+    enabled = EventLog(capacity=1024, rate_limit_per_sec=0.0)
+    _guard_ns(1000)  # warm both paths off the books
+    _emit_ns(enabled, 1000)
+    disabled_ns = _guard_ns(LOG_EMITS)
+    enabled_ns = _emit_ns(enabled, LOG_EMITS)
+    return {
+        "emits_measured": LOG_EMITS,
+        "disabled_ns_per_site": round(disabled_ns, 1),
+        "enabled_ns_per_emit": round(enabled_ns, 1),
     }
 
 
@@ -194,6 +235,7 @@ def run_benchmark() -> dict:
         "opt_levels": list(OPT_LEVELS),
         "per_workload": per_workload,
         "tracer": run_tracer_benchmark(),
+        "event_log": run_event_log_benchmark(),
         "source_map": run_srcmap_benchmark(),
     }
 
@@ -215,6 +257,14 @@ def test_bench_srcmap_overhead():
     # the recording tax stays within the same order of magnitude
     assert result["compile_seconds_on"] > 0 and result["run_seconds_on"] > 0
     assert result["compile_overhead_pct"] < 100, result
+
+
+def test_bench_event_log_overhead():
+    result = run_event_log_benchmark()
+    assert result["disabled_ns_per_site"] < result["enabled_ns_per_emit"], result
+    # a disabled site is one process-local read and one None check —
+    # generous bound for noisy CI machines
+    assert result["disabled_ns_per_site"] < 1_000, result
 
 
 def test_bench_tracer_overhead():

@@ -48,7 +48,7 @@ from typing import Optional, Sequence, Union
 
 from .errors import ConfigError
 from .minic import format_program, frontend
-from .obs import DecisionLedger, Tracer, set_tracer
+from .obs import DecisionLedger, Tracer, get_tracer, set_tracer
 from .obs.metrics import (
     ExpositionServer,
     MetricsRegistry,
@@ -559,8 +559,25 @@ class CompiledProgram:
         # are byte-identical to un-metered ones
         machine.metrics_registry = self.registry
         with self._traced():
-            value = compile_program(program, machine).run(entry)
-        metrics = machine.metrics()
+            # the ambient tracer — the program's own (installed by
+            # _traced) or a service request's thread-local one — gets a
+            # machine.run span carrying the run's reuse telemetry, so a
+            # request's span tree reaches from HTTP down to table probes
+            tracer = get_tracer()
+            with tracer.span(
+                "machine.run",
+                category="api",
+                machine=machine,
+                opt=self.opt,
+                backend=self.backend,
+                entry=entry,
+                reuse=self.reuse,
+                governed=self.governed,
+            ) as span:
+                value = compile_program(program, machine).run(entry)
+                metrics = machine.metrics()
+                if span is not None:
+                    self._annotate_run_span(span, metrics, tables)
         machine.publish_metrics()
         if self.governed:
             self._record_governor_verdicts(metrics)
@@ -590,6 +607,30 @@ class CompiledProgram:
             program = self._programs[self.opt]
         vm_program = compile_program(program, machine)
         return vm_program, machine.source_map
+
+    def _annotate_run_span(self, span, metrics: Metrics, tables: dict) -> None:
+        """Attach per-table probe telemetry, governor end states, and
+        ledger verdicts to an open ``machine.run`` span."""
+        if tables:
+            span.args["tables"] = {
+                str(seg_id): {
+                    "probes": table.stats.probes,
+                    "hits": table.stats.hits,
+                    "evictions": table.stats.evictions,
+                }
+                for seg_id, table in sorted(tables.items())
+            }
+        if metrics.governor:
+            span.args["governor"] = {
+                str(seg_id): snap["state"]
+                for seg_id, snap in sorted(metrics.governor.items())
+            }
+        ledger = self.ledger
+        if ledger is not None and ledger.records:
+            span.args["ledger"] = {
+                record.label: record.selected
+                for record in ledger.records.values()
+            }
 
     def _record_governor_verdicts(self, metrics: Metrics) -> None:
         """Append the online governor's runtime verdicts to the decision
@@ -810,7 +851,14 @@ class Session:
         counters and latency histogram (when the session is metered)."""
         self._check_open("run_program()")
         start = time.perf_counter() if self.registry is not None else 0.0
-        result = program.run(inputs, options)
+        with get_tracer().span(
+            "session.run",
+            category="api",
+            opt=program.opt,
+            backend=program.backend,
+            governed=program.governed,
+        ):
+            result = program.run(inputs, options)
         if self.registry is not None:
             elapsed = time.perf_counter() - start
             self.registry.counter("repro_session_runs", "Session runs completed.").inc()

@@ -495,12 +495,15 @@ def cmd_serve(args) -> int:
         max_pending=args.max_pending,
         request_timeout=args.request_timeout,
         drain_grace=args.drain_grace,
+        trace=args.trace,
+        trace_capacity=args.trace_capacity,
+        log_capacity=args.log_capacity,
     )
     server = ServiceThread(config).start()
     try:
         print(f"repro service listening on {server.url}")
         print("endpoints: POST /v1/compile, POST /v1/run; "
-              "GET /v1/stats, /metrics, /healthz")
+              "GET /v1/stats, /metrics, /healthz, /v1/trace, /v1/events")
         try:
             while True:
                 time.sleep(3600)
@@ -509,6 +512,52 @@ def cmd_serve(args) -> int:
     finally:
         server.close()
     return 0
+
+
+def cmd_tail(args) -> int:
+    """Follow a running service's structured event log (``GET
+    /v1/events``), rendering one text line per record.
+
+    Long-polls with a server-side ``wait`` so an idle service costs one
+    request per ``--interval`` seconds, not a busy loop.  ``--once``
+    drains whatever the ring currently holds and exits — the shape the
+    CI smoke step uses against the live loadgen server."""
+    import asyncio
+
+    from .obs.render import render_event_line
+    from .service.client import ServiceClient
+
+    async def tail() -> int:
+        client = ServiceClient(args.host, args.port)
+        since = args.since
+        try:
+            while True:
+                wait = 0.0 if args.once else args.interval
+                reply = await client.events(
+                    since=since, wait=wait, level=args.level, limit=args.limit
+                )
+                if reply.status != 200:
+                    print(f"error: {reply.status} {reply.payload}", file=sys.stderr)
+                    return 1
+                payload = reply.payload
+                for record in payload["records"]:
+                    print(render_event_line(record))
+                if payload.get("dropped"):
+                    print(
+                        f"... {payload['dropped']} records dropped "
+                        "(ring overran the cursor)",
+                        file=sys.stderr,
+                    )
+                since = payload["next_seq"]
+                if args.once:
+                    return 0
+        finally:
+            await client.close()
+
+    try:
+        return asyncio.run(tail())
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_loadgen(args) -> int:
@@ -521,7 +570,7 @@ def cmd_loadgen(args) -> int:
     from .service import LoadgenConfig, run_loadgen, smoke_config
 
     if args.smoke:
-        config = smoke_config(out=args.out)
+        config = smoke_config(out=args.out, trace_out=args.trace_out)
     else:
         config = LoadgenConfig(
             sessions=args.sessions,
@@ -533,6 +582,8 @@ def cmd_loadgen(args) -> int:
             max_pending=args.max_pending,
             request_timeout=args.request_timeout,
             out=args.out,
+            trace=args.trace or args.trace_out is not None,
+            trace_out=args.trace_out,
         )
     report = run_loadgen(config, host=args.host, port=args.port)
     totals, latency = report["totals"], report["latency"]["run"]
@@ -556,6 +607,20 @@ def cmd_loadgen(args) -> int:
         f"verification: {verification['checked']} outputs checked, "
         f"{verification['mismatches']} mismatches"
     )
+    tracing = report.get("tracing")
+    if tracing is not None:
+        print(
+            f"tracing: {tracing['traced_runs']} traced runs, "
+            f"{len(tracing['slowest'])} span trees fetched, "
+            f"{tracing['orphan_spans']} orphan spans"
+        )
+        if args.trace_render:
+            from .obs.render import render_trace_tree
+
+            blocks = [render_trace_tree(entry) for entry in tracing["slowest"]]
+            with open(args.trace_render, "w", encoding="utf-8") as f:
+                f.write("\n\n".join(blocks) + "\n")
+            print(f"slowest-request render written: {args.trace_render}")
     if config.out:
         print(f"report written: {config.out}")
     if not report["ok"]:
@@ -868,7 +933,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-grace", type=float, default=10.0,
         help="seconds to wait for in-flight requests on shutdown",
     )
+    p_srv.add_argument(
+        "--trace", choices=("auto", "all", "off"), default="auto",
+        help="request tracing: auto traces requests carrying a "
+             "traceparent header, all traces everything, off disables",
+    )
+    p_srv.add_argument(
+        "--trace-capacity", type=int, default=256,
+        help="assembled span trees kept for GET /v1/trace/<id> (LRU)",
+    )
+    p_srv.add_argument(
+        "--log-capacity", type=int, default=2048,
+        help="structured event-log ring size (0 disables /v1/events)",
+    )
     p_srv.set_defaults(func=cmd_serve)
+
+    p_tail = sub.add_parser(
+        "tail", help="follow a running service's structured event log"
+    )
+    p_tail.add_argument("--host", default="127.0.0.1")
+    p_tail.add_argument("--port", type=int, required=True)
+    p_tail.add_argument(
+        "--since", type=int, default=0,
+        help="start cursor (0: everything still in the ring)",
+    )
+    p_tail.add_argument(
+        "--level", choices=("debug", "info", "warning", "error"),
+        default="info", help="minimum record level to show",
+    )
+    p_tail.add_argument("--limit", type=int, default=500,
+                        help="max records per poll")
+    p_tail.add_argument(
+        "--interval", type=float, default=10.0,
+        help="long-poll wait per request when following",
+    )
+    p_tail.add_argument(
+        "--once", action="store_true",
+        help="drain the current ring contents and exit",
+    )
+    p_tail.set_defaults(func=cmd_tail)
 
     p_lg = sub.add_parser(
         "loadgen", help="load-test the service; verify served outputs bit-for-bit"
@@ -898,6 +1001,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_lg.add_argument("--port", type=int, default=None)
     p_lg.add_argument(
         "--out", default=None, help="write the JSON report (BENCH_service.json)"
+    )
+    p_lg.add_argument(
+        "--trace", action="store_true",
+        help="send traceparent on every request and fetch the slowest "
+             "requests' span trees into the report",
+    )
+    p_lg.add_argument(
+        "--trace-out", default=None,
+        help="write per-run trace records + slowest span trees as JSONL "
+             "(implies --trace)",
+    )
+    p_lg.add_argument(
+        "--trace-render", default=None,
+        help="write the slowest-request span trees as a text render",
     )
     p_lg.set_defaults(func=cmd_loadgen)
 

@@ -25,6 +25,7 @@ from ..obs.render import (
     render_perf_history,
     render_service_bench,
     render_session_latency,
+    render_slowest_requests,
 )
 from ..workloads import get_workload
 from .adaptive import workload_config
@@ -135,12 +136,14 @@ def collect_dashboard(
         for opt in opts
         for variant in variants
     ]
+    tracing = (service_bench or {}).get("tracing")
     return DashData(
         title=title,
         generated=generated,
         metrics_text=registry.render_openmetrics(),
         session_text=render_session_latency(registry.snapshot()),
         service_text=render_service_bench(service_bench) if service_bench else "",
+        slowest_text=render_slowest_requests(tracing) if tracing else "",
         panels=panels,
     )
 

@@ -13,6 +13,9 @@ Zero-dependency and off by default.  Three pillars:
 * :class:`MetricsRegistry` (:mod:`repro.obs.metrics`) — live Counter /
   Gauge / Histogram families with OpenMetrics exposition and an opt-in
   HTTP endpoint; published by the runtime only when installed.
+* :class:`EventLog` (:mod:`repro.obs.log`) — leveled, rate-limited,
+  ring-buffered structured JSONL records with trace/span ids stamped on
+  every record; ``None`` by default so un-logged runs pay nothing.
 * :mod:`repro.obs.anomaly` — baseline-free EWMA/MAD drift and
   changepoint detection over the perf store's history.
 * :mod:`repro.obs.dash` — the deterministic static-HTML dashboard
@@ -26,7 +29,18 @@ hit-ratio time series) lives with the data structures that produce it in
 """
 
 from .ledger import DecisionLedger, SegmentRecord, Verdict
-from .tracer import Span, Tracer, get_tracer, set_tracer
+from .tracer import (
+    Span,
+    Tracer,
+    assemble_tree,
+    format_traceparent,
+    get_tracer,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    set_tracer,
+)
+from .log import EventLog, get_event_log, set_event_log
 from .export import to_chrome, to_jsonl, write_chrome_trace, write_jsonl
 from .profiler import (
     CycleProfile,
@@ -59,8 +73,16 @@ __all__ = [
     "Verdict",
     "Span",
     "Tracer",
+    "assemble_tree",
+    "format_traceparent",
     "get_tracer",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
     "set_tracer",
+    "EventLog",
+    "get_event_log",
+    "set_event_log",
     "to_chrome",
     "to_jsonl",
     "write_chrome_trace",

@@ -58,6 +58,7 @@ class DashData:
     metrics_text: str             # OpenMetrics exposition of the registry
     session_text: str = ""        # session run-latency quantiles (p50/p90/p99)
     service_text: str = ""        # loadgen report block (BENCH_service.json)
+    slowest_text: str = ""        # slowest requests joined to span trees
     panels: list[WorkloadPanel] = field(default_factory=list)
 
 
@@ -169,6 +170,7 @@ def render_dashboard(data: DashData) -> str:
 
     parts.extend(_pre_block("Session run latency", data.session_text))
     parts.extend(_pre_block("Service load test", data.service_text))
+    parts.extend(_pre_block("Slowest requests (span trees)", data.slowest_text))
     if data.metrics_text:
         parts.append("<details>")
         parts.append("<summary>Metrics registry (OpenMetrics)</summary>")

@@ -1,0 +1,239 @@
+"""Structured event log: leveled, rate-limited, ring-buffered JSONL.
+
+The tracer (:mod:`repro.obs.tracer`) answers "where did the time go" for
+one request; the event log answers "what happened, in order, across all
+requests".  It is the zero-dependency analogue of a logging pipeline:
+
+* **Records are plain dicts** with a monotone ``seq``, a ``ts_us`` wall
+  timestamp, a ``level`` (``debug`` < ``info`` < ``warning`` <
+  ``error``), a dotted event ``name`` (``service.request``,
+  ``governor.transition``, ``perf.verdict``), and free-form ``args``.
+* **Trace-correlated.**  :meth:`EventLog.emit` stamps the current
+  tracer's ``trace_id`` and innermost span id on every record, so a
+  line in the stream links back to the span tree that produced it
+  (``GET /v1/trace/<id>``).
+* **Ring-buffered.**  A bounded deque holds the most recent records;
+  readers poll :meth:`EventLog.since` with the last ``seq`` they saw —
+  the cursor survives ring eviction (you learn how many records you
+  missed via ``dropped``).
+* **Rate-limited per name.**  A token bucket per event name bounds how
+  fast any one emitter can fill the ring; suppressed counts are
+  attached to the next record that gets through
+  (``rate_limited_dropped``), so bursts are visible without flooding.
+* **Disabled logging is free.**  Like the tracer, the process-local
+  default is ``None`` and every emitter guards with
+  ``get_event_log()``; the no-observer-effect differentials pin that
+  un-logged runs stay bit-identical.
+
+Waiters (the ``/v1/events`` long-poll) block on a condition variable
+that :meth:`emit` notifies, so a tail sees records with no polling lag.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Callable, Optional
+
+from .tracer import get_tracer
+
+__all__ = [
+    "EventLog",
+    "LEVELS",
+    "get_event_log",
+    "set_event_log",
+]
+
+LEVELS = ("debug", "info", "warning", "error")
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+
+
+class EventLog:
+    """Bounded in-memory structured log with cursor reads.
+
+    Args:
+        capacity: ring size (oldest records are evicted past this).
+        rate_limit_per_sec: per-event-name sustained emit rate; ``0``
+            disables rate limiting.
+        rate_limit_burst: per-name token-bucket burst size.
+        clock: injectable monotonic clock (rate limiting).
+        wall: injectable epoch clock (timestamps).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 2048,
+        rate_limit_per_sec: float = 200.0,
+        rate_limit_burst: int = 50,
+        clock: Callable[[], float] = time.monotonic,
+        wall: Callable[[], float] = time.time,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._records: deque[dict] = deque(maxlen=capacity)
+        self._cond = threading.Condition()
+        self._next_seq = 1
+        self._clock = clock
+        self._wall = wall
+        self._rate = float(rate_limit_per_sec)
+        self._burst = max(1, int(rate_limit_burst))
+        # name -> [tokens, last_refill, suppressed_count]
+        self._buckets: dict[str, list] = {}
+        self.emitted = 0
+        self.suppressed = 0
+
+    # -- writing ---------------------------------------------------------------
+
+    def emit(
+        self,
+        name: str,
+        level: str = "info",
+        trace_id: Optional[str] = None,
+        span_id: Optional[int] = None,
+        **args,
+    ) -> Optional[dict]:
+        """Append one record; returns it, or None when rate-limited.
+
+        The current thread's tracer supplies ``trace_id``/``span_id``
+        when not given explicitly (callers off the request thread — the
+        service's asyncio loop — pass them explicitly instead).
+        """
+        if level not in _LEVEL_RANK:
+            raise ValueError(f"unknown level {level!r}, expected one of {LEVELS}")
+        if trace_id is None and span_id is None:
+            tracer = get_tracer()
+            if tracer.enabled:
+                trace_id = tracer.trace_id
+                span_id = tracer.current_span_id()
+        with self._cond:
+            dropped = self._admit(name)
+            if dropped is None:
+                self.suppressed += 1
+                return None
+            record = {
+                "seq": self._next_seq,
+                "ts_us": int(self._wall() * 1_000_000),
+                "level": level,
+                "name": name,
+                "args": dict(args),
+            }
+            if trace_id is not None:
+                record["trace_id"] = trace_id
+            if span_id is not None:
+                record["span_id"] = span_id
+            if dropped:
+                record["rate_limited_dropped"] = dropped
+            self._next_seq += 1
+            self._records.append(record)
+            self.emitted += 1
+            self._cond.notify_all()
+            return record
+
+    def _admit(self, name: str) -> Optional[int]:
+        """Token-bucket admission; returns suppressed-count to attach, or
+        None when this record must be dropped.  Caller holds the lock."""
+        if self._rate <= 0:
+            return 0
+        now = self._clock()
+        bucket = self._buckets.get(name)
+        if bucket is None:
+            self._buckets[name] = [float(self._burst) - 1.0, now, 0]
+            return 0
+        tokens, last, suppressed = bucket
+        tokens = min(float(self._burst), tokens + (now - last) * self._rate)
+        if tokens < 1.0:
+            bucket[0] = tokens
+            bucket[1] = now
+            bucket[2] = suppressed + 1
+            return None
+        bucket[0] = tokens - 1.0
+        bucket[1] = now
+        bucket[2] = 0
+        return suppressed
+
+    # -- reading ---------------------------------------------------------------
+
+    def since(
+        self,
+        seq: int = 0,
+        level: str = "debug",
+        limit: int = 500,
+    ) -> dict:
+        """Records with ``seq`` greater than the cursor, oldest first.
+
+        Returns ``{"records", "next_seq", "dropped"}`` where ``dropped``
+        counts records the ring evicted before the reader caught up and
+        ``next_seq`` is the cursor to pass on the next call.
+        """
+        rank = _LEVEL_RANK.get(level)
+        if rank is None:
+            raise ValueError(f"unknown level {level!r}, expected one of {LEVELS}")
+        with self._cond:
+            records = [
+                dict(r)
+                for r in self._records
+                if r["seq"] > seq and _LEVEL_RANK[r["level"]] >= rank
+            ][: max(0, limit)]
+            oldest = self._records[0]["seq"] if self._records else self._next_seq
+            dropped = max(0, oldest - seq - 1) if seq else 0
+            next_seq = records[-1]["seq"] if records else max(seq, self._next_seq - 1)
+            return {"records": records, "next_seq": next_seq, "dropped": dropped}
+
+    def wait_for(self, seq: int, timeout: float) -> bool:
+        """Block until a record newer than ``seq`` exists (True) or the
+        timeout elapses (False)."""
+        deadline = self._clock() + timeout
+        with self._cond:
+            while self._next_seq - 1 <= seq:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+    def snapshot(self) -> list[dict]:
+        """All buffered records, oldest first."""
+        with self._cond:
+            return [dict(r) for r in self._records]
+
+    def to_jsonl(self) -> str:
+        """The buffered records as one JSON document per line."""
+        return "\n".join(
+            json.dumps(record, sort_keys=True) for record in self.snapshot()
+        )
+
+    def clear(self) -> None:
+        with self._cond:
+            self._records.clear()
+            self._buckets.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<EventLog {len(self._records)}/{self.capacity}"
+            f" emitted={self.emitted} suppressed={self.suppressed}>"
+        )
+
+
+# -- the process-local event log -----------------------------------------------
+#
+# None by default: emitters guard with ``log = get_event_log()`` /
+# ``if log is not None``, so un-observed runs never pay for logging
+# (the same contract the tracer and metrics registry keep).
+
+_event_log: Optional[EventLog] = None
+
+
+def get_event_log() -> Optional[EventLog]:
+    """The process-local event log, or None when logging is off."""
+    return _event_log
+
+
+def set_event_log(log: Optional[EventLog]) -> Optional[EventLog]:
+    """Install ``log`` as the process-local event log; returns the old one."""
+    global _event_log
+    previous = _event_log
+    _event_log = log
+    return previous

@@ -15,11 +15,14 @@ from typing import Optional, Sequence
 __all__ = [
     "SPARK_BLOCKS",
     "sparkline",
+    "render_event_line",
     "render_hit_ratio_series",
     "render_perf_history",
     "render_service_bench",
     "render_session_latency",
+    "render_slowest_requests",
     "render_table",
+    "render_trace_tree",
 ]
 
 SPARK_BLOCKS = " .:-=+*#%@"
@@ -163,6 +166,123 @@ def render_service_bench(report: dict) -> str:
         f"{verification.get('mismatches', 0)} mismatches "
         f"vs direct facade runs"
     )
+    return "\n".join(lines)
+
+
+def _fmt_span_args(args: dict, limit: int = 5) -> str:
+    """The first few scalar span args as ``key=value`` pairs; nested
+    dicts (table/governor/ledger attachments) collapse to their size so
+    a deep tree still renders one span per line."""
+    parts = []
+    for key in sorted(args):
+        if len(parts) >= limit:
+            parts.append("…")
+            break
+        value = args[key]
+        if isinstance(value, dict):
+            parts.append(f"{key}[{len(value)}]")
+        elif isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def render_trace_tree(record: dict) -> str:
+    """One stored trace as an indented monospace tree.
+
+    ``record`` is either a :class:`repro.service.trace.TraceStore`
+    record (``{"trace_id", "method", "path", ..., "tree": {...}}``) or a
+    bare :func:`repro.obs.tracer.assemble_tree` result.  Each span
+    renders as one line — name, duration, category, selected args —
+    with its instant events nested as ``· name`` lines.  Orphan spans
+    (reassembly failures) are flagged at the bottom because a non-empty
+    orphan list is a tracing bug.
+    """
+    tree = record.get("tree", record)
+    head = [f"trace {tree.get('trace_id') or record.get('trace_id') or '-'}"]
+    if record.get("method"):
+        head.append(f"{record['method']} {record.get('path', '?')}")
+    if record.get("workload"):
+        head.append(f"workload={record['workload']}")
+    if record.get("tenant"):
+        head.append(f"tenant={record['tenant']}")
+    if record.get("status") is not None:
+        head.append(f"status={record['status']}")
+    if record.get("duration_ms") is not None:
+        head.append(f"{record['duration_ms']:.1f}ms")
+    elif record.get("server_ms") is not None:
+        head.append(f"server {record['server_ms']:.1f}ms")
+    head.append(
+        f"({tree.get('span_count', 0)} spans, {tree.get('event_count', 0)} events)"
+    )
+    lines = ["  ".join(head)]
+
+    def walk(node: dict, depth: int) -> None:
+        pad = "  " * depth
+        args = _fmt_span_args(node.get("args", {}))
+        lines.append(
+            f"{pad}{node.get('name', '?')}  {node.get('dur_us', 0) / 1000:.2f}ms"
+            f"  [{node.get('category', '-')}]" + (f"  {args}" if args else "")
+        )
+        for event in node.get("events", ()):
+            eargs = _fmt_span_args(event.get("args", {}))
+            lines.append(
+                f"{pad}  · {event.get('name', '?')}"
+                + (f"  {eargs}" if eargs else "")
+            )
+        for child in node.get("children", ()):
+            walk(child, depth + 1)
+
+    for root in tree.get("roots", ()):
+        walk(root, 1)
+    orphans = tree.get("orphans", ())
+    if orphans:
+        names = ", ".join(o.get("name", "?") for o in orphans)
+        lines.append(f"  !! {len(orphans)} orphan span(s): {names}")
+    return "\n".join(lines)
+
+
+def render_event_line(record: dict) -> str:
+    """One structured-log record (:class:`repro.obs.log.EventLog` shape)
+    as a single ``repro tail`` text line: UTC time, level, name, args,
+    and the trace id suffix when the record is stamped."""
+    import datetime
+
+    ts = datetime.datetime.fromtimestamp(
+        record.get("ts_us", 0) / 1e6, tz=datetime.timezone.utc
+    )
+    level = record.get("level", "info").upper()
+    args = _fmt_span_args(record.get("args", {}), limit=8)
+    line = (
+        f"{ts.strftime('%H:%M:%S')}.{ts.microsecond // 1000:03d} "
+        f"{level:7} {record.get('name', '?')}"
+    )
+    if args:
+        line += f"  {args}"
+    trace_id = record.get("trace_id")
+    if trace_id:
+        line += f"  trace={trace_id[:16]}"
+    if record.get("rate_limited_dropped"):
+        line += f"  (+{record['rate_limited_dropped']} suppressed)"
+    return line
+
+
+def render_slowest_requests(tracing: dict) -> str:
+    """The loadgen report's ``tracing`` section — the slowest requests
+    joined to their assembled span trees — as one monospace block
+    (empty string when nothing was traced), the dashboard's
+    "explain the slowest request" panel."""
+    slowest = tracing.get("slowest", ())
+    if not slowest:
+        return ""
+    lines = [
+        f"Slowest requests ({tracing.get('traced_runs', 0)} traced runs, "
+        f"{tracing.get('orphan_spans', 0)} orphan spans)"
+    ]
+    for entry in slowest:
+        lines.append("")
+        lines.extend("  " + row for row in render_trace_tree(entry).splitlines())
     return "\n".join(lines)
 
 

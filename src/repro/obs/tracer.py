@@ -21,18 +21,39 @@ half is :mod:`repro.obs.ledger`).  Design constraints, in order:
    simulated-cycle interval it covered (``cycles_begin``/``cycles``
    in the span args).
 
+4. **Requests travel too.**  A tracer may carry a 128-bit ``trace_id``
+   and a ``remote_parent`` span id taken from a W3C-style
+   ``traceparent`` header (:func:`format_traceparent` /
+   :func:`parse_traceparent`): root spans recorded by such a tracer are
+   parented under the remote caller's span, so the service can hand a
+   request's spans back as one tree (:func:`assemble_tree`) that starts
+   at the client.
+
 Clocks and the pid are injectable so exporter tests can be golden-file
-exact.
+exact.  :func:`set_tracer` installs a *thread-local* override above the
+shared process default, so concurrent service requests trace into
+isolated tracers without seeing each other's spans.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-__all__ = ["Span", "Tracer", "get_tracer", "set_tracer"]
+__all__ = [
+    "Span",
+    "Tracer",
+    "assemble_tree",
+    "format_traceparent",
+    "get_tracer",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
+    "set_tracer",
+]
 
 
 @dataclass
@@ -47,9 +68,10 @@ class Span:
     dur_us: int = 0
     pid: int = 0
     args: dict = field(default_factory=dict)
+    trace_id: Optional[str] = None
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "name": self.name,
@@ -59,6 +81,10 @@ class Span:
             "pid": self.pid,
             "args": self.args,
         }
+        # keep untraced exports byte-stable (golden files predate trace ids)
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
+        return doc
 
 
 class _NullSpan:
@@ -111,14 +137,66 @@ class _SpanContext:
         return False
 
 
+# -- trace context (W3C-style traceparent) -------------------------------------
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id as 32 lowercase hex digits."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> int:
+    """A fresh non-zero 64-bit span id (for synthetic client-side spans)."""
+    while True:
+        span_id = int.from_bytes(os.urandom(8), "big")
+        if span_id:
+            return span_id
+
+
+def format_traceparent(trace_id: str, span_id: int) -> str:
+    """Render the W3C ``traceparent`` header value ``00-<trace>-<span>-01``."""
+    return f"00-{trace_id}-{span_id & 0xFFFFFFFFFFFFFFFF:016x}-01"
+
+
+def parse_traceparent(value: Optional[str]) -> Optional[tuple[str, int]]:
+    """Parse a ``traceparent`` header into ``(trace_id, parent_span_id)``.
+
+    Returns None on anything malformed (wrong shape, non-hex, all-zero
+    ids) — a bad header means "untraced", never an error.
+    """
+    if not value or not isinstance(value, str):
+        return None
+    parts = value.strip().lower().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_hex, flags = parts
+    if len(version) != 2 or len(trace_id) != 32 or len(span_hex) != 16 or len(flags) != 2:
+        return None
+    try:
+        int(version, 16)
+        int(flags, 16)
+        trace_val = int(trace_id, 16)
+        span_val = int(span_hex, 16)
+    except ValueError:
+        return None
+    if version == "ff" or trace_val == 0 or span_val == 0:
+        return None
+    return trace_id, span_val
+
+
 class Tracer:
-    """Collects spans and events for one process.
+    """Collects spans and events for one process (or one request).
 
     Args:
         enabled: when False every tracing entry point is a no-op.
         clock: monotonic clock used for durations (injectable for tests).
         wall: epoch clock used for timestamps (injectable for tests).
         pid: process id recorded on spans (injectable for tests).
+        trace_id: optional 32-hex request trace id stamped on every span
+            and event (see :func:`parse_traceparent`).
+        remote_parent: optional span id of the remote caller's span; root
+            spans recorded here are parented under it so the assembled
+            tree starts at the client.
     """
 
     def __init__(
@@ -127,8 +205,12 @@ class Tracer:
         clock: Callable[[], float] = time.perf_counter,
         wall: Callable[[], float] = time.time,
         pid: Optional[int] = None,
+        trace_id: Optional[str] = None,
+        remote_parent: Optional[int] = None,
     ) -> None:
         self.enabled = enabled
+        self.trace_id = trace_id
+        self.remote_parent = remote_parent
         self.spans: list[Span] = []
         self.events: list[dict] = []
         self._clock = clock
@@ -150,12 +232,13 @@ class Tracer:
             return _NULL_SPAN
         span = Span(
             span_id=self._alloc_id(),
-            parent_id=self._stack[-1] if self._stack else None,
+            parent_id=self._stack[-1] if self._stack else self.remote_parent,
             name=name,
             category=category,
             start_us=0,
             pid=self._pid,
             args=dict(args),
+            trace_id=self.trace_id,
         )
         return _SpanContext(self, span, machine)
 
@@ -163,16 +246,23 @@ class Tracer:
         """Record an instant event (e.g. a cache hit) at the current time."""
         if not self.enabled:
             return
-        self.events.append(
-            {
-                "name": name,
-                "category": category,
-                "ts_us": int(self._wall() * 1_000_000),
-                "parent_id": self._stack[-1] if self._stack else None,
-                "pid": self._pid,
-                "args": dict(args),
-            }
-        )
+        event = {
+            "name": name,
+            "category": category,
+            "ts_us": int(self._wall() * 1_000_000),
+            "parent_id": self._stack[-1] if self._stack else self.remote_parent,
+            "pid": self._pid,
+            "args": dict(args),
+        }
+        if self.trace_id is not None:
+            event["trace_id"] = self.trace_id
+        self.events.append(event)
+
+    def current_span_id(self) -> Optional[int]:
+        """The innermost open span's id, or the remote parent, or None."""
+        if self._stack:
+            return self._stack[-1]
+        return self.remote_parent
 
     def _alloc_id(self) -> int:
         span_id = self._next_id
@@ -213,6 +303,7 @@ class Tracer:
                     dur_us=doc["dur_us"],
                     pid=doc["pid"],
                     args=dict(doc.get("args", {})),
+                    trace_id=doc.get("trace_id"),
                 )
             )
         for event in payload.get("events", ()):
@@ -233,39 +324,105 @@ class Tracer:
         return f"<Tracer {state} spans={len(self.spans)} events={len(self.events)}>"
 
 
+# -- span-tree assembly --------------------------------------------------------
+
+
+def assemble_tree(payload: dict, remote_parent: Optional[int] = None) -> dict:
+    """Assemble a :meth:`Tracer.serialize` payload into one nested tree.
+
+    Each node is the span's :meth:`Span.to_dict` plus ``children`` (spans
+    whose parent is this span, in recording order) and ``events``
+    (instant events parented here, in recording order).
+
+    ``remote_parent`` names the caller-side span id that root spans were
+    parented under (see :class:`Tracer`); spans referencing it are roots
+    of the local tree.  Spans whose parent is neither recorded locally
+    nor the declared remote parent land in ``orphans`` — a non-empty
+    orphan list means the trace failed to reassemble completely, which
+    the round-trip differential tests treat as a bug.
+    """
+    spans = payload.get("spans", ())
+    events = payload.get("events", ())
+    nodes: dict[int, dict] = {}
+    trace_id = None
+    for doc in spans:
+        node = dict(doc)
+        node["children"] = []
+        node["events"] = []
+        nodes[node["span_id"]] = node
+        if trace_id is None:
+            trace_id = node.get("trace_id")
+    roots: list[dict] = []
+    orphans: list[dict] = []
+    for doc in spans:
+        node = nodes[doc["span_id"]]
+        parent = doc.get("parent_id")
+        if parent is None or parent == remote_parent:
+            roots.append(node)
+        elif parent in nodes:
+            nodes[parent]["children"].append(node)
+        else:
+            orphans.append(node)
+    orphan_events: list[dict] = []
+    for event in events:
+        parent = event.get("parent_id")
+        if parent in nodes:
+            nodes[parent]["events"].append(dict(event))
+        else:
+            orphan_events.append(dict(event))
+    return {
+        "trace_id": trace_id,
+        "remote_parent": remote_parent,
+        "roots": roots,
+        "orphans": orphans,
+        "orphan_events": orphan_events,
+        "span_count": len(nodes),
+        "event_count": len(events),
+    }
+
+
 # -- the process-local tracer --------------------------------------------------
 
 _ENV_TRACE = "REPRO_TRACE"
 _ENV_TRACE_DIR = "REPRO_TRACE_DIR"
 _DEFAULT_TRACE_DIR = ".repro_trace"
 
-_tracer: Optional[Tracer] = None
+_default_tracer: Optional[Tracer] = None
+_default_lock = threading.Lock()
+_tls = threading.local()
 
 
 def get_tracer() -> Tracer:
-    """The process-local tracer, created on first use.
+    """The current tracer: this thread's override, else the process default.
 
-    Disabled unless ``REPRO_TRACE`` is set to a truthy value (``1``,
-    ``chrome``, ``jsonl``, or ``both``); when enabled from the
-    environment, the trace is exported at interpreter exit into
-    ``REPRO_TRACE_DIR`` (default ``.repro_trace/``) in the requested
-    format(s).
+    The process default is created on first use and is disabled unless
+    ``REPRO_TRACE`` is set to a truthy value (``1``, ``chrome``,
+    ``jsonl``, or ``both``); when enabled from the environment, the
+    trace is exported at interpreter exit into ``REPRO_TRACE_DIR``
+    (default ``.repro_trace/``) in the requested format(s).
     """
-    global _tracer
-    if _tracer is None:
-        _tracer = _from_env()
-    return _tracer
+    tracer = getattr(_tls, "tracer", None)
+    if tracer is not None:
+        return tracer
+    global _default_tracer
+    if _default_tracer is None:
+        with _default_lock:
+            if _default_tracer is None:
+                _default_tracer = _from_env()
+    return _default_tracer
 
 
 def set_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
-    """Install ``tracer`` as the process-local tracer; returns the old one.
+    """Install ``tracer`` as *this thread's* tracer; returns the old override.
 
-    Passing ``None`` resets to the lazily-created environment default
-    (callers restoring a previous tracer can pass the value this function
-    returned without checking it)."""
-    global _tracer
-    previous = _tracer
-    _tracer = tracer
+    The override shadows the shared process default for the calling
+    thread only, which is what lets the service trace concurrent
+    requests into isolated tracers.  Passing ``None`` clears the
+    override so the thread falls back to the environment default
+    (callers restoring a previous tracer can pass the value this
+    function returned without checking it)."""
+    previous = getattr(_tls, "tracer", None)
+    _tls.tracer = tracer
     return previous
 
 

@@ -55,6 +55,7 @@ from typing import Optional
 
 from ..errors import ConfigError
 from ..obs import get_tracer
+from ..obs.log import get_event_log
 from ..obs.metrics import get_registry
 from .hashtable import (
     _BYPASSED,
@@ -272,6 +273,14 @@ class SegmentGovernor:
             segment=str(self.segment_id),
             **{k: v for k, v in entry.items() if k != "probe"},
         )
+        log = get_event_log()
+        if log is not None:
+            log.emit(
+                "governor.transition",
+                level="info",
+                segment=str(self.segment_id),
+                **{k: v for k, v in entry.items() if k != "probe"},
+            )
         registry = get_registry()
         if registry is not None:
             registry.counter(
@@ -299,6 +308,15 @@ class SegmentGovernor:
             old_capacity=old_capacity,
             new_capacity=new_capacity,
         )
+        log = get_event_log()
+        if log is not None:
+            log.emit(
+                "governor.resize",
+                level="info",
+                segment=str(self.segment_id),
+                old_capacity=old_capacity,
+                new_capacity=new_capacity,
+            )
 
     def note_flush(self) -> None:
         self.flushes += 1
@@ -317,6 +335,14 @@ class SegmentGovernor:
             segment=str(self.segment_id),
             reason="flushed",
         )
+        log = get_event_log()
+        if log is not None:
+            log.emit(
+                "governor.flush",
+                level="info",
+                segment=str(self.segment_id),
+                probe=self.probes_observed,
+            )
 
     def flush_allowed(self) -> bool:
         return self.probes_observed - self._last_flush_probe >= self.policy.reprobe_after

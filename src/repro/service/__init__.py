@@ -31,7 +31,9 @@ from .config import (
 )
 from .loadgen import LoadgenConfig, run_loadgen, smoke_config
 from .server import ReuseService, ServiceThread
+from .slo import SloTracker
 from .state import ProgramEntry, ServiceState, TenantState
+from .trace import TraceStore
 
 __all__ = [
     "ReuseService",
@@ -46,6 +48,8 @@ __all__ = [
     "LoadgenConfig",
     "run_loadgen",
     "smoke_config",
+    "SloTracker",
+    "TraceStore",
     "compile_options_from_wire",
     "governor_from_wire",
     "pipeline_config_from_wire",

@@ -5,6 +5,21 @@ speaking the same JSON-over-HTTP/1.1 envelope the server serves.  It is
 not a general HTTP client: ``Content-Length`` responses only, no
 redirects, no TLS — exactly the envelope
 :mod:`repro.service.http` produces.
+
+Two serving-layer behaviors live here rather than in callers:
+
+* **Stale keep-alive retry.**  A server may close an idle kept-alive
+  connection between our requests; the failure only surfaces when the
+  next request hits the dead socket.  That one case — and only that
+  case — is retried transparently on a fresh connection.  A request
+  that fails on a connection we just opened is NOT retried: the
+  request may have reached the server, and replaying it is the
+  caller's idempotency decision, not ours.
+* **Trace-context injection.**  With ``trace=True`` every request
+  carries a W3C-style ``traceparent`` header (fresh 128-bit trace id,
+  synthetic client-side span id), which is the server's opt-in signal
+  to trace the request.  The ids of the last exchange are kept on
+  ``last_trace_id`` so callers can fetch ``/v1/trace/<id>`` afterwards.
 """
 
 from __future__ import annotations
@@ -14,6 +29,7 @@ import json
 from typing import Optional
 
 from ..errors import ConfigError
+from ..obs.tracer import format_traceparent, new_span_id, new_trace_id
 
 __all__ = ["ServiceClient", "ServiceReply"]
 
@@ -38,11 +54,18 @@ class ServiceReply:
         except ValueError:
             return 0.0
 
+    @property
+    def trace_id(self) -> Optional[str]:
+        return self.headers.get("x-repro-trace-id")
+
 
 class ServiceClient:
-    def __init__(self, host: str, port: int) -> None:
+    def __init__(self, host: str, port: int, trace: bool = False) -> None:
         self.host = host
         self.port = port
+        self.trace = trace
+        self.last_trace_id: Optional[str] = None
+        self.retries = 0
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
@@ -70,16 +93,38 @@ class ServiceClient:
         return False
 
     async def request(self, method: str, path: str, payload=None) -> ServiceReply:
-        if self._writer is None:
-            await self.connect()
         body = b""
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
+        traceparent = None
+        if self.trace:
+            self.last_trace_id = new_trace_id()
+            traceparent = format_traceparent(self.last_trace_id, new_span_id())
+        # retry exactly once, and only when the failed attempt went out
+        # on a connection reused from a previous exchange (stale
+        # keep-alive) — a fresh connection's failure is surfaced
+        reused = self._writer is not None
+        try:
+            return await self._exchange(method, path, body, traceparent)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            await self.close()
+            if not reused:
+                raise
+            self.retries += 1
+            return await self._exchange(method, path, body, traceparent)
+
+    async def _exchange(
+        self, method: str, path: str, body: bytes, traceparent: Optional[str]
+    ) -> ServiceReply:
+        if self._writer is None:
+            await self.connect()
+        extra = f"Traceparent: {traceparent}\r\n" if traceparent else ""
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: keep-alive\r\n\r\n"
         ).encode("latin-1")
         self._writer.write(head + body)
@@ -140,3 +185,19 @@ class ServiceClient:
 
     async def metrics(self) -> ServiceReply:
         return await self.request("GET", "/metrics")
+
+    async def trace_tree(self, trace_id: str) -> ServiceReply:
+        return await self.request("GET", f"/v1/trace/{trace_id}")
+
+    async def traces(self, limit: int = 20) -> ServiceReply:
+        return await self.request("GET", f"/v1/trace?limit={limit}")
+
+    async def events(
+        self,
+        since: int = 0,
+        wait: float = 0.0,
+        level: str = "debug",
+        limit: int = 500,
+    ) -> ServiceReply:
+        path = f"/v1/events?since={since}&wait={wait:g}&level={level}&limit={limit}"
+        return await self.request("GET", path)

@@ -49,6 +49,13 @@ class TenantPolicy:
     governor: Optional[GovernorPolicy] = None
     max_programs: int = 32
     max_concurrency: int = 8
+    # Service-level objectives, accounted per tenant by the server
+    # (rolling p99 latency vs target; error budget = tolerated fraction
+    # of bad requests — errors or SLO-violating latencies — over the
+    # rolling window).  Published as gauges on the shared registry.
+    slo_p99_ms: float = 500.0
+    slo_error_budget: float = 0.01
+    slo_window: int = 512
 
     def __post_init__(self) -> None:
         if self.max_programs < 1:
@@ -61,6 +68,14 @@ class TenantPolicy:
             raise ConfigError(
                 f"governor must be a GovernorPolicy, got {type(self.governor).__name__}"
             )
+        if self.slo_p99_ms <= 0:
+            raise ConfigError(f"slo_p99_ms must be > 0, got {self.slo_p99_ms}")
+        if not 0.0 <= self.slo_error_budget <= 1.0:
+            raise ConfigError(
+                f"slo_error_budget must be in [0, 1], got {self.slo_error_budget}"
+            )
+        if self.slo_window < 8:
+            raise ConfigError(f"slo_window must be >= 8, got {self.slo_window}")
 
 
 @dataclass(frozen=True)
@@ -76,6 +91,14 @@ class ServiceConfig:
     it gets 504 (the worker thread finishes in the background — the
     simulator is pure compute with no side effects beyond warming the
     program's own tables).
+
+    ``trace`` selects request tracing: ``"auto"`` traces exactly the
+    requests that arrive with a ``traceparent`` header (the client opted
+    in), ``"all"`` traces every request, ``"off"`` traces none.
+    Assembled span trees are kept in a bounded in-memory store served by
+    ``GET /v1/trace/<id>``; ``trace_capacity`` bounds it.
+    ``log_capacity`` sizes the structured event-log ring behind
+    ``GET /v1/events`` (0 disables the log entirely).
     """
 
     host: str = "127.0.0.1"
@@ -86,6 +109,9 @@ class ServiceConfig:
     drain_grace: float = 10.0
     retry_after: float = 1.0
     max_body_bytes: int = 8 * 1024 * 1024
+    trace: str = "auto"
+    trace_capacity: int = 256
+    log_capacity: int = 2048
     default_policy: TenantPolicy = field(default_factory=TenantPolicy)
     tenants: Mapping[str, TenantPolicy] = field(default_factory=dict)
 
@@ -94,6 +120,16 @@ class ServiceConfig:
             raise ConfigError(f"workers must be >= 0, got {self.workers}")
         if self.max_pending < 1:
             raise ConfigError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.trace not in ("auto", "all", "off"):
+            raise ConfigError(
+                f"trace must be 'auto', 'all', or 'off', got {self.trace!r}"
+            )
+        if self.trace_capacity < 1:
+            raise ConfigError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
+            )
+        if self.log_capacity < 0:
+            raise ConfigError(f"log_capacity must be >= 0, got {self.log_capacity}")
         if self.request_timeout <= 0:
             raise ConfigError(
                 f"request_timeout must be > 0, got {self.request_timeout}"

@@ -21,6 +21,9 @@ __all__ = ["Request", "Response", "read_request", "write_response", "json_respon
 
 _MAX_LINE = 8192
 _MAX_HEADERS = 64
+# Total header-block byte bound: without it a peer could legally send
+# _MAX_HEADERS lines of _MAX_LINE bytes each (~512 KiB) per request.
+_MAX_HEADER_BLOCK = 32 * 1024
 
 _REASONS = {
     200: "OK",
@@ -50,6 +53,12 @@ class Request:
     query: dict
     headers: dict
     body: bytes
+    # late-bound request context, set by the server during dispatch:
+    # the tenant named in the payload (for SLO accounting) and the
+    # per-request Tracer when this request is traced (kept untyped so
+    # the framing layer stays import-free of the obs stack)
+    tenant: Optional[str] = None
+    tracer: Optional[object] = None
 
     @property
     def keep_alive(self) -> bool:
@@ -108,10 +117,14 @@ async def read_request(
         key: values[-1] for key, values in parse_qs(split.query).items()
     }
     headers: dict[str, str] = {}
+    header_bytes = 0
     for _ in range(_MAX_HEADERS + 1):
         line = await _read_line(reader)
         if not line:
             break
+        header_bytes += len(line) + 2
+        if header_bytes > _MAX_HEADER_BLOCK:
+            raise ProtocolError(400, "header block too large")
         name, sep, value = line.decode("latin-1").partition(":")
         if not sep:
             raise ProtocolError(400, "malformed header")

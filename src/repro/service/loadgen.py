@@ -18,7 +18,11 @@ anything else after retries is an error.
 
 The report — exact p50/p90/p99 latency, throughput, retry and
 verification counts, and the server's own ``/v1/stats`` — is returned
-as a dict and optionally written to ``BENCH_service.json``.
+as a dict and optionally written to ``BENCH_service.json``.  With
+``trace=True`` every request carries a traceparent and the report's
+``tracing`` section joins the slowest runs to their assembled span
+trees fetched from ``/v1/trace/<id>`` (``trace_out`` dumps one JSONL
+record per traced run).
 """
 
 from __future__ import annotations
@@ -72,6 +76,12 @@ class LoadgenConfig:
     governed_share: bool = True
     max_retries: int = 100
     out: Optional[str] = None
+    # request tracing: every client sends a traceparent, the report joins
+    # the slowest runs to their span trees, and trace_out collects one
+    # JSONL record per traced run (plus the fetched slowest trees)
+    trace: bool = False
+    trace_out: Optional[str] = None
+    trace_slowest: int = 3
 
     def __post_init__(self) -> None:
         if self.sessions < 1:
@@ -84,10 +94,15 @@ class LoadgenConfig:
             raise ConfigError(f"tenants must be >= 1, got {self.tenants}")
         if self.chunk < 1 or self.input_prefix < self.chunk:
             raise ConfigError("need input_prefix >= chunk >= 1")
+        if self.trace_slowest < 1:
+            raise ConfigError(f"trace_slowest must be >= 1, got {self.trace_slowest}")
 
 
-def smoke_config(out: Optional[str] = None) -> LoadgenConfig:
-    """The bounded CI shape: small fleet, four workloads, both backends."""
+def smoke_config(
+    out: Optional[str] = None, trace_out: Optional[str] = None
+) -> LoadgenConfig:
+    """The bounded CI shape: small fleet, four workloads, both backends,
+    with request tracing on so the smoke also proves trace reassembly."""
     return LoadgenConfig(
         sessions=32,
         runs_per_session=2,
@@ -97,6 +112,8 @@ def smoke_config(out: Optional[str] = None) -> LoadgenConfig:
         chunk=32,
         max_pending=64,
         out=out,
+        trace=True,
+        trace_out=trace_out,
     )
 
 
@@ -125,6 +142,8 @@ class _Tally:
         self.checked = 0
         self.mismatches = 0
         self.errors: list = []
+        # (elapsed_seconds, trace_id, workload, tenant) per traced run
+        self.traced_runs: list[tuple] = []
 
     def error(self, what: str) -> None:
         if len(self.errors) < 50:  # keep the report bounded
@@ -179,7 +198,7 @@ async def _exchange(client, tally, config, kind, send, *, surface_404=False):
 async def _run_session(index, config, host, port, workloads, chunks, expected, tally):
     plan = _session_plan(index, config, workloads)
     workload = plan["workload"]
-    client = ServiceClient(host, port)
+    client = ServiceClient(host, port, trace=config.trace)
     try:
         reply, _ = await _exchange(
             client, tally, config, "compile",
@@ -219,6 +238,10 @@ async def _run_session(index, config, host, port, workloads, chunks, expected, t
                 continue
             tally.runs += 1
             tally.per_workload.setdefault(workload.name, []).append(elapsed)
+            if config.trace and reply.trace_id is not None and elapsed is not None:
+                tally.traced_runs.append(
+                    (elapsed, reply.trace_id, workload.name, plan["tenant"])
+                )
             want_value, want_checksum = expected[(workload.name, chunk_index)]
             got = reply.payload
             tally.checked += 1
@@ -308,6 +331,11 @@ def run_loadgen(
         asyncio.run(_drive(config, host, port, workloads, chunks, expected, tally))
         wall = time.perf_counter() - started
         stats_payload = asyncio.run(_fetch_stats(host, port))
+        tracing = (
+            asyncio.run(_collect_traces(host, port, config, tally))
+            if config.trace
+            else None
+        )
     finally:
         if own_server is not None:
             own_server.close()
@@ -341,6 +369,8 @@ def run_loadgen(
         "errors": tally.errors,
         "ok": not tally.errors and tally.mismatches == 0 and tally.runs > 0,
     }
+    if tracing is not None:
+        report["tracing"] = tracing
     if config.out:
         with open(config.out, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
@@ -352,3 +382,56 @@ async def _fetch_stats(host: str, port: int):
     async with ServiceClient(host, port) as client:
         reply = await client.stats()
         return reply.payload if reply.ok else None
+
+
+async def _collect_traces(host, port, config: LoadgenConfig, tally: _Tally) -> dict:
+    """Join the slowest traced runs to their server-side span trees and
+    (optionally) dump one JSONL record per traced run to ``trace_out``."""
+    ordered = sorted(tally.traced_runs, key=lambda t: t[0], reverse=True)
+    slowest = []
+    orphan_spans = 0
+    async with ServiceClient(host, port) as client:
+        for elapsed, trace_id, workload, tenant in ordered[: config.trace_slowest]:
+            reply = await client.trace_tree(trace_id)
+            if not reply.ok or not isinstance(reply.payload, dict):
+                continue
+            record = reply.payload
+            tree = record.get("tree") or {}
+            orphan_spans += len(tree.get("orphans", ()))
+            slowest.append(
+                {
+                    "trace_id": trace_id,
+                    "workload": workload,
+                    "tenant": tenant,
+                    "client_ms": round(elapsed * 1000.0, 3),
+                    "server_ms": record.get("duration_ms"),
+                    "status": record.get("status"),
+                    "span_count": tree.get("span_count"),
+                    "event_count": tree.get("event_count"),
+                    "orphan_spans": len(tree.get("orphans", ())),
+                    "tree": tree,
+                }
+            )
+    section = {
+        "traced_runs": len(tally.traced_runs),
+        "slowest": slowest,
+        "orphan_spans": orphan_spans,
+    }
+    if config.trace_out:
+        with open(config.trace_out, "w", encoding="utf-8") as fh:
+            for elapsed, trace_id, workload, tenant in tally.traced_runs:
+                fh.write(
+                    json.dumps(
+                        {
+                            "trace_id": trace_id,
+                            "workload": workload,
+                            "tenant": tenant,
+                            "ms": round(elapsed * 1000.0, 3),
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+            for record in slowest:
+                fh.write(json.dumps({"slowest": record}, sort_keys=True) + "\n")
+    return section

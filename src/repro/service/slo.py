@@ -1,0 +1,120 @@
+"""Per-tenant SLO accounting: rolling p99 latency and error budgets.
+
+Each tenant's :class:`~repro.service.config.TenantPolicy` declares a
+p99 latency target (``slo_p99_ms``), a tolerated bad-request fraction
+(``slo_error_budget``), and a rolling window (``slo_window``).  The
+server feeds every dispatched request's latency and status into a
+:class:`SloTracker`, which maintains:
+
+* **rolling p99** over the last ``slo_window`` requests (interpolated
+  like :func:`repro.obs.metrics.histogram_quantiles`, but exact — the
+  raw window is small enough to sort);
+* **bad-request fraction** — a request is *bad* when it failed
+  server-side (status >= 500, including 504 deadline misses) or ran
+  slower than the p99 target; client errors (4xx) spend no budget;
+* **error budget remaining** — the fraction of the tolerated bad
+  budget still unspent, clamped to [0, 1].
+
+All three are published as labeled gauges on the shared OpenMetrics
+registry (plus a monotone violations counter), so `/metrics` answers
+"is tenant X inside its SLO" without any extra endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+from ..obs.metrics import MetricsRegistry
+from .config import TenantPolicy
+
+__all__ = ["SloTracker"]
+
+
+class SloTracker:
+    """Rolling SLO window for one tenant."""
+
+    def __init__(
+        self,
+        tenant: str,
+        policy: TenantPolicy,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.tenant = tenant
+        self.policy = policy
+        self.registry = registry
+        self._lock = threading.Lock()
+        # (latency_seconds, bad) pairs, oldest first
+        self._window: deque[tuple[float, bool]] = deque(maxlen=policy.slo_window)
+        self.requests = 0
+        self.violations = 0
+        if registry is not None:
+            registry.gauge(
+                "repro_service_slo_target_seconds",
+                "Configured per-tenant p99 latency target.",
+            ).labels(tenant=tenant).set(policy.slo_p99_ms / 1000.0)
+
+    def record(self, latency_seconds: float, status: int) -> bool:
+        """Fold one finished request in; returns True when it was bad."""
+        target = self.policy.slo_p99_ms / 1000.0
+        bad = status >= 500 or latency_seconds > target
+        with self._lock:
+            self._window.append((latency_seconds, bad))
+            self.requests += 1
+            if bad:
+                self.violations += 1
+            p99 = self._p99_locked()
+            budget_remaining = self._budget_remaining_locked()
+        if self.registry is not None:
+            labels = {"tenant": self.tenant}
+            self.registry.gauge(
+                "repro_service_slo_p99_seconds",
+                "Rolling p99 request latency per tenant.",
+            ).labels(**labels).set(p99)
+            self.registry.gauge(
+                "repro_service_slo_error_budget_remaining",
+                "Fraction of the tenant's error budget still unspent (rolling window).",
+            ).labels(**labels).set(budget_remaining)
+            if bad:
+                self.registry.counter(
+                    "repro_service_slo_violations",
+                    "Requests that failed server-side or exceeded the p99 target.",
+                ).labels(**labels).inc()
+        return bad
+
+    def _p99_locked(self) -> float:
+        if not self._window:
+            return 0.0
+        ordered = sorted(latency for latency, _ in self._window)
+        if len(ordered) == 1:
+            return ordered[0]
+        # exact interpolated quantile over the raw window
+        pos = 0.99 * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def _budget_remaining_locked(self) -> float:
+        if not self._window:
+            return 1.0
+        bad_fraction = sum(1 for _, bad in self._window if bad) / len(self._window)
+        budget = self.policy.slo_error_budget
+        if budget <= 0.0:
+            return 1.0 if bad_fraction == 0.0 else 0.0
+        return max(0.0, min(1.0, 1.0 - bad_fraction / budget))
+
+    def snapshot(self) -> dict:
+        """JSON-ready view for ``/v1/stats``."""
+        with self._lock:
+            return {
+                "tenant": self.tenant,
+                "target_p99_ms": self.policy.slo_p99_ms,
+                "error_budget": self.policy.slo_error_budget,
+                "window": len(self._window),
+                "requests": self.requests,
+                "violations": self.violations,
+                "p99_ms": self._p99_locked() * 1000.0,
+                "error_budget_remaining": self._budget_remaining_locked(),
+            }

@@ -33,6 +33,7 @@ from ..errors import ConfigError
 from ..minic import frontend
 from ..obs.metrics import MetricsRegistry
 from .config import ServiceConfig, TenantPolicy
+from .slo import SloTracker
 
 __all__ = ["ProgramEntry", "TenantState", "ServiceState"]
 
@@ -64,6 +65,7 @@ class TenantState:
         self.registry = registry
         self.lock = threading.Lock()
         self.programs: "OrderedDict[str, ProgramEntry]" = OrderedDict()
+        self.slo = SloTracker(name, policy, registry)
         self.compiles = 0
         self.cache_hits = 0
         self.evictions = 0
@@ -169,6 +171,7 @@ class TenantState:
                 "runs": self.runs,
                 "table_probes": hits + misses,
                 "table_hits": hits,
+                "slo": self.slo.snapshot(),
             }
 
 

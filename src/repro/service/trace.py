@@ -1,0 +1,71 @@
+"""Bounded in-memory store of assembled request traces.
+
+The server traces each opted-in request into its own
+:class:`~repro.obs.tracer.Tracer`, assembles the result into one span
+tree (:func:`repro.obs.tracer.assemble_tree`), and deposits it here
+keyed by trace id.  ``GET /v1/trace/<id>`` serves individual trees and
+``GET /v1/trace`` lists the most recent / slowest requests, which is
+what the dashboard's slow-request panel and the loadgen report join
+against.
+
+The store is a plain LRU ring: inserting past capacity evicts the
+oldest trace.  Everything is held as JSON-ready dicts — no live object
+leaks out of the request that produced it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+__all__ = ["TraceStore"]
+
+
+class TraceStore:
+    """Most-recent assembled span trees, keyed by trace id."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: "OrderedDict[str, dict]" = OrderedDict()
+        self.stored = 0
+        self.evicted = 0
+
+    def put(self, record: dict) -> None:
+        """Insert one request record (must carry ``trace_id``)."""
+        trace_id = record["trace_id"]
+        with self._lock:
+            self._traces[trace_id] = record
+            self._traces.move_to_end(trace_id)
+            self.stored += 1
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+                self.evicted += 1
+
+    def get(self, trace_id: str) -> Optional[dict]:
+        with self._lock:
+            return self._traces.get(trace_id)
+
+    def recent(self, limit: int = 20) -> list[dict]:
+        """Request summaries (no trees), newest first."""
+        with self._lock:
+            records = list(self._traces.values())
+        return [self._summary(r) for r in reversed(records[-max(0, limit):])]
+
+    def slowest(self, limit: int = 5) -> list[dict]:
+        """Request summaries sorted by duration, slowest first."""
+        with self._lock:
+            records = list(self._traces.values())
+        records.sort(key=lambda r: r.get("duration_ms", 0.0), reverse=True)
+        return [self._summary(r) for r in records[: max(0, limit)]]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    @staticmethod
+    def _summary(record: dict) -> dict:
+        return {key: value for key, value in record.items() if key != "tree"}

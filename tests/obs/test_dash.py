@@ -77,6 +77,15 @@ def _sample_data() -> DashData:
             "Session run latency (wall-clock, bucket-interpolated)\n"
             "  runs 3  p50 27.95ms  p90 43.69ms  p99 43.69ms  total 73.58ms"
         ),
+        slowest_text=(
+            "Slowest requests (8 traced runs, 0 orphan spans)\n"
+            "\n"
+            "  trace deadbeef  workload=G721_encode  tenant=t0  status=200"
+            "  server 215.7ms  (3 spans, 1 events)\n"
+            "    http.request  215.72ms  [service]  method=POST path=/v1/run\n"
+            "      session.run  201.94ms  [api]  backend=closures opt=O0\n"
+            "        machine.run  28.39ms  [api]  cycles=107683 entry=main"
+        ),
         panels=[clean, regressed, improved],
     )
 
@@ -106,6 +115,9 @@ def test_escaping_and_structure():
     # and the session-latency quantile block is rendered
     assert '<span class="marker">probe:s3</span>' in html
     assert "Session run latency" in html
+    # the slowest-request join panel renders its span tree as monospace
+    assert "Slowest requests (span trees)" in html
+    assert "http.request  215.72ms  [service]" in html
 
 
 def test_empty_blocks_are_omitted():

@@ -1,0 +1,184 @@
+"""Unit tests for the structured event log (repro.obs.log).
+
+Covers the four pillars the module docstring promises: ring-buffered
+cursor reads, per-name token-bucket rate limiting with suppressed-count
+surfacing, trace-id stamping from the ambient tracer, and the
+process-local default being None (logging off is free).
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.log import LEVELS, EventLog, get_event_log, set_event_log
+from repro.obs.tracer import Tracer, set_tracer
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestEmit:
+    def test_record_shape(self):
+        log = EventLog(wall=lambda: 12.5)
+        record = log.emit("service.request", level="warning", status=504, ms=3.25)
+        assert record == {
+            "seq": 1,
+            "ts_us": 12_500_000,
+            "level": "warning",
+            "name": "service.request",
+            "args": {"status": 504, "ms": 3.25},
+        }
+
+    def test_seq_is_monotone(self):
+        log = EventLog()
+        seqs = [log.emit(f"e{i}")["seq"] for i in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+
+    def test_unknown_level_rejected(self):
+        log = EventLog()
+        with pytest.raises(ValueError, match="unknown level"):
+            log.emit("x", level="critical")
+        assert LEVELS == ("debug", "info", "warning", "error")
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            EventLog(capacity=0)
+
+    def test_explicit_trace_ids_stamped(self):
+        log = EventLog()
+        record = log.emit("x", trace_id="ab" * 16, span_id=7)
+        assert record["trace_id"] == "ab" * 16
+        assert record["span_id"] == 7
+
+    def test_ambient_tracer_supplies_ids(self):
+        log = EventLog()
+        tracer = Tracer(enabled=True, trace_id="cd" * 16)
+        previous = set_tracer(tracer)
+        try:
+            with tracer.span("outer", category="t"):
+                record = log.emit("x")
+        finally:
+            set_tracer(previous)
+        assert record["trace_id"] == "cd" * 16
+        assert record["span_id"] == tracer.spans[0].span_id
+
+    def test_untraced_emit_has_no_ids(self):
+        record = EventLog().emit("x")
+        assert "trace_id" not in record and "span_id" not in record
+
+
+class TestRing:
+    def test_eviction_and_dropped_accounting(self):
+        log = EventLog(capacity=3)
+        for i in range(6):
+            log.emit(f"e{i}")
+        view = log.since(seq=1)
+        # records 2 and 3 were evicted before this reader caught up
+        assert [r["seq"] for r in view["records"]] == [4, 5, 6]
+        assert view["dropped"] == 2
+        assert view["next_seq"] == 6
+
+    def test_cursor_resumes_where_it_left(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        first = log.since(seq=0, limit=1)
+        rest = log.since(seq=first["next_seq"])
+        assert [r["name"] for r in rest["records"]] == ["b"]
+
+    def test_level_filter(self):
+        log = EventLog()
+        log.emit("lo", level="debug")
+        log.emit("mid", level="info")
+        log.emit("hi", level="error")
+        names = [r["name"] for r in log.since(level="warning")["records"]]
+        assert names == ["hi"]
+
+    def test_empty_log_since(self):
+        view = EventLog().since(seq=0)
+        assert view == {"records": [], "next_seq": 0, "dropped": 0}
+
+    def test_to_jsonl_round_trips(self):
+        log = EventLog(wall=lambda: 1.0)
+        log.emit("a", k=1)
+        log.emit("b", k=2)
+        docs = [json.loads(line) for line in log.to_jsonl().splitlines()]
+        assert [d["name"] for d in docs] == ["a", "b"]
+
+
+class TestRateLimit:
+    def test_burst_then_suppression(self):
+        clock = FakeClock()
+        log = EventLog(rate_limit_per_sec=10.0, rate_limit_burst=3, clock=clock)
+        admitted = [log.emit("hot") for _ in range(5)]
+        assert [r is not None for r in admitted] == [True, True, True, False, False]
+        assert log.suppressed == 2
+
+    def test_suppressed_count_attaches_to_next_admitted(self):
+        clock = FakeClock()
+        log = EventLog(rate_limit_per_sec=10.0, rate_limit_burst=1, clock=clock)
+        assert log.emit("hot") is not None
+        assert log.emit("hot") is None
+        assert log.emit("hot") is None
+        clock.advance(1.0)  # refill
+        record = log.emit("hot")
+        assert record["rate_limited_dropped"] == 2
+
+    def test_names_have_independent_buckets(self):
+        clock = FakeClock()
+        log = EventLog(rate_limit_per_sec=10.0, rate_limit_burst=1, clock=clock)
+        assert log.emit("hot") is not None
+        assert log.emit("hot") is None
+        assert log.emit("cold") is not None
+
+    def test_zero_rate_disables_limiting(self):
+        log = EventLog(rate_limit_per_sec=0.0)
+        assert all(log.emit("hot") is not None for _ in range(500))
+
+
+class TestWaiters:
+    def test_wait_for_timeout(self):
+        log = EventLog()
+        assert log.wait_for(seq=0, timeout=0.01) is False
+
+    def test_wait_for_existing_record(self):
+        log = EventLog()
+        log.emit("x")
+        assert log.wait_for(seq=0, timeout=0.01) is True
+
+    def test_emit_wakes_waiter(self):
+        log = EventLog()
+        woke = threading.Event()
+
+        def waiter():
+            if log.wait_for(seq=0, timeout=5.0):
+                woke.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        log.emit("x")
+        thread.join(timeout=5.0)
+        assert woke.is_set()
+
+
+class TestProcessLocal:
+    def test_default_is_none(self):
+        assert get_event_log() is None
+
+    def test_set_and_restore(self):
+        log = EventLog()
+        previous = set_event_log(log)
+        try:
+            assert get_event_log() is log
+        finally:
+            set_event_log(previous)
+        assert get_event_log() is previous

@@ -3,9 +3,12 @@ back-compat aliases the experiment reports keep exporting."""
 
 from repro.obs.render import (
     SPARK_BLOCKS,
+    render_event_line,
     render_hit_ratio_series,
     render_perf_history,
+    render_slowest_requests,
     render_table,
+    render_trace_tree,
     sparkline,
 )
 
@@ -72,6 +75,119 @@ class TestSeriesRenderers:
         out = render_perf_history(rows)
         assert "W@O0@static (2 runs)" in out
         assert "latest 110" in out
+
+
+def _sample_trace_record():
+    return {
+        "trace_id": "ab" * 16,
+        "method": "POST",
+        "path": "/v1/run",
+        "tenant": "t0",
+        "status": 200,
+        "duration_ms": 12.5,
+        "tree": {
+            "trace_id": "ab" * 16,
+            "span_count": 2,
+            "event_count": 1,
+            "orphans": [],
+            "roots": [
+                {
+                    "name": "http.request",
+                    "category": "service",
+                    "dur_us": 12500,
+                    "args": {"method": "POST", "path": "/v1/run"},
+                    "events": [],
+                    "children": [
+                        {
+                            "name": "session.run",
+                            "category": "api",
+                            "dur_us": 9000,
+                            "args": {"tables": {"3": {}, "7": {}},
+                                     "ratio": 0.6251},
+                            "events": [
+                                {"name": "cache.hit", "args": {"key": "k"}}
+                            ],
+                            "children": [],
+                        }
+                    ],
+                }
+            ],
+        },
+    }
+
+
+class TestTraceRenderers:
+    def test_trace_tree_structure(self):
+        out = render_trace_tree(_sample_trace_record())
+        lines = out.splitlines()
+        assert lines[0] == (
+            f"trace {'ab' * 16}  POST /v1/run  tenant=t0  status=200"
+            "  12.5ms  (2 spans, 1 events)"
+        )
+        assert "  http.request  12.50ms  [service]  method=POST path=/v1/run" in out
+        # children indent one level deeper; dicts collapse to their size,
+        # floats render compactly
+        assert "    session.run  9.00ms  [api]  ratio=0.6251 tables[2]" in out
+        assert "      · cache.hit  key=k" in out
+        assert "orphan" not in out
+
+    def test_trace_tree_flags_orphans(self):
+        record = _sample_trace_record()
+        record["tree"]["orphans"] = [{"name": "lost.span"}]
+        out = render_trace_tree(record)
+        assert "!! 1 orphan span(s): lost.span" in out
+
+    def test_trace_tree_accepts_bare_tree(self):
+        record = _sample_trace_record()
+        out = render_trace_tree(record["tree"])
+        assert out.startswith(f"trace {'ab' * 16}")
+        assert "http.request" in out
+
+    def test_event_line(self):
+        line = render_event_line(
+            {
+                "seq": 4,
+                "ts_us": 45_296_250_000,  # 12:34:56.250 UTC
+                "level": "warning",
+                "name": "slo.violation",
+                "args": {"tenant": "t0", "ms": 512.0},
+                "trace_id": "cd" * 16,
+            }
+        )
+        assert line == (
+            "12:34:56.250 WARNING slo.violation  ms=512 tenant=t0"
+            f"  trace={'cd' * 8}"
+        )
+
+    def test_event_line_minimal_and_suppressed(self):
+        line = render_event_line(
+            {"ts_us": 0, "level": "info", "name": "x",
+             "args": {}, "rate_limited_dropped": 3}
+        )
+        assert line == "00:00:00.000 INFO    x  (+3 suppressed)"
+
+    def test_slowest_requests_block(self):
+        tracing = {
+            "traced_runs": 8,
+            "orphan_spans": 0,
+            "slowest": [
+                {
+                    "trace_id": "ab" * 16,
+                    "workload": "G721_encode",
+                    "tenant": "t0",
+                    "status": 200,
+                    "server_ms": 215.7,
+                    "tree": _sample_trace_record()["tree"],
+                }
+            ],
+        }
+        out = render_slowest_requests(tracing)
+        assert out.startswith("Slowest requests (8 traced runs, 0 orphan spans)")
+        assert "workload=G721_encode" in out and "server 215.7ms" in out
+        assert "    http.request" in out  # trees indent under the header
+
+    def test_slowest_requests_empty(self):
+        assert render_slowest_requests({"slowest": []}) == ""
 
 
 class TestReportBackCompat:

@@ -1,9 +1,18 @@
 """Tests for the structured tracer (spans, events, pool transport)."""
 
+import threading
+
 import pytest
 
 from repro.obs import Span, Tracer, get_tracer, set_tracer
-from repro.obs.tracer import _NULL_SPAN
+from repro.obs.tracer import (
+    _NULL_SPAN,
+    assemble_tree,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
 from repro.runtime.machine import Machine
 
 
@@ -198,6 +207,127 @@ class TestProcessLocal:
         with tracer.span("b") as span:
             pass
         assert span.span_id == 1
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        trace_id = new_trace_id()
+        span_id = new_span_id()
+        parsed = parse_traceparent(format_traceparent(trace_id, span_id))
+        assert parsed == (trace_id, span_id)
+
+    def test_ids_well_formed(self):
+        assert len(new_trace_id()) == 32
+        int(new_trace_id(), 16)  # pure hex
+        assert 0 < new_span_id() < 2**64
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            "",
+            "not-a-traceparent",
+            "00-abc-def-01",                                  # wrong lengths
+            "00-" + "0" * 32 + "-" + "1" * 16 + "-01",        # all-zero trace
+            "00-" + "1" * 32 + "-" + "0" * 16 + "-01",        # all-zero span
+            "ff-" + "1" * 32 + "-" + "2" * 16 + "-01",        # forbidden version
+            "00-" + "x" * 32 + "-" + "2" * 16 + "-01",        # non-hex
+            "00-" + "1" * 32 + "-" + "2" * 16,                # missing flags
+        ],
+    )
+    def test_malformed_means_untraced(self, value):
+        assert parse_traceparent(value) is None
+
+    def test_case_and_whitespace_tolerated(self):
+        header = "  00-" + "A" * 32 + "-" + "B" * 16 + "-01  "
+        parsed = parse_traceparent(header)
+        assert parsed == ("a" * 32, int("b" * 16, 16))
+
+
+class TestTraceContext:
+    def test_spans_stamped_with_trace_id(self):
+        tracer = make_tracer(trace_id="ab" * 16)
+        with tracer.span("s"):
+            tracer.event("e")
+        assert tracer.spans[0].trace_id == "ab" * 16
+        assert tracer.events[0]["trace_id"] == "ab" * 16
+        assert tracer.spans[0].to_dict()["trace_id"] == "ab" * 16
+
+    def test_remote_parent_adopts_roots(self):
+        tracer = make_tracer(remote_parent=777)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        tracer.event("loose")  # no open span: parented to the remote too
+        assert tracer.spans[0].parent_id == 777
+        assert tracer.spans[1].parent_id == tracer.spans[0].span_id
+        assert tracer.events[0]["parent_id"] == 777
+
+    def test_current_span_id_tracks_stack(self):
+        tracer = make_tracer(remote_parent=777)
+        assert tracer.current_span_id() == 777
+        with tracer.span("s") as span:
+            assert tracer.current_span_id() == span.span_id
+        assert tracer.current_span_id() == 777
+
+
+class TestAssembleTree:
+    def _payload(self):
+        tracer = make_tracer(trace_id="cd" * 16, remote_parent=777)
+        with tracer.span("http.request"):
+            with tracer.span("session.run"):
+                tracer.event("cache.hit")
+            with tracer.span("machine.run"):
+                pass
+        return tracer.serialize()
+
+    def test_full_reassembly(self):
+        tree = assemble_tree(self._payload(), remote_parent=777)
+        assert tree["trace_id"] == "cd" * 16
+        assert tree["span_count"] == 3 and tree["event_count"] == 1
+        assert tree["orphans"] == [] and tree["orphan_events"] == []
+        (root,) = tree["roots"]
+        assert root["name"] == "http.request"
+        assert [c["name"] for c in root["children"]] == [
+            "session.run", "machine.run",
+        ]
+        assert root["children"][0]["events"][0]["name"] == "cache.hit"
+
+    def test_unknown_parent_is_orphan(self):
+        payload = self._payload()
+        payload["spans"][1]["parent_id"] = 999999  # sever session.run
+        tree = assemble_tree(payload, remote_parent=777)
+        assert [o["name"] for o in tree["orphans"]] == ["session.run"]
+        # the event parented under the orphan still attaches to it
+        assert tree["orphan_events"] == []
+
+    def test_without_remote_parent_roots_become_orphans(self):
+        # remote_parent undeclared: the root references an unseen parent
+        tree = assemble_tree(self._payload())
+        assert [o["name"] for o in tree["orphans"]] == ["http.request"]
+
+    def test_empty_payload(self):
+        tree = assemble_tree({"spans": [], "events": []})
+        assert tree["roots"] == [] and tree["span_count"] == 0
+
+
+class TestThreadLocalOverride:
+    def test_override_is_per_thread(self):
+        mine = Tracer(enabled=True, trace_id="ee" * 16)
+        previous = set_tracer(mine)
+        seen = {}
+        try:
+            def probe():
+                seen["other"] = get_tracer()
+
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+            assert get_tracer() is mine
+            # the other thread never sees this thread's override
+            assert seen["other"] is not mine
+        finally:
+            set_tracer(previous)
 
 
 class TestSpanDict:

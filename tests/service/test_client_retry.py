@@ -1,0 +1,156 @@
+"""The client's stale keep-alive retry contract.
+
+A server may close an idle kept-alive connection between a client's
+requests; the failure only surfaces when the next request hits the dead
+socket.  :class:`repro.service.ServiceClient` retries exactly that case
+— once, on a fresh connection — and surfaces every other failure,
+because a request that failed on a *fresh* connection may have reached
+the server (replaying it is the caller's idempotency decision).
+
+The fixture is a hand-rolled asyncio server whose connections the test
+kills between requests, so the retry path is exercised deterministically
+rather than by racing a real idle-timeout.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import ServiceClient
+
+
+class FlakyServer:
+    """Answers JSON over HTTP/1.1 keep-alive; connections can be killed
+    server-side on demand (abort() between requests = stale keep-alive),
+    or configured to drop each connection after N answered requests."""
+
+    def __init__(self, close_after: int = 0):
+        self.close_after = close_after  # 0 = never; N = drop conn after N replies
+        self.requests_served = 0
+        self.connections = 0
+        self._writers = []
+        self._server = None
+
+    async def __aenter__(self):
+        self._server = await asyncio.start_server(self._handle, "127.0.0.1", 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def __aexit__(self, *exc):
+        self._server.close()
+        await self._server.wait_closed()
+        for writer in self._writers:
+            writer.close()
+
+    async def _handle(self, reader, writer):
+        self.connections += 1
+        self._writers.append(writer)
+        served_here = 0
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return
+                length = 0
+                for line in head.decode("latin-1").split("\r\n"):
+                    if line.lower().startswith("content-length:"):
+                        length = int(line.split(":", 1)[1])
+                if length:
+                    await reader.readexactly(length)
+                body = json.dumps({"n": self.requests_served}).encode()
+                writer.write(
+                    b"HTTP/1.1 200 OK\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: %d\r\n"
+                    b"Connection: keep-alive\r\n\r\n%s" % (len(body), body)
+                )
+                await writer.drain()
+                self.requests_served += 1
+                served_here += 1
+                if self.close_after and served_here >= self.close_after:
+                    self.abort_writer(writer)
+                    return
+        finally:
+            writer.close()
+
+    def abort_writer(self, writer):
+        """Kill one connection abruptly (RST, not FIN-with-close-header)."""
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            # SO_LINGER 0 makes close() send RST so the client's next
+            # write/read fails instead of seeing a clean EOF
+            import socket as socketlib
+
+            sock.setsockopt(
+                socketlib.SOL_SOCKET,
+                socketlib.SO_LINGER,
+                b"\x01\x00\x00\x00\x00\x00\x00\x00",
+            )
+        writer.close()
+
+    def kill_connections(self):
+        for writer in self._writers:
+            self.abort_writer(writer)
+        self._writers.clear()
+
+
+class TestStaleKeepAliveRetry:
+    def test_retry_once_on_stale_connection(self):
+        async def go():
+            async with FlakyServer() as server:
+                client = ServiceClient("127.0.0.1", server.port)
+                try:
+                    first = await client.request("GET", "/a")
+                    assert first.status == 200
+                    # the server kills the socket between requests — the
+                    # classic stale keep-alive shape
+                    server.kill_connections()
+                    await asyncio.sleep(0.05)
+                    second = await client.request("GET", "/b")
+                    assert second.status == 200
+                finally:
+                    await client.close()
+                return client.retries, server.connections
+
+        retries, connections = asyncio.run(go())
+        assert retries == 1
+        assert connections == 2  # the retry opened a fresh connection
+
+    def test_fresh_connection_failure_is_surfaced(self):
+        async def go():
+            async with FlakyServer() as server:
+                port = server.port
+            # server gone: the very first exchange fails on a fresh
+            # connection and must NOT be retried
+            client = ServiceClient("127.0.0.1", port)
+            try:
+                with pytest.raises((ConnectionError, OSError)):
+                    await client.request("GET", "/a")
+            finally:
+                await client.close()
+            return client.retries
+
+        assert asyncio.run(go()) == 0
+
+    def test_second_stale_failure_in_a_row_propagates(self):
+        # close_after=1: every connection dies after one reply, so each
+        # request after the first rides a stale socket, retries once on a
+        # fresh connection, and succeeds — but never retries twice
+        async def go():
+            async with FlakyServer(close_after=1) as server:
+                client = ServiceClient("127.0.0.1", server.port)
+                try:
+                    for i in range(4):
+                        reply = await client.request("GET", f"/{i}")
+                        assert reply.status == 200
+                        await asyncio.sleep(0.02)
+                finally:
+                    await client.close()
+                return client.retries, server.connections
+
+        retries, connections = asyncio.run(go())
+        # requests 2..4 each found their kept-alive socket dead
+        assert retries == 3
+        assert connections == 4

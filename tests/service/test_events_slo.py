@@ -1,0 +1,210 @@
+"""The structured event stream (/v1/events) and per-tenant SLO accounting.
+
+The event-log half pins the long-poll cursor protocol end to end: the
+server's lifecycle and request events land in the ring, trace ids are
+stamped on records emitted inside traced requests, cursors resume where
+they left, and ``log_capacity=0`` disables the endpoint with a 404.
+
+The SLO half pins the math (exact rolling p99, error-budget spend rules)
+at the :class:`~repro.service.slo.SloTracker` unit level, then checks
+the service wiring: ``/v1/stats`` carries the snapshot and ``/metrics``
+exposes the gauges the dashboard and alerting would scrape.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service import (
+    ServiceClient,
+    ServiceConfig,
+    ServiceThread,
+    SloTracker,
+    TenantPolicy,
+)
+from repro.workloads import get_workload
+
+SOURCE = get_workload("G721_encode").source
+
+
+def _inputs(n=32, offset=0):
+    return get_workload("G721_encode").default_inputs()[offset : offset + n]
+
+
+class TestEventsEndpoint:
+    def test_stream_carries_lifecycle_and_requests(self):
+        with ServiceThread(ServiceConfig()) as thread:
+
+            async def go():
+                async with ServiceClient(
+                    "127.0.0.1", thread.port, trace=True
+                ) as client:
+                    reply = await client.run("ev", source=SOURCE, inputs=_inputs())
+                    assert reply.status == 200
+                    stream = await client.events(since=0, level="info")
+                    return reply.trace_id, stream.payload
+
+            trace_id, payload = asyncio.run(go())
+        names = [r["name"] for r in payload["records"]]
+        assert "service.start" in names
+        assert "service.request" in names
+        request_record = next(
+            r for r in payload["records"] if r["name"] == "service.request"
+        )
+        # loop-thread emits stamp the request's trace context explicitly
+        assert request_record["trace_id"] == trace_id
+        assert request_record["args"]["endpoint"] == "/v1/run"
+        assert request_record["args"]["status"] == 200
+        assert payload["dropped"] == 0
+
+    def test_cursor_resumes_and_level_filters(self):
+        with ServiceThread(ServiceConfig()) as thread:
+
+            async def go():
+                async with ServiceClient("127.0.0.1", thread.port) as client:
+                    first = (await client.events(since=0)).payload
+                    # no new records: the cursor returns empty, not a replay
+                    again = (await client.events(since=first["next_seq"])).payload
+                    await client.run("ev2", source=SOURCE, inputs=_inputs())
+                    fresh = (await client.events(since=first["next_seq"])).payload
+                    errors_only = (await client.events(level="error")).payload
+                    return first, again, fresh, errors_only
+
+            first, again, fresh, errors_only = asyncio.run(go())
+        assert first["records"]
+        assert again["records"] == []
+        assert all(r["seq"] > first["next_seq"] for r in fresh["records"])
+        assert [r["name"] for r in errors_only["records"]] == []
+
+    def test_long_poll_returns_on_new_record(self):
+        with ServiceThread(ServiceConfig()) as thread:
+
+            async def go():
+                async with ServiceClient("127.0.0.1", thread.port) as client:
+                    drained = (await client.events(since=0)).payload
+                    waiter = asyncio.create_task(
+                        client.events(since=drained["next_seq"], wait=10.0)
+                    )
+                    await asyncio.sleep(0.1)
+                    assert not waiter.done()
+                    async with ServiceClient("127.0.0.1", thread.port) as poker:
+                        await poker.run("ev3", source=SOURCE, inputs=_inputs())
+                    reply = await asyncio.wait_for(waiter, timeout=10.0)
+                    return reply.payload
+
+            payload = asyncio.run(go())
+        assert payload["records"]
+
+    def test_disabled_log_is_404(self):
+        with ServiceThread(ServiceConfig(log_capacity=0)) as thread:
+
+            async def go():
+                async with ServiceClient("127.0.0.1", thread.port) as client:
+                    return await client.events()
+
+            reply = asyncio.run(go())
+        assert reply.status == 404
+        assert "disabled" in reply.payload["error"]
+
+    def test_bad_query_is_400(self):
+        with ServiceThread(ServiceConfig()) as thread:
+
+            async def go():
+                async with ServiceClient("127.0.0.1", thread.port) as client:
+                    return await client.request("GET", "/v1/events?since=banana")
+
+            assert asyncio.run(go()).status == 400
+
+
+class TestSloTracker:
+    def test_p99_exact_interpolation(self):
+        tracker = SloTracker("t", TenantPolicy(slo_p99_ms=10_000.0))
+        for ms in range(1, 101):  # 0.001s .. 0.100s
+            tracker.record(ms / 1000.0, 200)
+        snap = tracker.snapshot()
+        # exact quantile over 100 samples: pos 98.01 → 99ms..100ms
+        assert snap["p99_ms"] == pytest.approx(99.01, abs=0.01)
+        assert snap["violations"] == 0
+        assert snap["error_budget_remaining"] == 1.0
+
+    def test_slow_and_5xx_spend_budget_4xx_does_not(self):
+        policy = TenantPolicy(slo_p99_ms=100.0, slo_error_budget=0.5, slo_window=8)
+        tracker = SloTracker("t", policy)
+        assert tracker.record(0.01, 200) is False
+        assert tracker.record(0.01, 404) is False  # client error: no spend
+        assert tracker.record(0.01, 504) is True   # server failure
+        assert tracker.record(0.5, 200) is True    # slower than target
+        snap = tracker.snapshot()
+        assert snap["violations"] == 2
+        # 2 bad of 4 seen = 0.5 bad fraction = the whole 0.5 budget
+        assert snap["error_budget_remaining"] == 0.0
+
+    def test_window_rolls_old_badness_out(self):
+        policy = TenantPolicy(slo_p99_ms=100.0, slo_error_budget=0.1, slo_window=8)
+        tracker = SloTracker("t", policy)
+        tracker.record(0.01, 500)
+        for _ in range(8):
+            tracker.record(0.01, 200)
+        snap = tracker.snapshot()
+        assert snap["error_budget_remaining"] == 1.0
+        assert snap["violations"] == 1  # the counter is monotone
+
+    def test_gauges_published(self):
+        registry = MetricsRegistry()
+        policy = TenantPolicy(slo_p99_ms=50.0, slo_error_budget=0.25, slo_window=8)
+        tracker = SloTracker("gold", policy, registry)
+        tracker.record(0.2, 200)  # slow: spends budget
+        text = registry.render_openmetrics()
+        assert 'repro_service_slo_target_seconds{tenant="gold"} 0.05' in text
+        assert 'repro_service_slo_p99_seconds{tenant="gold"} 0.2' in text
+        assert 'repro_service_slo_error_budget_remaining{tenant="gold"} 0.0' in text
+        assert 'repro_service_slo_violations_total{tenant="gold"} 1' in text
+
+
+class TestSloService:
+    def test_stats_and_metrics_carry_slo(self):
+        config = ServiceConfig(
+            tenants={
+                "tight": TenantPolicy(slo_p99_ms=0.001, slo_error_budget=0.5)
+            },
+        )
+        with ServiceThread(config) as thread:
+
+            async def go():
+                async with ServiceClient("127.0.0.1", thread.port) as client:
+                    # any real run takes longer than a 1 µs target
+                    reply = await client.run("tight", source=SOURCE, inputs=_inputs())
+                    assert reply.status == 200
+                    stats = (await client.stats("tight")).payload
+                    metrics = (await client.metrics()).payload
+                    stream = (await client.events(level="warning")).payload
+                    return stats, metrics, stream
+
+            stats, metrics, stream = asyncio.run(go())
+        slo = stats["slo"]
+        assert slo["tenant"] == "tight"
+        assert slo["target_p99_ms"] == 0.001
+        assert slo["violations"] >= 1
+        assert slo["error_budget_remaining"] < 1.0
+        assert slo["p99_ms"] > 0.001
+        assert 'repro_service_slo_p99_seconds{tenant="tight"}' in metrics
+        assert 'repro_service_slo_violations_total{tenant="tight"}' in metrics
+        # the violation also hit the event stream at warning level
+        assert any(r["name"] == "slo.violation" for r in stream["records"])
+
+    def test_within_target_spends_nothing(self):
+        config = ServiceConfig(
+            tenants={"lax": TenantPolicy(slo_p99_ms=60_000.0)},
+        )
+        with ServiceThread(config) as thread:
+
+            async def go():
+                async with ServiceClient("127.0.0.1", thread.port) as client:
+                    await client.run("lax", source=SOURCE, inputs=_inputs())
+                    return (await client.stats("lax")).payload
+
+            stats = asyncio.run(go())
+        slo = stats["slo"]
+        assert slo["violations"] == 0
+        assert slo["error_budget_remaining"] == 1.0

@@ -245,6 +245,58 @@ class TestErrors:
 
         assert asyncio.run(go()) == 400
 
+    @staticmethod
+    def _raw_exchange(port, head: bytes):
+        """Send raw bytes, return (status, parsed JSON error body)."""
+
+        async def go():
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(head)
+            await writer.drain()
+            status = int((await reader.readuntil(b"\r\n")).split()[1])
+            headers = {}
+            while True:
+                line = (await reader.readuntil(b"\r\n"))[:-2]
+                if not line:
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            body = await reader.readexactly(int(headers["content-length"]))
+            writer.close()
+            return status, json.loads(body)
+
+        return asyncio.run(go())
+
+    def test_malformed_content_length_400_json(self, server):
+        status, payload = self._raw_exchange(
+            server.port,
+            b"POST /v1/run HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: banana\r\n\r\n",
+        )
+        assert status == 400
+        assert "Content-Length" in payload["error"]
+
+    def test_negative_content_length_400_json(self, server):
+        status, payload = self._raw_exchange(
+            server.port,
+            b"POST /v1/run HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: -5\r\n\r\n",
+        )
+        assert status == 400
+        assert "Content-Length" in payload["error"]
+
+    def test_oversized_header_block_400_json(self, server):
+        # under the per-line and per-count limits, over the 32 KiB total
+        filler = b"".join(
+            b"X-Pad-%02d: %s\r\n" % (i, b"v" * 4000) for i in range(10)
+        )
+        status, payload = self._raw_exchange(
+            server.port,
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\n" + filler + b"\r\n",
+        )
+        assert status == 400
+        assert payload["error"] == "header block too large"
+
 
 class TestDifferential:
     """Served outputs must be bit-identical to direct facade runs."""

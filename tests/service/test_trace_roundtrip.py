@@ -1,0 +1,215 @@
+"""End-to-end trace round-trip and no-observer-effect contracts.
+
+Three pins:
+
+* **Reassembly.**  A traced request's spans — client → ``http.request``
+  → ``session.run`` → ``machine.run``, plus whatever the pipeline and
+  governor record below — come back from ``GET /v1/trace/<id>`` as ONE
+  tree with zero orphan spans, across closures/vm × static/governed.
+* **Loadgen differential.**  A traced loadgen sweep still verifies
+  bit-identical outputs (tracing must not perturb execution), and every
+  fetched span tree reassembles without orphans.
+* **Tracing off is free.**  Requests without a ``traceparent`` produce
+  zero trace records, no ``X-Repro-Trace-Id`` header, and responses
+  byte-identical (modulo wall-clock) to traced ones.
+"""
+
+import asyncio
+import itertools
+
+import pytest
+
+from repro.service import ServiceClient, ServiceConfig, ServiceThread
+from repro.service.loadgen import LoadgenConfig, run_loadgen
+from repro.workloads import get_workload
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+def _span_names(node, out):
+    out.append(node["name"])
+    for child in node.get("children", ()):
+        _span_names(child, out)
+    return out
+
+
+def _run_traced(port, tenant, source, inputs, options):
+    """One traced run; returns (reply, fetched trace tree payload)."""
+
+    async def go():
+        async with ServiceClient("127.0.0.1", port, trace=True) as client:
+            reply = await client.run(
+                tenant, source=source, inputs=inputs, options=options
+            )
+            assert reply.status == 200, reply.payload
+            assert reply.trace_id == client.last_trace_id
+            fetched = await client.trace_tree(reply.trace_id)
+            assert fetched.status == 200
+            return reply, fetched.payload
+
+    return asyncio.run(go())
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServiceThread(ServiceConfig(request_timeout=60.0)) as thread:
+        yield thread
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "backend,governed",
+        list(itertools.product(["closures", "vm"], [False, True])),
+        ids=lambda v: str(v),
+    )
+    def test_single_tree_no_orphans(self, server, backend, governed):
+        workload = get_workload("G721_encode")
+        inputs = workload.default_inputs()[:96]
+        reply, record = _run_traced(
+            server.port,
+            f"rt-{backend}-{governed}",
+            workload.source,
+            inputs,
+            {"backend": backend, "governed": governed},
+        )
+        tree = record["tree"]
+        assert record["trace_id"] == reply.trace_id
+        assert tree["orphans"] == [] and tree["orphan_events"] == []
+        # one root: the server's http.request span, parented under the
+        # client's remote span id
+        (root,) = tree["roots"]
+        assert root["name"] == "http.request"
+        names = _span_names(root, [])
+        assert "session.run" in names and "machine.run" in names
+        # the api layer attached per-table probe telemetry, governor
+        # states, and ledger verdicts to the machine.run span
+        machine = next(
+            n for n in _iter_nodes(root) if n["name"] == "machine.run"
+        )
+        assert "tables" in machine["args"]
+        if governed:  # static runs carry no governor snapshots
+            assert "governor" in machine["args"]
+        assert machine["args"]["governed"] == governed
+        assert machine["args"]["backend"] == backend
+
+    def test_trace_index_lists_and_ranks(self, server):
+        workload = get_workload("G721_encode")
+        _run_traced(
+            server.port, "rt-index", workload.source,
+            workload.default_inputs()[:32], {},
+        )
+
+        async def go():
+            async with ServiceClient("127.0.0.1", server.port) as client:
+                return (await client.traces(limit=5)).payload
+
+        index = asyncio.run(go())
+        assert index["stored"] >= 1
+        assert index["recent"] and index["slowest"]
+        # summaries are trees-free (the full tree only on /v1/trace/<id>)
+        assert "tree" not in index["recent"][0]
+
+
+def _iter_nodes(node):
+    yield node
+    for child in node.get("children", ()):
+        yield from _iter_nodes(child)
+
+
+class TestLoadgenDifferential:
+    def test_traced_sweep_verifies_and_reassembles(self):
+        # 8 sessions × alternate backends × governed flip per workload
+        # cycle = all four backend/governed combos, traced end to end
+        config = LoadgenConfig(
+            sessions=8,
+            runs_per_session=2,
+            tenants=2,
+            workloads=("G721_encode", "GNUGO_drift"),
+            input_prefix=96,
+            chunk=32,
+            trace=True,
+            trace_slowest=3,
+        )
+        report = run_loadgen(config)
+        assert report["ok"], report["errors"][:3]
+        assert report["verification"]["mismatches"] == 0
+        tracing = report["tracing"]
+        assert tracing["traced_runs"] == report["totals"]["runs"]
+        assert tracing["orphan_spans"] == 0
+        assert len(tracing["slowest"]) == 3
+        for entry in tracing["slowest"]:
+            names = []
+            for root in entry["tree"]["roots"]:
+                _span_names(root, names)
+            assert names[0] == "http.request"
+            assert "session.run" in names
+
+
+class TestTracingOffIsFree:
+    def test_untraced_requests_produce_zero_trace_records(self):
+        workload = get_workload("G721_encode")
+        with ServiceThread(ServiceConfig()) as thread:
+
+            async def go():
+                async with ServiceClient("127.0.0.1", thread.port) as client:
+                    reply = await client.run(
+                        "quiet", source=workload.source,
+                        inputs=workload.default_inputs()[:32],
+                    )
+                    assert reply.status == 200
+                    assert reply.trace_id is None
+                    index = await client.traces()
+                    return index.payload
+
+            index = asyncio.run(go())
+            assert index["stored"] == 0 and index["recent"] == []
+            assert len(thread.traces) == 0
+
+    def test_trace_mode_off_ignores_traceparent(self):
+        workload = get_workload("G721_encode")
+        with ServiceThread(ServiceConfig(trace="off")) as thread:
+
+            async def go():
+                async with ServiceClient(
+                    "127.0.0.1", thread.port, trace=True
+                ) as client:
+                    reply = await client.run(
+                        "quiet", source=workload.source,
+                        inputs=workload.default_inputs()[:32],
+                    )
+                    assert reply.status == 200
+                    assert reply.trace_id is None
+
+            asyncio.run(go())
+            assert len(thread.traces) == 0
+
+    def test_traced_and_untraced_responses_bit_identical(self):
+        # same program, same chunks, fresh tenants: everything except
+        # wall-clock must match whether or not the request was traced
+        workload = get_workload("G721_encode")
+        chunks = [
+            workload.default_inputs()[i : i + 32] for i in (0, 32, 64)
+        ]
+        with ServiceThread(ServiceConfig(request_timeout=60.0)) as thread:
+
+            async def run_all(tenant, trace):
+                replies = []
+                async with ServiceClient(
+                    "127.0.0.1", thread.port, trace=trace
+                ) as client:
+                    for inputs in chunks:
+                        reply = await client.run(
+                            tenant, source=workload.source, inputs=inputs,
+                            options={"governed": True},
+                        )
+                        assert reply.status == 200
+                        replies.append(reply.payload)
+                return replies
+
+            traced = asyncio.run(run_all("t-traced", True))
+            plain = asyncio.run(run_all("t-plain", False))
+        for a, b in zip(traced, plain):
+            for doc in (a, b):
+                doc.pop("seconds")
+                doc.pop("tenant")
+            assert a == b
